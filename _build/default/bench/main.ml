@@ -1,0 +1,150 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every figure of the paper's evaluation section
+   (plus the extension experiments) through Ocd_bench.Experiments —
+   tables and CSV lines on stdout.
+
+   Part 2 runs bechamel micro-benchmarks of the hot building blocks
+   backing each figure: one Test.make per experiment family, measuring
+   the per-run cost of the workload that experiment stresses.
+
+   Usage: main.exe [--full] [--figures-only | --micro-only]
+   OCD_BENCH_FULL=1 is equivalent to --full (the paper's exact sweep
+   parameters; the default is a faster sweep with the same shape). *)
+
+open Ocd_core
+open Ocd_prelude
+
+let build_instance ~seed ~n ~tokens =
+  let rng = Prng.create ~seed in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+  (Scenario.single_file rng ~graph ~tokens ~source:0 ()).Scenario.instance
+
+let run strategy inst seed =
+  Ocd_engine.Engine.completed_exn (Ocd_engine.Engine.run ~strategy ~seed inst)
+
+(* --------------------------- micro ------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Figure 2/3 workhorse: one full heuristic run on a mid-size
+     instance, one test per heuristic. *)
+  let inst_mid = build_instance ~seed:42 ~n:60 ~tokens:40 in
+  let heuristic_tests =
+    List.map
+      (fun strategy ->
+        Test.make
+          ~name:("fig2/run-" ^ strategy.Ocd_engine.Strategy.name)
+          (Staged.stage (fun () -> ignore (run strategy inst_mid 7))))
+      Ocd_heuristics.Registry.all
+  in
+  (* Figure 4's extra cost centres: pruning and the §5.1 bounds. *)
+  let sched =
+    (run Ocd_heuristics.Random_push.strategy inst_mid 7).Ocd_engine.Engine.schedule
+  in
+  let prune_test =
+    Test.make ~name:"fig4/prune"
+      (Staged.stage (fun () -> ignore (Prune.prune inst_mid sched)))
+  in
+  let bounds_test =
+    Test.make ~name:"fig4/makespan-lower-bound"
+      (Staged.stage (fun () -> ignore (Bounds.makespan_lower_bound inst_mid)))
+  in
+  (* Figure 5/6: scenario construction incl. token partition. *)
+  let scenario_test =
+    Test.make ~name:"fig5/scenario-subdivide"
+      (Staged.stage (fun () ->
+           let rng = Prng.create ~seed:9 in
+           let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:100 () in
+           ignore
+             (Scenario.subdivide_files rng ~graph ~total_tokens:128 ~files:16 ())))
+  in
+  (* Figure 7: one reduction decision. *)
+  let reduction_test =
+    Test.make ~name:"fig7/reduction-decision"
+      (Staged.stage (fun () ->
+           let rng = Prng.create ~seed:3 in
+           let g =
+             Ocd_topology.Random_graph.erdos_renyi rng ~n:8 ~p:0.4
+               ~weights:(Ocd_topology.Weights.Constant 1) ()
+           in
+           ignore (Ocd_exact.Reduction.two_step_solvable g ~k:3)))
+  in
+  (* Figure 1 / IP: one exact solve. *)
+  let exact_test =
+    Test.make ~name:"fig1/exact-focd"
+      (Staged.stage (fun () ->
+           ignore (Ocd_exact.Search.focd (Figure1.instance ()))))
+  in
+  let ip_test =
+    Test.make ~name:"fig1/ip-eocd-horizon3"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_exact.Ip_formulation.eocd_at_horizon (Figure1.instance ())
+                ~horizon:3)))
+  in
+  (* Substrate: steiner tree on an evaluation-size graph. *)
+  let steiner_test =
+    let rng = Prng.create ~seed:5 in
+    let g = Ocd_topology.Random_graph.erdos_renyi rng ~n:200 () in
+    let terminals = List.filteri (fun i _ -> i mod 3 = 0) (Ocd_graph.Digraph.vertices g) in
+    Test.make ~name:"substrate/steiner-200"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_graph.Steiner.takahashi_matsuyama g ~sources:[ 0 ] ~terminals)))
+  in
+  heuristic_tests
+  @ [
+      prune_test;
+      bounds_test;
+      scenario_test;
+      reduction_test;
+      exact_test;
+      ip_test;
+      steiner_test;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "\n==== bechamel micro-benchmarks ====\n";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"ocd" ~fmt:"%s %s" (micro_tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
+        | _ -> "           n/a"
+      in
+      Printf.printf "  %-40s %s\n" name ns)
+    (List.sort compare rows);
+  print_newline ()
+
+(* --------------------------- main -------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full =
+    List.mem "--full" args || Sys.getenv_opt "OCD_BENCH_FULL" = Some "1"
+  in
+  let figures_only = List.mem "--figures-only" args in
+  let micro_only = List.mem "--micro-only" args in
+  if full then print_endline "(full paper-parameter sweep)"
+  else
+    print_endline
+      "(quick sweep: same shapes, smaller parameters; pass --full or set \
+       OCD_BENCH_FULL=1 for the paper's exact sweep)";
+  if not micro_only then Ocd_bench.Experiments.run_all ~full ();
+  if not figures_only then run_micro ()

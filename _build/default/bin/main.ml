@@ -1,0 +1,439 @@
+(* The `ocd` command-line interface.
+
+   Subcommands:
+     ocd run        — run heuristics/baselines on a generated workload
+     ocd figure     — regenerate one of the paper's figures
+     ocd exact      — solve a small instance exactly (search and/or IP)
+     ocd reduce     — the Dominating Set -> FOCD reduction demo
+     ocd bounds     — print the §5.1 lower bounds for a workload
+     ocd experiment — run an extension experiment
+     ocd export     — dump a workload/schedule in the text codec
+     ocd trace      — render a run's progress timeline *)
+
+open Cmdliner
+open Ocd_core
+open Ocd_prelude
+
+(* ---------------------- shared arguments -------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_arg =
+  Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Vertex count.")
+
+let tokens_arg =
+  Arg.(value & opt int 50 & info [ "tokens" ] ~docv:"M" ~doc:"Token count.")
+
+let topology_arg =
+  let parse s =
+    match Ocd_topology.Topology.kind_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf (Ocd_topology.Topology.kind_name k)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Ocd_topology.Topology.Random
+    & info [ "topology" ] ~docv:"KIND"
+        ~doc:"Topology kind: random, transit-stub or waxman.")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "threshold" ] ~docv:"T"
+        ~doc:"Receiver-density threshold in [0,1] (1 = all receivers).")
+
+let files_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "files" ] ~docv:"K" ~doc:"Number of files (must divide tokens).")
+
+let multi_sender_arg =
+  Arg.(
+    value & flag
+    & info [ "multi-sender" ] ~doc:"Seed each file at a random vertex.")
+
+let full_arg =
+  Arg.(
+    value & flag
+    & info [ "full" ] ~doc:"Use the paper's full sweep parameters.")
+
+(* ---------------------- workload building ------------------------- *)
+
+let build_instance ~seed ~topology ~n ~tokens ~threshold ~files ~multi_sender =
+  let rng = Prng.create ~seed in
+  let graph = Ocd_topology.Topology.generate rng topology ~n () in
+  let scenario =
+    if files > 1 || multi_sender then
+      Scenario.subdivide_files rng ~graph ~total_tokens:tokens ~files
+        ~multi_sender ()
+    else if threshold < 1.0 then
+      Scenario.receiver_density rng ~graph ~tokens ~threshold ()
+    else Scenario.single_file rng ~graph ~tokens ()
+  in
+  scenario.Scenario.instance
+
+(* ---------------------- ocd run ----------------------------------- *)
+
+let all_strategies () =
+  Ocd_heuristics.Registry.all
+  @ [
+      Ocd_heuristics.Flow_step.strategy;
+      Ocd_baselines.Tree_push.strategy ();
+      Ocd_baselines.Split_forest.strategy ~k:4 ();
+      Ocd_baselines.Fast_replica.strategy ();
+      Ocd_baselines.Serial_steiner.strategy;
+    ]
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Strategy to run (default: all).  Heuristics: round-robin, random, \
+           local, bandwidth, global.  Baselines: tree-push, split-forest-4, \
+           fast-replica, serial-steiner.")
+
+let run_cmd =
+  let run seed topology n tokens threshold files multi_sender strategy =
+    let inst =
+      build_instance ~seed ~topology ~n ~tokens ~threshold ~files ~multi_sender
+    in
+    Printf.printf "instance: n=%d m=%d deficit=%d (bw_lb=%d, moves_lb=%d)\n\n"
+      (Instance.vertex_count inst)
+      inst.Instance.token_count (Instance.total_deficit inst)
+      (Bounds.bandwidth_lower_bound inst)
+      (if Instance.satisfiable inst then Bounds.makespan_lower_bound inst else -1);
+    let chosen =
+      match strategy with
+      | None -> all_strategies ()
+      | Some name -> (
+        match
+          List.find_opt
+            (fun s -> s.Ocd_engine.Strategy.name = name)
+            (all_strategies ())
+        with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "unknown strategy %S\n" name;
+          exit 2)
+    in
+    Printf.printf "%-16s %10s %10s %10s %12s\n" "strategy" "makespan"
+      "bandwidth" "pruned" "mean-finish";
+    List.iter
+      (fun strategy ->
+        let run = Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst in
+        match run.Ocd_engine.Engine.outcome with
+        | Ocd_engine.Engine.Completed ->
+          let m = run.Ocd_engine.Engine.metrics in
+          Printf.printf "%-16s %10d %10d %10d %12.1f\n"
+            run.Ocd_engine.Engine.strategy_name m.Metrics.makespan
+            m.Metrics.bandwidth m.Metrics.pruned_bandwidth
+            (Metrics.mean_completion m)
+        | Ocd_engine.Engine.Stalled step ->
+          Printf.printf "%-16s stalled at step %d\n"
+            run.Ocd_engine.Engine.strategy_name step
+        | Ocd_engine.Engine.Step_limit ->
+          Printf.printf "%-16s hit the step limit\n"
+            run.Ocd_engine.Engine.strategy_name)
+      chosen
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
+      $ files_arg $ multi_sender_arg $ strategy_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run heuristics/baselines on a generated workload")
+    term
+
+(* ---------------------- ocd figure -------------------------------- *)
+
+let figure_cmd =
+  let run figure full =
+    match figure with
+    | 1 -> Ocd_bench.Experiments.figure1 ()
+    | 2 -> Ocd_bench.Experiments.figure2 ~full ()
+    | 3 -> Ocd_bench.Experiments.figure3 ~full ()
+    | 4 -> Ocd_bench.Experiments.figure4 ~full ()
+    | 5 -> Ocd_bench.Experiments.figure5 ~full ()
+    | 6 -> Ocd_bench.Experiments.figure6 ~full ()
+    | 7 -> Ocd_bench.Experiments.figure7 ()
+    | n ->
+      Printf.eprintf "no figure %d (the paper has figures 1-7)\n" n;
+      exit 2
+  in
+  let figure =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"FIGURE" ~doc:"Figure number (1-7).")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures")
+    Term.(const run $ figure $ full_arg)
+
+(* ---------------------- ocd exact --------------------------------- *)
+
+let exact_cmd =
+  let run seed n tokens horizon use_ip =
+    let inst =
+      if n = 0 then Figure1.instance ()
+      else
+        build_instance ~seed ~topology:Ocd_topology.Topology.Random ~n ~tokens
+          ~threshold:1.0 ~files:1 ~multi_sender:false
+    in
+    Printf.printf "instance: n=%d m=%d\n" (Instance.vertex_count inst)
+      inst.Instance.token_count;
+    (match Ocd_exact.Search.focd inst with
+    | Ocd_exact.Search.Solved s ->
+      Printf.printf "search FOCD: %d steps (witness: %d moves)\n"
+        s.Ocd_exact.Search.objective
+        (Schedule.move_count s.Ocd_exact.Search.schedule)
+    | Ocd_exact.Search.Unsatisfiable -> print_endline "search FOCD: unsatisfiable"
+    | Ocd_exact.Search.Budget_exceeded -> print_endline "search FOCD: budget");
+    (match Ocd_exact.Search.eocd ?horizon inst with
+    | Ocd_exact.Search.Solved s ->
+      Printf.printf "search EOCD%s: %d moves (witness: %d steps)\n"
+        (match horizon with
+        | Some h -> Printf.sprintf "@%d" h
+        | None -> "")
+        s.Ocd_exact.Search.objective
+        (Schedule.length s.Ocd_exact.Search.schedule)
+    | Ocd_exact.Search.Unsatisfiable -> print_endline "search EOCD: unsatisfiable"
+    | Ocd_exact.Search.Budget_exceeded -> print_endline "search EOCD: budget");
+    if use_ip then begin
+      match Ocd_exact.Ip_formulation.focd inst with
+      | Some (tau, schedule) ->
+        Printf.printf "IP FOCD: %d steps (witness: %d moves, %d variables)\n"
+          tau
+          (Schedule.move_count schedule)
+          (Ocd_exact.Ip_formulation.variable_count inst ~horizon:tau)
+      | None -> print_endline "IP FOCD: no solution within budget/horizon"
+    end
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Vertex count for a random instance (0 = the Figure 1 instance).")
+  in
+  let tokens_arg =
+    Arg.(value & opt int 2 & info [ "tokens" ] ~docv:"M" ~doc:"Token count.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"H" ~doc:"EOCD timestep budget.")
+  in
+  let use_ip =
+    Arg.(value & flag & info [ "ip" ] ~doc:"Also solve the §3.4 integer program.")
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Solve a small instance exactly")
+    Term.(const run $ seed_arg $ n_arg $ tokens_arg $ horizon $ use_ip)
+
+(* ---------------------- ocd reduce --------------------------------- *)
+
+let reduce_cmd =
+  let run seed n k p =
+    let rng = Prng.create ~seed in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Prng.bernoulli rng p then edges := (u, v, 1) :: !edges
+      done
+    done;
+    let g = Ocd_graph.Digraph.of_edges ~vertex_count:n !edges in
+    Printf.printf "graph: n=%d, %d undirected edges\n" n (List.length !edges);
+    let dom = Ocd_graph.Dominating.minimum g in
+    Printf.printf "minimum dominating set: {%s} (size %d)\n"
+      (String.concat ", " (List.map string_of_int dom))
+      (List.length dom);
+    let inst = Ocd_exact.Reduction.instance g ~k in
+    Printf.printf
+      "reduced FOCD instance: %d vertices, %d tokens; 2-step solvable with k=%d: %b\n"
+      (Instance.vertex_count inst)
+      inst.Instance.token_count k
+      (Ocd_exact.Reduction.two_step_solvable g ~k);
+    if List.length dom <= k then begin
+      let s = Ocd_exact.Reduction.schedule_of_dominating_set g ~k ~dominating:dom in
+      match Validate.check_successful inst s with
+      | Ok () ->
+        Printf.printf "constructive schedule: %d steps, %d moves — valid\n"
+          (Schedule.length s) (Schedule.move_count s)
+      | Error e -> Format.printf "constructive schedule INVALID: %a@." Validate.pp_error e
+    end
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~docv:"N" ~doc:"Vertices.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Budget.") in
+  let p =
+    Arg.(value & opt float 0.4 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.")
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Dominating Set -> FOCD reduction demo")
+    Term.(const run $ seed_arg $ n $ k $ p)
+
+(* ---------------------- ocd bounds --------------------------------- *)
+
+let bounds_cmd =
+  let run seed topology n tokens threshold =
+    let inst =
+      build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+        ~multi_sender:false
+    in
+    Printf.printf "deficit (bandwidth lower bound): %d\n"
+      (Bounds.bandwidth_lower_bound inst);
+    if Instance.satisfiable inst then begin
+      Printf.printf "makespan lower bound (M_i(v)):   %d\n"
+        (Bounds.makespan_lower_bound inst);
+      Printf.printf "one-step completion possible:    %b\n"
+        (Bounds.one_step_feasible inst ~have:inst.Instance.have);
+      Printf.printf "serial-Steiner bandwidth (upper): %d\n"
+        (Ocd_baselines.Serial_steiner.bandwidth_upper_bound inst)
+    end
+    else print_endline "instance is unsatisfiable"
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the §5.1 lower bounds for a workload")
+    Term.(const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg)
+
+(* ---------------------- ocd experiment ----------------------------- *)
+
+let experiment_cmd =
+  let experiments =
+    [
+      ("adversary", Ocd_bench.Experiments.adversary);
+      ("ip-vs-search", Ocd_bench.Experiments.ip_vs_search);
+      ("optimality-gap", Ocd_bench.Experiments.optimality_gap);
+      ("baselines", Ocd_bench.Experiments.baselines);
+      ("ablation", Ocd_bench.Experiments.ablation_subdivision);
+      ("staleness", Ocd_bench.Experiments.ablation_staleness);
+      ("dynamics", Ocd_bench.Experiments.dynamics);
+      ("coding", Ocd_bench.Experiments.coding);
+      ("underlay", Ocd_bench.Experiments.underlay);
+    ]
+  in
+  let run name =
+    match List.assoc_opt name experiments with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" name
+        (String.concat ", " (List.map fst experiments));
+      exit 2
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Experiment: adversary, ip-vs-search, baselines, ablation, \
+             dynamics or coding.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the extension experiments")
+    Term.(const run $ name_arg)
+
+(* ---------------------- ocd export --------------------------------- *)
+
+let export_cmd =
+  let run seed topology n tokens threshold strategy_name =
+    let inst =
+      build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+        ~multi_sender:false
+    in
+    print_string (Codec.instance_to_string inst);
+    match strategy_name with
+    | None -> ()
+    | Some name -> (
+      match
+        List.find_opt
+          (fun s -> s.Ocd_engine.Strategy.name = name)
+          (all_strategies ())
+      with
+      | None ->
+        Printf.eprintf "unknown strategy %S\n" name;
+        exit 2
+      | Some strategy ->
+        let run =
+          Ocd_engine.Engine.completed_exn
+            (Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst)
+        in
+        print_string (Codec.schedule_to_string run.Ocd_engine.Engine.schedule))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Dump a generated workload (and optionally a strategy's schedule) \
+          in the text codec format")
+    Term.(
+      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
+      $ strategy_arg)
+
+(* ---------------------- ocd trace ---------------------------------- *)
+
+let trace_cmd =
+  let run seed topology n tokens threshold strategy_name =
+    let inst =
+      build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+        ~multi_sender:false
+    in
+    let strategy =
+      match strategy_name with
+      | None -> Ocd_heuristics.Local_rarest.strategy
+      | Some name -> (
+        match
+          List.find_opt
+            (fun s -> s.Ocd_engine.Strategy.name = name)
+            (all_strategies ())
+        with
+        | Some s -> s
+        | None ->
+          Printf.eprintf "unknown strategy %S\n" name;
+          exit 2)
+    in
+    let run =
+      Ocd_engine.Engine.completed_exn
+        (Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst)
+    in
+    Printf.printf "%s on n=%d m=%d:\n\n" run.Ocd_engine.Engine.strategy_name
+      (Instance.vertex_count inst) inst.Instance.token_count;
+    print_string
+      (Ocd_engine.Trace.render ~width:40 inst run.Ocd_engine.Engine.schedule);
+    let fairness = Fairness.of_schedule inst run.Ocd_engine.Engine.schedule in
+    Printf.printf "\nJain fairness over forwarding load: %.3f\n"
+      fairness.Fairness.jain_index
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one strategy and render its per-step progress timeline")
+    Term.(
+      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
+      $ strategy_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ocd" ~version:"1.0.0"
+      ~doc:"The Overlay Network Content Distribution problem (PODC'05)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            run_cmd;
+            figure_cmd;
+            exact_cmd;
+            reduce_cmd;
+            bounds_cmd;
+            experiment_cmd;
+            export_cmd;
+            trace_cmd;
+          ]))

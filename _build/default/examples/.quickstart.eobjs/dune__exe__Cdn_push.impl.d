@@ -1,0 +1,1 @@
+examples/cdn_push.ml: Bounds Instance List Metrics Ocd_core Ocd_engine Ocd_graph Ocd_heuristics Ocd_prelude Ocd_topology Printf Prng Scenario

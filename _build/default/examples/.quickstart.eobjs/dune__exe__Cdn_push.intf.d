@@ -1,0 +1,1 @@
+examples/cdn_push.mli:

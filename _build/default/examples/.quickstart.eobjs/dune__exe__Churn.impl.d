@@ -1,0 +1,1 @@
+examples/churn.ml: Array Bounds Condition Dynamic_engine Fairness Instance List Metrics Ocd_core Ocd_dynamics Ocd_engine Ocd_heuristics Ocd_prelude Ocd_topology Printf Prng Scenario

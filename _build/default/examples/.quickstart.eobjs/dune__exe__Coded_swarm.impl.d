@@ -1,0 +1,1 @@
+examples/coded_swarm.ml: Array List Ocd_coding Ocd_heuristics Ocd_prelude Ocd_topology Printf Prng

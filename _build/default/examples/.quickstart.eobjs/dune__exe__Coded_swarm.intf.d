@@ -1,0 +1,1 @@
+examples/coded_swarm.mli:

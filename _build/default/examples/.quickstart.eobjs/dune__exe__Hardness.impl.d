@@ -1,0 +1,1 @@
+examples/hardness.ml: Format Instance List Move Ocd_core Ocd_exact Ocd_graph Printf Schedule String Validate

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bounds Instance List Metrics Move Ocd_core Ocd_engine Ocd_graph Ocd_heuristics Ocd_prelude Ocd_topology Printf Prng Scenario Schedule

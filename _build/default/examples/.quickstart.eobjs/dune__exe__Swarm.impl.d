@@ -1,0 +1,1 @@
+examples/swarm.ml: Array Instance List Metrics Ocd_baselines Ocd_core Ocd_engine Ocd_heuristics Ocd_prelude Ocd_topology Printf Prng Scenario

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Figure1 List Metrics Move Ocd_core Ocd_exact Printf Schedule

@@ -1,0 +1,73 @@
+(* Distribution under adverse network conditions: the §6 "changing
+   network conditions" and "arrivals and departures" open problems,
+   simulated.  A 60-peer swarm downloads a file while background cross
+   traffic squeezes links, links flap, and peers churn in and out.
+
+   Run with:  dune exec examples/churn.exe *)
+
+open Ocd_core
+open Ocd_prelude
+open Ocd_dynamics
+
+let () =
+  let rng = Prng.create ~seed:31 in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:60 () in
+  let scenario = Scenario.single_file rng ~graph ~tokens:48 ~source:0 () in
+  let inst = scenario.Scenario.instance in
+  Printf.printf "swarm of %d peers, %d-token file, lower bound %d steps\n\n"
+    (Instance.vertex_count inst) inst.Instance.token_count
+    (Bounds.makespan_lower_bound inst);
+
+  let conditions =
+    [
+      ("calm network", Condition.static);
+      ( "light cross traffic",
+        Condition.cross_traffic ~seed:1 ~prob:0.3 ~severity:0.5 );
+      ( "heavy cross traffic",
+        Condition.cross_traffic ~seed:2 ~prob:0.9 ~severity:0.75 );
+      ("flapping links", Condition.link_flaps ~seed:3 ~down_prob:0.2 ~up_prob:0.5);
+      ( "peer churn",
+        Condition.churn ~seed:4 ~protected:[ 0 ] ~leave_prob:0.08
+          ~return_prob:0.4 );
+    ]
+  in
+  Printf.printf "%-20s %-10s %10s %10s %8s\n" "condition" "strategy" "makespan"
+    "bandwidth" "drops";
+  List.iter
+    (fun (label, condition) ->
+      List.iter
+        (fun strategy ->
+          let run = Dynamic_engine.run ~condition ~strategy ~seed:5 inst in
+          match run.Dynamic_engine.outcome with
+          | Ocd_engine.Engine.Completed ->
+            Printf.printf "%-20s %-10s %10d %10d %8d\n" label
+              run.Dynamic_engine.strategy_name
+              run.Dynamic_engine.metrics.Metrics.makespan
+              run.Dynamic_engine.metrics.Metrics.bandwidth
+              run.Dynamic_engine.dropped_moves
+          | _ -> Printf.printf "%-20s %-10s %10s\n" label
+                   run.Dynamic_engine.strategy_name "aborted")
+        [ Ocd_heuristics.Local_rarest.strategy; Ocd_heuristics.Global_greedy.strategy ])
+    conditions;
+
+  print_newline ();
+  (* Fairness under churn: who carried the load? *)
+  let condition =
+    Condition.churn ~seed:4 ~protected:[ 0 ] ~leave_prob:0.08 ~return_prob:0.4
+  in
+  let run =
+    Dynamic_engine.run ~condition
+      ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:5 inst
+  in
+  let fairness = Fairness.of_schedule inst run.Dynamic_engine.schedule in
+  Printf.printf
+    "forwarding fairness under churn (local heuristic): Jain index %.3f\n"
+    fairness.Fairness.jain_index;
+  let busiest = ref 0 in
+  Array.iteri
+    (fun v u -> if u > fairness.Fairness.uploads.(!busiest) then busiest := v)
+    fairness.Fairness.uploads;
+  Printf.printf "busiest relay: vertex %d with %d uploads (ratio %.2f)\n"
+    !busiest
+    fairness.Fairness.uploads.(!busiest)
+    (Fairness.contribution_ratio fairness !busiest)

@@ -1,0 +1,1 @@
+lib/baselines/baseline_util.ml: Array Bitset Digraph Instance List Move Mst Ocd_core Ocd_graph Ocd_prelude Pqueue

@@ -1,0 +1,1 @@
+lib/baselines/baseline_util.mli: Bitset Instance Move Ocd_core Ocd_graph Ocd_prelude

@@ -1,0 +1,1 @@
+lib/baselines/fast_replica.ml: Array Baseline_util Bitset Digraph Instance List Ocd_core Ocd_engine Ocd_graph Ocd_prelude

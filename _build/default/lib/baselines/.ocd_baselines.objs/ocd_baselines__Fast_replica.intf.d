@@ -1,0 +1,1 @@
+lib/baselines/fast_replica.mli: Ocd_engine

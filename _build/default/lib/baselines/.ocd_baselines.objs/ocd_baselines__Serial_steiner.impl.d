@@ -1,0 +1,1 @@
+lib/baselines/serial_steiner.ml: Array Bitset Instance List Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Queue Schedule

@@ -1,0 +1,1 @@
+lib/baselines/serial_steiner.mli: Instance Ocd_core Ocd_engine Schedule

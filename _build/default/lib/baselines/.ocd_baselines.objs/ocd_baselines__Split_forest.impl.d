@@ -1,0 +1,1 @@
+lib/baselines/split_forest.ml: Array Baseline_util Bitset Digraph Disjoint_trees Instance List Mst Ocd_core Ocd_engine Ocd_graph Ocd_prelude Printf

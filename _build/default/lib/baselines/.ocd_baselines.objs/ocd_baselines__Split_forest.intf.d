@@ -1,0 +1,1 @@
+lib/baselines/split_forest.mli: Ocd_engine

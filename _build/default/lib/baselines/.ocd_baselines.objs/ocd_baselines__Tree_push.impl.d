@@ -1,0 +1,1 @@
+lib/baselines/tree_push.ml: Array Baseline_util Digraph Instance List Mst Ocd_core Ocd_engine Ocd_graph

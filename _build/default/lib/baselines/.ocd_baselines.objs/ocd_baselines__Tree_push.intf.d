@@ -1,0 +1,1 @@
+lib/baselines/tree_push.mli: Ocd_engine

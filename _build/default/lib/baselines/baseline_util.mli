@@ -1,0 +1,21 @@
+(** Shared helpers for the related-work baseline systems. *)
+
+open Ocd_core
+open Ocd_prelude
+
+val default_source : Instance.t -> int
+(** The vertex initially holding the most tokens (ties: lowest id) —
+    the natural "source" of single-origin scenarios. *)
+
+val widest_path_tree :
+  Ocd_graph.Digraph.t -> root:int -> Ocd_graph.Mst.tree
+(** Overcast-style bandwidth-optimised tree: maximises, for every
+    vertex, the bottleneck arc capacity of its path from the root
+    (a max-bottleneck Dijkstra over directed arcs). *)
+
+val send_down_arc :
+  have:Bitset.t array -> src:int -> dst:int -> cap:int -> only:Bitset.t option ->
+  Move.t list
+(** Up to [cap] lowest-id tokens held by [src], lacked by [dst] and
+    (when [only] is given) within [only]; the building block of the
+    tree-pipelining baselines. *)

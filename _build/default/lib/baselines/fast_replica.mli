@@ -1,0 +1,17 @@
+(** FastReplica-style split-and-exchange (related work, §2).
+
+    "The source of a file divides the file into n blocks, sends a
+    different block to each of the receivers, and then instructs the
+    receivers to retrieve the blocks from each other."
+
+    On a general overlay (rather than FastReplica's clique of n
+    receivers) the strategy has two concurrent behaviours: the source
+    pushes chunk [i] of the token space down its [i]-th outgoing arc
+    (chunk sizes proportional to arc capacities), while every other
+    vertex performs a deterministic pairwise exchange — forwarding to
+    each out-neighbour the lowest-id tokens it holds that the
+    neighbour lacks.  The chunked first phase seeds diversity the way
+    FastReplica's distribution step does; the exchange phase is its
+    collection step generalised to a mesh. *)
+
+val strategy : ?source:int -> unit -> Ocd_engine.Strategy.t

@@ -1,0 +1,29 @@
+(** The §3.3 serial-Steiner offline schedule.
+
+    "If we do not care about number of timesteps, then optimal
+    bandwidth can be achieved by distributing each token serially over
+    the Steiner tree to the nodes that want it."
+
+    For every token we build a Takahashi–Matsuyama Steiner tree from
+    its initial holders to its wanters (the multi-holder case handled
+    by multi-source growth, the paper's 0-cost-arc merge), then emit
+    the tree's arcs as BFS waves — one wave per timestep — with each
+    token scheduled strictly after the previous one finished.  The
+    result is a valid successful schedule whose bandwidth equals the
+    sum of tree costs: within a factor 2 of the EOCD optimum per
+    token, and exactly the pruned-optimal value when trees are
+    shortest-path trees.  Its makespan, by construction, is the sum of
+    tree depths — the time/bandwidth trade-off of Figure 1 taken to
+    its bandwidth-side extreme. *)
+
+open Ocd_core
+
+val plan : Instance.t -> Schedule.t
+(** @raise Invalid_argument when the instance is unsatisfiable. *)
+
+val bandwidth_upper_bound : Instance.t -> int
+(** Total Steiner-tree cost = the bandwidth of {!plan} (an upper
+    bound on the EOCD optimum). *)
+
+val strategy : Ocd_engine.Strategy.t
+(** {!plan} replayed through the engine (offline global strategy). *)

@@ -1,0 +1,11 @@
+(** SplitStream-style striped forest (related work, §2).
+
+    SplitStream splits content into [k] stripes and pushes each down
+    its own interior-node-disjoint tree; Young et al. build [k]
+    edge-disjoint spanning trees.  We extract up to [k] arc-disjoint
+    BFS trees rooted at the source ({!Ocd_graph.Disjoint_trees}),
+    assign token [t] to stripe [t mod k], and pipeline each stripe
+    down its tree.  When the graph only yields [j < k] disjoint trees
+    the stripes fold onto the [j] available trees. *)
+
+val strategy : ?source:int -> k:int -> unit -> Ocd_engine.Strategy.t

@@ -1,0 +1,15 @@
+(** Overcast-style single-tree push (related work, §2).
+
+    Overcast "attempts to construct a bandwidth-optimized overlay
+    tree"; every vertex receives all content from its tree parent.  We
+    model it as a max-bottleneck (widest-path) spanning tree rooted at
+    the source, down which tokens are pipelined: each step every tree
+    arc forwards as many still-missing tokens as its capacity allows.
+
+    This baseline illustrates the structural weakness the paper's
+    mesh-oriented heuristics avoid: each vertex's download rate is
+    capped by a single inbound arc, so makespan is bounded below by
+    [deficit / bottleneck] on the worst root-to-leaf path. *)
+
+val strategy : ?source:int -> unit -> Ocd_engine.Strategy.t
+(** [source] defaults to the vertex holding the most tokens. *)

@@ -1,0 +1,1 @@
+lib/bench/experiments.mli:

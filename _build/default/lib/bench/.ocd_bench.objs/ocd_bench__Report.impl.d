@@ -1,0 +1,1 @@
+lib/bench/report.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/bench/sweep.ml: Bounds Instance List Metrics Ocd_core Ocd_engine Ocd_prelude Order Printf Prng Report Stats

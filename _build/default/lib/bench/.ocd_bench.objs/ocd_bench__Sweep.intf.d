@@ -1,0 +1,1 @@
+lib/bench/sweep.mli: Instance Ocd_core Ocd_engine Ocd_prelude

@@ -1,0 +1,664 @@
+open Ocd_core
+open Ocd_prelude
+
+let heuristics = Ocd_heuristics.Registry.all
+
+(* Deterministic per-figure base seeds. *)
+let seed_fig2 = 1002
+let seed_fig3 = 1003
+let seed_fig4 = 1004
+let seed_fig5 = 1005
+let seed_fig6 = 1006
+let seed_fig7 = 1007
+let seed_adv = 1010
+let seed_ip = 1011
+let seed_base = 1012
+let seed_abl = 1013
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  Report.section "Figure 1: time vs bandwidth tension (exact)";
+  let inst = Figure1.instance () in
+  let table =
+    Report.create ~title:"figure1 exact optima"
+      ~columns:[ "question"; "answer"; "witness_steps"; "witness_moves" ]
+  in
+  let describe label = function
+    | Ocd_exact.Search.Solved s ->
+      Report.row table
+        [
+          label;
+          string_of_int s.Ocd_exact.Search.objective;
+          string_of_int (Schedule.length s.Ocd_exact.Search.schedule);
+          string_of_int (Schedule.move_count s.Ocd_exact.Search.schedule);
+        ]
+    | Ocd_exact.Search.Unsatisfiable -> Report.row table [ label; "unsat"; "-"; "-" ]
+    | Ocd_exact.Search.Budget_exceeded -> Report.row table [ label; "budget"; "-"; "-" ]
+  in
+  describe "min makespan (FOCD)" (Ocd_exact.Search.focd inst);
+  describe "min bandwidth (EOCD)" (Ocd_exact.Search.eocd inst);
+  describe "min bandwidth at 2 steps" (Ocd_exact.Search.eocd ~horizon:2 inst);
+  describe "min bandwidth at 3 steps" (Ocd_exact.Search.eocd ~horizon:3 inst);
+  Report.render table;
+  let fast = Metrics.of_schedule inst (Figure1.min_time_schedule ()) in
+  let cheap = Metrics.of_schedule inst (Figure1.min_bandwidth_schedule ()) in
+  Report.note
+    "paper caption: min-time schedule = 2 steps / 6 bandwidth; min-bandwidth = 4 bandwidth / 3 steps";
+  Report.note "our witnesses: fast = %d steps / %d moves; cheap = %d moves / %d steps"
+    fast.Metrics.makespan fast.Metrics.bandwidth cheap.Metrics.bandwidth
+    cheap.Metrics.makespan
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 & 3: graph size sweeps                                    *)
+(* ------------------------------------------------------------------ *)
+
+let size_sweep ~full ~seed ~title ~generate =
+  let sizes =
+    if full then [ 20; 50; 100; 200; 350; 500; 700; 1000 ]
+    else [ 20; 50; 100; 200; 400 ]
+  in
+  let tokens = if full then 200 else 100 in
+  let trials = if full then 3 else 2 in
+  let points =
+    List.map
+      (fun n ->
+        Sweep.run_point ~trials ~seed:(seed + n) ~strategies:heuristics
+          ~x_label:(string_of_int n) (fun rng ->
+            let graph = generate rng n in
+            (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance))
+      sizes
+  in
+  Sweep.report ~title ~x_column:"n" points
+
+let figure2 ?(full = false) () =
+  Report.section
+    "Figure 2: moves & bandwidth vs graph size (random 2ln n/n graph, single \
+     source & file, all receivers)";
+  size_sweep ~full ~seed:seed_fig2 ~title:"figure2 random graph" ~generate:(fun rng n ->
+      Ocd_topology.Random_graph.erdos_renyi rng ~n ())
+
+let figure3 ?(full = false) () =
+  Report.section
+    "Figure 3: moves & bandwidth vs graph size (transit-stub topology)";
+  size_sweep ~full ~seed:seed_fig3 ~title:"figure3 transit-stub"
+    ~generate:(fun rng n ->
+      Ocd_topology.Transit_stub.generate rng
+        (Ocd_topology.Transit_stub.params_for_size n))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: receiver density                                          *)
+(* ------------------------------------------------------------------ *)
+
+let figure4 ?(full = false) () =
+  Report.section
+    "Figure 4: moves & bandwidth vs receiver-density threshold (n = 200, \
+     random graph, single source)";
+  let thresholds =
+    if full then List.init 10 (fun i -> float_of_int (i + 1) /. 10.0)
+    else [ 0.1; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  let tokens = if full then 200 else 100 in
+  let trials = if full then 3 else 2 in
+  let points =
+    List.map
+      (fun threshold ->
+        Sweep.run_point ~trials
+          ~seed:(seed_fig4 + int_of_float (threshold *. 100.0))
+          ~strategies:heuristics
+          ~x_label:(Printf.sprintf "%.2f" threshold)
+          (fun rng ->
+            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:200 () in
+            (Scenario.receiver_density rng ~graph ~tokens ~threshold ())
+              .Scenario.instance))
+      thresholds
+  in
+  Sweep.report ~title:"figure4 receiver density" ~x_column:"threshold" points;
+  Report.note
+    "expected shape: flooding heuristics stay flat; the bandwidth heuristic \
+     tracks the lower bound at small thresholds; pruned bandwidth ~ optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5 & 6: file subdivision                                     *)
+(* ------------------------------------------------------------------ *)
+
+let subdivision_sweep ~full ~seed ~title ~multi_sender =
+  let total_tokens = if full then 512 else 256 in
+  let file_counts =
+    if full then [ 1; 2; 4; 8; 16; 32; 64; 128 ] else [ 1; 4; 16; 64 ]
+  in
+  let trials = if full then 3 else 2 in
+  let points =
+    List.map
+      (fun files ->
+        Sweep.run_point ~trials ~seed:(seed + files) ~strategies:heuristics
+          ~x_label:(string_of_int files) (fun rng ->
+            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:200 () in
+            (Scenario.subdivide_files rng ~graph ~total_tokens ~files
+               ~multi_sender ())
+              .Scenario.instance))
+      file_counts
+  in
+  Sweep.report ~title ~x_column:"files" points
+
+let figure5 ?(full = false) () =
+  Report.section
+    "Figure 5: moves & bandwidth vs number of files (single source, 200 \
+     vertices)";
+  subdivision_sweep ~full ~seed:seed_fig5 ~title:"figure5 file subdivision"
+    ~multi_sender:false;
+  Report.note
+    "expected shape: flooding heuristics level off after the 1-file point; \
+     only the bandwidth heuristic's consumption falls with more files"
+
+let figure6 ?(full = false) () =
+  Report.section "Figure 6: as figure 5 with random per-file senders";
+  subdivision_sweep ~full ~seed:seed_fig6 ~title:"figure6 multiple senders"
+    ~multi_sender:true
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: the reduction                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figure7 () =
+  Report.section
+    "Figure 7: Dominating Set -> FOCD reduction (appendix, Theorem 5)";
+  let table =
+    Report.create ~title:"figure7 reduction equivalence"
+      ~columns:[ "n"; "graphs"; "(g,k) pairs"; "agreements"; "mismatches" ]
+  in
+  let rng = Prng.create ~seed:seed_fig7 in
+  List.iter
+    (fun n ->
+      let graphs = 20 in
+      let pairs = ref 0 and agreements = ref 0 in
+      for _ = 1 to graphs do
+        let edges = ref [] in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if Prng.bernoulli rng 0.4 then edges := (u, v, 1) :: !edges
+          done
+        done;
+        let g = Ocd_graph.Digraph.of_edges ~vertex_count:n !edges in
+        for k = 0 to n do
+          incr pairs;
+          let ds = Ocd_graph.Dominating.exists_of_size g k in
+          let focd2 = Ocd_exact.Reduction.two_step_solvable g ~k in
+          if ds = focd2 then incr agreements
+        done
+      done;
+      Report.row table
+        [
+          string_of_int n;
+          string_of_int graphs;
+          string_of_int !pairs;
+          string_of_int !agreements;
+          string_of_int (!pairs - !agreements);
+        ])
+    [ 3; 4; 5; 6; 7 ];
+  Report.render table
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4 adversary                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let adversary () =
+  Report.section
+    "Theorem 4: adversarial family (worst-case makespan vs prescient optimum)";
+  let distance = 5 in
+  let table =
+    Report.create ~title:"adversary worst-case makespan"
+      ~columns:[ "decoys"; "strategy"; "worst_makespan"; "optimum"; "ratio" ]
+  in
+  List.iter
+    (fun decoys ->
+      List.iter
+        (fun strategy ->
+          let worst = ref 0 in
+          for wanted = 0 to decoys do
+            let inst = Ocd_exact.Adversary.instance ~distance ~decoys ~wanted in
+            let run =
+              Ocd_engine.Engine.completed_exn
+                (Ocd_engine.Engine.run ~strategy ~seed:(seed_adv + wanted) inst)
+            in
+            worst := max !worst run.Ocd_engine.Engine.metrics.Metrics.makespan
+          done;
+          let opt = Ocd_exact.Adversary.optimal_makespan ~distance in
+          Report.row table
+            [
+              string_of_int decoys;
+              strategy.Ocd_engine.Strategy.name;
+              string_of_int !worst;
+              string_of_int opt;
+              Printf.sprintf "%.2f" (float_of_int !worst /. float_of_int opt);
+            ])
+        heuristics)
+    [ 0; 4; 8; 16 ];
+  Report.render table;
+  Report.note
+    "no constant-competitive online algorithm exists: the want-blind \
+     heuristics' ratio grows with the decoy count, while want-aware ones \
+     stay near 1"
+
+(* ------------------------------------------------------------------ *)
+(* IP vs search                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ip_vs_search () =
+  Report.section "Cross-validation: time-indexed IP (§3.4) vs exact search";
+  let table =
+    Report.create ~title:"ip vs search"
+      ~columns:
+        [ "instance"; "tau_search"; "tau_ip"; "eocd_search"; "eocd_ip"; "vars" ]
+  in
+  let check label inst =
+    let tau_search, eocd_search =
+      match Ocd_exact.Search.focd inst with
+      | Ocd_exact.Search.Solved { objective = tau; _ } -> (
+        ( string_of_int tau,
+          match Ocd_exact.Search.eocd ~horizon:tau inst with
+          | Ocd_exact.Search.Solved { objective; _ } -> string_of_int objective
+          | _ -> "?" ))
+      | _ -> ("?", "?")
+    in
+    let tau_ip, eocd_ip, vars =
+      match Ocd_exact.Ip_formulation.focd inst with
+      | Some (tau, _) -> (
+        ( string_of_int tau,
+          (match Ocd_exact.Ip_formulation.eocd_at_horizon inst ~horizon:tau with
+          | Ocd_exact.Ip_formulation.Solved { bandwidth; _ } ->
+            string_of_int bandwidth
+          | _ -> "?"),
+          string_of_int (Ocd_exact.Ip_formulation.variable_count inst ~horizon:tau)
+        ))
+      | None -> ("?", "?", "-")
+    in
+    Report.row table [ label; tau_search; tau_ip; eocd_search; eocd_ip; vars ]
+  in
+  check "figure1" (Figure1.instance ());
+  let rng = Prng.create ~seed:seed_ip in
+  for i = 1 to 4 do
+    let n = 3 + Prng.int rng 2 in
+    let g =
+      Ocd_topology.Random_graph.erdos_renyi rng ~n ~p:0.6
+        ~weights:(Ocd_topology.Weights.Uniform (1, 2)) ()
+    in
+    let tokens = 1 + Prng.int rng 2 in
+    let inst = (Scenario.single_file rng ~graph:g ~tokens ()).Scenario.instance in
+    check (Printf.sprintf "random-%d (n=%d m=%d)" i n tokens) inst
+  done;
+  Report.render table
+
+(* ------------------------------------------------------------------ *)
+(* Baselines (extension)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let baselines () =
+  Report.section
+    "Extension: related-work baselines vs the paper's heuristics";
+  let strategies =
+    heuristics
+    @ [
+        Ocd_heuristics.Flow_step.strategy;
+        Ocd_baselines.Tree_push.strategy ();
+        Ocd_baselines.Split_forest.strategy ~k:4 ();
+        Ocd_baselines.Fast_replica.strategy ();
+        Ocd_baselines.Serial_steiner.strategy;
+      ]
+  in
+  let points =
+    [
+      ( "all-want-all",
+        fun rng ->
+          let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:60 () in
+          (Scenario.single_file rng ~graph ~tokens:40 ~source:0 ())
+            .Scenario.instance );
+      ( "density-0.3",
+        fun rng ->
+          let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:60 () in
+          (Scenario.receiver_density rng ~graph ~tokens:40 ~threshold:0.3
+             ~source:0 ())
+            .Scenario.instance );
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, build) ->
+        Sweep.run_point ~trials:2 ~seed:seed_base ~strategies ~x_label:label build)
+      points
+  in
+  Sweep.report ~title:"baselines comparison" ~x_column:"workload" results;
+  Report.note
+    "tree/forest pipelines are bandwidth-tight on all-want-all but flood \
+     relays regardless of wants; serial-steiner is the bandwidth-side \
+     extreme (huge makespan)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation (extension)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_subdivision () =
+  Report.section
+    "Ablation: Local heuristic with vs without request subdivision";
+  let strategies =
+    [
+      Ocd_heuristics.Local_rarest.strategy;
+      Ocd_heuristics.Local_rarest.strategy_without_subdivision;
+    ]
+  in
+  let points =
+    List.map
+      (fun n ->
+        Sweep.run_point ~trials:3 ~seed:(seed_abl + n) ~strategies
+          ~x_label:(string_of_int n) (fun rng ->
+            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+            (Scenario.single_file rng ~graph ~tokens:60 ()).Scenario.instance))
+      [ 30; 60; 120 ]
+  in
+  Sweep.report ~title:"ablation request subdivision" ~x_column:"n" points;
+  Report.note
+    "without subdivision two peers may push the same rare block at the same \
+     vertex in one turn: bandwidth inflates while makespan barely moves"
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic optimality gaps on exactly solvable instances             *)
+(* ------------------------------------------------------------------ *)
+
+let optimality_gap () =
+  Report.section
+    "Heuristic quality against exact optima (the §5 goal: 'a rough notion \
+     of the quality of our local and global heuristics')";
+  let table =
+    Report.create ~title:"optimality gap on small instances"
+      ~columns:
+        [
+          "instance";
+          "strategy";
+          "makespan";
+          "FOCD_opt";
+          "bandwidth";
+          "EOCD_opt";
+        ]
+  in
+  let rng = Prng.create ~seed:1020 in
+  for i = 1 to 5 do
+    let n = 4 + Prng.int rng 2 in
+    let g =
+      Ocd_topology.Random_graph.erdos_renyi rng ~n ~p:0.5
+        ~weights:(Ocd_topology.Weights.Uniform (1, 2)) ()
+    in
+    let tokens = 2 + Prng.int rng 2 in
+    let inst = (Scenario.single_file rng ~graph:g ~tokens ()).Scenario.instance in
+    match
+      ( Ocd_exact.Search.focd ~max_states:100_000 inst,
+        Ocd_exact.Search.eocd ~max_states:100_000 inst )
+    with
+    | ( Ocd_exact.Search.Solved { objective = opt_time; _ },
+        Ocd_exact.Search.Solved { objective = opt_bw; _ } ) ->
+      List.iter
+        (fun strategy ->
+          let run =
+            Ocd_engine.Engine.completed_exn
+              (Ocd_engine.Engine.run ~strategy ~seed:(1021 + i) inst)
+          in
+          let m = run.Ocd_engine.Engine.metrics in
+          Report.row table
+            [
+              Printf.sprintf "n=%d m=%d (#%d)" n tokens i;
+              strategy.Ocd_engine.Strategy.name;
+              string_of_int m.Metrics.makespan;
+              string_of_int opt_time;
+              string_of_int m.Metrics.pruned_bandwidth;
+              string_of_int opt_bw;
+            ])
+        heuristics
+    | _ -> Report.note "instance %d exceeded the exact-search budget" i
+  done;
+  Report.render table;
+  Report.note
+    "makespans of the knowledge-rich heuristics sit within a small additive \
+     gap of the FOCD optimum; pruned bandwidth approaches the EOCD optimum \
+     from above"
+
+(* ------------------------------------------------------------------ *)
+(* Staleness ablation (extension, suggested in §5.1)                   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_staleness () =
+  Report.section
+    "Ablation: Random heuristic with k-turns-stale peer knowledge (the \
+     relaxation §5.1 suggests exploring)";
+  let strategies =
+    List.map
+      (fun turns -> Ocd_heuristics.Random_push.with_staleness ~turns)
+      [ 0; 1; 2; 4; 8 ]
+  in
+  let points =
+    List.map
+      (fun n ->
+        Sweep.run_point ~trials:3 ~seed:(seed_abl + 100 + n) ~strategies
+          ~x_label:(string_of_int n) (fun rng ->
+            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+            (Scenario.single_file rng ~graph ~tokens:60 ()).Scenario.instance))
+      [ 40; 80 ]
+  in
+  Sweep.report ~title:"ablation knowledge staleness" ~x_column:"n" points;
+  Report.note
+    "stale peer maps cause re-sends of tokens the peer has meanwhile \
+     received: bandwidth rises with staleness while makespan degrades only \
+     mildly (re-sends still carry fresh tokens with high probability)"
+
+(* ------------------------------------------------------------------ *)
+(* Dynamics (extension)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dynamics () =
+  Report.section
+    "Extension: time-varying network conditions (§6 open problem)";
+  let table =
+    Report.create ~title:"dynamics makespan inflation"
+      ~columns:
+        [ "condition"; "strategy"; "makespan"; "static"; "inflation"; "drops" ]
+  in
+  let build seed =
+    let rng = Prng.create ~seed in
+    let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:80 () in
+    (Scenario.single_file rng ~graph ~tokens:60 ()).Scenario.instance
+  in
+  let inst = build 2101 in
+  let conditions =
+    [
+      ("cross-traffic 25%", Ocd_dynamics.Condition.cross_traffic ~seed:1 ~prob:0.5 ~severity:0.5);
+      ("cross-traffic 60%", Ocd_dynamics.Condition.cross_traffic ~seed:2 ~prob:0.8 ~severity:0.75);
+      ("link flaps", Ocd_dynamics.Condition.link_flaps ~seed:3 ~down_prob:0.15 ~up_prob:0.5);
+      ( "churn 5%",
+        Ocd_dynamics.Condition.churn ~seed:4 ~protected:[ 0 ] ~leave_prob:0.05
+          ~return_prob:0.5 );
+    ]
+  in
+  List.iter
+    (fun strategy ->
+      let static_run =
+        Ocd_engine.Engine.completed_exn
+          (Ocd_engine.Engine.run ~strategy ~seed:7 inst)
+      in
+      let static = static_run.Ocd_engine.Engine.metrics.Metrics.makespan in
+      List.iter
+        (fun (label, condition) ->
+          let run =
+            Ocd_dynamics.Dynamic_engine.run ~condition ~strategy ~seed:7 inst
+          in
+          match run.Ocd_dynamics.Dynamic_engine.outcome with
+          | Ocd_engine.Engine.Completed ->
+            let makespan =
+              run.Ocd_dynamics.Dynamic_engine.metrics.Metrics.makespan
+            in
+            Report.row table
+              [
+                label;
+                strategy.Ocd_engine.Strategy.name;
+                string_of_int makespan;
+                string_of_int static;
+                Printf.sprintf "%.2fx"
+                  (float_of_int makespan /. float_of_int static);
+                string_of_int run.Ocd_dynamics.Dynamic_engine.dropped_moves;
+              ]
+          | _ ->
+            Report.row table
+              [
+                label;
+                strategy.Ocd_engine.Strategy.name;
+                "aborted";
+                string_of_int static;
+                "-";
+                string_of_int run.Ocd_dynamics.Dynamic_engine.dropped_moves;
+              ])
+        conditions)
+    heuristics;
+  Report.render table
+
+(* ------------------------------------------------------------------ *)
+(* Coding (extension)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let coding () =
+  Report.section "Extension: rateless coding (§6 open problem)";
+  let table =
+    Report.create ~title:"coding redundancy sweep"
+      ~columns:
+        [ "coded/required"; "strategy"; "makespan"; "bandwidth"; "mean-finish" ]
+  in
+  let required = 32 in
+  let graph =
+    Ocd_topology.Random_graph.erdos_renyi (Prng.create ~seed:2201) ~n:100 ()
+  in
+  List.iter
+    (fun coded ->
+      List.iter
+        (fun strategy ->
+          let rng = Prng.create ~seed:2202 in
+          let t =
+            Ocd_coding.Coding.single_file rng ~graph ~required ~coded ~source:0
+              ()
+          in
+          let run = Ocd_coding.Coding.run ~strategy ~seed:5 t in
+          let finishes =
+            Array.to_list run.Ocd_coding.Coding.completion_times
+            |> List.filter (fun c -> c >= 0)
+            |> List.map float_of_int
+          in
+          Report.row table
+            [
+              Printf.sprintf "%d/%d" coded required;
+              strategy.Ocd_engine.Strategy.name;
+              string_of_int run.Ocd_coding.Coding.makespan;
+              string_of_int run.Ocd_coding.Coding.bandwidth;
+              (match finishes with
+              | [] -> "-"
+              | xs -> Printf.sprintf "%.1f" (Stats.mean xs));
+            ])
+        [ Ocd_heuristics.Random_push.strategy; Ocd_heuristics.Local_rarest.strategy ])
+    [ 32; 40; 48; 64 ];
+  Report.render table;
+  Report.note
+    "redundancy removes the last-block effect: any %d of the coded tokens \
+     decode the file, so extra coded tokens can only help the makespan"
+    required
+
+(* ------------------------------------------------------------------ *)
+(* Underlay (extension, §6 "Realistic topologies")                     *)
+(* ------------------------------------------------------------------ *)
+
+let underlay () =
+  Report.section
+    "Extension: physical underlay beneath the overlay (§6 'Realistic \
+     topologies')";
+  let table =
+    Report.create ~title:"underlay contention"
+      ~columns:
+        [
+          "overlay_n";
+          "strategy";
+          "makespan";
+          "overlay_only";
+          "inflation";
+          "drops";
+          "link_stress";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Prng.create ~seed:(2301 + n) in
+      let overlay = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+      let mapped =
+        Ocd_underlay.Underlay.map_onto_transit_stub rng ~overlay ()
+      in
+      let inst =
+        (Scenario.single_file rng ~graph:overlay ~tokens:40 ()).Scenario.instance
+      in
+      let stress = Ocd_underlay.Underlay.max_link_stress mapped in
+      List.iter
+        (fun strategy ->
+          let plain =
+            Ocd_engine.Engine.completed_exn
+              (Ocd_engine.Engine.run ~strategy ~seed:7 inst)
+          in
+          let plain_makespan = plain.Ocd_engine.Engine.metrics.Metrics.makespan in
+          let under =
+            Ocd_underlay.Underlay.run mapped ~strategy ~seed:7 inst
+          in
+          match under.Ocd_underlay.Underlay.outcome with
+          | Ocd_engine.Engine.Completed ->
+            let makespan =
+              under.Ocd_underlay.Underlay.metrics.Metrics.makespan
+            in
+            Report.row table
+              [
+                string_of_int n;
+                strategy.Ocd_engine.Strategy.name;
+                string_of_int makespan;
+                string_of_int plain_makespan;
+                Printf.sprintf "%.2fx"
+                  (float_of_int makespan /. float_of_int plain_makespan);
+                string_of_int under.Ocd_underlay.Underlay.dropped_moves;
+                Printf.sprintf "%.1f" stress;
+              ]
+          | _ ->
+            Report.row table
+              [
+                string_of_int n;
+                strategy.Ocd_engine.Strategy.name;
+                "aborted";
+                string_of_int plain_makespan;
+                "-";
+                string_of_int under.Ocd_underlay.Underlay.dropped_moves;
+                Printf.sprintf "%.1f" stress;
+              ])
+        [ Ocd_heuristics.Local_rarest.strategy; Ocd_heuristics.Global_greedy.strategy ])
+    [ 40; 80 ];
+  Report.render table;
+  Report.note
+    "overlay arcs share physical links (routers forward but never store); \
+     link_stress > 1 means nominal overlay capacities oversubscribe some \
+     physical link, and the overlay-only model overestimates throughput \
+     accordingly"
+
+let run_all ?(full = false) () =
+  figure1 ();
+  figure2 ~full ();
+  figure3 ~full ();
+  figure4 ~full ();
+  figure5 ~full ();
+  figure6 ~full ();
+  figure7 ();
+  adversary ();
+  ip_vs_search ();
+  optimality_gap ();
+  baselines ();
+  ablation_subdivision ();
+  ablation_staleness ();
+  dynamics ();
+  coding ();
+  underlay ()

@@ -1,0 +1,70 @@
+(** One reproduction function per paper figure, plus the extension
+    experiments documented in EXPERIMENTS.md.
+
+    Every function prints its data through {!Report} (aligned table +
+    CSV mirror).  [full] switches figure 2/3 sweeps from the quick
+    default to the paper's full parameters (graphs up to 1000
+    vertices, 200-token file, 3 trials); the quick mode keeps the
+    same shape at a fraction of the runtime. *)
+
+val figure1 : unit -> unit
+(** The time/bandwidth tension instance, solved exactly. *)
+
+val figure2 : ?full:bool -> unit -> unit
+(** Moves & bandwidth vs graph size; random `2 ln n / n` graphs,
+    single source and file, all receivers. *)
+
+val figure3 : ?full:bool -> unit -> unit
+(** As figure 2 on transit-stub topologies. *)
+
+val figure4 : ?full:bool -> unit -> unit
+(** Moves & bandwidth vs receiver-density threshold; n = 200. *)
+
+val figure5 : ?full:bool -> unit -> unit
+(** Moves & bandwidth vs number of files (subdivision of one token
+    pool), single source. *)
+
+val figure6 : ?full:bool -> unit -> unit
+(** As figure 5 with a random sender per file. *)
+
+val figure7 : unit -> unit
+(** Appendix reduction: Dominating Set ⇔ 2-step FOCD equivalence
+    counts over exhaustive small-graph samples. *)
+
+val adversary : unit -> unit
+(** Theorem 4 family: per-heuristic worst-case makespan vs the
+    prescient optimum as decoys scale. *)
+
+val ip_vs_search : unit -> unit
+(** §3.4 IP vs combinatorial search cross-validation table. *)
+
+val optimality_gap : unit -> unit
+(** Heuristics vs exact FOCD/EOCD optima on exactly solvable
+    instances — §5's stated purpose for computing bounds. *)
+
+val baselines : unit -> unit
+(** Extension: related-work baseline systems vs the §5.1 heuristics. *)
+
+val ablation_subdivision : unit -> unit
+(** Extension: the Local heuristic with and without request
+    subdivision (duplicate-suppression ablation). *)
+
+val ablation_staleness : unit -> unit
+(** Extension (suggested in §5.1's Random description): peer-state
+    knowledge that is k turns old — bandwidth cost of staleness. *)
+
+val dynamics : unit -> unit
+(** Extension (§6 "Changing network conditions"): heuristic makespan
+    inflation under cross traffic, link flaps and churn, against the
+    static network. *)
+
+val coding : unit -> unit
+(** Extension (§6 "Encoding"): makespan of a k-of-n rateless-coded
+    download as redundancy grows. *)
+
+val underlay : unit -> unit
+(** Extension (§6 "Realistic topologies"): overlay arcs routed over a
+    shared physical network; makespan inflation from physical-link
+    contention. *)
+
+val run_all : ?full:bool -> unit -> unit

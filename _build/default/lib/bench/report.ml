@@ -1,0 +1,45 @@
+type table = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Report.row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc cells -> List.map2 (fun w c -> max w (String.length c)) acc cells)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let print_row cells =
+    print_string "  ";
+    List.iter2 (fun w c -> print_string (pad w c); print_string "  ") widths cells;
+    print_newline ()
+  in
+  Printf.printf "-- %s\n" t.title;
+  print_row t.columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  (* CSV mirror for machine consumption. *)
+  let slug =
+    String.map (fun c -> if c = ' ' || c = ',' then '_' else c) t.title
+  in
+  List.iter
+    (fun cells -> Printf.printf "csv,%s,%s\n" slug (String.concat "," cells))
+    rows;
+  print_newline ()
+
+let section title =
+  Printf.printf "\n==== %s ====\n\n%!" title
+
+let note fmt = Format.kasprintf (fun s -> Printf.printf "  %s\n%!" s) fmt

@@ -1,0 +1,19 @@
+(** Plain-text experiment reporting: aligned tables plus CSV lines that
+    downstream plotting scripts can grep out (lines prefixed
+    ["csv,"]). *)
+
+type table
+
+val create : title:string -> columns:string list -> table
+
+val row : table -> string list -> unit
+(** Buffers one row (lengths must match the header). *)
+
+val render : table -> unit
+(** Prints the aligned table and its CSV mirror to stdout. *)
+
+val section : string -> unit
+(** Prints a section banner. *)
+
+val note : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Prints a free-form commentary line. *)

@@ -1,0 +1,81 @@
+open Ocd_core
+open Ocd_prelude
+
+type aggregate = {
+  strategy : string;
+  moves : Stats.summary;
+  bandwidth : Stats.summary;
+  pruned : Stats.summary;
+}
+
+type point_result = {
+  x_label : string;
+  bandwidth_lb : int;
+  makespan_lb : int;
+  aggregates : aggregate list;
+}
+
+let run_point ?(trials = 3) ~seed ~strategies ~x_label build =
+  let rng = Prng.create ~seed in
+  let instance = build rng in
+  let run_strategy strategy =
+    let results =
+      List.map
+        (fun trial ->
+          let run =
+            Ocd_engine.Engine.completed_exn
+              (Ocd_engine.Engine.run ~strategy ~seed:(seed + (31 * trial)) instance)
+          in
+          run.Ocd_engine.Engine.metrics)
+        (Order.range trials)
+    in
+    {
+      strategy = strategy.Ocd_engine.Strategy.name;
+      moves = Stats.summarize_ints (List.map (fun m -> m.Metrics.makespan) results);
+      bandwidth =
+        Stats.summarize_ints (List.map (fun m -> m.Metrics.bandwidth) results);
+      pruned =
+        Stats.summarize_ints
+          (List.map (fun m -> m.Metrics.pruned_bandwidth) results);
+    }
+  in
+  {
+    x_label;
+    bandwidth_lb = Bounds.bandwidth_lower_bound instance;
+    makespan_lb =
+      (if Instance.satisfiable instance then Bounds.makespan_lower_bound instance
+       else 0);
+    aggregates = List.map run_strategy strategies;
+  }
+
+let report ~title ~x_column points =
+  let table =
+    Report.create ~title
+      ~columns:
+        [
+          x_column;
+          "strategy";
+          "moves";
+          "bandwidth";
+          "pruned_bw";
+          "bw_lb";
+          "moves_lb";
+        ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun a ->
+          Report.row table
+            [
+              p.x_label;
+              a.strategy;
+              Printf.sprintf "%.1f" a.moves.Stats.mean;
+              Printf.sprintf "%.0f" a.bandwidth.Stats.mean;
+              Printf.sprintf "%.0f" a.pruned.Stats.mean;
+              string_of_int p.bandwidth_lb;
+              string_of_int p.makespan_lb;
+            ])
+        p.aggregates)
+    points;
+  Report.render table

@@ -1,0 +1,43 @@
+(** Multi-trial experiment runner.
+
+    The paper's methodology: "We generate several instances of the
+    graph for each size graph, and repeat our heuristics 3 times for
+    each graph" — seeded here so every figure is reproducible.  For
+    each x-axis point this module builds an instance (from a seed
+    derived from the base seed and the point), runs every strategy for
+    the configured number of trials, and aggregates makespan ("moves"
+    in the figures' terminology), bandwidth, pruned bandwidth and the
+    §5.1 lower bounds. *)
+
+open Ocd_core
+
+type aggregate = {
+  strategy : string;
+  moves : Ocd_prelude.Stats.summary;      (** makespan over trials *)
+  bandwidth : Ocd_prelude.Stats.summary;
+  pruned : Ocd_prelude.Stats.summary;
+}
+
+type point_result = {
+  x_label : string;
+  bandwidth_lb : int;
+  makespan_lb : int;
+  aggregates : aggregate list;
+}
+
+val run_point :
+  ?trials:int ->
+  seed:int ->
+  strategies:Ocd_engine.Strategy.t list ->
+  x_label:string ->
+  (Ocd_prelude.Prng.t -> Instance.t) ->
+  point_result
+(** [run_point ~seed ~strategies ~x_label build] derives a fresh PRNG
+    from [seed], builds the instance once, and runs each strategy
+    [trials] (default 3) times with distinct engine seeds.  Raises
+    [Failure] if a strategy fails to complete (a stalled heuristic is
+    a bug, not a data point). *)
+
+val report :
+  title:string -> x_column:string -> point_result list -> unit
+(** Renders the standard moves/bandwidth table for a sweep. *)

@@ -1,0 +1,1 @@
+lib/coding/coding.ml: Array Bitset Format Hashtbl Instance List Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Option Order Prng Schedule Validate

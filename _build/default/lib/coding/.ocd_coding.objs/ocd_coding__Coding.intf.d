@@ -1,0 +1,1 @@
+lib/coding/coding.mli: Bitset Instance Ocd_core Ocd_engine Ocd_graph Ocd_prelude Prng Schedule

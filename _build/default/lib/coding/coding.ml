@@ -1,0 +1,151 @@
+open Ocd_core
+open Ocd_prelude
+
+type group = {
+  group_id : int;
+  tokens : Bitset.t;
+  required : int;
+  receivers : int list;
+}
+
+type t = {
+  instance : Instance.t;
+  groups : group list;
+}
+
+let single_file rng ~graph ~required ~coded ?source () =
+  if required <= 0 || coded < required then
+    invalid_arg "Coding.single_file: need 0 < required <= coded";
+  let n = Ocd_graph.Digraph.vertex_count graph in
+  let source =
+    match source with
+    | Some s ->
+      if s < 0 || s >= n then invalid_arg "Coding.single_file: bad source";
+      s
+    | None -> Prng.int rng n
+  in
+  let receivers = List.filter (fun v -> v <> source) (Order.range n) in
+  let all = Order.range coded in
+  let instance =
+    Instance.make ~graph ~token_count:coded
+      ~have:[ (source, all) ]
+      ~want:(List.map (fun v -> (v, all)) receivers)
+  in
+  {
+    instance;
+    groups =
+      [
+        {
+          group_id = 0;
+          tokens = Bitset.full coded;
+          required;
+          receivers;
+        };
+      ];
+  }
+
+let decoded t have v =
+  List.for_all
+    (fun g ->
+      (not (List.mem v g.receivers))
+      || Bitset.cardinal (Bitset.inter have.(v) g.tokens) >= g.required)
+    t.groups
+
+let all_decoded t have =
+  let n = Instance.vertex_count t.instance in
+  let rec go v = v >= n || (decoded t have v && go (v + 1)) in
+  go 0
+
+type run = {
+  strategy_name : string;
+  outcome : Ocd_engine.Engine.outcome;
+  schedule : Schedule.t;
+  makespan : int;
+  bandwidth : int;
+  completion_times : int array;
+}
+
+let completion_times t schedule =
+  let p = Validate.possessions t.instance schedule in
+  let n = Instance.vertex_count t.instance in
+  Array.init n (fun v ->
+      let rec earliest i =
+        if i >= Array.length p then -1
+        else if decoded t p.(i) v then i
+        else earliest (i + 1)
+      in
+      earliest 0)
+
+let run ?step_limit ?stall_patience ~strategy ~seed t =
+  let inst = t.instance in
+  let step_limit =
+    match step_limit with
+    | Some l -> l
+    | None ->
+      let n = Instance.vertex_count inst and m = max 1 inst.token_count in
+      min ((m * (max 1 (n - 1))) + n + 64) 1_000_000
+  in
+  let stall_patience =
+    match stall_patience with
+    | Some p -> p
+    | None -> (2 * inst.token_count) + 16
+  in
+  let rng = Prng.create ~seed in
+  let decide = strategy.Ocd_engine.Strategy.make inst rng in
+  let have = Array.map Bitset.copy inst.have in
+  let steps = ref [] in
+  let rec loop step since_progress =
+    if all_decoded t have then Ocd_engine.Engine.Completed
+    else if step >= step_limit then Ocd_engine.Engine.Step_limit
+    else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
+    else begin
+      let proposal =
+        decide { Ocd_engine.Strategy.instance = inst; have; step; rng }
+      in
+      (* Reuse the static engine's §3.1 enforcement by replaying the
+         proposal through its checker semantics: validity here means
+         arcs exist, capacities hold, sources possess.  We inline the
+         checks to keep the coded loop self-contained. *)
+      let seen = Hashtbl.create 32 in
+      let load = Hashtbl.create 32 in
+      List.iter
+        (fun (m : Move.t) ->
+          let cap = Ocd_graph.Digraph.capacity inst.graph m.src m.dst in
+          if cap = 0 then invalid_arg "Coding.run: move on missing arc";
+          if Hashtbl.mem seen (m.src, m.dst, m.token) then
+            invalid_arg "Coding.run: duplicate assignment";
+          Hashtbl.replace seen (m.src, m.dst, m.token) ();
+          let l = 1 + Option.value (Hashtbl.find_opt load (m.src, m.dst)) ~default:0 in
+          Hashtbl.replace load (m.src, m.dst) l;
+          if l > cap then invalid_arg "Coding.run: capacity exceeded";
+          if not (Bitset.mem have.(m.src) m.token) then
+            invalid_arg "Coding.run: token not possessed")
+        proposal;
+      let fresh = ref 0 in
+      List.iter
+        (fun (m : Move.t) ->
+          if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+        proposal;
+      List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) proposal;
+      steps := proposal :: !steps;
+      loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
+    end
+  in
+  let outcome = loop 0 0 in
+  let schedule =
+    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+  in
+  (match (outcome, Validate.check inst schedule) with
+  | Ocd_engine.Engine.Completed, Error e ->
+    invalid_arg
+      (Format.asprintf "Coding.run: invalid schedule: %a" Validate.pp_error e)
+  | _ -> ());
+  let completion = completion_times t schedule in
+  {
+    strategy_name = strategy.Ocd_engine.Strategy.name;
+    outcome;
+    schedule;
+    makespan = Array.fold_left max 0 completion;
+    bandwidth = Schedule.move_count schedule;
+    completion_times = completion;
+  }

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Bitset Digraph Instance List Maxflow Ocd_graph Ocd_prelude Pqueue

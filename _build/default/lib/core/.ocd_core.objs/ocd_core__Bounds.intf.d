@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Bitset Instance Ocd_prelude

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Bitset Buffer Digraph Instance List Move Ocd_graph Ocd_prelude Printf Result Schedule String

@@ -1,0 +1,1 @@
+lib/core/codec.mli: Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/fairness.ml: Array Instance List Move Schedule

@@ -1,0 +1,1 @@
+lib/core/fairness.mli: Instance Schedule

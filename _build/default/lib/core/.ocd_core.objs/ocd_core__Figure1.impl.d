@@ -1,0 +1,1 @@
+lib/core/figure1.ml: Digraph Instance Move Ocd_graph Schedule

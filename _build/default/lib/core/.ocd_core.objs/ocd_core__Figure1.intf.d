@@ -1,0 +1,1 @@
+lib/core/figure1.mli: Instance Schedule

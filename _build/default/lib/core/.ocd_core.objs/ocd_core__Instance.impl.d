@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Bitset Digraph Format List Ocd_graph Ocd_prelude

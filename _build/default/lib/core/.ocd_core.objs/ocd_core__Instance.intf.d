@@ -1,0 +1,1 @@
+lib/core/instance.mli: Bitset Format Ocd_graph Ocd_prelude

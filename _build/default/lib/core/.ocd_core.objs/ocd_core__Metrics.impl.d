@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Bitset Format Instance List Ocd_prelude Prune Schedule Stats Validate

@@ -1,0 +1,1 @@
+lib/core/move.ml: Format Stdlib

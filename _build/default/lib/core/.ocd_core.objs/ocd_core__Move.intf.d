@@ -1,0 +1,1 @@
+lib/core/move.mli: Format

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Bitset Hashtbl Instance List Move Ocd_prelude Schedule

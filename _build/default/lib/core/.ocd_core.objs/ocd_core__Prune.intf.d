@@ -1,0 +1,1 @@
+lib/core/prune.mli: Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Digraph Instance List Ocd_graph Ocd_prelude Order Prng

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Instance Ocd_graph Ocd_prelude Prng

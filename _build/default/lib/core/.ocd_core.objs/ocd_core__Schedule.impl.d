@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Format List Move

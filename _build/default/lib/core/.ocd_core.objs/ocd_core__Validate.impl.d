@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Bitset Digraph Format Hashtbl Instance List Move Ocd_graph Ocd_prelude Option Schedule

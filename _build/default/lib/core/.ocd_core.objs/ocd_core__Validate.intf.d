@@ -1,0 +1,1 @@
+lib/core/validate.mli: Format Instance Move Ocd_prelude Schedule

@@ -1,0 +1,68 @@
+(** Lower-bound estimators (§5.1).
+
+    These give cheap, not necessarily tight, lower bounds on the
+    bandwidth and makespan any successful schedule must pay, evaluated
+    either on an instance's initial state or on an intermediate
+    possession state (the simulator uses them to report optimality
+    gaps).
+
+    - {!remaining_bandwidth} "counts every token that is wanted but not
+      known at each vertex" — the bandwidth needed if the schedule
+      could finish in one step.
+    - {!remaining_makespan} is the paper's [M_i(v) = i +
+      ceil(|T^{c_i(v)}| / indeg(v))] bound, maximised over all radii
+      [i] and vertices [v], where [T^{c_i(v)}] is the set of tokens
+      the vertex still needs whose nearest current holder is more than
+      [i] hops away.  We divide by the vertex's total incoming
+      *capacity* (the per-step intake ceiling); with the paper's unit
+      interpretation of "indegree" this is the natural capacitated
+      generalisation.
+    - {!one_step_feasible} is the paper's special-cased single-step
+      lookahead: a necessary condition for the remaining distribution
+      to complete in one timestep. *)
+
+open Ocd_prelude
+
+val remaining_bandwidth : Instance.t -> have:Bitset.t array -> int
+
+val bandwidth_lower_bound : Instance.t -> int
+(** {!remaining_bandwidth} at the initial state. *)
+
+val relay_aware_bandwidth_lower_bound : Instance.t -> int
+(** A tighter bandwidth bound: per token, beyond the deficit count,
+    any wanter at hop distance [d] from the token's nearest holder
+    forces the token through [d - 1] distinct intermediate vertices,
+    each of which must receive its own copy.  Summing
+    [deficit_t + max(0, max_d_t - 1)] per token remains a valid lower
+    bound (the relay vertices of the farthest wanter are distinct from
+    one another; a relay that is itself a wanter is not double-counted
+    because the bound only adds relays *beyond* the wanter set — we
+    use the farthest wanter's distance through non-wanters, falling
+    back to the plain deficit when every shortest path runs through
+    wanters).  Sits between {!bandwidth_lower_bound} and the EOCD
+    optimum.
+    @raise Invalid_argument on unsatisfiable instances. *)
+
+val remaining_makespan : Instance.t -> have:Bitset.t array -> int
+(** The [max_v max_i M_i(v)] bound from the current state; 0 when all
+    wants are met.
+    @raise Invalid_argument if some wanted token is unreachable from
+    every current holder. *)
+
+val makespan_lower_bound : Instance.t -> int
+(** {!remaining_makespan} at the initial state. *)
+
+val one_step_feasible : Instance.t -> have:Bitset.t array -> bool
+(** Necessary condition for finishing in one more step: every deficit
+    token of each vertex is held by an in-neighbour and the per-arc
+    capacities admit a fractional assignment covering each vertex's
+    deficit ([|deficit(v)| <= Σ_u min(cap(u,v), |deficit(v) ∩
+    have(u)|)]).  [true] does not guarantee feasibility (the exact
+    question is an assignment problem); [false] proves ≥ 2 steps. *)
+
+val one_step_exact : Instance.t -> have:Bitset.t array -> bool
+(** Exact single-step feasibility: for each vertex, the assignment of
+    deficit tokens to supplying in-arcs is solved as a bipartite
+    max-flow ({!Ocd_graph.Maxflow}); deliveries to distinct vertices
+    use distinct arcs, so per-vertex feasibility is exact for the
+    whole step.  Implies {!one_step_feasible}. *)

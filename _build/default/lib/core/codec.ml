@@ -1,0 +1,148 @@
+open Ocd_prelude
+open Ocd_graph
+
+let instance_to_string (inst : Instance.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "instance %d %d\n"
+       (Instance.vertex_count inst)
+       inst.Instance.token_count);
+  List.iter
+    (fun { Digraph.src; dst; capacity } ->
+      Buffer.add_string buf (Printf.sprintf "arc %d %d %d\n" src dst capacity))
+    (Digraph.arcs inst.Instance.graph);
+  let dump_sets keyword sets =
+    Array.iteri
+      (fun v s ->
+        if not (Bitset.is_empty s) then begin
+          Buffer.add_string buf (Printf.sprintf "%s %d" keyword v);
+          Bitset.iter (fun t -> Buffer.add_string buf (Printf.sprintf " %d" t)) s;
+          Buffer.add_char buf '\n'
+        end)
+      sets
+  in
+  dump_sets "have" inst.Instance.have;
+  dump_sets "want" inst.Instance.want;
+  Buffer.contents buf
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_ints words =
+  try Ok (List.map int_of_string words) with Failure _ -> Error "bad integer"
+
+let instance_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let header, rest =
+    match lines with
+    | first :: rest -> (first, rest)
+    | [] -> ("", [])
+  in
+  match tokenize header with
+  | [ "instance"; n; m ] -> (
+    match (int_of_string_opt n, int_of_string_opt m) with
+    | Some n, Some m -> (
+      let arcs = ref [] and have = ref [] and want = ref [] in
+      let parse_line line =
+        match tokenize line with
+        | "arc" :: words -> (
+          match parse_ints words with
+          | Ok [ src; dst; capacity ] ->
+            arcs := { Digraph.src; dst; capacity } :: !arcs;
+            Ok ()
+          | Ok _ -> Error "arc expects 3 integers"
+          | Error e -> Error e)
+        | "have" :: words -> (
+          match parse_ints words with
+          | Ok (v :: tokens) ->
+            have := (v, tokens) :: !have;
+            Ok ()
+          | Ok [] -> Error "have expects a vertex"
+          | Error e -> Error e)
+        | "want" :: words -> (
+          match parse_ints words with
+          | Ok (v :: tokens) ->
+            want := (v, tokens) :: !want;
+            Ok ()
+          | Ok [] -> Error "want expects a vertex"
+          | Error e -> Error e)
+        | keyword :: _ -> Error (Printf.sprintf "unknown record %S" keyword)
+        | [] -> Ok ()
+      in
+      let rec go = function
+        | [] -> Ok ()
+        | line :: rest -> (
+          match parse_line line with Ok () -> go rest | Error e -> Error e)
+      in
+      match go rest with
+      | Error e -> Error e
+      | Ok () -> (
+        try
+          let graph = Digraph.of_arcs ~vertex_count:n (List.rev !arcs) in
+          Ok (Instance.make ~graph ~token_count:m ~have:!have ~want:!want)
+        with Invalid_argument msg -> Error msg))
+    | _ -> Error "bad instance header")
+  | _ -> Error "expected 'instance <n> <m>' header"
+
+let schedule_to_string schedule =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "schedule\n";
+  List.iter
+    (fun moves ->
+      Buffer.add_string buf "step";
+      List.iter
+        (fun (m : Move.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf " %d>%d:%d" m.src m.dst m.token))
+        moves;
+      Buffer.add_char buf '\n')
+    (Schedule.steps schedule);
+  Buffer.contents buf
+
+let parse_move word =
+  match String.split_on_char '>' word with
+  | [ src; rest ] -> (
+    match String.split_on_char ':' rest with
+    | [ dst; token ] -> (
+      match
+        (int_of_string_opt src, int_of_string_opt dst, int_of_string_opt token)
+      with
+      | Some src, Some dst, Some token -> Ok { Move.src; dst; token }
+      | _ -> Error (Printf.sprintf "bad move %S" word))
+    | _ -> Error (Printf.sprintf "bad move %S" word))
+  | _ -> Error (Printf.sprintf "bad move %S" word)
+
+let schedule_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | "schedule" :: rest ->
+    let parse_step line =
+      match tokenize line with
+      | "step" :: moves ->
+        List.fold_left
+          (fun acc word ->
+            match (acc, parse_move word) with
+            | Ok ms, Ok m -> Ok (m :: ms)
+            | (Error _ as e), _ -> e
+            | _, Error e -> Error e)
+          (Ok []) moves
+        |> Result.map List.rev
+      | _ -> Error (Printf.sprintf "expected step line, got %S" line)
+    in
+    let rec go acc = function
+      | [] -> Ok (Schedule.of_steps (List.rev acc))
+      | line :: rest -> (
+        match parse_step line with
+        | Ok step -> go (step :: acc) rest
+        | Error e -> Error e)
+    in
+    go [] rest
+  | _ -> Error "expected 'schedule' header"

@@ -1,0 +1,23 @@
+(** Plain-text serialisation of instances and schedules.
+
+    A line-oriented format meant for reproducibility: dump a generated
+    workload and a solver's schedule, reload them elsewhere, revalidate.
+    Grammar (one record per line, [#] comments ignored):
+
+    {v
+    instance <vertex-count> <token-count>
+    arc <src> <dst> <capacity>
+    have <vertex> <token> ...
+    want <vertex> <token> ...
+    schedule
+    step <s1> ... ; each move as src>dst:token
+    v}
+
+    Encoding is lossless; decoding validates ranges through the normal
+    constructors, so a corrupt file fails loudly. *)
+
+val instance_to_string : Instance.t -> string
+val instance_of_string : string -> (Instance.t, string) result
+
+val schedule_to_string : Schedule.t -> string
+val schedule_of_string : string -> (Schedule.t, string) result

@@ -1,0 +1,30 @@
+type t = {
+  uploads : int array;
+  downloads : int array;
+  jain_index : float;
+}
+
+let jain = function
+  | [] -> 1.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let sum = List.fold_left ( +. ) 0.0 xs in
+    let sum_sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sum_sq = 0.0 then 1.0 else sum *. sum /. (n *. sum_sq)
+
+let of_schedule (inst : Instance.t) schedule =
+  let n = Instance.vertex_count inst in
+  let uploads = Array.make n 0 in
+  let downloads = Array.make n 0 in
+  Schedule.iter_moves schedule (fun ~step:_ (m : Move.t) ->
+      uploads.(m.src) <- uploads.(m.src) + 1;
+      downloads.(m.dst) <- downloads.(m.dst) + 1);
+  let participant_uploads =
+    List.filteri (fun v _ -> downloads.(v) > 0) (Array.to_list uploads)
+    |> List.map float_of_int
+  in
+  { uploads; downloads; jain_index = jain participant_uploads }
+
+let contribution_ratio t v =
+  if t.downloads.(v) = 0 then if t.uploads.(v) = 0 then 1.0 else infinity
+  else float_of_int t.uploads.(v) /. float_of_int t.downloads.(v)

@@ -1,0 +1,26 @@
+(** Contribution fairness metrics.
+
+    The paper's introduction lists fairness — "ensuring that nodes
+    contribute roughly in proportion to one another" — among the goals
+    systems optimise besides speed and bandwidth.  These metrics
+    quantify how a schedule spreads the forwarding load:
+
+    - per-vertex upload/download counts;
+    - the contribution ratio (uploads / downloads), the BitTorrent
+      share-ratio notion;
+    - Jain's fairness index over uploads,
+      [(Σx)² / (n · Σx²)] ∈ [1/n, 1], 1 = perfectly even. *)
+
+type t = {
+  uploads : int array;
+  downloads : int array;
+  jain_index : float;
+      (** over the uploads of vertices that downloaded anything (pure
+          sources excluded — they have nothing to reciprocate) *)
+}
+
+val of_schedule : Instance.t -> Schedule.t -> t
+
+val contribution_ratio : t -> int -> float
+(** [uploads/downloads] for one vertex; [infinity] for pure uploaders,
+    0 for pure leechers, 1 for vertices that moved nothing. *)

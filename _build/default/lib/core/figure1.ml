@@ -1,0 +1,37 @@
+open Ocd_graph
+
+let s = 0
+let r = 1
+let a = 2
+let r' = 3
+
+let instance () =
+  let graph =
+    Digraph.of_arcs ~vertex_count:4
+      [
+        { src = s; dst = r; capacity = 1 };
+        { src = s; dst = a; capacity = 2 };
+        { src = a; dst = r; capacity = 2 };
+        { src = s; dst = r'; capacity = 1 };
+      ]
+  in
+  Instance.make ~graph ~token_count:3
+    ~have:[ (s, [ 0; 1; 2 ]) ]
+    ~want:[ (r, [ 0; 1; 2 ]); (r', [ 0 ]) ]
+
+let move src dst token = { Move.src; dst; token }
+
+let min_time_schedule () =
+  Schedule.of_steps
+    [
+      [ move s r 0; move s a 1; move s a 2; move s r' 0 ];
+      [ move a r 1; move a r 2 ];
+    ]
+
+let min_bandwidth_schedule () =
+  Schedule.of_steps
+    [
+      [ move s r 0; move s r' 0 ];
+      [ move s r 1 ];
+      [ move s r 2 ];
+    ]

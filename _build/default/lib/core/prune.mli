@@ -1,0 +1,20 @@
+(** Post-hoc schedule pruning (§5.1).
+
+    "Once a satisfying schedule is found, we can go back and prune any
+    unnecessary moves, reducing the bandwidth consumption.  Pruning
+    first removes all moves that deliver a token repeatedly to the same
+    vertex, and then works back from the last move to the first,
+    removing moves that deliver tokens which were never used by the
+    destination vertex."
+
+    Pass 1 keeps, for every (vertex, token), only the chronologically
+    first delivery (and drops deliveries of tokens the vertex started
+    with).  Pass 2 walks timesteps backwards and drops a kept delivery
+    when the destination neither wants the token nor forwards it in
+    any retained later move.
+
+    Pruning preserves validity and success and never increases either
+    bandwidth or makespan (trailing steps that become empty are
+    dropped). *)
+
+val prune : Instance.t -> Schedule.t -> Schedule.t

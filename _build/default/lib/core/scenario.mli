@@ -1,0 +1,57 @@
+(** Workload builders for the paper's evaluation scenarios (§5.2–5.3).
+
+    Each builder returns the instance plus the metadata needed by the
+    figures (file → token-set map, the source vertices, receiver
+    sets). *)
+
+open Ocd_prelude
+
+type file = { file_id : int; tokens : int list; receivers : int list }
+
+type t = {
+  instance : Instance.t;
+  sources : int list;
+  files : file list;
+}
+
+val single_file :
+  Prng.t ->
+  graph:Ocd_graph.Digraph.t ->
+  tokens:int ->
+  ?source:int ->
+  unit ->
+  t
+(** §5.2 "graph size" workload: one source (random unless given) holds
+    a single file of [tokens] tokens; every other vertex wants the
+    whole file. *)
+
+val receiver_density :
+  Prng.t ->
+  graph:Ocd_graph.Digraph.t ->
+  tokens:int ->
+  threshold:float ->
+  ?source:int ->
+  unit ->
+  t
+(** §5.2 "receiver density" workload: each non-source vertex draws a
+    uniform score in [\[0,1)] and joins the want set when
+    [score < threshold]; [threshold = 1] recovers {!single_file}.
+    Vertices outside the want set participate as relays only. *)
+
+val subdivide_files :
+  Prng.t ->
+  graph:Ocd_graph.Digraph.t ->
+  total_tokens:int ->
+  files:int ->
+  ?multi_sender:bool ->
+  ?source:int ->
+  unit ->
+  t
+(** §5.3 workload: [total_tokens] tokens divided into [files] equal
+    contiguous files; the non-source vertices are partitioned randomly
+    into [files] groups, group [i] wanting exactly file [i].  With
+    [multi_sender] (default false) each file instead starts at a
+    random vertex that does not want it (§5.3 "multiple senders");
+    otherwise the single [source] holds everything.
+    @raise Invalid_argument unless [files] divides [total_tokens] and
+    [files <= vertex count - 1]. *)

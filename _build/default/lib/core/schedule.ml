@@ -1,0 +1,39 @@
+type t = Move.t list list
+(* Head = first timestep.  Kept abstract so the representation can
+   change to arrays if profiles demand it. *)
+
+let empty = []
+let of_steps steps = steps
+let steps t = t
+let length = List.length
+
+let move_count t = List.fold_left (fun acc ms -> acc + List.length ms) 0 t
+
+let step t i = match List.nth_opt t i with Some ms -> ms | None -> []
+
+let append_step t ms = t @ [ ms ]
+
+let drop_trailing_empty t =
+  let rec strip = function [] :: rest -> strip rest | l -> l in
+  List.rev (strip (List.rev t))
+
+let iter_moves t f =
+  List.iteri (fun step ms -> List.iter (fun m -> f ~step m) ms) t
+
+let concat_map_moves t f =
+  let acc = ref [] in
+  iter_moves t (fun ~step m ->
+      match f ~step m with Some x -> acc := x :: !acc | None -> ());
+  List.rev !acc
+
+let moves_on_arc t ~src ~dst =
+  concat_map_moves t (fun ~step (m : Move.t) ->
+      if m.src = src && m.dst = dst then Some (step, m.token) else None)
+
+let pp ppf t =
+  List.iteri
+    (fun i ms ->
+      Format.fprintf ppf "@[<h>step %d:" i;
+      List.iter (fun m -> Format.fprintf ppf " %a" Move.pp m) ms;
+      Format.fprintf ppf "@]@.")
+    t

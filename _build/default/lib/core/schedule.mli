@@ -1,0 +1,35 @@
+(** Distribution schedules (§3.1): a sequence of timesteps, each a set
+    of simultaneous moves.
+
+    The functions [s_i : E -> 2^T] of the paper are represented as the
+    list of moves of step [i]; within a step the (arc, token) pairs
+    must be distinct (set semantics), which {!Validate.check}
+    enforces. *)
+
+type t
+
+val empty : t
+val of_steps : Move.t list list -> t
+val steps : t -> Move.t list list
+(** Steps in temporal order. *)
+
+val length : t -> int
+(** Number of timesteps ([t] in the paper); trailing empty steps count. *)
+
+val move_count : t -> int
+(** Total bandwidth consumption. *)
+
+val step : t -> int -> Move.t list
+(** Moves of step [i] (empty when out of range). *)
+
+val append_step : t -> Move.t list -> t
+val drop_trailing_empty : t -> t
+(** Removes empty steps at the tail (pruning can empty final steps). *)
+
+val moves_on_arc : t -> src:int -> dst:int -> (int * int) list
+(** [(step, token)] pairs carried by one arc, in order. *)
+
+val concat_map_moves : t -> (step:int -> Move.t -> 'a option) -> 'a list
+val iter_moves : t -> (step:int -> Move.t -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+open Ocd_prelude
+open Ocd_graph
+
+type error =
+  | No_such_arc of { step : int; move : Move.t }
+  | Duplicate_assignment of { step : int; move : Move.t }
+  | Capacity_exceeded of {
+      step : int;
+      src : int;
+      dst : int;
+      sent : int;
+      capacity : int;
+    }
+  | Not_possessed of { step : int; move : Move.t }
+  | Unsatisfied of { vertex : int; missing : int list }
+
+let pp_error ppf = function
+  | No_such_arc { step; move } ->
+    Format.fprintf ppf "step %d: move %a uses a non-existent arc" step Move.pp
+      move
+  | Duplicate_assignment { step; move } ->
+    Format.fprintf ppf "step %d: move %a repeated within the step" step Move.pp
+      move
+  | Capacity_exceeded { step; src; dst; sent; capacity } ->
+    Format.fprintf ppf "step %d: arc %d->%d carries %d tokens (capacity %d)"
+      step src dst sent capacity
+  | Not_possessed { step; move } ->
+    Format.fprintf ppf "step %d: move %a sends a token the source lacks" step
+      Move.pp move
+  | Unsatisfied { vertex; missing } ->
+    Format.fprintf ppf "vertex %d never received wanted tokens %a" vertex
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      missing
+
+let possessions (inst : Instance.t) schedule =
+  let steps = Schedule.steps schedule in
+  let current = Array.map Bitset.copy inst.have in
+  let snapshot () = Array.map Bitset.copy current in
+  let history = ref [ snapshot () ] in
+  let apply moves =
+    (* Deliveries land simultaneously; since we fold into fresh copies
+       after recording the snapshot, in-step sends already read the
+       pre-step state via the snapshot discipline of [check]. *)
+    List.iter
+      (fun (m : Move.t) ->
+        if m.token >= 0 && m.token < inst.token_count then
+          Bitset.add current.(m.dst) m.token)
+      moves;
+    history := snapshot () :: !history
+  in
+  List.iter apply steps;
+  Array.of_list (List.rev !history)
+
+let final_possessions inst schedule =
+  let p = possessions inst schedule in
+  p.(Array.length p - 1)
+
+let check_validity (inst : Instance.t) schedule =
+  let g = inst.graph in
+  let before = Array.map Bitset.copy inst.have in
+  let error = ref None in
+  let fail e = if !error = None then error := Some e in
+  let run_step step moves =
+    let seen = Hashtbl.create 16 in
+    let arc_load = Hashtbl.create 16 in
+    let check_move (m : Move.t) =
+      let cap = Digraph.capacity g m.src m.dst in
+      if cap = 0 then fail (No_such_arc { step; move = m })
+      else begin
+        if Hashtbl.mem seen (m.src, m.dst, m.token) then
+          fail (Duplicate_assignment { step; move = m })
+        else Hashtbl.replace seen (m.src, m.dst, m.token) ();
+        let load =
+          1 + Option.value (Hashtbl.find_opt arc_load (m.src, m.dst)) ~default:0
+        in
+        Hashtbl.replace arc_load (m.src, m.dst) load;
+        if load > cap then
+          fail
+            (Capacity_exceeded
+               { step; src = m.src; dst = m.dst; sent = load; capacity = cap });
+        if
+          m.token < 0 || m.token >= inst.token_count
+          || not (Bitset.mem before.(m.src) m.token)
+        then fail (Not_possessed { step; move = m })
+      end
+    in
+    List.iter check_move moves;
+    (* Deliveries become visible only at the next step. *)
+    List.iter
+      (fun (m : Move.t) ->
+        if m.token >= 0 && m.token < inst.token_count then
+          Bitset.add before.(m.dst) m.token)
+      moves
+  in
+  List.iteri run_step (Schedule.steps schedule);
+  match !error with Some e -> Error e | None -> Ok before
+
+let check inst schedule =
+  match check_validity inst schedule with Ok _ -> Ok () | Error e -> Error e
+
+let check_successful (inst : Instance.t) schedule =
+  match check_validity inst schedule with
+  | Error e -> Error e
+  | Ok final ->
+    let rec scan v =
+      if v >= Instance.vertex_count inst then Ok ()
+      else if Bitset.subset inst.want.(v) final.(v) then scan (v + 1)
+      else
+        Error
+          (Unsatisfied
+             {
+               vertex = v;
+               missing = Bitset.elements (Bitset.diff inst.want.(v) final.(v));
+             })
+    in
+    scan 0

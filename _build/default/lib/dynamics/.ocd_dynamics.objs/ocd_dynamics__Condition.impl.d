@@ -1,0 +1,1 @@
+lib/dynamics/condition.ml: Digraph Hashtbl List Ocd_graph Ocd_prelude

@@ -1,0 +1,1 @@
+lib/dynamics/condition.mli: Ocd_graph

@@ -1,0 +1,1 @@
+lib/dynamics/dynamic_engine.ml: Array Bitset Condition Format Hashtbl Instance List Metrics Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Option Prng Schedule Validate

@@ -1,0 +1,1 @@
+lib/dynamics/dynamic_engine.mli: Condition Instance Metrics Ocd_core Ocd_engine Schedule

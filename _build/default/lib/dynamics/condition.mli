@@ -1,0 +1,49 @@
+(** Time-varying network conditions (§6 "Changing network conditions"
+    and "Arrivals and departures").
+
+    A condition maps each timestep to an *effective capacity* for
+    every arc, between 0 (link or endpoint down) and the arc's base
+    capacity.  Conditions are materialised as deterministic processes
+    from a seed, so dynamic runs stay reproducible.
+
+    Built-in condition families:
+    - {!static}: the base network (identity);
+    - {!cross_traffic}: each (arc, step) independently loses a random
+      fraction of its capacity with some probability — background
+      flows competing for the links;
+    - {!link_flaps}: arcs alternate between up and down phases with
+      geometric phase lengths — intermittent connectivity;
+    - {!churn}: whole vertices depart and return (all incident arcs at
+      0 while away), the paper's arrivals/departures variant.  The
+      initial holders of tokens never depart (content must survive),
+      and at most a bounded fraction of vertices is away at once so
+      the network stays usable. *)
+
+type t
+
+val effective :
+  t -> step:int -> src:int -> dst:int -> base:int -> int
+(** Effective capacity of arc [(src, dst)] at [step]; always in
+    [\[0, base\]]. *)
+
+val static : t
+
+val cross_traffic : seed:int -> prob:float -> severity:float -> t
+(** With probability [prob] per (arc, step), capacity is scaled by
+    [1 - severity] (rounded down, floor 0).  [severity] in [\[0,1\]]. *)
+
+val link_flaps : seed:int -> down_prob:float -> up_prob:float -> t
+(** Per-arc two-state Markov chain: an up link goes down next step
+    with probability [down_prob]; a down link recovers with
+    probability [up_prob].  All links start up. *)
+
+val churn :
+  seed:int -> protected:int list -> leave_prob:float -> return_prob:float -> t
+(** Per-vertex two-state Markov chain over presence; a departed vertex
+    zeroes every incident arc.  Vertices in [protected] (typically the
+    content sources) never leave. *)
+
+val graph_at : t -> step:int -> Ocd_graph.Digraph.t -> Ocd_graph.Digraph.t option
+(** The effective topology at [step]: arcs with zero effective
+    capacity removed, others at effective capacity.  [None] when every
+    arc is down. *)

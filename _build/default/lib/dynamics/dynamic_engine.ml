@@ -1,0 +1,121 @@
+open Ocd_core
+open Ocd_prelude
+
+type run = {
+  strategy_name : string;
+  seed : int;
+  outcome : Ocd_engine.Engine.outcome;
+  schedule : Schedule.t;
+  metrics : Metrics.t;
+  dropped_moves : int;
+}
+
+let satisfied (inst : Instance.t) have =
+  let n = Instance.vertex_count inst in
+  let rec go v = v >= n || (Bitset.subset inst.want.(v) have.(v) && go (v + 1)) in
+  go 0
+
+(* Filter a proposal down to what the effective capacities deliver:
+   per (arc) keep at most the effective capacity, drop duplicates and
+   moves whose source lacks the token (stale-state strategies), count
+   the rest as congestion drops. *)
+let enforce condition ~step (inst : Instance.t) have moves =
+  let load = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
+  let dropped = ref 0 in
+  let keep (m : Move.t) =
+    let base = Ocd_graph.Digraph.capacity inst.graph m.src m.dst in
+    if base = 0 then
+      invalid_arg "Dynamic_engine: move on a non-existent arc"
+    else if
+      m.token < 0 || m.token >= inst.token_count
+      || not (Bitset.mem have.(m.src) m.token)
+    then invalid_arg "Dynamic_engine: token not possessed by source"
+    else if Hashtbl.mem seen (m.src, m.dst, m.token) then false
+    else begin
+      Hashtbl.replace seen (m.src, m.dst, m.token) ();
+      let eff =
+        Condition.effective condition ~step ~src:m.src ~dst:m.dst ~base
+      in
+      let l = Option.value (Hashtbl.find_opt load (m.src, m.dst)) ~default:0 in
+      if l < eff then begin
+        Hashtbl.replace load (m.src, m.dst) (l + 1);
+        true
+      end
+      else begin
+        incr dropped;
+        false
+      end
+    end
+  in
+  let kept = List.filter keep moves in
+  (kept, !dropped)
+
+let run ?step_limit ?stall_patience ~condition ~strategy ~seed
+    (inst : Instance.t) =
+  let step_limit =
+    match step_limit with
+    | Some l -> l
+    | None ->
+      let n = Instance.vertex_count inst and m = max 1 inst.token_count in
+      min ((2 * m * (max 1 (n - 1))) + n + 128) 1_000_000
+  in
+  let stall_patience =
+    match stall_patience with
+    | Some p -> p
+    | None -> (4 * inst.token_count) + 64
+  in
+  let rng = Prng.create ~seed in
+  let decide = strategy.Ocd_engine.Strategy.make inst rng in
+  let have = Array.map Bitset.copy inst.have in
+  let steps = ref [] in
+  let dropped_total = ref 0 in
+  let rec loop step since_progress =
+    if satisfied inst have then Ocd_engine.Engine.Completed
+    else if step >= step_limit then Ocd_engine.Engine.Step_limit
+    else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
+    else begin
+      (* The instance the strategy sees this step carries the effective
+         topology (or the static one if everything is down, which the
+         enforcement step then zeroes anyway). *)
+      let visible_instance =
+        match Condition.graph_at condition ~step inst.graph with
+        | Some graph ->
+          Instance.make_bitsets ~graph ~token_count:inst.token_count
+            ~have:inst.have ~want:inst.want
+        | None -> inst
+      in
+      let proposal =
+        decide
+          { Ocd_engine.Strategy.instance = visible_instance; have; step; rng }
+      in
+      let kept, dropped = enforce condition ~step inst have proposal in
+      dropped_total := !dropped_total + dropped;
+      let fresh = ref 0 in
+      List.iter
+        (fun (m : Move.t) ->
+          if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+        kept;
+      List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) kept;
+      steps := kept :: !steps;
+      loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
+    end
+  in
+  let outcome = loop 0 0 in
+  let schedule =
+    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+  in
+  (match (outcome, Validate.check_successful inst schedule) with
+  | Ocd_engine.Engine.Completed, Error e ->
+    invalid_arg
+      (Format.asprintf "Dynamic_engine: invalid recorded schedule: %a"
+         Validate.pp_error e)
+  | _ -> ());
+  {
+    strategy_name = strategy.Ocd_engine.Strategy.name;
+    seed;
+    outcome;
+    schedule;
+    metrics = Metrics.of_schedule inst schedule;
+    dropped_moves = !dropped_total;
+  }

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Bitset Digraph Format Hashtbl Instance List Metrics Move Ocd_core Ocd_graph Ocd_prelude Option Printf Prng Schedule Strategy Validate

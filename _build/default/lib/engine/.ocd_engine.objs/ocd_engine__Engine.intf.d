@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Instance Metrics Ocd_core Schedule Strategy

@@ -1,0 +1,1 @@
+lib/engine/flood_optimal.ml: Array Format Knowledge Ocd_core Schedule Strategy Validate

@@ -1,0 +1,1 @@
+lib/engine/flood_optimal.mli: Instance Ocd_core Schedule Strategy

@@ -1,0 +1,1 @@
+lib/engine/knowledge.ml: Array Bitset Components Digraph Instance List Ocd_core Ocd_graph Ocd_prelude

@@ -1,0 +1,1 @@
+lib/engine/knowledge.mli: Instance Ocd_core Ocd_prelude

@@ -1,0 +1,1 @@
+lib/engine/strategy.ml: Bitset Instance Move Ocd_core Ocd_prelude Prng

@@ -1,0 +1,1 @@
+lib/engine/strategy.mli: Bitset Instance Move Ocd_core Ocd_prelude Prng

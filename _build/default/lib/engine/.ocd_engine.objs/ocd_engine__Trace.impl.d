@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Array Bitset Buffer Instance List Ocd_core Ocd_prelude Printf Schedule String Validate

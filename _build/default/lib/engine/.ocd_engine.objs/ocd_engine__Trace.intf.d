@@ -1,0 +1,1 @@
+lib/engine/trace.mli: Instance Ocd_core Schedule

@@ -1,0 +1,118 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+exception Strategy_error of string
+
+type outcome = Completed | Stalled of int | Step_limit
+
+type run = {
+  strategy_name : string;
+  seed : int;
+  outcome : outcome;
+  schedule : Schedule.t;
+  metrics : Metrics.t;
+}
+
+let strategy_fail fmt = Format.kasprintf (fun s -> raise (Strategy_error s)) fmt
+
+(* Check one step's proposal against §3.1 and return the set of moves
+   that deliver a token its destination lacks (for stall accounting). *)
+let apply_step (inst : Instance.t) have step moves =
+  let g = inst.graph in
+  let seen = Hashtbl.create 32 in
+  let load = Hashtbl.create 32 in
+  let fresh = ref 0 in
+  List.iter
+    (fun (m : Move.t) ->
+      if m.token < 0 || m.token >= inst.token_count then
+        strategy_fail "step %d: token %d out of range" step m.token;
+      let cap = Digraph.capacity g m.src m.dst in
+      if cap = 0 then
+        strategy_fail "step %d: no arc %d->%d" step m.src m.dst;
+      if Hashtbl.mem seen (m.src, m.dst, m.token) then
+        strategy_fail "step %d: duplicate assignment %d->%d:%d" step m.src
+          m.dst m.token;
+      Hashtbl.replace seen (m.src, m.dst, m.token) ();
+      let l = 1 + Option.value (Hashtbl.find_opt load (m.src, m.dst)) ~default:0 in
+      Hashtbl.replace load (m.src, m.dst) l;
+      if l > cap then
+        strategy_fail "step %d: capacity of %d->%d exceeded (%d > %d)" step
+          m.src m.dst l cap;
+      if not (Bitset.mem have.(m.src) m.token) then
+        strategy_fail "step %d: %d sends token %d it does not hold" step m.src
+          m.token)
+    moves;
+  (* All constraints hold; deliveries land simultaneously. *)
+  List.iter
+    (fun (m : Move.t) ->
+      if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+    moves;
+  List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) moves;
+  !fresh
+
+let satisfied (inst : Instance.t) have =
+  let n = Instance.vertex_count inst in
+  let rec go v = v >= n || (Bitset.subset inst.want.(v) have.(v) && go (v + 1)) in
+  go 0
+
+let default_step_limit (inst : Instance.t) =
+  (* Theorem 1: any satisfiable instance has a schedule of at most
+     m(n-1) moves, hence m(n-1) steps; add slack for strategies that
+     spend silent steps (e.g. the flood-then-plan algorithm waits a
+     diameter, which n dominates) before capping. *)
+  let n = Instance.vertex_count inst and m = max 1 inst.token_count in
+  min ((m * (max 1 (n - 1))) + n + 64) 1_000_000
+
+let run ?step_limit ?stall_patience ~strategy ~seed inst =
+  let step_limit =
+    match step_limit with Some l -> l | None -> default_step_limit inst
+  in
+  let stall_patience =
+    match stall_patience with
+    | Some p -> p
+    | None -> (2 * inst.token_count) + 16
+  in
+  let rng = Prng.create ~seed in
+  let decide = strategy.Strategy.make inst rng in
+  let have = Array.map Bitset.copy inst.have in
+  let steps = ref [] in
+  let rec loop step since_progress =
+    if satisfied inst have then Completed
+    else if step >= step_limit then Step_limit
+    else if since_progress >= stall_patience then Stalled step
+    else begin
+      let moves = decide { Strategy.instance = inst; have; step; rng } in
+      let fresh = apply_step inst have step moves in
+      steps := moves :: !steps;
+      loop (step + 1) (if fresh > 0 then 0 else since_progress + 1)
+    end
+  in
+  let outcome = loop 0 0 in
+  let schedule =
+    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+  in
+  (match outcome with
+  | Completed -> (
+    match Validate.check_successful inst schedule with
+    | Ok () -> ()
+    | Error e ->
+      strategy_fail "engine produced an invalid schedule: %a" Validate.pp_error
+        e)
+  | Stalled _ | Step_limit -> ());
+  {
+    strategy_name = strategy.Strategy.name;
+    seed;
+    outcome;
+    schedule;
+    metrics = Metrics.of_schedule inst schedule;
+  }
+
+let completed_exn run =
+  match run.outcome with
+  | Completed -> run
+  | Stalled step ->
+    failwith
+      (Printf.sprintf "strategy %s stalled at step %d" run.strategy_name step)
+  | Step_limit ->
+    failwith (Printf.sprintf "strategy %s hit the step limit" run.strategy_name)

@@ -1,0 +1,48 @@
+(** The timestep simulator.
+
+    Implements the §3.1 semantics: at each timestep the strategy
+    proposes a set of simultaneous moves; the engine checks them
+    against the arc-existence, set-semantics, capacity and possession
+    constraints (an invalid proposal is a strategy bug and raises
+    {!Strategy_error}), applies the deliveries, and repeats until all
+    wants are satisfied or the run aborts.
+
+    A run aborts as [Stalled] when no *new* token delivery happened
+    for [stall_patience] consecutive steps while wants remain — every
+    correct heuristic on a strongly connected instance makes progress
+    well within the default patience — or as [Step_limit] at the hard
+    cap.  The produced schedule is re-checked by
+    {!Ocd_core.Validate.check_successful} before metrics are computed,
+    so reported numbers never rest on the engine's own bookkeeping. *)
+
+open Ocd_core
+exception Strategy_error of string
+
+type outcome =
+  | Completed
+  | Stalled of int  (** the step at which progress ceased *)
+  | Step_limit
+
+type run = {
+  strategy_name : string;
+  seed : int;
+  outcome : outcome;
+  schedule : Schedule.t;
+      (** trailing all-want-satisfied steps are not recorded *)
+  metrics : Metrics.t;  (** meaningful when [outcome = Completed] *)
+}
+
+val run :
+  ?step_limit:int ->
+  ?stall_patience:int ->
+  strategy:Strategy.t ->
+  seed:int ->
+  Instance.t ->
+  run
+(** [step_limit] defaults to [4 * (tokens + diameter-ish slack)] scaled
+    by the instance (see implementation); [stall_patience] defaults to
+    [2 * token_count + 16]. *)
+
+val completed_exn : run -> run
+(** Returns the run, raising [Failure] with a diagnostic when it did
+    not complete — used by benches that require success. *)

@@ -1,0 +1,17 @@
+open Ocd_core
+let strategy ~planner ~name =
+  let make inst _rng =
+    let delay = Knowledge.steps_to_complete inst in
+    let plan = planner inst in
+    (match Validate.check_successful inst plan with
+    | Ok () -> ()
+    | Error e ->
+      invalid_arg
+        (Format.asprintf "Flood_optimal: planner schedule invalid: %a"
+           Validate.pp_error e));
+    let plan_steps = Array.of_list (Schedule.steps plan) in
+    fun (ctx : Strategy.context) ->
+      let i = ctx.step - delay in
+      if i < 0 || i >= Array.length plan_steps then [] else plan_steps.(i)
+  in
+  { Strategy.name; make }

@@ -1,0 +1,23 @@
+(** The §4.2 diameter-additive online algorithm.
+
+    "It is possible for an on-line algorithm to always perform within
+    an additive factor of the diameter of the graph [...]: with this
+    many steps at the start of computation, full information about the
+    state of the graph can be propagated to each vertex.  Armed with
+    this knowledge, each vertex can compute an optimal solution for
+    the entire graph (deterministically), then follow this schedule."
+
+    The strategy spends {!Knowledge.steps_to_complete} silent
+    timesteps flooding state (control traffic, which the OCD model
+    does not charge against token bandwidth), then deterministically
+    replays the schedule produced by the supplied offline [planner].
+    With an exact planner (small instances), the resulting makespan is
+    at most [OPT + knowledge_delay]; with a heuristic planner the same
+    additive structure holds relative to the planner's makespan. *)
+
+open Ocd_core
+val strategy :
+  planner:(Instance.t -> Schedule.t) -> name:string -> Strategy.t
+(** @raise Invalid_argument at run time (factory application) if the
+    planner's schedule fails validation, so errors surface before any
+    timestep executes. *)

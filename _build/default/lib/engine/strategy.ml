@@ -1,0 +1,18 @@
+open Ocd_core
+open Ocd_prelude
+
+type context = {
+  instance : Instance.t;
+  have : Bitset.t array;
+  step : int;
+  rng : Prng.t;
+}
+
+type decide = context -> Move.t list
+
+type t = {
+  name : string;
+  make : Instance.t -> Prng.t -> decide;
+}
+
+let stateless ~name decide = { name; make = (fun _ _ -> decide) }

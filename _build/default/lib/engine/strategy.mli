@@ -1,0 +1,37 @@
+(** First-class distribution strategies.
+
+    A strategy is a name plus a factory: given the instance and a
+    private random stream, the factory returns the per-timestep
+    decision function, closing over whatever mutable state the
+    strategy needs (round-robin cursors, caches of static graph
+    data, ...).
+
+    The decision function receives the true current possession state.
+    *Online* strategies (§4/§5.1) must restrict themselves to the
+    knowledge their model grants — e.g. round-robin may only look at
+    its own sets, the random heuristic additionally at its neighbours'
+    possession; each heuristic documents its knowledge model in its
+    own interface.  The engine cannot enforce epistemic discipline
+    (that is what {!Knowledge} models explicitly, for the LOCD
+    analysis); it does enforce move validity. *)
+
+open Ocd_core
+open Ocd_prelude
+
+type context = {
+  instance : Instance.t;
+  have : Bitset.t array;
+      (** possession at the start of the current step; read-only *)
+  step : int;
+  rng : Prng.t;
+}
+
+type decide = context -> Move.t list
+
+type t = {
+  name : string;
+  make : Instance.t -> Prng.t -> decide;
+}
+
+val stateless : name:string -> decide -> t
+(** Wraps a decision function that needs no per-run state. *)

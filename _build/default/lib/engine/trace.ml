@@ -1,0 +1,61 @@
+open Ocd_core
+open Ocd_prelude
+
+type snapshot = {
+  step : int;
+  remaining_deficit : int;
+  satisfied_vertices : int;
+  moves_so_far : int;
+}
+
+let timeline (inst : Instance.t) schedule =
+  let possessions = Validate.possessions inst schedule in
+  let steps = Array.of_list (Schedule.steps schedule) in
+  let n = Instance.vertex_count inst in
+  let snapshot_at i have =
+    let deficit = ref 0 and satisfied = ref 0 in
+    for v = 0 to n - 1 do
+      let missing = Bitset.cardinal (Bitset.diff inst.want.(v) have.(v)) in
+      deficit := !deficit + missing;
+      if missing = 0 then incr satisfied
+    done;
+    let moves = ref 0 in
+    for j = 0 to i - 1 do
+      moves := !moves + List.length steps.(j)
+    done;
+    {
+      step = i;
+      remaining_deficit = !deficit;
+      satisfied_vertices = !satisfied;
+      moves_so_far = !moves;
+    }
+  in
+  List.init (Array.length possessions) (fun i -> snapshot_at i possessions.(i))
+
+let completion_cdf inst schedule =
+  let n = max 1 (Instance.vertex_count inst) in
+  List.map
+    (fun s -> (s.step, float_of_int s.satisfied_vertices /. float_of_int n))
+    (timeline inst schedule)
+
+let render ?(width = 30) inst schedule =
+  let line = Buffer.create 256 in
+  let snapshots = timeline inst schedule in
+  let initial =
+    match snapshots with s :: _ -> max 1 s.remaining_deficit | [] -> 1
+  in
+  List.iter
+    (fun s ->
+      let done_frac =
+        1.0 -. (float_of_int s.remaining_deficit /. float_of_int initial)
+      in
+      let filled =
+        max 0 (min width (int_of_float (done_frac *. float_of_int width)))
+      in
+      Buffer.add_string line
+        (Printf.sprintf "step %3d |%s%s| %3.0f%% %d left\n" s.step
+           (String.make filled '#')
+           (String.make (width - filled) '.')
+           (100.0 *. done_frac) s.remaining_deficit))
+    snapshots;
+  Buffer.contents line

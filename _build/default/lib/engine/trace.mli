@@ -1,0 +1,28 @@
+(** Post-hoc run inspection: per-step progress timelines and
+    completion CDFs, reconstructed from a schedule.
+
+    These are the quantities a practitioner plots when debugging a
+    distribution system: how the aggregate deficit drains over time,
+    when each vertex finishes, and where the long tail is. *)
+
+open Ocd_core
+
+type snapshot = {
+  step : int;                 (** state *after* this many steps *)
+  remaining_deficit : int;    (** Σ_v |w(v) \ p(v)| *)
+  satisfied_vertices : int;   (** vertices with all wants met *)
+  moves_so_far : int;
+}
+
+val timeline : Instance.t -> Schedule.t -> snapshot list
+(** One snapshot per step boundary, from step 0 (initial state) to the
+    schedule's end. *)
+
+val completion_cdf : Instance.t -> Schedule.t -> (int * float) list
+(** [(step, fraction)] pairs: the fraction of vertices satisfied by
+    the end of each step (all vertices counted, including those
+    satisfied from the start). *)
+
+val render : ?width:int -> Instance.t -> Schedule.t -> string
+(** An ASCII progress bar per step — deficit drain at a glance:
+    {v step  3 |#############............| 52% 1043 left v} *)

@@ -1,0 +1,1 @@
+lib/exact/adversary.ml: Digraph Fun Instance List Move Ocd_core Ocd_graph Schedule

@@ -1,0 +1,1 @@
+lib/exact/adversary.mli: Instance Ocd_core Schedule

@@ -1,0 +1,1 @@
+lib/exact/hybrid.ml: Bounds Float Instance Ocd_core Schedule Search

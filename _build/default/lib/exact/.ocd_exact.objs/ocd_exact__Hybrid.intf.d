@@ -1,0 +1,1 @@
+lib/exact/hybrid.mli: Instance Ocd_core Schedule

@@ -1,0 +1,1 @@
+lib/exact/ilp.ml: Array Float List Simplex

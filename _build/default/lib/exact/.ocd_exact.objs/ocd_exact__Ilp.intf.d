@@ -1,0 +1,1 @@
+lib/exact/ilp.mli: Simplex

@@ -1,0 +1,1 @@
+lib/exact/ip_formulation.ml: Array Bitset Bounds Digraph Format Ilp Instance List Move Ocd_core Ocd_graph Ocd_prelude Schedule Simplex Validate

@@ -1,0 +1,1 @@
+lib/exact/ip_formulation.mli: Instance Ocd_core Schedule

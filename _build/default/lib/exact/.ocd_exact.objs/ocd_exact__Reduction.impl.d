@@ -1,0 +1,1 @@
+lib/exact/reduction.ml: Array Digraph Fun Instance List Move Ocd_core Ocd_graph Schedule Sys

@@ -1,0 +1,1 @@
+lib/exact/reduction.mli: Instance Ocd_core Ocd_graph Schedule

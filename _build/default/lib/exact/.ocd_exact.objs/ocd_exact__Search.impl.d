@@ -1,0 +1,1 @@
+lib/exact/search.ml: Array Bitset Digraph Hashtbl Instance List Move Ocd_core Ocd_graph Ocd_prelude Option Pqueue Queue Schedule Sys

@@ -1,0 +1,1 @@
+lib/exact/search.mli: Instance Ocd_core Schedule

@@ -1,0 +1,1 @@
+lib/exact/simplex.ml: Array Float List

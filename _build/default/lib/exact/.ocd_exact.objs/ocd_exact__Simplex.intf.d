@@ -1,0 +1,1 @@
+lib/exact/simplex.mli:

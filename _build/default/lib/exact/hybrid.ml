@@ -1,0 +1,54 @@
+open Ocd_core
+
+type outcome =
+  | Solved of { makespan : int; bandwidth : int; schedule : Schedule.t }
+  | Unsatisfiable
+  | Budget_exceeded
+
+let check_slack slack =
+  if slack < 1.0 then invalid_arg "Hybrid: slack must be >= 1.0"
+
+let of_solution (s : Search.solution) ~bandwidth =
+  Solved
+    {
+      makespan = Schedule.length s.Search.schedule;
+      bandwidth;
+      schedule = s.Search.schedule;
+    }
+
+let bandwidth_subject_to_time ?max_states ~slack inst =
+  check_slack slack;
+  match Search.focd ?max_states inst with
+  | Search.Unsatisfiable -> Unsatisfiable
+  | Search.Budget_exceeded -> Budget_exceeded
+  | Search.Solved { objective = opt_time; _ } -> (
+    let horizon = int_of_float (Float.ceil (slack *. float_of_int opt_time)) in
+    match Search.eocd ?max_states ~horizon inst with
+    | Search.Solved s -> of_solution s ~bandwidth:s.Search.objective
+    | Search.Unsatisfiable ->
+      (* impossible: FOCD's witness fits the horizon *)
+      assert false
+    | Search.Budget_exceeded -> Budget_exceeded)
+
+let time_subject_to_bandwidth ?max_states ~slack inst =
+  check_slack slack;
+  match Search.eocd ?max_states inst with
+  | Search.Unsatisfiable -> Unsatisfiable
+  | Search.Budget_exceeded -> Budget_exceeded
+  | Search.Solved { objective = opt_bw; _ } -> (
+    let budget = int_of_float (Float.ceil (slack *. float_of_int opt_bw)) in
+    (* Scan makespans upward; the first horizon whose bandwidth optimum
+       fits the budget is the answer. *)
+    let start =
+      if Instance.trivially_satisfied inst then 0
+      else max 1 (Bounds.makespan_lower_bound inst)
+    in
+    let rec scan horizon =
+      (* EOCD is satisfiable, so some horizon always works. *)
+      match Search.eocd ?max_states ~horizon inst with
+      | Search.Solved s when s.Search.objective <= budget ->
+        of_solution s ~bandwidth:s.Search.objective
+      | Search.Solved _ | Search.Unsatisfiable -> scan (horizon + 1)
+      | Search.Budget_exceeded -> Budget_exceeded
+    in
+    scan start)

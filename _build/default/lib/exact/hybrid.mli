@@ -1,0 +1,29 @@
+(** Hybrid time/bandwidth objectives (§3.4, closing remark).
+
+    "One such approach is to search for a bandwidth-optimal solution
+    subject to the constraint that the time be no more than some
+    constant factor of the optimal time, or vice versa."
+
+    Both directions, exactly, on small instances:
+    - {!bandwidth_subject_to_time}: minimum bandwidth among schedules
+      of length at most [ceil (slack × FOCD-optimum)];
+    - {!time_subject_to_bandwidth}: minimum makespan among schedules
+      of bandwidth at most [ceil (slack × EOCD-optimum)] — found by
+      scanning horizons upward until the bandwidth budget is met.
+
+    Built on {!Search}; inherits its budgets. *)
+
+open Ocd_core
+
+type outcome =
+  | Solved of { makespan : int; bandwidth : int; schedule : Schedule.t }
+  | Unsatisfiable
+  | Budget_exceeded
+
+val bandwidth_subject_to_time :
+  ?max_states:int -> slack:float -> Instance.t -> outcome
+(** Requires [slack >= 1.0]. *)
+
+val time_subject_to_bandwidth :
+  ?max_states:int -> slack:float -> Instance.t -> outcome
+(** Requires [slack >= 1.0]. *)

@@ -1,0 +1,99 @@
+type outcome =
+  | Optimal of { objective : int; solution : bool array }
+  | Infeasible
+  | Budget_exceeded
+
+exception Out_of_nodes
+
+let integral x = Float.abs (x -. Float.round x) < 1e-6
+
+let minimize ?(max_nodes = 20_000) ~var_count ~objective ~constraints () =
+  if Array.length objective <> var_count then
+    invalid_arg "Ilp.minimize: objective length";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Ilp.minimize: negative objective")
+    objective;
+  let float_objective = Array.map float_of_int objective in
+  let unit_row j =
+    let row = Array.make var_count 0.0 in
+    row.(j) <- 1.0;
+    row
+  in
+  (* Upper bounds x_j <= 1 once; branch fixings are added per node. *)
+  let box_constraints =
+    List.init var_count (fun j ->
+        { Simplex.coeffs = unit_row j; relation = Simplex.Le; rhs = 1.0 })
+  in
+  let base_constraints = constraints @ box_constraints in
+  let nodes = ref 0 in
+  let incumbent = ref None in
+  let incumbent_objective () =
+    match !incumbent with Some (obj, _) -> obj | None -> max_int
+  in
+  let rec branch fixings =
+    incr nodes;
+    if !nodes > max_nodes then raise Out_of_nodes;
+    let fixing_constraints =
+      List.map
+        (fun (j, v) ->
+          {
+            Simplex.coeffs = unit_row j;
+            relation = Simplex.Eq;
+            rhs = (if v then 1.0 else 0.0);
+          })
+        fixings
+    in
+    let problem =
+      {
+        Simplex.var_count;
+        objective = float_objective;
+        constraints = base_constraints @ fixing_constraints;
+      }
+    in
+    match Simplex.minimize problem with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+      (* Impossible: the feasible region is inside the unit box. *)
+      assert false
+    | Simplex.Optimal { objective = lp_obj; solution } ->
+      let bound = int_of_float (Float.ceil (lp_obj -. 1e-6)) in
+      if bound < incumbent_objective () then begin
+        (* Find the most fractional variable. *)
+        let branch_var = ref (-1) in
+        let best_frac = ref 0.0 in
+        Array.iteri
+          (fun j x ->
+            if not (integral x) then begin
+              let frac = Float.abs (x -. Float.round x) in
+              if frac > !best_frac then begin
+                best_frac := frac;
+                branch_var := j
+              end
+            end)
+          solution;
+        if !branch_var = -1 then begin
+          (* Integral solution: candidate incumbent. *)
+          let rounded = Array.map (fun x -> x > 0.5) solution in
+          let value =
+            Array.to_list rounded
+            |> List.mapi (fun j b -> if b then objective.(j) else 0)
+            |> List.fold_left ( + ) 0
+          in
+          if value < incumbent_objective () then incumbent := Some (value, rounded)
+        end
+        else begin
+          branch ((!branch_var, false) :: fixings);
+          branch ((!branch_var, true) :: fixings)
+        end
+      end
+  in
+  match branch [] with
+  | () -> (
+    match !incumbent with
+    | Some (objective, solution) -> Optimal { objective; solution }
+    | None -> Infeasible)
+  | exception Out_of_nodes ->
+    (* An incumbent found before the budget ran out is feasible but not
+       proven optimal; report the budget failure rather than a wrong
+       optimality claim. *)
+    Budget_exceeded

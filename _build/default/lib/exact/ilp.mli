@@ -1,0 +1,30 @@
+(** 0/1 integer linear programming by branch-and-bound over LP
+    relaxations.
+
+    Minimises an integer-coefficient objective over binary variables
+    subject to linear constraints.  Each node solves the LP relaxation
+    with {!Simplex} (variables boxed to [\[0,1\]], branching realised
+    as equality fixings); nodes are pruned when the relaxation bound,
+    rounded up (all our objectives are integral), cannot beat the
+    incumbent.  Branching picks the most fractional variable, trying
+    the 0 side first (our objectives count moves, so smaller is more
+    promising).
+
+    Exact for the small §3.4 programs this repository generates; node
+    and pivot budgets guard against accidental blow-ups. *)
+
+type outcome =
+  | Optimal of { objective : int; solution : bool array }
+  | Infeasible
+  | Budget_exceeded
+
+val minimize :
+  ?max_nodes:int ->
+  var_count:int ->
+  objective:int array ->
+  constraints:Simplex.constr list ->
+  unit ->
+  outcome
+(** [objective] coefficients must be non-negative integers (ours count
+    moves); constraint coefficients are arbitrary floats.
+    [max_nodes] defaults to 20_000. *)

@@ -1,0 +1,41 @@
+(** Exact combinatorial solvers for FOCD and EOCD on small instances
+    (§3.2, the "simple algorithm ... to calculate optimal behavior for
+    small graphs with few files").
+
+    Both solvers explore the space of *possession states* (the vector
+    of per-vertex token sets).  Possession is monotone, so the state
+    graph is a DAG.
+
+    - FOCD (minimum makespan): breadth-first search.  Because extra
+      deliveries never hurt (possession monotonicity means a superset
+      state dominates), only per-arc *maximal* useful move selections
+      need to be branched on; when an arc's useful tokens exceed its
+      capacity every capacity-sized subset is enumerated.
+    - EOCD (minimum bandwidth): uniform-cost search (Dijkstra) whose
+      edge cost is the number of moves in the step.  Here non-maximal
+      selections matter, so every subset of useful moves is
+      enumerated per arc; with [~horizon] the search is layered by
+      timestep and minimises bandwidth among schedules of at most that
+      many steps.
+
+    Exactness holds because moves that deliver a token its receiver
+    already holds can be excluded w.l.o.g. (Theorem 1's cleanup).
+    Exploration is budgeted; exceeding the budget yields
+    [Budget_exceeded] rather than a wrong answer. *)
+
+open Ocd_core
+
+type 'a result =
+  | Solved of 'a
+  | Unsatisfiable
+  | Budget_exceeded
+
+type solution = { objective : int; schedule : Schedule.t }
+
+val focd : ?max_states:int -> Instance.t -> solution result
+(** Minimum number of timesteps; [objective = makespan].
+    [max_states] (default 200_000) bounds explored states. *)
+
+val eocd : ?max_states:int -> ?horizon:int -> Instance.t -> solution result
+(** Minimum bandwidth, optionally subject to [length <= horizon];
+    [objective = bandwidth]. *)

@@ -1,0 +1,1 @@
+lib/graph/components.ml: Array Digraph List Queue Stack

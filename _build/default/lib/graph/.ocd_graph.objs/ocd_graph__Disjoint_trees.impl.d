@@ -1,0 +1,1 @@
+lib/graph/disjoint_trees.ml: Array Digraph Hashtbl List Mst Queue Traversal

@@ -1,0 +1,1 @@
+lib/graph/disjoint_trees.mli: Digraph Mst

@@ -1,0 +1,1 @@
+lib/graph/dominating.ml: Array Bitset Digraph List Ocd_prelude Option Order

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Digraph List Ocd_prelude Pqueue Queue

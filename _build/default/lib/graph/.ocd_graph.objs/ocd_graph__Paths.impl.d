@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Digraph List Ocd_prelude Pqueue Traversal

@@ -1,0 +1,1 @@
+lib/graph/spanner.ml: Array Digraph Float List Queue Traversal

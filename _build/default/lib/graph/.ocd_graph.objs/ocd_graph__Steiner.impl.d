@@ -1,0 +1,1 @@
+lib/graph/steiner.ml: Array Digraph List Traversal

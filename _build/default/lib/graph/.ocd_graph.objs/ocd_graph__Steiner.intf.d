@@ -1,0 +1,1 @@
+lib/graph/steiner.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Array Digraph List Queue Stack

@@ -1,0 +1,1 @@
+lib/graph/traversal.mli: Digraph

@@ -1,0 +1,16 @@
+(** Connectivity structure: strongly connected components (Tarjan) and
+    weak connectivity.  The evaluation topologies must be strongly
+    connected for flooding heuristics to terminate; the topology layer
+    uses these functions to verify or repair generated graphs. *)
+
+val strongly_connected_components : Digraph.t -> Digraph.vertex list list
+(** Components in reverse topological order of the condensation. *)
+
+val component_ids : Digraph.t -> int array * int
+(** [(ids, count)]: [ids.(v)] is the SCC index of [v]. *)
+
+val is_strongly_connected : Digraph.t -> bool
+
+val weakly_connected_components : Digraph.t -> Digraph.vertex list list
+
+val is_weakly_connected : Digraph.t -> bool

@@ -1,0 +1,116 @@
+type vertex = int
+
+type arc = { src : vertex; dst : vertex; capacity : int }
+
+type t = {
+  vertex_count : int;
+  arc_count : int;
+  succ : (vertex * int) array array;
+  pred : (vertex * int) array array;
+}
+
+let vertex_count g = g.vertex_count
+let arc_count g = g.arc_count
+
+let of_arcs ~vertex_count arcs =
+  if vertex_count < 0 then invalid_arg "Digraph.of_arcs: negative vertex count";
+  let check { src; dst; capacity } =
+    if src < 0 || src >= vertex_count || dst < 0 || dst >= vertex_count then
+      invalid_arg "Digraph.of_arcs: endpoint out of range";
+    if src = dst then invalid_arg "Digraph.of_arcs: self-loop";
+    if capacity <= 0 then invalid_arg "Digraph.of_arcs: non-positive capacity"
+  in
+  List.iter check arcs;
+  (* Merge duplicates by summing capacities through per-source hashtables. *)
+  let tables = Array.init vertex_count (fun _ -> Hashtbl.create 4) in
+  let add { src; dst; capacity } =
+    let table = tables.(src) in
+    let existing = Option.value (Hashtbl.find_opt table dst) ~default:0 in
+    Hashtbl.replace table dst (existing + capacity)
+  in
+  List.iter add arcs;
+  let sorted_bindings table =
+    Hashtbl.fold (fun dst c acc -> (dst, c) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
+  in
+  let succ = Array.map sorted_bindings tables in
+  let pred_lists = Array.make vertex_count [] in
+  Array.iteri
+    (fun src row ->
+      Array.iter (fun (dst, c) -> pred_lists.(dst) <- (src, c) :: pred_lists.(dst)) row)
+    succ;
+  let pred =
+    Array.map
+      (fun l -> Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) l))
+      pred_lists
+  in
+  let arc_count = Array.fold_left (fun acc row -> acc + Array.length row) 0 succ in
+  { vertex_count; arc_count; succ; pred }
+
+let of_edges ~vertex_count edges =
+  let arcs =
+    List.concat_map
+      (fun (u, v, c) ->
+        [ { src = u; dst = v; capacity = c }; { src = v; dst = u; capacity = c } ])
+      edges
+  in
+  of_arcs ~vertex_count arcs
+
+let succ g v = g.succ.(v)
+let pred g v = g.pred.(v)
+
+let capacity g u v =
+  let row = g.succ.(u) in
+  let rec go i =
+    if i >= Array.length row then 0
+    else
+      let dst, c = row.(i) in
+      if dst = v then c else if dst > v then 0 else go (i + 1)
+  in
+  go 0
+
+let mem_arc g u v = capacity g u v > 0
+
+let out_degree g v = Array.length g.succ.(v)
+let in_degree g v = Array.length g.pred.(v)
+
+let sum_capacities row = Array.fold_left (fun acc (_, c) -> acc + c) 0 row
+
+let in_capacity g v = sum_capacities g.pred.(v)
+let out_capacity g v = sum_capacities g.succ.(v)
+
+let arcs g =
+  let acc = ref [] in
+  for src = g.vertex_count - 1 downto 0 do
+    let row = g.succ.(src) in
+    for i = Array.length row - 1 downto 0 do
+      let dst, capacity = row.(i) in
+      acc := { src; dst; capacity } :: !acc
+    done
+  done;
+  !acc
+
+let neighbors g v =
+  let seen = Hashtbl.create 8 in
+  let collect (u, _) = if not (Hashtbl.mem seen u) then Hashtbl.add seen u () in
+  Array.iter collect g.succ.(v);
+  Array.iter collect g.pred.(v);
+  Hashtbl.fold (fun u () acc -> u :: acc) seen [] |> List.sort compare
+
+let reverse g =
+  {
+    vertex_count = g.vertex_count;
+    arc_count = g.arc_count;
+    succ = g.pred;
+    pred = g.succ;
+  }
+
+let vertices g = List.init g.vertex_count Fun.id
+
+let pp ppf g =
+  Format.fprintf ppf "digraph(n=%d, arcs=%d)" g.vertex_count g.arc_count;
+  List.iter
+    (fun { src; dst; capacity } ->
+      Format.fprintf ppf "@ %d->%d[%d]" src dst capacity)
+    (arcs g)

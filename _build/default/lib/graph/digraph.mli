@@ -1,0 +1,67 @@
+(** Simple, capacitated directed graphs with vertices [0 .. n-1].
+
+    This is the substrate for the OCD model of §3.1 of the paper: a
+    simple weighted directed graph [G = (V, E)] whose arc weights are
+    interpreted as per-timestep token capacities.  The representation is
+    immutable after construction (adjacency arrays), which lets the
+    simulator share one graph across many runs.
+
+    Multi-arcs are merged at build time by summing capacities, exactly
+    as the paper prescribes ("multi-arcs can be represented as a single
+    arc whose capacity is the sum").  Self-loops are rejected: the model
+    gives every vertex implicit infinite-capacity storage. *)
+
+type vertex = int
+
+type arc = { src : vertex; dst : vertex; capacity : int }
+
+type t
+
+val vertex_count : t -> int
+val arc_count : t -> int
+
+val of_arcs : vertex_count:int -> arc list -> t
+(** Builds a graph; duplicate arcs are merged (capacities summed),
+    self-loops raise [Invalid_argument], as do non-positive capacities
+    and out-of-range endpoints. *)
+
+val of_edges : vertex_count:int -> (vertex * vertex * int) list -> t
+(** [of_edges ~vertex_count edges] treats each [(u, v, c)] as an
+    *undirected* edge: arcs [u -> v] and [v -> u], both of capacity [c],
+    are added.  This is how the paper's evaluation graphs are built. *)
+
+val capacity : t -> vertex -> vertex -> int
+(** 0 when the arc is absent. *)
+
+val mem_arc : t -> vertex -> vertex -> bool
+
+val succ : t -> vertex -> (vertex * int) array
+(** Out-neighbours with arc capacities.  The returned array is owned by
+    the graph; callers must not mutate it. *)
+
+val pred : t -> vertex -> (vertex * int) array
+(** In-neighbours with arc capacities. *)
+
+val out_degree : t -> vertex -> int
+val in_degree : t -> vertex -> int
+
+val in_capacity : t -> vertex -> int
+(** Sum of capacities of incoming arcs (the per-step download ceiling of
+    a vertex, used by the §5.1 remaining-moves bound). *)
+
+val out_capacity : t -> vertex -> int
+
+val arcs : t -> arc list
+(** All arcs, grouped by source, ascending destinations. *)
+
+val neighbors : t -> vertex -> vertex list
+(** Union of in- and out-neighbours (the vertices knowledge can be
+    exchanged with under the LOCD model, where "information travels
+    bidirectionally along an edge"). *)
+
+val reverse : t -> t
+(** Graph with every arc flipped. *)
+
+val vertices : t -> vertex list
+
+val pp : Format.formatter -> t -> unit

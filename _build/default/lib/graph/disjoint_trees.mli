@@ -1,0 +1,19 @@
+(** k edge-disjoint spanning trees rooted at a source.
+
+    SplitStream and Young et al. (related work, §2) distribute content
+    over a forest of edge-disjoint trees so that no single overlay link
+    carries every stripe.  This module greedily extracts up to [k]
+    arc-disjoint out-trees rooted at a given source: each round runs a
+    BFS that may only use arcs unused by previous trees.  The greedy
+    extraction is not guaranteed to reach Edmonds' arboricity bound but
+    is the standard practical construction. *)
+
+type forest = Mst.tree list
+
+val extract : Digraph.t -> root:Digraph.vertex -> k:int -> forest
+(** Up to [k] arc-disjoint spanning trees of the vertices reachable
+    from [root]; stops early when a round cannot reach every vertex
+    that the first tree reached. *)
+
+val arc_disjoint : forest -> bool
+(** Checks the defining property (used by tests). *)

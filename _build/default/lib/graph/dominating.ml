@@ -1,0 +1,71 @@
+open Ocd_prelude
+
+(* Closed neighbourhood of each vertex as a bitset over vertices. *)
+let closed_neighborhoods g =
+  let n = Digraph.vertex_count g in
+  Array.init n (fun v ->
+      let s = Bitset.create n in
+      Bitset.add s v;
+      List.iter (Bitset.add s) (Digraph.neighbors g v);
+      s)
+
+let dominates g candidates =
+  let n = Digraph.vertex_count g in
+  let hoods = closed_neighborhoods g in
+  let covered = Bitset.create n in
+  List.iter (fun v -> Bitset.union_into covered hoods.(v)) candidates;
+  Bitset.cardinal covered = n
+
+(* Depth-first search for a dominating set of size exactly <= k,
+   choosing, at each step, a coverer for the lowest-numbered uncovered
+   vertex (any dominating set must contain a vertex of that vertex's
+   closed neighbourhood, so branching over it is complete). *)
+let search_of_size g k =
+  let n = Digraph.vertex_count g in
+  let hoods = closed_neighborhoods g in
+  let rec go covered chosen budget =
+    if Bitset.cardinal covered = n then Some chosen
+    else if budget = 0 then None
+    else
+      match
+        List.find_opt (fun v -> not (Bitset.mem covered v)) (Order.range n)
+      with
+      | None -> Some chosen
+      | Some uncovered ->
+        let candidates = Bitset.elements hoods.(uncovered) in
+        let try_candidate acc c =
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let covered' = Bitset.union covered hoods.(c) in
+            go covered' (c :: chosen) (budget - 1)
+        in
+        List.fold_left try_candidate None candidates
+  in
+  if n = 0 then Some [] else go (Bitset.create n) [] k
+
+let exists_of_size g k = Option.is_some (search_of_size g k)
+
+let minimum g =
+  let n = Digraph.vertex_count g in
+  let rec first k =
+    match search_of_size g k with
+    | Some d -> List.sort compare d
+    | None -> if k >= n then [] else first (k + 1)
+  in
+  if n = 0 then [] else first 0
+
+let greedy g =
+  let n = Digraph.vertex_count g in
+  let hoods = closed_neighborhoods g in
+  let covered = Bitset.create n in
+  let chosen = ref [] in
+  while Bitset.cardinal covered < n do
+    let gain v = Bitset.cardinal (Bitset.diff hoods.(v) covered) in
+    match Order.argmax gain (Order.range n) with
+    | None -> Bitset.union_into covered (Bitset.full n) (* unreachable *)
+    | Some v ->
+      chosen := v :: !chosen;
+      Bitset.union_into covered hoods.(v)
+  done;
+  List.sort compare !chosen

@@ -1,0 +1,32 @@
+(** Maximum flow (Dinic's algorithm).
+
+    The paper's related-work section situates OCD against network
+    flow: token distribution violates flow conservation (tokens are
+    stored and duplicated), but several *subproblems* are genuine flow
+    problems.  This module backs two of them:
+
+    - the exact single-timestep delivery check (can every vertex's
+      deficit be covered in one step?) is a bipartite assignment of
+      (token, receiver) demands to supplying arcs — solved as max-flow
+      by {!Ocd_core.Bounds} (see [one_step_exact]);
+    - capacity-based upper bounds on per-step intake.
+
+    The implementation is a standard Dinic over an explicit residual
+    arc store: O(V²E) in general and O(E√V) on unit-capacity bipartite
+    graphs, far beyond what the tiny per-step networks here need. *)
+
+type t
+(** A flow network under construction / after solving. *)
+
+val create : node_count:int -> t
+
+val add_edge : t -> src:int -> dst:int -> capacity:int -> unit
+(** Adds a directed edge (and its residual twin).  Parallel edges are
+    allowed. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Computes the maximum flow; may be called once per network. *)
+
+val flow_on_edges : t -> (int * int * int) list
+(** After {!max_flow}: the positive flows as [(src, dst, flow)],
+    in insertion order of {!add_edge} (residual twins excluded). *)

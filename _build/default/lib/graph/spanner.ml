@@ -1,0 +1,68 @@
+let undirected_edges g =
+  List.filter_map
+    (fun { Digraph.src; dst; _ } -> if src < dst then Some (src, dst) else None)
+    (Digraph.arcs g)
+
+(* Bounded-depth BFS in the growing spanner, over an adjacency table we
+   maintain incrementally. *)
+let distance_within adjacency n ~limit src dst =
+  if src = dst then Some 0
+  else begin
+    let dist = Array.make n (-1) in
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src queue;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      if dist.(u) < limit then
+        List.iter
+          (fun v ->
+            if dist.(v) = -1 then begin
+              dist.(v) <- dist.(u) + 1;
+              if v = dst then result := Some dist.(v) else Queue.add v queue
+            end)
+          adjacency.(u)
+    done;
+    !result
+  end
+
+let greedy g ~stretch =
+  if stretch < 1 then invalid_arg "Spanner.greedy: stretch < 1";
+  let n = Digraph.vertex_count g in
+  let adjacency = Array.make n [] in
+  let kept = ref [] in
+  let consider (u, v) =
+    let keep =
+      match distance_within adjacency n ~limit:stretch u v with
+      | Some d -> d > stretch
+      | None -> true
+    in
+    if keep then begin
+      adjacency.(u) <- v :: adjacency.(u);
+      adjacency.(v) <- u :: adjacency.(v);
+      kept := (u, v) :: !kept
+    end
+  in
+  List.iter consider (undirected_edges g);
+  List.rev !kept
+
+let subgraph g edges =
+  let cap u v = max (Digraph.capacity g u v) (Digraph.capacity g v u) in
+  Digraph.of_edges ~vertex_count:(Digraph.vertex_count g)
+    (List.map (fun (u, v) -> (u, v, max 1 (cap u v))) edges)
+
+let stretch_of original spanner =
+  let n = Digraph.vertex_count original in
+  let worst = ref 1.0 in
+  for u = 0 to n - 1 do
+    let d0 = Traversal.bfs_levels original u in
+    let d1 = Traversal.bfs_levels spanner u in
+    for v = 0 to n - 1 do
+      if v <> u && d0.(v) > 0 then
+        if d1.(v) < 0 then worst := infinity
+        else
+          worst := Float.max !worst (float_of_int d1.(v) /. float_of_int d0.(v))
+    done
+  done;
+  !worst

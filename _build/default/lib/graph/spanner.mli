@@ -1,0 +1,24 @@
+(** Greedy k-spanners.
+
+    Narada (related work, §2) builds its mesh as a k-spanner: a
+    subgraph in which every pairwise distance is at most [k] times the
+    distance in the full graph.  The classical greedy algorithm
+    (Althöfer et al. 1993) scans edges in ascending cost and keeps an
+    edge only if the current spanner's distance between its endpoints
+    exceeds [k] times its cost.  We provide it over the undirected view
+    with unit costs, returning the kept edges. *)
+
+val greedy :
+  Digraph.t -> stretch:int -> (Digraph.vertex * Digraph.vertex) list
+(** Kept undirected edges [(u, v)] with [u < v].
+    @raise Invalid_argument when [stretch < 1]. *)
+
+val subgraph : Digraph.t -> (Digraph.vertex * Digraph.vertex) list -> Digraph.t
+(** Rebuilds a digraph from kept undirected edges, preserving the
+    original capacities in both directions (the max of the two arc
+    capacities is used when they differ). *)
+
+val stretch_of : Digraph.t -> Digraph.t -> float
+(** [stretch_of original spanner]: max over connected pairs of
+    (spanner hop distance / original hop distance); [infinity] if the
+    spanner disconnects a previously connected pair. *)

@@ -1,0 +1,66 @@
+type t = {
+  arcs : (Digraph.vertex * Digraph.vertex) list;
+  terminals : Digraph.vertex list;
+  covered : bool array;
+}
+
+let takahashi_matsuyama g ~sources ~terminals =
+  if sources = [] then invalid_arg "Steiner: no sources";
+  let n = Digraph.vertex_count g in
+  let in_tree = Array.make n false in
+  List.iter (fun s -> in_tree.(s) <- true) sources;
+  let covered = Array.make n false in
+  List.iter (fun t -> if in_tree.(t) then covered.(t) <- true) terminals;
+  let tree_arcs = ref [] in
+  (* Each round: multi-source BFS from the current tree, attach the
+     closest still-uncovered terminal, fold its shortest path into the
+     tree.  Parents are any tight predecessor under the BFS levels. *)
+  let rec rounds () =
+    match List.filter (fun t -> not covered.(t)) terminals with
+    | [] -> ()
+    | pending ->
+      let tree_vertices =
+        List.filter (fun v -> in_tree.(v)) (Digraph.vertices g)
+      in
+      let dist = Traversal.bfs_levels_multi g tree_vertices in
+      let parent = Array.make n (-1) in
+      let record_parent v =
+        if dist.(v) > 0 then
+          Array.iter
+            (fun (u, _) ->
+              if parent.(v) = -1 && dist.(u) >= 0 && dist.(u) = dist.(v) - 1
+              then parent.(v) <- u)
+            (Digraph.pred g v)
+      in
+      List.iter record_parent (Digraph.vertices g);
+      let best =
+        List.fold_left
+          (fun acc t ->
+            if dist.(t) < 0 then acc
+            else
+              match acc with
+              | Some (_, d) when d <= dist.(t) -> acc
+              | _ -> Some (t, dist.(t)))
+          None pending
+      in
+      (match best with
+      | None -> () (* the remaining terminals are unreachable *)
+      | Some (t, _) ->
+        let rec absorb v =
+          if not in_tree.(v) then begin
+            in_tree.(v) <- true;
+            let u = parent.(v) in
+            tree_arcs := (u, v) :: !tree_arcs;
+            absorb u
+          end
+        in
+        absorb t;
+        covered.(t) <- true;
+        rounds ())
+  in
+  rounds ();
+  { arcs = !tree_arcs; terminals; covered }
+
+let cost t = List.length t.arcs
+
+let covers_all t = List.for_all (fun v -> t.covered.(v)) t.terminals

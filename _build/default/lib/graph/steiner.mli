@@ -1,0 +1,36 @@
+(** Steiner-tree heuristics for the EOCD bounds of §3.3.
+
+    The paper observes that distributing one token with minimum
+    bandwidth is exactly a directed Steiner tree problem with unit-cost
+    arcs from the token's sources to the vertices that want it (sources
+    merged through 0-cost arcs).  Computing the optimum is NP-complete,
+    so we provide the classical Takahashi–Matsuyama shortest-path
+    heuristic, which is a 2-approximation on metric instances and works
+    well on the sparse evaluation graphs.
+
+    Returned trees are arc sets oriented away from the source set. *)
+
+type t = {
+  arcs : (Digraph.vertex * Digraph.vertex) list;
+      (** Tree arcs, each counted once; bandwidth cost = length. *)
+  terminals : Digraph.vertex list;
+  covered : bool array;
+      (** Indexed by vertex; true at terminals that were reached (always
+          true for terminals already in the source set). *)
+}
+
+val takahashi_matsuyama :
+  Digraph.t ->
+  sources:Digraph.vertex list ->
+  terminals:Digraph.vertex list ->
+  t
+(** Grows a tree from the (merged) source set, repeatedly attaching the
+    nearest uncovered terminal along a shortest hop path.  Terminals
+    unreachable from every source are left uncovered.
+    @raise Invalid_argument if [sources] is empty. *)
+
+val cost : t -> int
+(** Number of arcs = unit-cost bandwidth of the tree. *)
+
+val covers_all : t -> bool
+(** True when every terminal was reached. *)

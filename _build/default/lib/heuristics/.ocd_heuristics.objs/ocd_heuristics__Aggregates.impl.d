@@ -1,0 +1,1 @@
+lib/heuristics/aggregates.ml: Array Bitset Instance Ocd_core Ocd_prelude

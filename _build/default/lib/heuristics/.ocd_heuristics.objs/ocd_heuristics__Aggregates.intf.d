@@ -1,0 +1,1 @@
+lib/heuristics/aggregates.mli: Bitset Instance Ocd_core Ocd_prelude

@@ -1,0 +1,1 @@
+lib/heuristics/bandwidth_saver.ml: Aggregates Array Bitset Digraph Instance List Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Order Queue

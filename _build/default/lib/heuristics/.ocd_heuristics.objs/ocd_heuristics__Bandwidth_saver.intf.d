@@ -1,0 +1,1 @@
+lib/heuristics/bandwidth_saver.mli: Ocd_engine

@@ -1,0 +1,1 @@
+lib/heuristics/flow_step.ml: Aggregates Array Bitset Digraph Instance List Maxflow Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Order

@@ -1,0 +1,1 @@
+lib/heuristics/flow_step.mli: Ocd_engine

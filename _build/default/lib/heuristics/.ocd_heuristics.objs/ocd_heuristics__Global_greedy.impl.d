@@ -1,0 +1,1 @@
+lib/heuristics/global_greedy.ml: Aggregates Array Bitset Digraph Fun Instance List Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Order Prng

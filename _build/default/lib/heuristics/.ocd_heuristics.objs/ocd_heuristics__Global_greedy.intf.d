@@ -1,0 +1,1 @@
+lib/heuristics/global_greedy.mli: Ocd_engine

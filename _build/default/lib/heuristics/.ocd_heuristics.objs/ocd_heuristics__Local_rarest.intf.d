@@ -1,0 +1,1 @@
+lib/heuristics/local_rarest.mli: Ocd_engine

@@ -1,0 +1,1 @@
+lib/heuristics/random_push.ml: Array Bitset Digraph Instance List Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Printf Prng

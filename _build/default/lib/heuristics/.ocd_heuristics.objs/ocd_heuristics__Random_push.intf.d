@@ -1,0 +1,1 @@
+lib/heuristics/random_push.mli: Ocd_engine

@@ -1,0 +1,1 @@
+lib/heuristics/registry.ml: Bandwidth_saver Global_greedy List Local_rarest Ocd_engine Random_push Round_robin

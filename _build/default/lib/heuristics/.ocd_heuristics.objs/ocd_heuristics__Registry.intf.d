@@ -1,0 +1,1 @@
+lib/heuristics/registry.mli: Ocd_engine

@@ -1,0 +1,1 @@
+lib/heuristics/round_robin.ml: Array Bitset Digraph Hashtbl Instance List Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Option

@@ -1,0 +1,1 @@
+lib/heuristics/round_robin.mli: Ocd_engine

@@ -1,0 +1,19 @@
+open Ocd_core
+open Ocd_prelude
+
+type t = { have_count : int array; need_count : int array }
+
+let compute (inst : Instance.t) have =
+  let m = inst.token_count in
+  let have_count = Array.make m 0 in
+  let need_count = Array.make m 0 in
+  for v = 0 to Instance.vertex_count inst - 1 do
+    Bitset.iter (fun t -> have_count.(t) <- have_count.(t) + 1) have.(v);
+    Bitset.iter
+      (fun t -> if not (Bitset.mem have.(v) t) then need_count.(t) <- need_count.(t) + 1)
+      inst.want.(v)
+  done;
+  { have_count; need_count }
+
+let rarity t token = t.have_count.(token)
+let needed t token = t.need_count.(token) > 0

@@ -1,0 +1,26 @@
+(** Per-step global aggregate vectors shared by the knowledge-rich
+    heuristics.
+
+    The Local heuristic assumes "at every time step, the step's initial
+    aggregate need and knowledge are distributed to all vertices"
+    (e.g. over a side multicast tree); the Global and Bandwidth
+    heuristics assume full coordination.  This module computes those
+    aggregates once per timestep from the engine's context. *)
+
+open Ocd_core
+open Ocd_prelude
+
+type t = {
+  have_count : int array;
+      (** per token: number of vertices currently holding it ("knowledge") *)
+  need_count : int array;
+      (** per token: number of vertices wanting but lacking it ("need") *)
+}
+
+val compute : Instance.t -> Bitset.t array -> t
+
+val rarity : t -> int -> int
+(** [have_count], the paper's rarity measure (lower = rarer). *)
+
+val needed : t -> int -> bool
+(** Still wanted by someone who lacks it. *)

@@ -1,0 +1,104 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+(* Voronoi-labelled multi-source BFS: label.(x) = the source closest
+   to x (ties broken by queue order), -1 when unreachable. *)
+let voronoi_labels g sources =
+  let n = Digraph.vertex_count g in
+  let label = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if label.(s) = -1 then begin
+        label.(s) <- s;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun (v, _) ->
+        if label.(v) = -1 then begin
+          label.(v) <- label.(u);
+          Queue.add v queue
+        end)
+      (Digraph.succ g u)
+  done;
+  label
+
+(* For each token, the set of vertices that qualify as relays this
+   turn: closest one-hop-knowledge vertices to some needer. *)
+let relay_tokens (inst : Instance.t) have =
+  let g = inst.graph in
+  let n = Instance.vertex_count inst in
+  let relay = Array.init n (fun _ -> Bitset.create inst.token_count) in
+  for token = 0 to inst.token_count - 1 do
+    let needers = ref [] in
+    for x = 0 to n - 1 do
+      if Bitset.mem inst.want.(x) token && not (Bitset.mem have.(x) token) then
+        needers := x :: !needers
+    done;
+    if !needers <> [] then begin
+      (* One-hop set: lacks the token, an in-neighbour holds it. *)
+      let one_hop = ref [] in
+      for u = 0 to n - 1 do
+        if
+          (not (Bitset.mem have.(u) token))
+          && Array.exists
+               (fun (w, _) -> Bitset.mem have.(w) token)
+               (Digraph.pred g u)
+        then one_hop := u :: !one_hop
+      done;
+      if !one_hop <> [] then begin
+        let label = voronoi_labels g !one_hop in
+        List.iter
+          (fun x ->
+            let closest = label.(x) in
+            if closest >= 0 then Bitset.add relay.(closest) token)
+          !needers
+      end
+    end
+  done;
+  relay
+
+let strategy =
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      let agg = Aggregates.compute inst ctx.have in
+      let relay = relay_tokens ctx.instance ctx.have in
+      let moves = ref [] in
+      for dst = 0 to n - 1 do
+        let wanted = Bitset.diff inst.want.(dst) ctx.have.(dst) in
+        let relayed = Bitset.diff relay.(dst) ctx.have.(dst) in
+        Bitset.diff_into relayed wanted;
+        let by_rarity set =
+          Order.sort_by
+            (fun t -> Aggregates.rarity agg t)
+            (Bitset.elements set)
+        in
+        let pulls = by_rarity wanted @ by_rarity relayed in
+        if pulls <> [] then begin
+          let preds = Digraph.pred graph dst in
+          let budget = Array.map snd preds in
+          let assign token =
+            let chosen = ref (-1) in
+            Array.iteri
+              (fun i (u, _) ->
+                if !chosen = -1 && budget.(i) > 0 && Bitset.mem ctx.have.(u) token
+                then chosen := i)
+              preds;
+            if !chosen >= 0 then begin
+              budget.(!chosen) <- budget.(!chosen) - 1;
+              let src, _ = preds.(!chosen) in
+              moves := { Move.src; dst; token } :: !moves
+            end
+          in
+          List.iter assign pulls
+        end
+      done;
+      !moves
+  in
+  { Ocd_engine.Strategy.name = "bandwidth"; make }

@@ -1,0 +1,25 @@
+(** The Bandwidth heuristic (§5.1).
+
+    "We developed an online heuristic, albeit with global knowledge,
+    which more cautiously adds tokens to a move.  This bandwidth
+    heuristic is designed on the principle that each vertex shall
+    obtain from its peers in its next turn only tokens that it will
+    eventually use.  We then determine whether a vertex will use the
+    token by i) if it needs the token, or ii) if it is the closest
+    one-hop-knowledge vertex to a node that needs it.  A
+    one-hop-knowledge vertex is one which for a given token, *could*
+    obtain the token in a single turn given the opportunity."
+
+    Implementation: for every token still needed somewhere, the
+    one-hop set is the set of vertices lacking the token with an
+    in-neighbour holding it.  A Voronoi-labelled multi-source BFS from
+    the one-hop set identifies, for each needer, its closest one-hop
+    vertex; exactly those vertices qualify as relays this turn.  Each
+    vertex then pulls — wants first, relay tokens second, rarest first
+    within each class — assigning every pulled token to a single
+    holding in-neighbour under the arc capacities.  Unlike the
+    flooding heuristics, tokens that nobody downstream needs are never
+    transferred, which is what yields the Figure 4/5 bandwidth
+    savings at the price of slightly more timesteps. *)
+
+val strategy : Ocd_engine.Strategy.t

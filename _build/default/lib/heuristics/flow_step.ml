@@ -1,0 +1,86 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+(* Exact assignment of [tokens] (wanted, missing) to holding in-arcs
+   within capacities: returns (token, pred-index) pairs. *)
+let assign_exact ~have ~preds tokens =
+  match tokens with
+  | [] -> []
+  | tokens ->
+    let count = List.length tokens in
+    let token_node i = 2 + i in
+    let arc_node i = 2 + count + i in
+    let flow = Maxflow.create ~node_count:(2 + count + Array.length preds) in
+    List.iteri
+      (fun i _ -> Maxflow.add_edge flow ~src:0 ~dst:(token_node i) ~capacity:1)
+      tokens;
+    Array.iteri
+      (fun i (u, cap) ->
+        Maxflow.add_edge flow ~src:(arc_node i) ~dst:1 ~capacity:cap;
+        List.iteri
+          (fun j t ->
+            if Bitset.mem have.(u) t then
+              Maxflow.add_edge flow ~src:(token_node j) ~dst:(arc_node i)
+                ~capacity:1)
+          tokens)
+      preds;
+    ignore (Maxflow.max_flow flow ~source:0 ~sink:1);
+    let token_array = Array.of_list tokens in
+    List.filter_map
+      (fun (a, b, _) ->
+        (* token -> arc edges carry the assignment *)
+        if a >= token_node 0 && a < arc_node 0 && b >= arc_node 0 then
+          Some (token_array.(a - 2), b - 2 - count)
+        else None)
+      (Maxflow.flow_on_edges flow)
+
+let strategy =
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      let agg = Aggregates.compute inst ctx.have in
+      let moves = ref [] in
+      for dst = 0 to n - 1 do
+        let preds = Digraph.pred graph dst in
+        if Array.length preds > 0 then begin
+          let wanted = Bitset.diff inst.want.(dst) ctx.have.(dst) in
+          let assigned =
+            assign_exact ~have:ctx.have ~preds (Bitset.elements wanted)
+          in
+          let budget = Array.map snd preds in
+          List.iter
+            (fun (token, i) ->
+              budget.(i) <- budget.(i) - 1;
+              let src, _ = preds.(i) in
+              moves := { Move.src; dst; token } :: !moves)
+            assigned;
+          (* Fill leftover budget with rarest-first relay flooding
+             (tokens the vertex lacks and was not just assigned). *)
+          let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
+          List.iter (fun (token, _) -> Bitset.remove missing token) assigned;
+          let ranked =
+            Order.sort_by
+              (fun t -> Aggregates.rarity agg t)
+              (Bitset.elements missing)
+          in
+          List.iter
+            (fun token ->
+              let chosen = ref (-1) in
+              Array.iteri
+                (fun i (u, _) ->
+                  if !chosen = -1 && budget.(i) > 0 && Bitset.mem ctx.have.(u) token
+                  then chosen := i)
+                preds;
+              if !chosen >= 0 then begin
+                budget.(!chosen) <- budget.(!chosen) - 1;
+                let src, _ = preds.(!chosen) in
+                moves := { Move.src; dst; token } :: !moves
+              end)
+            ranked
+        end
+      done;
+      !moves
+  in
+  { Ocd_engine.Strategy.name = "flow-step"; make }

@@ -1,0 +1,17 @@
+(** An extension heuristic: per-step exact want maximisation.
+
+    At every timestep each receiver solves its token→in-arc assignment
+    problem *exactly* (bipartite max-flow over the tokens it wants and
+    the neighbours that hold them), so no step ever leaves a
+    satisfiable want-delivery on the table; remaining arc budget is
+    then filled with rarest-first relay flooding, as the Local
+    heuristic does.
+
+    This is the natural "greedy-optimal step" algorithm the §5.1
+    heuristics approximate with their one-token-at-a-time assignment
+    loops, and serves as a strong makespan reference in the benches:
+    the §5.1 heuristics' gap to it measures how much their cheap
+    assignment rules lose per step.  Knowledge model: global, like the
+    Global heuristic. *)
+
+val strategy : Ocd_engine.Strategy.t

@@ -1,0 +1,51 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+let strategy =
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      let agg = Aggregates.compute inst ctx.have in
+      (* Working holder counts: assignments of this step count as
+         (future) holders so later greedy choices favour other
+         tokens. *)
+      let working = Array.copy agg.Aggregates.have_count in
+      let moves = ref [] in
+      let order = Array.init n Fun.id in
+      Prng.shuffle ctx.rng order;
+      let process dst =
+        let preds = Digraph.pred graph dst in
+        if Array.length preds > 0 then begin
+          let budget = Array.map snd preds in
+          let assign token =
+            let chosen = ref (-1) in
+            Array.iteri
+              (fun i (u, _) ->
+                if !chosen = -1 && budget.(i) > 0 && Bitset.mem ctx.have.(u) token
+                then chosen := i)
+              preds;
+            if !chosen >= 0 then begin
+              budget.(!chosen) <- budget.(!chosen) - 1;
+              working.(token) <- working.(token) + 1;
+              let src, _ = preds.(!chosen) in
+              moves := { Move.src; dst; token } :: !moves;
+              true
+            end
+            else false
+          in
+          let by_working tokens =
+            Order.sort_by (fun t -> working.(t)) tokens
+          in
+          let wanted = Bitset.diff inst.want.(dst) ctx.have.(dst) in
+          List.iter (fun t -> ignore (assign t)) (by_working (Bitset.elements wanted));
+          let extra = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
+          Bitset.diff_into extra wanted;
+          List.iter (fun t -> ignore (assign t)) (by_working (Bitset.elements extra))
+        end
+      in
+      Array.iter process order;
+      !moves
+  in
+  { Ocd_engine.Strategy.name = "global"; make }

@@ -1,0 +1,22 @@
+(** The Global heuristic (§5.1).
+
+    "In addition to the aggregate vector, vertices have the ability to
+    coordinate across each other at each timestep to ensure that they
+    maximize diversity.  This also alleviates the need for vertices to
+    request tokens from other vertices since there is global
+    coordination.  Our implementation of this technique applies a
+    greedy selection algorithm over the set of tokens and edges, and
+    is thus not guaranteed to maximize diversity."
+
+    Implementation: one coordinated greedy pass per timestep.
+    Receivers are visited in random order; each receiver is assigned
+    (a) the tokens it still wants, then (b) arbitrary tokens it lacks
+    (flooding, for diversity), both rarest-first against a *working*
+    holder count that is incremented as assignments are made — so the
+    greedy choice spreads distinct rare tokens across the system
+    instead of duplicating the same one everywhere.  Global
+    coordination guarantees a token is delivered to a vertex at most
+    once per step, and each delivery is assigned to exactly one
+    holding in-neighbour within arc capacities. *)
+
+val strategy : Ocd_engine.Strategy.t

@@ -1,0 +1,123 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+(* Tokens of [missing] in ascending-rarity order with random
+   tie-breaking: shuffle once, then stable-sort by holder count. *)
+let rarity_order rng (agg : Aggregates.t) missing =
+  let tokens = Array.of_list (Bitset.elements missing) in
+  Prng.shuffle rng tokens;
+  let ranked = Array.to_list tokens in
+  Order.sort_by (fun t -> Aggregates.rarity agg t) ranked
+
+let strategy =
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      let agg = Aggregates.compute inst ctx.have in
+      let moves = ref [] in
+      for dst = 0 to n - 1 do
+        let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
+        if not (Bitset.is_empty missing) then begin
+          let preds = Digraph.pred graph dst in
+          let budget = Array.map snd preds in
+          let assign token =
+            (* All in-neighbours holding the token with spare budget;
+               pick one at random (the "request" subdivision). *)
+            let candidates = ref [] in
+            Array.iteri
+              (fun i (u, _) ->
+                if budget.(i) > 0 && Bitset.mem ctx.have.(u) token then
+                  candidates := i :: !candidates)
+              preds;
+            match !candidates with
+            | [] -> ()
+            | cs ->
+              let i = Prng.pick_list ctx.rng cs in
+              budget.(i) <- budget.(i) - 1;
+              let src, _ = preds.(i) in
+              moves := { Move.src; dst; token } :: !moves
+          in
+          List.iter assign (rarity_order ctx.rng agg missing)
+        end
+      done;
+      !moves
+  in
+  { Ocd_engine.Strategy.name = "local"; make }
+
+(* The request-assignment core shared by [strategy] and the delayed
+   variant: rank the tokens each vertex lacks by the supplied rarity
+   aggregate, then assign each to one holding in-neighbour. *)
+let subdivided_requests (inst : Instance.t) (ctx : Ocd_engine.Strategy.context)
+    agg =
+  let graph = ctx.instance.Instance.graph in
+  let n = Instance.vertex_count inst in
+  let moves = ref [] in
+  for dst = 0 to n - 1 do
+    let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
+    if not (Bitset.is_empty missing) then begin
+      let preds = Digraph.pred graph dst in
+      let budget = Array.map snd preds in
+      let assign token =
+        let candidates = ref [] in
+        Array.iteri
+          (fun i (u, _) ->
+            if budget.(i) > 0 && Bitset.mem ctx.have.(u) token then
+              candidates := i :: !candidates)
+          preds;
+        match !candidates with
+        | [] -> ()
+        | cs ->
+          let i = Prng.pick_list ctx.rng cs in
+          budget.(i) <- budget.(i) - 1;
+          let src, _ = preds.(i) in
+          moves := { Move.src; dst; token } :: !moves
+      in
+      List.iter assign (rarity_order ctx.rng agg missing)
+    end
+  done;
+  !moves
+
+let with_aggregate_delay ~turns =
+  if turns < 0 then invalid_arg "Local_rarest.with_aggregate_delay: negative";
+  let make inst _rng =
+    let history = Array.make (turns + 1) None in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      history.(ctx.step mod (turns + 1)) <-
+        Some (Aggregates.compute inst ctx.have);
+      let agg =
+        if ctx.step < turns then Aggregates.compute inst inst.have
+        else
+          match history.((ctx.step - turns) mod (turns + 1)) with
+          | Some agg -> agg
+          | None -> Aggregates.compute inst inst.have
+      in
+      subdivided_requests inst ctx agg
+  in
+  {
+    Ocd_engine.Strategy.name = Printf.sprintf "local-delay-%d" turns;
+    make;
+  }
+
+let strategy_without_subdivision =
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      let agg = Aggregates.compute inst ctx.have in
+      let moves = ref [] in
+      for src = 0 to n - 1 do
+        if not (Bitset.is_empty ctx.have.(src)) then
+          Array.iter
+            (fun (dst, cap) ->
+              let useful = Bitset.diff ctx.have.(src) ctx.have.(dst) in
+              let ranked = rarity_order ctx.rng agg useful in
+              List.iter
+                (fun token -> moves := { Move.src; dst; token } :: !moves)
+                (Order.take cap ranked))
+            (Digraph.succ graph src)
+      done;
+      !moves
+  in
+  { Ocd_engine.Strategy.name = "local-nosubdiv"; make }

@@ -1,0 +1,79 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+(* Uniform sample of [count] distinct elements of [set] (all of them
+   when fewer): reservoir sampling over the bitset iteration. *)
+let sample_tokens rng set count =
+  if count <= 0 then []
+  else begin
+    let reservoir = Array.make count (-1) in
+    let seen = ref 0 in
+    Bitset.iter
+      (fun t ->
+        if !seen < count then reservoir.(!seen) <- t
+        else begin
+          let j = Prng.int rng (!seen + 1) in
+          if j < count then reservoir.(j) <- t
+        end;
+        incr seen)
+      set;
+    Array.to_list (Array.sub reservoir 0 (min count !seen))
+  end
+
+let strategy =
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      let moves = ref [] in
+      for src = 0 to n - 1 do
+        if not (Bitset.is_empty ctx.have.(src)) then
+          Array.iter
+            (fun (dst, cap) ->
+              let useful = Bitset.diff ctx.have.(src) ctx.have.(dst) in
+              List.iter
+                (fun token -> moves := { Move.src; dst; token } :: !moves)
+                (sample_tokens ctx.rng useful cap))
+            (Digraph.succ graph src)
+      done;
+      !moves
+  in
+  { Ocd_engine.Strategy.name = "random"; make }
+
+let with_staleness ~turns =
+  if turns < 0 then invalid_arg "Random_push.with_staleness: negative turns";
+  let make inst _rng =
+    let n = Instance.vertex_count inst in
+    (* Ring buffer of possession snapshots; index step mod (turns+1)
+       holds the state at the start of that step. *)
+    let history = Array.make (turns + 1) None in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      let graph = ctx.instance.Instance.graph in
+      history.(ctx.step mod (turns + 1)) <- Some (Array.map Bitset.copy ctx.have);
+      let stale =
+        if ctx.step < turns then inst.have
+        else
+          match history.((ctx.step - turns) mod (turns + 1)) with
+          | Some snapshot -> snapshot
+          | None -> inst.have
+      in
+      let moves = ref [] in
+      for src = 0 to n - 1 do
+        if not (Bitset.is_empty ctx.have.(src)) then
+          Array.iter
+            (fun (dst, cap) ->
+              (* The sender's own possession is current; only the
+                 peer's state is stale. *)
+              let useful = Bitset.diff ctx.have.(src) stale.(dst) in
+              List.iter
+                (fun token -> moves := { Move.src; dst; token } :: !moves)
+                (sample_tokens ctx.rng useful cap))
+            (Digraph.succ graph src)
+      done;
+      !moves
+  in
+  {
+    Ocd_engine.Strategy.name = Printf.sprintf "random-stale-%d" turns;
+    make;
+  }

@@ -1,0 +1,26 @@
+(** The Random heuristic (§5.1).
+
+    "In this heuristic we assume that peers have current knowledge
+    about the tokens known by each of their peers at the beginning of
+    the turn.  Each vertex then independently chooses at random which
+    tokens to send over the edge."
+
+    Knowledge model: own state plus each out-neighbour's possession at
+    the start of the turn.  For every outgoing arc the sender draws a
+    uniformly random subset (of size up to the arc capacity) of the
+    tokens it holds and the receiver lacks; it pays no attention to
+    wants, so like round-robin it floods — but never wastes a move on
+    a token the receiver already has, and independently random choices
+    at different senders may still duplicate one another. *)
+
+val strategy : Ocd_engine.Strategy.t
+
+val with_staleness : turns:int -> Ocd_engine.Strategy.t
+(** The paper's suggested relaxation: "allowing peers to know about
+    the state 'k' turns ago of their peers."  Senders choose random
+    tokens against a snapshot of the receiver's possession from
+    [turns] steps earlier (the initial state for the first [turns]
+    steps), so tokens the receiver acquired since may be resent —
+    quantifying how much the zero-staleness assumption of the Random
+    heuristic is worth.  [turns = 0] is exactly {!strategy}'s
+    knowledge model. *)

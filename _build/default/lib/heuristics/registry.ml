@@ -1,0 +1,16 @@
+let all =
+  [
+    Round_robin.strategy;
+    Random_push.strategy;
+    Local_rarest.strategy;
+    Bandwidth_saver.strategy;
+    Global_greedy.strategy;
+  ]
+
+let online =
+  [ Round_robin.strategy; Random_push.strategy; Local_rarest.strategy ]
+
+let find name =
+  List.find_opt (fun s -> s.Ocd_engine.Strategy.name = name) all
+
+let names = List.map (fun s -> s.Ocd_engine.Strategy.name) all

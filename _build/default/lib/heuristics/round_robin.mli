@@ -1,0 +1,16 @@
+(** The Round Robin heuristic (§5.1).
+
+    "The round-robin strategy simply sends the circular queue of tokens
+    over each link (skipping tokens it does not have).  This is the
+    simplest of the heuristics, and can easily be computed locally as
+    no information other than the set of tokens kept locally and the
+    last token sent to each peer [is needed]."
+
+    Knowledge model: strictly local — each vertex sees only its own
+    token set and remembers, per outgoing arc, the position of its
+    circular cursor.  It neither knows what its peer holds nor what
+    anyone wants, so it floods: every step it fills each outgoing
+    arc's capacity with the next tokens (by id, cyclically) that it
+    possesses. *)
+
+val strategy : Ocd_engine.Strategy.t

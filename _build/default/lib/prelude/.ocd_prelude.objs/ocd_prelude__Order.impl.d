@@ -1,0 +1,1 @@
+lib/prelude/order.ml: Fun List Option

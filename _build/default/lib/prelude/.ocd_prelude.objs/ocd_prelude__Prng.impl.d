@@ -1,0 +1,1 @@
+lib/prelude/prng.ml: Array Int64 List

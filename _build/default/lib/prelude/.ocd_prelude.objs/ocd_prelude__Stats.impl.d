@@ -1,0 +1,1 @@
+lib/prelude/stats.ml: Array Float Format List

@@ -1,0 +1,180 @@
+(* One OCaml [int] holds 63 usable bits; we use all of them. *)
+let bits_per_word = Sys.int_size
+
+type t = { capacity : int; words : int array }
+
+let words_for capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { capacity; words = Array.make (words_for capacity) 0 }
+
+let capacity s = s.capacity
+
+let copy s = { capacity = s.capacity; words = Array.copy s.words }
+
+let check_element s x =
+  if x < 0 || x >= s.capacity then invalid_arg "Bitset: element out of range"
+
+let check_same a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let mem s x =
+  check_element s x;
+  s.words.(x / bits_per_word) land (1 lsl (x mod bits_per_word)) <> 0
+
+let add s x =
+  check_element s x;
+  let w = x / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (x mod bits_per_word))
+
+let remove s x =
+  check_element s x;
+  let w = x / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (x mod bits_per_word))
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let of_list capacity elements =
+  let s = create capacity in
+  List.iter (add s) elements;
+  s
+
+let full capacity =
+  let s = create capacity in
+  for x = 0 to capacity - 1 do add s x done;
+  s
+
+let singleton capacity x =
+  let s = create capacity in
+  add s x;
+  s
+
+let popcount =
+  (* Kernighan's loop is fine: words are sparse in most of our sets and
+     the function is not the bottleneck relative to bulk set ops. *)
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  fun w -> go 0 w
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let equal a b =
+  check_same a b;
+  a.words = b.words
+
+let subset a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let disjoint a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let union_into dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_into dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let diff_into dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let union a b = let r = copy a in union_into r b; r
+let inter a b = let r = copy a in inter_into r b; r
+let diff a b = let r = copy a in diff_into r b; r
+
+(* Count trailing zeros of a word with exactly one bit set, by binary
+   search: 6 branches instead of up to 62 shifts. *)
+let ctz_bit b =
+  let i = ref 0 in
+  let b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin i := !i + 32; b := !b lsr 32 end;
+  if !b land 0xFFFF = 0 then begin i := !i + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin i := !i + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin i := !i + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin i := !i + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then incr i;
+  !i
+
+let iter f s =
+  for i = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(i) in
+    while !w <> 0 do
+      let bit = !w land (- !w) in
+      f ((i * bits_per_word) + ctz_bit bit);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun x -> acc := f x !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun x acc -> x :: acc) s [])
+
+exception Found of int
+
+let exists p s =
+  try
+    iter (fun x -> if p x then raise (Found x)) s;
+    false
+  with Found _ -> true
+
+let for_all p s = not (exists (fun x -> not (p x)) s)
+
+let choose s =
+  try
+    iter (fun x -> raise (Found x)) s;
+    None
+  with Found x -> Some x
+
+let nth s k =
+  if k < 0 then invalid_arg "Bitset.nth";
+  let remaining = ref k in
+  try
+    iter (fun x -> if !remaining = 0 then raise (Found x) else decr remaining) s;
+    invalid_arg "Bitset.nth: index beyond cardinality"
+  with Found x -> x
+
+let next_member s x =
+  if x >= s.capacity then None
+  else begin
+    let x = max x 0 in
+    let nwords = Array.length s.words in
+    let rec scan i w =
+      if w <> 0 then Some ((i * bits_per_word) + ctz_bit (w land (-w)))
+      else if i + 1 >= nwords then None
+      else scan (i + 1) s.words.(i + 1)
+    in
+    let i0 = x / bits_per_word in
+    (* Mask off bits below [x] in the first word. *)
+    let first = s.words.(i0) land lnot ((1 lsl (x mod bits_per_word)) - 1) in
+    scan i0 first
+  end
+
+let random_element rng s =
+  let n = cardinal s in
+  if n = 0 then None else Some (nth s (Prng.int rng n))
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

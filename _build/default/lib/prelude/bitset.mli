@@ -1,0 +1,88 @@
+(** Dense mutable bit sets over the universe [\[0, capacity)].
+
+    Token sets are the hot data structure of the simulator: every vertex
+    tracks which of the [m] tokens it possesses and wants, and heuristics
+    repeatedly intersect, subtract and enumerate these sets.  A dense
+    bitset (one [int] word per 63 elements) makes all bulk operations
+    word-parallel.
+
+    Mutation is explicit: operations suffixed [_into] or documented as
+    in-place modify their first argument; all other operations are
+    observers or allocate fresh sets.  Sets of different capacities must
+    never be mixed ([Invalid_argument] otherwise). *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over universe [\[0, capacity)]. *)
+
+val capacity : t -> int
+(** Size of the universe (not the cardinality). *)
+
+val copy : t -> t
+
+val of_list : int -> int list -> t
+(** [of_list capacity elements]. *)
+
+val full : int -> t
+(** [full capacity] contains every element of the universe. *)
+
+val singleton : int -> int -> t
+(** [singleton capacity x]. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+
+val cardinal : t -> int
+(** Population count; O(capacity/63). *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] sets [dst := dst ∩ src]. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into dst src] sets [dst := dst \ src]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val nth : t -> int -> int
+(** [nth s k] is the [k]-th smallest element (0-based).
+    @raise Invalid_argument if [k >= cardinal s]. *)
+
+val next_member : t -> int -> int option
+(** [next_member s x] is the smallest element [>= x], scanning
+    cyclically is the caller's business; returns [None] when no element
+    [>= x] exists. *)
+
+val random_element : Prng.t -> t -> int option
+(** Uniformly random element, or [None] if empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{e1, e2, ...}]. *)

@@ -1,0 +1,18 @@
+(** Selection helpers used throughout the heuristics. *)
+
+val argmin : ('a -> int) -> 'a list -> 'a option
+(** First element minimising the score. *)
+
+val argmax : ('a -> int) -> 'a list -> 'a option
+
+val min_score : ('a -> int) -> 'a list -> int option
+(** The minimal score itself. *)
+
+val sort_by : ('a -> int) -> 'a list -> 'a list
+(** Stable ascending sort by score. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if shorter). *)
+
+val range : int -> int list
+(** [range n] is [\[0; 1; ...; n-1\]]. *)

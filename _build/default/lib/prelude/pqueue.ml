@@ -1,0 +1,70 @@
+type 'a t = {
+  mutable size : int;
+  mutable keys : int array;
+  mutable values : 'a array;
+}
+
+let create () = { size = 0; keys = Array.make 16 0; values = [||] }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let grow q x =
+  let cap = Array.length q.keys in
+  if q.size >= cap then begin
+    q.keys <- Array.append q.keys (Array.make cap 0);
+    let filler = if q.size = 0 then x else q.values.(0) in
+    let values = Array.make (2 * cap) filler in
+    Array.blit q.values 0 values 0 q.size;
+    q.values <- values
+  end;
+  if Array.length q.values = 0 then q.values <- Array.make (Array.length q.keys) x
+
+let swap q i j =
+  let k = q.keys.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.keys.(j) <- k;
+  let v = q.values.(i) in
+  q.values.(i) <- q.values.(j);
+  q.values.(j) <- v
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.keys.(parent) > q.keys.(i) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.keys.(l) < q.keys.(!smallest) then smallest := l;
+  if r < q.size && q.keys.(r) < q.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q ~priority x =
+  grow q x;
+  q.keys.(q.size) <- priority;
+  q.values.(q.size) <- x;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let key = q.keys.(0) and value = q.values.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.keys.(0) <- q.keys.(q.size);
+      q.values.(0) <- q.values.(q.size);
+      sift_down q 0
+    end;
+    Some (key, value)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.keys.(0), q.values.(0))

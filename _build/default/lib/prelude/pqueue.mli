@@ -1,0 +1,19 @@
+(** Mutable binary min-heap keyed by integer priorities.
+
+    Used by Dijkstra/Prim-style graph algorithms.  Ties are broken
+    arbitrarily.  Stale entries are tolerated: callers following the
+    "lazy deletion" idiom should check whether a popped element is still
+    relevant. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> priority:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum-priority entry. *)
+
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Variant 13 of the 64-bit MurmurHash3 finaliser, as used by
+   SplitMix64's reference implementation. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = bits64 g in
+  { state = mix64 seed }
+
+let copy g = { state = g.state }
+
+let positive_bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over 62 usable bits keeps the result exactly
+     uniform even when [bound] does not divide the range. *)
+  let rec draw () =
+    let r = positive_bits g in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list g l =
+  let a = Array.of_list l in
+  shuffle g a;
+  Array.to_list a
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | l -> List.nth l (int g (List.length l))
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  let a = Array.init n (fun i -> i) in
+  (* Partial Fisher–Yates: only the first [k] positions are needed. *)
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)

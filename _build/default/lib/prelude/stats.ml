@@ -1,0 +1,54 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+    if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then a.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | xs ->
+    let count = List.length xs in
+    let mu = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs
+      /. float_of_int count
+    in
+    {
+      count;
+      mean = mu;
+      stddev = sqrt var;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+      median = percentile xs 0.5;
+    }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.0f med=%.1f max=%.0f"
+    s.count s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,22 @@
+(** Small summary-statistics helpers for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation; 0 for count <= 1 *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val summarize_ints : int list -> summary
+
+val mean : float list -> float
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,1\]], linear interpolation between
+    order statistics. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/topology/random_graph.ml: Array Components Digraph Float Hashtbl List Ocd_graph Ocd_prelude Prng Weights

@@ -1,0 +1,1 @@
+lib/topology/random_graph.mli: Ocd_graph Ocd_prelude Prng Weights

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Random_graph Transit_stub Weights

@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Ocd_graph Ocd_prelude Prng Weights

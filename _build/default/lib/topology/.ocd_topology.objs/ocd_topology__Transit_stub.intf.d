@@ -1,0 +1,1 @@
+lib/topology/transit_stub.mli: Ocd_graph Ocd_prelude Prng Weights

@@ -1,0 +1,1 @@
+lib/topology/weights.ml: List Ocd_prelude Prng

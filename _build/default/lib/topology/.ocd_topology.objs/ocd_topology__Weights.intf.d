@@ -1,0 +1,1 @@
+lib/topology/weights.mli: Ocd_prelude

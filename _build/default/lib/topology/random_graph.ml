@@ -1,0 +1,75 @@
+open Ocd_prelude
+open Ocd_graph
+
+let paper_p n =
+  if n <= 1 then 1.0
+  else Float.min 1.0 (2.0 *. log (float_of_int n) /. float_of_int n)
+
+(* Link weakly-connected components into one by adding an edge between
+   a representative of each consecutive component pair. *)
+let repair_edges g rng =
+  match Components.weakly_connected_components g with
+  | [] | [ _ ] -> []
+  | components ->
+    let reps = List.map (fun c -> Prng.pick_list rng c) components in
+    let rec pair = function
+      | a :: (b :: _ as rest) -> (a, b) :: pair rest
+      | [ _ ] | [] -> []
+    in
+    pair reps
+
+let finalize rng ~n ~weights ~connect edges =
+  let weighted = Weights.assign rng weights edges in
+  let g = Digraph.of_edges ~vertex_count:n weighted in
+  if not connect then g
+  else
+    match repair_edges g rng with
+    | [] -> g
+    | extra ->
+      let weighted_extra = Weights.assign rng weights extra in
+      Digraph.of_edges ~vertex_count:n (weighted @ weighted_extra)
+
+let erdos_renyi rng ~n ?p ?(weights = Weights.paper_default) ?(connect = true)
+    () =
+  if n <= 0 then invalid_arg "Random_graph.erdos_renyi: n <= 0";
+  let p = match p with Some p -> p | None -> paper_p n in
+  if p < 0.0 || p > 1.0 then invalid_arg "Random_graph.erdos_renyi: bad p";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  finalize rng ~n ~weights ~connect !edges
+
+let gnm rng ~n ~m ?(weights = Weights.paper_default) ?(connect = true) () =
+  if n <= 0 then invalid_arg "Random_graph.gnm: n <= 0";
+  let max_edges = n * (n - 1) / 2 in
+  if m < 0 || m > max_edges then invalid_arg "Random_graph.gnm: bad m";
+  let chosen = Hashtbl.create (2 * m) in
+  while Hashtbl.length chosen < m do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      let e = (min u v, max u v) in
+      if not (Hashtbl.mem chosen e) then Hashtbl.replace chosen e ()
+    end
+  done;
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) chosen [] in
+  finalize rng ~n ~weights ~connect (List.sort compare edges)
+
+let waxman rng ~n ?(alpha = 0.4) ?(beta = 0.2)
+    ?(weights = Weights.paper_default) ?(connect = true) () =
+  if n <= 0 then invalid_arg "Random_graph.waxman: n <= 0";
+  if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Random_graph.waxman: params";
+  let xs = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let max_dist = sqrt 2.0 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Float.hypot (xs.(u) -. xs.(v)) (ys.(u) -. ys.(v)) in
+      let p = alpha *. exp (-.d /. (beta *. max_dist)) in
+      if Prng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  finalize rng ~n ~weights ~connect !edges

@@ -1,0 +1,52 @@
+(** Random overlay topologies.
+
+    The paper's "random graphs" add each undirected edge independently
+    with probability [2 ln n / n] — just above the connectivity
+    threshold of G(n,p) — "which maintains reasonable connectedness"
+    while the edge count grows as O(n ln n).  Since flooding heuristics
+    need every wanter to be reachable, generators can optionally repair
+    connectivity by linking consecutive weakly-connected components
+    with one extra edge each (a negligible perturbation at this p). *)
+
+open Ocd_prelude
+
+val erdos_renyi :
+  Prng.t ->
+  n:int ->
+  ?p:float ->
+  ?weights:Weights.policy ->
+  ?connect:bool ->
+  unit ->
+  Ocd_graph.Digraph.t
+(** G(n, p) with undirected edges realised as arc pairs.  [p] defaults
+    to [2 ln n / n] (clamped to [\[0, 1\]]); [weights] defaults to
+    {!Weights.paper_default}; [connect] (default true) repairs weak
+    connectivity. *)
+
+val gnm :
+  Prng.t ->
+  n:int ->
+  m:int ->
+  ?weights:Weights.policy ->
+  ?connect:bool ->
+  unit ->
+  Ocd_graph.Digraph.t
+(** Uniform graph with exactly [m] distinct undirected edges (before
+    any connectivity repair). *)
+
+val waxman :
+  Prng.t ->
+  n:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?weights:Weights.policy ->
+  ?connect:bool ->
+  unit ->
+  Ocd_graph.Digraph.t
+(** Waxman (1988) geometric random graph on the unit square: vertices
+    placed uniformly, edge [{u,v}] with probability
+    [alpha * exp (-d(u,v) / (beta * sqrt 2))].  Defaults
+    [alpha = 0.4], [beta = 0.2]. *)
+
+val paper_p : int -> float
+(** [2 ln n / n], the paper's edge probability. *)

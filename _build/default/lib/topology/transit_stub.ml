@@ -1,0 +1,115 @@
+open Ocd_prelude
+
+type params = {
+  transit_domains : int;
+  transit_nodes : int;
+  stubs_per_transit_node : int;
+  stub_nodes : int;
+  intra_edge_prob : float;
+  extra_transit_stub : int;
+  extra_stub_stub : int;
+}
+
+let default_params =
+  {
+    transit_domains = 2;
+    transit_nodes = 4;
+    stubs_per_transit_node = 3;
+    stub_nodes = 8;
+    intra_edge_prob = 0.3;
+    extra_transit_stub = 4;
+    extra_stub_stub = 4;
+  }
+
+let vertex_total p =
+  let transit = p.transit_domains * p.transit_nodes in
+  transit + (transit * p.stubs_per_transit_node * p.stub_nodes)
+
+let params_for_size n =
+  if n < 8 then invalid_arg "Transit_stub.params_for_size: n too small";
+  (* Keep the backbone shape of [default_params]; scale stub-domain
+     size to hit the target count. *)
+  let base = default_params in
+  let transit = base.transit_domains * base.transit_nodes in
+  let stub_domains = transit * base.stubs_per_transit_node in
+  let stub_nodes = max 1 ((n - transit + stub_domains - 1) / stub_domains) in
+  { base with stub_nodes }
+
+(* A connected random graph on the vertex id list: random spanning tree
+   (each vertex links to a random predecessor in a shuffled order) plus
+   independent extra edges. *)
+let connected_random rng ~prob ids =
+  let ids = Array.of_list ids in
+  Prng.shuffle rng ids;
+  let edges = ref [] in
+  let n = Array.length ids in
+  for i = 1 to n - 1 do
+    let j = Prng.int rng i in
+    edges := (ids.(j), ids.(i)) :: !edges
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* Tree edges above use shuffled positions; extra edges here may
+         duplicate them — Digraph merges duplicates by summing, which
+         only fattens a link, as GT-ITM's multigraph flattening does. *)
+      if Prng.bernoulli rng prob then edges := (ids.(i), ids.(j)) :: !edges
+    done
+  done;
+  !edges
+
+let generate rng ?(weights = Weights.paper_default) p =
+  if
+    p.transit_domains <= 0 || p.transit_nodes <= 0
+    || p.stubs_per_transit_node < 0 || p.stub_nodes <= 0
+  then invalid_arg "Transit_stub.generate: bad params";
+  let transit_count = p.transit_domains * p.transit_nodes in
+  let edges = ref [] in
+  let add es = edges := es @ !edges in
+  (* Transit domains: ids [d * transit_nodes .. (d+1) * transit_nodes). *)
+  let transit_ids d = List.init p.transit_nodes (fun i -> (d * p.transit_nodes) + i) in
+  for d = 0 to p.transit_domains - 1 do
+    add (connected_random rng ~prob:p.intra_edge_prob (transit_ids d))
+  done;
+  (* Backbone: ring of transit domains via random representatives (a
+     connected top-level graph, as GT-ITM guarantees). *)
+  for d = 0 to p.transit_domains - 2 do
+    let u = Prng.pick_list rng (transit_ids d) in
+    let v = Prng.pick_list rng (transit_ids (d + 1)) in
+    add [ (u, v) ]
+  done;
+  if p.transit_domains > 2 then begin
+    let u = Prng.pick_list rng (transit_ids (p.transit_domains - 1)) in
+    let v = Prng.pick_list rng (transit_ids 0) in
+    add [ (u, v) ]
+  end;
+  (* Stub domains: laid out after all transit nodes. *)
+  let next_id = ref transit_count in
+  let stub_vertices = ref [] in
+  for anchor = 0 to transit_count - 1 do
+    for _ = 1 to p.stubs_per_transit_node do
+      let ids = List.init p.stub_nodes (fun i -> !next_id + i) in
+      next_id := !next_id + p.stub_nodes;
+      stub_vertices := ids @ !stub_vertices;
+      add (connected_random rng ~prob:p.intra_edge_prob ids);
+      add [ (anchor, List.hd ids) ]
+    done
+  done;
+  let stub_vertices = Array.of_list !stub_vertices in
+  (* Extra shortcut edges. *)
+  if Array.length stub_vertices > 0 then begin
+    for _ = 1 to p.extra_transit_stub do
+      let t = Prng.int rng transit_count in
+      let s = Prng.pick rng stub_vertices in
+      add [ (t, s) ]
+    done;
+    for _ = 1 to p.extra_stub_stub do
+      let a = Prng.pick rng stub_vertices in
+      let b = Prng.pick rng stub_vertices in
+      if a <> b then add [ (min a b, max a b) ]
+    done
+  end;
+  let weighted = Weights.assign rng weights !edges in
+  Ocd_graph.Digraph.of_edges ~vertex_count:(vertex_total p) weighted
+
+let classify p v =
+  if v < p.transit_domains * p.transit_nodes then `Transit else `Stub

@@ -1,0 +1,16 @@
+open Ocd_prelude
+
+type policy = Uniform of int * int | Constant of int
+
+let paper_default = Uniform (3, 15)
+
+let draw rng = function
+  | Constant c ->
+    if c <= 0 then invalid_arg "Weights: non-positive constant capacity";
+    c
+  | Uniform (lo, hi) ->
+    if lo <= 0 || hi < lo then invalid_arg "Weights: bad uniform bounds";
+    Prng.int_in rng lo hi
+
+let assign rng policy edges =
+  List.map (fun (u, v) -> (u, v, draw rng policy)) edges

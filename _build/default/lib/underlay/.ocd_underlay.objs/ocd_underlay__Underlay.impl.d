@@ -1,0 +1,1 @@
+lib/underlay/underlay.ml: Array Bitset Digraph Float Format Hashtbl Instance List Metrics Move Ocd_core Ocd_engine Ocd_graph Ocd_prelude Ocd_topology Option Paths Prng Schedule Validate

@@ -1,0 +1,1 @@
+lib/underlay/underlay.mli: Instance Metrics Ocd_core Ocd_engine Ocd_graph Ocd_prelude Ocd_topology Schedule

@@ -1,0 +1,212 @@
+open Ocd_core
+open Ocd_prelude
+open Ocd_graph
+
+type t = {
+  physical : Digraph.t;
+  overlay : Digraph.t;
+  host_of : int array;
+  paths : ((int * int), (int * int) list) Hashtbl.t;
+      (** overlay arc -> ordered physical links *)
+}
+
+let build ~physical ~host_of ~overlay =
+  let n = Digraph.vertex_count overlay in
+  if Array.length host_of <> n then
+    invalid_arg "Underlay.build: host_of length mismatch";
+  Array.iter
+    (fun h ->
+      if h < 0 || h >= Digraph.vertex_count physical then
+        invalid_arg "Underlay.build: host out of range")
+    host_of;
+  let paths = Hashtbl.create (Digraph.arc_count overlay) in
+  (* One BFS per distinct source host covers all overlay arcs out of
+     the overlay vertices living there. *)
+  let route { Digraph.src; dst; _ } =
+    let s = host_of.(src) and d = host_of.(dst) in
+    if s = d then Hashtbl.replace paths (src, dst) []
+    else
+      match Paths.shortest_path physical ~cost:(fun _ _ -> 1) s d with
+      | None -> invalid_arg "Underlay.build: overlay arc not physically routable"
+      | Some vertices ->
+        let rec links = function
+          | a :: (b :: _ as rest) -> (a, b) :: links rest
+          | [ _ ] | [] -> []
+        in
+        Hashtbl.replace paths (src, dst) (links vertices)
+  in
+  List.iter route (Digraph.arcs overlay);
+  { physical; overlay; host_of; paths }
+
+let map_onto_transit_stub rng ~overlay ?params () =
+  let n = Digraph.vertex_count overlay in
+  let params =
+    match params with
+    | Some p -> p
+    | None ->
+      (* headroom: physical network ~2x the overlay size so routers
+         and spare hosts exist *)
+      Ocd_topology.Transit_stub.params_for_size (2 * n)
+  in
+  let physical = Ocd_topology.Transit_stub.generate rng params in
+  let transit =
+    params.Ocd_topology.Transit_stub.transit_domains
+    * params.Ocd_topology.Transit_stub.transit_nodes
+  in
+  let stub_hosts = Digraph.vertex_count physical - transit in
+  if stub_hosts < n then
+    invalid_arg "Underlay.map_onto_transit_stub: not enough stub hosts";
+  (* Overlay vertices on distinct random stub hosts; transit vertices
+     are pure routers. *)
+  let picks = Prng.sample_without_replacement rng n stub_hosts in
+  let host_of = Array.of_list (List.map (fun i -> transit + i) picks) in
+  build ~physical ~host_of ~overlay
+
+let path t ~src ~dst =
+  match Hashtbl.find_opt t.paths (src, dst) with
+  | Some links -> links
+  | None -> invalid_arg "Underlay.path: unknown overlay arc"
+
+let sharing t =
+  let users : ((int * int), (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun arc links ->
+      List.iter
+        (fun link ->
+          let existing = Option.value (Hashtbl.find_opt users link) ~default:[] in
+          Hashtbl.replace users link (arc :: existing))
+        links)
+    t.paths;
+  Hashtbl.fold
+    (fun link arcs acc ->
+      match arcs with
+      | _ :: _ :: _ -> (link, List.sort compare arcs) :: acc
+      | _ -> acc)
+    users []
+  |> List.sort compare
+
+let max_link_stress t =
+  let load : ((int * int), int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (src, dst) links ->
+      let c = Digraph.capacity t.overlay src dst in
+      List.iter
+        (fun link ->
+          let existing = Option.value (Hashtbl.find_opt load link) ~default:0 in
+          Hashtbl.replace load link (existing + c))
+        links)
+    t.paths;
+  Hashtbl.fold
+    (fun (a, b) demand acc ->
+      let cap = Digraph.capacity t.physical a b in
+      Float.max acc (float_of_int demand /. float_of_int (max 1 cap)))
+    load 0.0
+
+type run = {
+  strategy_name : string;
+  outcome : Ocd_engine.Engine.outcome;
+  schedule : Schedule.t;
+  metrics : Metrics.t;
+  dropped_moves : int;
+}
+
+let satisfied (inst : Instance.t) have =
+  let n = Instance.vertex_count inst in
+  let rec go v = v >= n || (Bitset.subset inst.want.(v) have.(v) && go (v + 1)) in
+  go 0
+
+let run ?step_limit ?stall_patience t ~strategy ~seed (inst : Instance.t) =
+  if Digraph.arc_count inst.graph <> Digraph.arc_count t.overlay then
+    invalid_arg "Underlay.run: instance graph is not the mapped overlay";
+  let step_limit =
+    match step_limit with
+    | Some l -> l
+    | None ->
+      let n = Instance.vertex_count inst and m = max 1 inst.token_count in
+      min ((2 * m * (max 1 (n - 1))) + n + 128) 1_000_000
+  in
+  let stall_patience =
+    match stall_patience with
+    | Some p -> p
+    | None -> (4 * inst.token_count) + 64
+  in
+  let rng = Prng.create ~seed in
+  let decide = strategy.Ocd_engine.Strategy.make inst rng in
+  let have = Array.map Bitset.copy inst.have in
+  let steps = ref [] in
+  let dropped_total = ref 0 in
+  let rec loop step since_progress =
+    if satisfied inst have then Ocd_engine.Engine.Completed
+    else if step >= step_limit then Ocd_engine.Engine.Step_limit
+    else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
+    else begin
+      let proposal =
+        decide { Ocd_engine.Strategy.instance = inst; have; step; rng }
+      in
+      (* Admit moves while overlay arc capacity AND every physical
+         link on the arc's path have room. *)
+      let arc_load = Hashtbl.create 32 in
+      let link_load = Hashtbl.create 64 in
+      let seen = Hashtbl.create 32 in
+      let admit (m : Move.t) =
+        let cap = Digraph.capacity inst.graph m.src m.dst in
+        if cap = 0 then invalid_arg "Underlay.run: move on missing arc";
+        if not (Bitset.mem have.(m.src) m.token) then
+          invalid_arg "Underlay.run: token not possessed";
+        if Hashtbl.mem seen (m.src, m.dst, m.token) then false
+        else begin
+          Hashtbl.replace seen (m.src, m.dst, m.token) ();
+          let al =
+            Option.value (Hashtbl.find_opt arc_load (m.src, m.dst)) ~default:0
+          in
+          let links = Hashtbl.find t.paths (m.src, m.dst) in
+          let link_ok link =
+            let used = Option.value (Hashtbl.find_opt link_load link) ~default:0 in
+            let a, b = link in
+            used < Digraph.capacity t.physical a b
+          in
+          if al < cap && List.for_all link_ok links then begin
+            Hashtbl.replace arc_load (m.src, m.dst) (al + 1);
+            List.iter
+              (fun link ->
+                let used =
+                  Option.value (Hashtbl.find_opt link_load link) ~default:0
+                in
+                Hashtbl.replace link_load link (used + 1))
+              links;
+            true
+          end
+          else begin
+            incr dropped_total;
+            false
+          end
+        end
+      in
+      let kept = List.filter admit proposal in
+      let fresh = ref 0 in
+      List.iter
+        (fun (m : Move.t) ->
+          if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+        kept;
+      List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) kept;
+      steps := kept :: !steps;
+      loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
+    end
+  in
+  let outcome = loop 0 0 in
+  let schedule =
+    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+  in
+  (match (outcome, Validate.check_successful inst schedule) with
+  | Ocd_engine.Engine.Completed, Error e ->
+    invalid_arg
+      (Format.asprintf "Underlay.run: invalid recorded schedule: %a"
+         Validate.pp_error e)
+  | _ -> ());
+  {
+    strategy_name = strategy.Ocd_engine.Strategy.name;
+    outcome;
+    schedule;
+    metrics = Metrics.of_schedule inst schedule;
+    dropped_moves = !dropped_total;
+  }

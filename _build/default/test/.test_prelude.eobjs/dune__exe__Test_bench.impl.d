@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest List Ocd_bench Ocd_core Ocd_engine Ocd_heuristics Ocd_prelude Ocd_topology Scenario Stats

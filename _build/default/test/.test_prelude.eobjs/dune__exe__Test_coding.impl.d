@@ -1,0 +1,1 @@
+test/test_coding.ml: Alcotest Array Bitset Instance List Metrics Ocd_coding Ocd_core Ocd_engine Ocd_heuristics Ocd_prelude Ocd_topology Printf Prng QCheck QCheck_alcotest Validate

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Components Digraph Disjoint_trees Dominating List Mst Ocd_graph Ocd_prelude Paths Printf QCheck QCheck_alcotest Spanner Steiner Traversal

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Bitset Fun List Ocd_prelude Option Order Pqueue Prng QCheck QCheck_alcotest Stats String

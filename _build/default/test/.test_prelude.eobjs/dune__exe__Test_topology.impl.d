@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Fun List Ocd_graph Ocd_prelude Ocd_topology Printf Prng QCheck QCheck_alcotest Random_graph Topology Transit_stub Weights

@@ -1,0 +1,1 @@
+test/test_underlay.ml: Alcotest Digraph Instance List Metrics Ocd_core Ocd_engine Ocd_graph Ocd_heuristics Ocd_prelude Ocd_topology Ocd_underlay Prng QCheck QCheck_alcotest Scenario Schedule Validate

@@ -1,0 +1,84 @@
+(* Tests for ocd_bench: Report and Sweep. *)
+
+open Ocd_prelude
+open Ocd_core
+
+let test_report_row_mismatch () =
+  let t = Ocd_bench.Report.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Report.row: cell count mismatch") (fun () ->
+      Ocd_bench.Report.row t [ "only-one" ])
+
+let test_report_renders () =
+  let t = Ocd_bench.Report.create ~title:"demo table" ~columns:[ "x"; "y" ] in
+  Ocd_bench.Report.row t [ "1"; "alpha" ];
+  Ocd_bench.Report.row t [ "2"; "beta" ];
+  (* rendering goes to stdout; the test asserts it does not raise *)
+  Ocd_bench.Report.render t;
+  Ocd_bench.Report.section "section";
+  Ocd_bench.Report.note "a note with %d" 42
+
+let test_sweep_run_point () =
+  let strategies =
+    [ Ocd_heuristics.Local_rarest.strategy; Ocd_heuristics.Random_push.strategy ]
+  in
+  let point =
+    Ocd_bench.Sweep.run_point ~trials:2 ~seed:77 ~strategies ~x_label:"p"
+      (fun rng ->
+        let g = Ocd_topology.Random_graph.erdos_renyi rng ~n:15 ~p:0.4 () in
+        (Scenario.single_file rng ~graph:g ~tokens:5 ()).Scenario.instance)
+  in
+  Alcotest.(check string) "label" "p" point.Ocd_bench.Sweep.x_label;
+  Alcotest.(check int) "aggregates per strategy" 2
+    (List.length point.Ocd_bench.Sweep.aggregates);
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "trials recorded" 2
+        a.Ocd_bench.Sweep.moves.Stats.count;
+      Alcotest.(check bool) "bandwidth >= lb" true
+        (a.Ocd_bench.Sweep.bandwidth.Stats.mean
+        >= float_of_int point.Ocd_bench.Sweep.bandwidth_lb))
+    point.Ocd_bench.Sweep.aggregates
+
+let test_sweep_deterministic () =
+  let build rng =
+    let g = Ocd_topology.Random_graph.erdos_renyi rng ~n:12 ~p:0.4 () in
+    (Scenario.single_file rng ~graph:g ~tokens:4 ()).Scenario.instance
+  in
+  let point () =
+    Ocd_bench.Sweep.run_point ~trials:2 ~seed:99
+      ~strategies:[ Ocd_heuristics.Random_push.strategy ] ~x_label:"d" build
+  in
+  let a = point () and b = point () in
+  let mean p =
+    (List.hd p.Ocd_bench.Sweep.aggregates).Ocd_bench.Sweep.bandwidth.Stats.mean
+  in
+  Alcotest.(check (float 1e-9)) "same seed, same result" (mean a) (mean b)
+
+let test_sweep_raises_on_stall () =
+  let idle = Ocd_engine.Strategy.stateless ~name:"idle" (fun _ -> []) in
+  Alcotest.(check bool) "stall surfaces as failure" true
+    (try
+       ignore
+         (Ocd_bench.Sweep.run_point ~trials:1 ~seed:5 ~strategies:[ idle ]
+            ~x_label:"s" (fun rng ->
+              let g = Ocd_topology.Random_graph.erdos_renyi rng ~n:8 ~p:0.5 () in
+              (Scenario.single_file rng ~graph:g ~tokens:3 ()).Scenario.instance));
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "ocd_bench"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "row mismatch" `Quick test_report_row_mismatch;
+          Alcotest.test_case "renders" `Quick test_report_renders;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "run_point" `Quick test_sweep_run_point;
+          Alcotest.test_case "deterministic" `Quick test_sweep_deterministic;
+          Alcotest.test_case "stall raises" `Quick test_sweep_raises_on_stall;
+        ] );
+    ]

@@ -1,0 +1,806 @@
+(* Tests for ocd_core: Instance, Schedule, Validate, Metrics, Prune,
+   Bounds, Scenario, Figure1. *)
+
+open Ocd_prelude
+open Ocd_core
+open Ocd_graph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let mv src dst token = { Move.src; dst; token }
+
+(* Fixed line instance: 0 -> 1 -> 2 (caps 2), tokens {0,1}, source 0,
+   sink 2 wants both. *)
+let line () =
+  let graph =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 2 };
+        { Digraph.src = 1; dst = 2; capacity = 2 };
+      ]
+  in
+  Instance.make ~graph ~token_count:2 ~have:[ (0, [ 0; 1 ]) ]
+    ~want:[ (2, [ 0; 1 ]) ]
+
+let good_line_schedule () =
+  Schedule.of_steps [ [ mv 0 1 0; mv 0 1 1 ]; [ mv 1 2 0; mv 1 2 1 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_instance_accessors () =
+  let inst = line () in
+  Alcotest.(check int) "vertices" 3 (Instance.vertex_count inst);
+  Alcotest.(check (list int)) "holders" [ 0 ] (Instance.holders inst 0);
+  Alcotest.(check (list int)) "wanters" [ 2 ] (Instance.wanters inst 1);
+  Alcotest.(check int) "deficit 2" 2 (Bitset.cardinal (Instance.deficit inst 2));
+  Alcotest.(check int) "deficit 0" 0 (Bitset.cardinal (Instance.deficit inst 0));
+  Alcotest.(check int) "total deficit" 2 (Instance.total_deficit inst);
+  Alcotest.(check bool) "not trivial" false (Instance.trivially_satisfied inst);
+  Alcotest.(check bool) "satisfiable" true (Instance.satisfiable inst)
+
+let test_instance_wanter_already_has () =
+  let graph = Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ] ~want:[ (0, [ 0 ]) ]
+  in
+  Alcotest.(check bool) "trivially satisfied" true
+    (Instance.trivially_satisfied inst)
+
+let test_instance_rejects_orphan_token () =
+  let graph = Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  Alcotest.check_raises "orphan token"
+    (Invalid_argument "Instance: some token has no initial holder") (fun () ->
+      ignore
+        (Instance.make ~graph ~token_count:2 ~have:[ (0, [ 0 ]) ]
+           ~want:[ (1, [ 1 ]) ]))
+
+let test_instance_rejects_bad_vertex () =
+  let graph = Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  Alcotest.check_raises "bad vertex"
+    (Invalid_argument "Instance.make: vertex out of range") (fun () ->
+      ignore
+        (Instance.make ~graph ~token_count:1 ~have:[ (5, [ 0 ]) ] ~want:[]))
+
+let test_instance_unsatisfiable_direction () =
+  (* Token sits downstream of its wanter on a one-way arc. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:2 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (1, [ 0 ]) ] ~want:[ (0, [ 0 ]) ]
+  in
+  Alcotest.(check bool) "unsatisfiable" false (Instance.satisfiable inst)
+
+let test_instance_make_bitsets_copies () =
+  let graph = Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  let have = [| Bitset.of_list 1 [ 0 ]; Bitset.create 1 |] in
+  let want = [| Bitset.create 1; Bitset.of_list 1 [ 0 ] |] in
+  let inst = Instance.make_bitsets ~graph ~token_count:1 ~have ~want in
+  Bitset.add have.(1) 0;
+  Alcotest.(check int) "defensive copy" 1 (Instance.total_deficit inst)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_basics () =
+  let s = good_line_schedule () in
+  Alcotest.(check int) "length" 2 (Schedule.length s);
+  Alcotest.(check int) "moves" 4 (Schedule.move_count s);
+  Alcotest.(check int) "step 0" 2 (List.length (Schedule.step s 0));
+  Alcotest.(check (list (pair int int))) "arc trace"
+    [ (0, 0); (0, 1) ]
+    (Schedule.moves_on_arc s ~src:0 ~dst:1)
+
+let test_schedule_empty () =
+  Alcotest.(check int) "empty length" 0 (Schedule.length Schedule.empty);
+  Alcotest.(check int) "empty moves" 0 (Schedule.move_count Schedule.empty);
+  Alcotest.(check bool) "out of range step" true
+    (Schedule.step Schedule.empty 3 = [])
+
+let test_schedule_append_and_trailing () =
+  let s = Schedule.append_step Schedule.empty [ mv 0 1 0 ] in
+  let s = Schedule.append_step s [] in
+  let s = Schedule.append_step s [] in
+  Alcotest.(check int) "with trailing" 3 (Schedule.length s);
+  Alcotest.(check int) "stripped" 1
+    (Schedule.length (Schedule.drop_trailing_empty s))
+
+let test_schedule_drop_keeps_interior_empty () =
+  let s = Schedule.of_steps [ [ mv 0 1 0 ]; []; [ mv 1 2 0 ]; [] ] in
+  Alcotest.(check int) "interior kept" 3
+    (Schedule.length (Schedule.drop_trailing_empty s))
+
+let test_schedule_iter_order () =
+  let s = good_line_schedule () in
+  let seen = ref [] in
+  Schedule.iter_moves s (fun ~step m -> seen := (step, m.Move.token) :: !seen);
+  Alcotest.(check (list (pair int int))) "order"
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+    (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_ok = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Validate.pp_error e
+
+let test_validate_good_schedule () =
+  check_ok (Validate.check_successful (line ()) (good_line_schedule ()))
+
+let test_validate_missing_arc () =
+  let s = Schedule.of_steps [ [ mv 0 2 0 ] ] in
+  match Validate.check (line ()) s with
+  | Error (Validate.No_such_arc _) -> ()
+  | _ -> Alcotest.fail "expected No_such_arc"
+
+let test_validate_capacity () =
+  let graph =
+    Digraph.of_arcs ~vertex_count:2 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:2 ~have:[ (0, [ 0; 1 ]) ]
+      ~want:[ (1, [ 0; 1 ]) ]
+  in
+  let s = Schedule.of_steps [ [ mv 0 1 0; mv 0 1 1 ] ] in
+  match Validate.check inst s with
+  | Error (Validate.Capacity_exceeded { sent = 2; capacity = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected Capacity_exceeded"
+
+let test_validate_possession () =
+  (* Vertex 1 sends a token it has not yet received. *)
+  let s = Schedule.of_steps [ [ mv 1 2 0 ] ] in
+  match Validate.check (line ()) s with
+  | Error (Validate.Not_possessed _) -> ()
+  | _ -> Alcotest.fail "expected Not_possessed"
+
+let test_validate_same_step_relay_forbidden () =
+  (* A token may not be forwarded in the same step it arrives. *)
+  let s = Schedule.of_steps [ [ mv 0 1 0; mv 1 2 0 ] ] in
+  match Validate.check (line ()) s with
+  | Error (Validate.Not_possessed _) -> ()
+  | _ -> Alcotest.fail "expected Not_possessed for same-step relay"
+
+let test_validate_duplicate_assignment () =
+  let s = Schedule.of_steps [ [ mv 0 1 0; mv 0 1 0 ] ] in
+  match Validate.check (line ()) s with
+  | Error (Validate.Duplicate_assignment _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_assignment"
+
+let test_validate_unsatisfied () =
+  let s = Schedule.of_steps [ [ mv 0 1 0 ] ] in
+  match Validate.check_successful (line ()) s with
+  | Error (Validate.Unsatisfied { vertex = 2; missing = [ 0; 1 ] }) -> ()
+  | _ -> Alcotest.fail "expected Unsatisfied vertex 2"
+
+let test_validate_resend_to_holder_is_legal () =
+  (* Wasteful but valid: sending a token the receiver already has. *)
+  let inst = line () in
+  let s =
+    Schedule.of_steps
+      [ [ mv 0 1 0; mv 0 1 1 ]; [ mv 0 1 0; mv 1 2 0; mv 1 2 1 ] ]
+  in
+  check_ok (Validate.check_successful inst s)
+
+let test_possessions_evolution () =
+  let inst = line () in
+  let p = Validate.possessions inst (good_line_schedule ()) in
+  Alcotest.(check int) "three snapshots" 3 (Array.length p);
+  Alcotest.(check (list int)) "p0 at 1" [] (Bitset.elements p.(0).(1));
+  Alcotest.(check (list int)) "p1 at 1" [ 0; 1 ] (Bitset.elements p.(1).(1));
+  Alcotest.(check (list int)) "p2 at 2" [ 0; 1 ] (Bitset.elements p.(2).(2));
+  (* sources never lose tokens *)
+  Alcotest.(check (list int)) "p2 at 0" [ 0; 1 ] (Bitset.elements p.(2).(0))
+
+let test_final_possessions () =
+  let final = Validate.final_possessions (line ()) (good_line_schedule ()) in
+  Alcotest.(check (list int)) "sink" [ 0; 1 ] (Bitset.elements final.(2))
+
+(* Mutation testing: corrupt a valid successful schedule in a
+   categorised way and check the validator flags exactly that kind of
+   violation.  This is what makes the independent checker trustworthy:
+   if a strategy or engine bug produced any of these corruptions, the
+   reported metrics would be rejected. *)
+let prop_validator_catches_mutations =
+  let mutation_gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 3_000 in
+      let* kind = int_range 0 3 in
+      return (seed, kind))
+  in
+  QCheck.Test.make ~name:"validator catches every mutation category" ~count:60
+    (QCheck.make mutation_gen) (fun (seed, kind) ->
+      let rng = Prng.create ~seed in
+      let g = Ocd_topology.Random_graph.erdos_renyi rng ~n:12 ~p:0.4 () in
+      let inst = (Scenario.single_file rng ~graph:g ~tokens:4 ()).Scenario.instance in
+      let run =
+        Ocd_engine.Engine.completed_exn
+          (Ocd_engine.Engine.run ~strategy:Ocd_heuristics.Local_rarest.strategy
+             ~seed:(seed + 1) inst)
+      in
+      let steps = Schedule.steps run.Ocd_engine.Engine.schedule in
+      match (steps, kind) with
+      | [], _ -> QCheck.assume_fail ()
+      | first :: rest, 0 -> (
+        (* inject a move whose source cannot possess the token yet:
+           relay a token from a non-holder at step 0 *)
+        let non_holder =
+          List.find_opt
+            (fun v -> Bitset.is_empty inst.Instance.have.(v))
+            (Ocd_graph.Digraph.vertices g)
+        in
+        match non_holder with
+        | None -> QCheck.assume_fail ()
+        | Some v -> (
+          match Ocd_graph.Digraph.succ g v with
+          | [||] -> QCheck.assume_fail ()
+          | row ->
+            let dst, _ = row.(0) in
+            let bad = Schedule.of_steps ((mv v dst 0 :: first) :: rest) in
+            (match Validate.check inst bad with
+            | Error (Validate.Not_possessed _) -> true
+            | _ -> false)))
+      | first :: rest, 1 -> (
+        (* duplicate an existing move within its step *)
+        match first with
+        | [] -> QCheck.assume_fail ()
+        | m :: _ -> (
+          let bad = Schedule.of_steps ((m :: first) :: rest) in
+          match Validate.check inst bad with
+          | Error (Validate.Duplicate_assignment _) -> true
+          | _ -> false))
+      | first :: rest, 2 -> (
+        (* route a move over a non-existent arc *)
+        let missing =
+          List.find_opt
+            (fun (u, v) ->
+              u <> v && not (Ocd_graph.Digraph.mem_arc g u v))
+            (List.concat_map
+               (fun u -> List.map (fun v -> (u, v)) (Ocd_graph.Digraph.vertices g))
+               (Ocd_graph.Digraph.vertices g))
+        in
+        match missing with
+        | None -> QCheck.assume_fail ()
+        | Some (u, v) -> (
+          let holder = List.hd (Instance.holders inst 0) in
+          ignore holder;
+          let bad = Schedule.of_steps ((mv u v 0 :: first) :: rest) in
+          match Validate.check inst bad with
+          | Error (Validate.No_such_arc _) -> true
+          | _ -> false))
+      | first :: rest, _ -> (
+        (* drop every delivery of one token to one vertex: success must
+           fail with Unsatisfied *)
+        match first with
+        | [] -> QCheck.assume_fail ()
+        | m :: _ ->
+          let target = (m.Move.dst, m.Move.token) in
+          let strip moves =
+            List.filter
+              (fun (x : Move.t) -> (x.Move.dst, x.Move.token) <> target)
+              moves
+          in
+          let bad = Schedule.of_steps (List.map strip (first :: rest)) in
+          (match Validate.check_successful inst bad with
+          | Error (Validate.Unsatisfied _) -> true
+          | Error (Validate.Not_possessed _) ->
+            (* stripping can also orphan a later forward, which is a
+               legitimate catch too *)
+            true
+          | _ -> false))
+      )
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_line () =
+  let m = Metrics.of_schedule (line ()) (good_line_schedule ()) in
+  Alcotest.(check int) "makespan" 2 m.Metrics.makespan;
+  Alcotest.(check int) "bandwidth" 4 m.Metrics.bandwidth;
+  Alcotest.(check int) "pruned" 4 m.Metrics.pruned_bandwidth;
+  Alcotest.(check (array int)) "completion" [| 0; 0; 2 |]
+    m.Metrics.completion_times
+
+let test_metrics_completion_times_partial () =
+  (* Vertex 1 wants token 0 only; completes at step 1. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 2 };
+        { Digraph.src = 1; dst = 2; capacity = 2 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:2 ~have:[ (0, [ 0; 1 ]) ]
+      ~want:[ (1, [ 0 ]); (2, [ 0; 1 ]) ]
+  in
+  let m = Metrics.of_schedule inst (good_line_schedule ()) in
+  Alcotest.(check (array int)) "completion" [| 0; 1; 2 |]
+    m.Metrics.completion_times;
+  Alcotest.(check (float 1e-9)) "mean" 1.0 (Metrics.mean_completion m)
+
+let test_metrics_incomplete_schedule () =
+  let m = Metrics.of_schedule (line ()) Schedule.empty in
+  Alcotest.(check (array int)) "never completes" [| 0; 0; -1 |]
+    m.Metrics.completion_times
+
+(* ------------------------------------------------------------------ *)
+(* Prune                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prune_removes_redelivery () =
+  let inst = line () in
+  let wasteful =
+    Schedule.of_steps
+      [ [ mv 0 1 0; mv 0 1 1 ]; [ mv 0 1 0; mv 1 2 0; mv 1 2 1 ] ]
+  in
+  let pruned = Prune.prune inst wasteful in
+  Alcotest.(check int) "redelivery dropped" 4 (Schedule.move_count pruned);
+  check_ok (Validate.check_successful inst pruned)
+
+let test_prune_removes_unused_delivery () =
+  (* Token 1 delivered to vertex 1 which neither wants nor forwards it. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 2 };
+        { Digraph.src = 0; dst = 2; capacity = 2 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:2 ~have:[ (0, [ 0; 1 ]) ]
+      ~want:[ (2, [ 0; 1 ]) ]
+  in
+  let wasteful =
+    Schedule.of_steps [ [ mv 0 1 0; mv 0 1 1; mv 0 2 0; mv 0 2 1 ] ]
+  in
+  let pruned = Prune.prune inst wasteful in
+  Alcotest.(check int) "vertex-1 deliveries dropped" 2
+    (Schedule.move_count pruned);
+  check_ok (Validate.check_successful inst pruned)
+
+let test_prune_keeps_relay_chain () =
+  let inst = line () in
+  let s = good_line_schedule () in
+  Alcotest.(check int) "relay kept" 4 (Schedule.move_count (Prune.prune inst s))
+
+let test_prune_drops_trailing_steps () =
+  let inst = line () in
+  let s =
+    Schedule.of_steps
+      [ [ mv 0 1 0; mv 0 1 1 ]; [ mv 1 2 0; mv 1 2 1 ]; [ mv 0 1 0 ] ]
+  in
+  let pruned = Prune.prune inst s in
+  Alcotest.(check int) "length shrinks" 2 (Schedule.length pruned)
+
+let test_prune_multi_delivery_same_step () =
+  (* Two arcs deliver the same token to the same vertex in one step;
+     pass 1 must keep exactly one. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:4
+      [
+        { Digraph.src = 0; dst = 3; capacity = 1 };
+        { Digraph.src = 1; dst = 3; capacity = 1 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]); (1, [ 0 ]) ]
+      ~want:[ (3, [ 0 ]) ]
+  in
+  let s = Schedule.of_steps [ [ mv 0 3 0; mv 1 3 0 ] ] in
+  let pruned = Prune.prune inst s in
+  Alcotest.(check int) "one survives" 1 (Schedule.move_count pruned);
+  check_ok (Validate.check_successful inst pruned)
+
+(* Property: pruning any valid successful heuristic schedule preserves
+   success and never increases cost. *)
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 5_000 in
+    let* n = int_range 5 25 in
+    let* tokens = int_range 1 12 in
+    return (seed, n, tokens))
+
+let run_random_heuristic (seed, n, tokens) =
+  let rng = Prng.create ~seed in
+  let g = Ocd_topology.Random_graph.erdos_renyi rng ~n ~p:0.35 () in
+  let sc = Scenario.single_file rng ~graph:g ~tokens () in
+  let run =
+    Ocd_engine.Engine.run ~strategy:Ocd_heuristics.Random_push.strategy
+      ~seed:(seed + 1) sc.Scenario.instance
+  in
+  (sc.Scenario.instance, run)
+
+let prop_prune_sound =
+  QCheck.Test.make ~name:"prune preserves success, never increases cost"
+    ~count:40 (QCheck.make scenario_gen) (fun params ->
+      let inst, run = run_random_heuristic params in
+      match run.Ocd_engine.Engine.outcome with
+      | Ocd_engine.Engine.Completed ->
+        let s = run.Ocd_engine.Engine.schedule in
+        let pruned = Prune.prune inst s in
+        Validate.check_successful inst pruned = Ok ()
+        && Schedule.move_count pruned <= Schedule.move_count s
+        && Schedule.length pruned <= Schedule.length s
+      | _ -> false)
+
+let prop_prune_reaches_deficit_when_all_want_all =
+  QCheck.Test.make
+    ~name:"single-file pruning reaches the deficit lower bound" ~count:25
+    (QCheck.make scenario_gen) (fun params ->
+      let inst, run = run_random_heuristic params in
+      match run.Ocd_engine.Engine.outcome with
+      | Ocd_engine.Engine.Completed ->
+        (* all-want-all: every delivery is useful, so pruning hits the
+           §5.1 bandwidth lower bound exactly *)
+        Schedule.move_count (Prune.prune inst run.Ocd_engine.Engine.schedule)
+        = Instance.total_deficit inst
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounds_line () =
+  let inst = line () in
+  Alcotest.(check int) "bandwidth lb" 2 (Bounds.bandwidth_lower_bound inst);
+  (* sink is 2 hops from the only holder *)
+  Alcotest.(check int) "makespan lb" 2 (Bounds.makespan_lower_bound inst)
+
+let test_bounds_capacity_term () =
+  (* 5 tokens through an in-capacity of 2: at least ceil(5/2) = 3. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:2 [ { Digraph.src = 0; dst = 1; capacity = 2 } ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:5
+      ~have:[ (0, [ 0; 1; 2; 3; 4 ]) ]
+      ~want:[ (1, [ 0; 1; 2; 3; 4 ]) ]
+  in
+  Alcotest.(check int) "ceil(5/2)" 3 (Bounds.makespan_lower_bound inst)
+
+let test_bounds_distance_plus_capacity () =
+  (* Chain 0 -(cap 1)-> 1 -(cap 1)-> 2; 3 tokens to vertex 2:
+     M_1(2) = 1 + ceil(3/1)?? tokens are 2 hops away: M_i for i=1:
+     all 3 outside radius 1 → 1 + 3 = 4. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:3 ~have:[ (0, [ 0; 1; 2 ]) ]
+      ~want:[ (2, [ 0; 1; 2 ]) ]
+  in
+  Alcotest.(check int) "1 + 3" 4 (Bounds.makespan_lower_bound inst)
+
+let test_bounds_zero_when_satisfied () =
+  let graph = Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ] ~want:[ (0, [ 0 ]) ]
+  in
+  Alcotest.(check int) "bw" 0 (Bounds.bandwidth_lower_bound inst);
+  Alcotest.(check int) "mk" 0 (Bounds.makespan_lower_bound inst)
+
+let test_bounds_unreachable_raises () =
+  let graph =
+    Digraph.of_arcs ~vertex_count:2 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (1, [ 0 ]) ] ~want:[ (0, [ 0 ]) ]
+  in
+  Alcotest.check_raises "unreachable"
+    (Invalid_argument "Bounds.remaining_makespan: unreachable token") (fun () ->
+      ignore (Bounds.makespan_lower_bound inst))
+
+let test_bounds_one_step_feasible () =
+  let graph = Digraph.of_edges ~vertex_count:2 [ (0, 1, 2) ] in
+  let ok =
+    Instance.make ~graph ~token_count:2 ~have:[ (0, [ 0; 1 ]) ]
+      ~want:[ (1, [ 0; 1 ]) ]
+  in
+  Alcotest.(check bool) "2 tokens cap 2" true
+    (Bounds.one_step_feasible ok ~have:ok.Instance.have);
+  let too_many =
+    Instance.make ~graph:(Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ])
+      ~token_count:2 ~have:[ (0, [ 0; 1 ]) ] ~want:[ (1, [ 0; 1 ]) ]
+  in
+  Alcotest.(check bool) "2 tokens cap 1" false
+    (Bounds.one_step_feasible too_many ~have:too_many.Instance.have)
+
+let test_relay_aware_bound_chain () =
+  (* Chain 0 -> 1 -> 2, token wanted only at 2: plain bound 1, relay-
+     aware bound 2 (vertex 1 must receive a copy). *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ] ~want:[ (2, [ 0 ]) ]
+  in
+  Alcotest.(check int) "plain" 1 (Bounds.bandwidth_lower_bound inst);
+  Alcotest.(check int) "relay-aware" 2
+    (Bounds.relay_aware_bandwidth_lower_bound inst)
+
+let test_relay_aware_bound_wanter_relays () =
+  (* Chain where the intermediate also wants the token: no extra relay
+     cost, both bounds are 2. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ]
+      ~want:[ (1, [ 0 ]); (2, [ 0 ]) ]
+  in
+  Alcotest.(check int) "both 2" 2 (Bounds.relay_aware_bandwidth_lower_bound inst)
+
+let test_relay_aware_prefers_cheap_path () =
+  (* Needer reachable both through a long relay chain and directly:
+     the direct arc wins, no relay surcharge. *)
+  let graph =
+    Digraph.of_arcs ~vertex_count:4
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+        { Digraph.src = 2; dst = 3; capacity = 1 };
+        { Digraph.src = 0; dst = 3; capacity = 1 };
+      ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ] ~want:[ (3, [ 0 ]) ]
+  in
+  Alcotest.(check int) "direct path, no relays" 1
+    (Bounds.relay_aware_bandwidth_lower_bound inst)
+
+let prop_relay_aware_between_plain_and_exact =
+  QCheck.Test.make
+    ~name:"plain lb <= relay-aware lb <= EOCD optimum (tiny instances)"
+    ~count:20
+    QCheck.(int_range 0 2_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 3 + Prng.int rng 2 in
+      let g =
+        Ocd_topology.Random_graph.erdos_renyi rng ~n ~p:0.5
+          ~weights:(Ocd_topology.Weights.Uniform (1, 2)) ()
+      in
+      let tokens = 1 + Prng.int rng 2 in
+      let inst = (Scenario.single_file rng ~graph:g ~tokens ()).Scenario.instance in
+      let plain = Bounds.bandwidth_lower_bound inst in
+      let relay = Bounds.relay_aware_bandwidth_lower_bound inst in
+      match Ocd_exact.Search.eocd ~max_states:50_000 inst with
+      | Ocd_exact.Search.Solved { objective; _ } ->
+        plain <= relay && relay <= objective
+      | _ -> QCheck.assume_fail ())
+
+let prop_bounds_below_heuristic =
+  QCheck.Test.make ~name:"lower bounds never exceed an actual schedule"
+    ~count:40 (QCheck.make scenario_gen) (fun params ->
+      let inst, run = run_random_heuristic params in
+      match run.Ocd_engine.Engine.outcome with
+      | Ocd_engine.Engine.Completed ->
+        let m = run.Ocd_engine.Engine.metrics in
+        Bounds.bandwidth_lower_bound inst <= m.Metrics.bandwidth
+        && Bounds.makespan_lower_bound inst <= m.Metrics.makespan
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_graph seed =
+  Ocd_topology.Random_graph.erdos_renyi (Prng.create ~seed) ~n:20 ~p:0.4 ()
+
+let test_scenario_single_file () =
+  let rng = Prng.create ~seed:1 in
+  let sc = Scenario.single_file rng ~graph:(small_graph 1) ~tokens:6 ~source:3 () in
+  Alcotest.(check (list int)) "sources" [ 3 ] sc.Scenario.sources;
+  Alcotest.(check int) "deficit" (19 * 6)
+    (Instance.total_deficit sc.Scenario.instance);
+  Alcotest.(check int) "one file" 1 (List.length sc.Scenario.files);
+  Alcotest.(check bool) "satisfiable" true
+    (Instance.satisfiable sc.Scenario.instance)
+
+let test_scenario_receiver_density_extremes () =
+  let rng = Prng.create ~seed:2 in
+  let all = Scenario.receiver_density rng ~graph:(small_graph 2) ~tokens:4
+      ~threshold:1.0 ~source:0 () in
+  Alcotest.(check int) "threshold 1 = everyone" (19 * 4)
+    (Instance.total_deficit all.Scenario.instance);
+  let none = Scenario.receiver_density rng ~graph:(small_graph 2) ~tokens:4
+      ~threshold:0.0 ~source:0 () in
+  Alcotest.(check int) "threshold 0 = nobody" 0
+    (Instance.total_deficit none.Scenario.instance)
+
+let test_scenario_receiver_density_monotone_in_expectation () =
+  let graph = small_graph 3 in
+  let deficit threshold =
+    let rng = Prng.create ~seed:7 in
+    Instance.total_deficit
+      (Scenario.receiver_density rng ~graph ~tokens:4 ~threshold ~source:0 ())
+        .Scenario.instance
+  in
+  Alcotest.(check bool) "0.2 <= 0.9" true (deficit 0.2 <= deficit 0.9)
+
+let test_scenario_subdivide_files () =
+  let rng = Prng.create ~seed:4 in
+  let sc =
+    Scenario.subdivide_files rng ~graph:(small_graph 4) ~total_tokens:16
+      ~files:4 ~source:0 ()
+  in
+  Alcotest.(check int) "4 files" 4 (List.length sc.Scenario.files);
+  List.iter
+    (fun f ->
+      Alcotest.(check int) "4 tokens each" 4 (List.length f.Scenario.tokens))
+    sc.Scenario.files;
+  (* receivers partition the 19 non-source vertices *)
+  let receivers = List.concat_map (fun f -> f.Scenario.receivers) sc.Scenario.files in
+  Alcotest.(check int) "all receivers" 19 (List.length receivers);
+  Alcotest.(check int) "no duplicates" 19
+    (List.length (List.sort_uniq compare receivers));
+  (* tokens partition [0,16) *)
+  let tokens = List.concat_map (fun f -> f.Scenario.tokens) sc.Scenario.files in
+  Alcotest.(check (list int)) "token partition" (Order.range 16)
+    (List.sort compare tokens)
+
+let test_scenario_subdivide_single_file_equiv () =
+  let rng = Prng.create ~seed:5 in
+  let sc =
+    Scenario.subdivide_files rng ~graph:(small_graph 5) ~total_tokens:8 ~files:1
+      ~source:2 ()
+  in
+  Alcotest.(check int) "everyone wants everything" (19 * 8)
+    (Instance.total_deficit sc.Scenario.instance)
+
+let test_scenario_multi_sender () =
+  let rng = Prng.create ~seed:6 in
+  let sc =
+    Scenario.subdivide_files rng ~graph:(small_graph 6) ~total_tokens:8 ~files:4
+      ~multi_sender:true ()
+  in
+  Alcotest.(check bool) "satisfiable" true
+    (Instance.satisfiable sc.Scenario.instance);
+  (* no sender wants its own file *)
+  List.iter
+    (fun f ->
+      let holders = Instance.holders sc.Scenario.instance (List.hd f.Scenario.tokens) in
+      List.iter
+        (fun h ->
+          Alcotest.(check bool) "sender not receiver" false
+            (List.mem h f.Scenario.receivers))
+        holders)
+    sc.Scenario.files
+
+let test_scenario_subdivide_invalid () =
+  let rng = Prng.create ~seed:7 in
+  Alcotest.check_raises "files must divide"
+    (Invalid_argument "Scenario.subdivide_files: files must divide total_tokens")
+    (fun () ->
+      ignore
+        (Scenario.subdivide_files rng ~graph:(small_graph 7) ~total_tokens:10
+           ~files:3 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure1_witnesses () =
+  let inst = Figure1.instance () in
+  check_ok (Validate.check_successful inst (Figure1.min_time_schedule ()));
+  check_ok (Validate.check_successful inst (Figure1.min_bandwidth_schedule ()));
+  let fast = Metrics.of_schedule inst (Figure1.min_time_schedule ()) in
+  let cheap = Metrics.of_schedule inst (Figure1.min_bandwidth_schedule ()) in
+  Alcotest.(check int) "fast makespan" 2 fast.Metrics.makespan;
+  Alcotest.(check int) "fast bandwidth" 6 fast.Metrics.bandwidth;
+  Alcotest.(check int) "cheap makespan" 3 cheap.Metrics.makespan;
+  Alcotest.(check int) "cheap bandwidth" 4 cheap.Metrics.bandwidth
+
+let () =
+  Alcotest.run "ocd_core"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "wanter already has" `Quick
+            test_instance_wanter_already_has;
+          Alcotest.test_case "rejects orphan token" `Quick
+            test_instance_rejects_orphan_token;
+          Alcotest.test_case "rejects bad vertex" `Quick
+            test_instance_rejects_bad_vertex;
+          Alcotest.test_case "unsatisfiable direction" `Quick
+            test_instance_unsatisfiable_direction;
+          Alcotest.test_case "bitsets copied" `Quick test_instance_make_bitsets_copies;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "basics" `Quick test_schedule_basics;
+          Alcotest.test_case "empty" `Quick test_schedule_empty;
+          Alcotest.test_case "append/trailing" `Quick test_schedule_append_and_trailing;
+          Alcotest.test_case "interior empty kept" `Quick
+            test_schedule_drop_keeps_interior_empty;
+          Alcotest.test_case "iteration order" `Quick test_schedule_iter_order;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "good schedule" `Quick test_validate_good_schedule;
+          Alcotest.test_case "missing arc" `Quick test_validate_missing_arc;
+          Alcotest.test_case "capacity" `Quick test_validate_capacity;
+          Alcotest.test_case "possession" `Quick test_validate_possession;
+          Alcotest.test_case "same-step relay" `Quick
+            test_validate_same_step_relay_forbidden;
+          Alcotest.test_case "duplicate assignment" `Quick
+            test_validate_duplicate_assignment;
+          Alcotest.test_case "unsatisfied" `Quick test_validate_unsatisfied;
+          Alcotest.test_case "resend legal" `Quick
+            test_validate_resend_to_holder_is_legal;
+          Alcotest.test_case "possessions evolution" `Quick test_possessions_evolution;
+          Alcotest.test_case "final possessions" `Quick test_final_possessions;
+          qtest prop_validator_catches_mutations;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "line" `Quick test_metrics_line;
+          Alcotest.test_case "partial completion" `Quick
+            test_metrics_completion_times_partial;
+          Alcotest.test_case "incomplete schedule" `Quick
+            test_metrics_incomplete_schedule;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "removes redelivery" `Quick test_prune_removes_redelivery;
+          Alcotest.test_case "removes unused" `Quick test_prune_removes_unused_delivery;
+          Alcotest.test_case "keeps relay chain" `Quick test_prune_keeps_relay_chain;
+          Alcotest.test_case "drops trailing steps" `Quick
+            test_prune_drops_trailing_steps;
+          Alcotest.test_case "same-step double delivery" `Quick
+            test_prune_multi_delivery_same_step;
+          qtest prop_prune_sound;
+          qtest prop_prune_reaches_deficit_when_all_want_all;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "line" `Quick test_bounds_line;
+          Alcotest.test_case "capacity term" `Quick test_bounds_capacity_term;
+          Alcotest.test_case "distance + capacity" `Quick
+            test_bounds_distance_plus_capacity;
+          Alcotest.test_case "zero when satisfied" `Quick test_bounds_zero_when_satisfied;
+          Alcotest.test_case "unreachable raises" `Quick test_bounds_unreachable_raises;
+          Alcotest.test_case "one-step feasible" `Quick test_bounds_one_step_feasible;
+          Alcotest.test_case "relay-aware chain" `Quick test_relay_aware_bound_chain;
+          Alcotest.test_case "relay-aware wanter relays" `Quick
+            test_relay_aware_bound_wanter_relays;
+          Alcotest.test_case "relay-aware cheap path" `Quick
+            test_relay_aware_prefers_cheap_path;
+          qtest prop_relay_aware_between_plain_and_exact;
+          qtest prop_bounds_below_heuristic;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "single file" `Quick test_scenario_single_file;
+          Alcotest.test_case "density extremes" `Quick
+            test_scenario_receiver_density_extremes;
+          Alcotest.test_case "density monotone" `Quick
+            test_scenario_receiver_density_monotone_in_expectation;
+          Alcotest.test_case "subdivide files" `Quick test_scenario_subdivide_files;
+          Alcotest.test_case "subdivide = single when 1" `Quick
+            test_scenario_subdivide_single_file_equiv;
+          Alcotest.test_case "multi sender" `Quick test_scenario_multi_sender;
+          Alcotest.test_case "subdivide invalid" `Quick test_scenario_subdivide_invalid;
+        ] );
+      ( "figure1",
+        [ Alcotest.test_case "witness schedules" `Quick test_figure1_witnesses ] );
+    ]

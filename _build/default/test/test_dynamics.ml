@@ -1,0 +1,245 @@
+(* Tests for ocd_dynamics: Condition, Dynamic_engine. *)
+
+open Ocd_prelude
+open Ocd_core
+open Ocd_dynamics
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let single_file ~seed ~n ~tokens =
+  let rng = Prng.create ~seed in
+  let g = Ocd_topology.Random_graph.erdos_renyi rng ~n ~p:0.35 () in
+  (Scenario.single_file rng ~graph:g ~tokens ~source:0 ()).Scenario.instance
+
+(* ------------------------------------------------------------------ *)
+(* Condition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_static_identity () =
+  for step = 0 to 10 do
+    Alcotest.(check int) "identity" 7
+      (Condition.effective Condition.static ~step ~src:1 ~dst:2 ~base:7)
+  done
+
+let test_cross_traffic_extremes () =
+  let all_down = Condition.cross_traffic ~seed:1 ~prob:1.0 ~severity:1.0 in
+  Alcotest.(check int) "severity 1 kills" 0
+    (Condition.effective all_down ~step:3 ~src:0 ~dst:1 ~base:9);
+  let untouched = Condition.cross_traffic ~seed:1 ~prob:0.0 ~severity:0.9 in
+  Alcotest.(check int) "prob 0 never fires" 9
+    (Condition.effective untouched ~step:3 ~src:0 ~dst:1 ~base:9);
+  let halved = Condition.cross_traffic ~seed:1 ~prob:1.0 ~severity:0.5 in
+  Alcotest.(check int) "halved" 4
+    (Condition.effective halved ~step:3 ~src:0 ~dst:1 ~base:9)
+
+let test_cross_traffic_deterministic () =
+  let c1 = Condition.cross_traffic ~seed:5 ~prob:0.5 ~severity:0.5 in
+  let c2 = Condition.cross_traffic ~seed:5 ~prob:0.5 ~severity:0.5 in
+  for step = 0 to 20 do
+    Alcotest.(check int) "same trajectory"
+      (Condition.effective c1 ~step ~src:2 ~dst:7 ~base:10)
+      (Condition.effective c2 ~step ~src:2 ~dst:7 ~base:10)
+  done
+
+let test_link_flaps_start_up () =
+  let c = Condition.link_flaps ~seed:2 ~down_prob:0.5 ~up_prob:0.5 in
+  Alcotest.(check int) "step 0 up" 6
+    (Condition.effective c ~step:0 ~src:0 ~dst:1 ~base:6)
+
+let test_link_flaps_never_down () =
+  let c = Condition.link_flaps ~seed:2 ~down_prob:0.0 ~up_prob:1.0 in
+  for step = 0 to 30 do
+    Alcotest.(check int) "always up" 6
+      (Condition.effective c ~step ~src:0 ~dst:1 ~base:6)
+  done
+
+let test_link_flaps_order_independent () =
+  (* Querying step 9 before step 4 must agree with sequential
+     queries. *)
+  let c1 = Condition.link_flaps ~seed:3 ~down_prob:0.4 ~up_prob:0.4 in
+  let late_first = Condition.effective c1 ~step:9 ~src:1 ~dst:2 ~base:5 in
+  let c2 = Condition.link_flaps ~seed:3 ~down_prob:0.4 ~up_prob:0.4 in
+  for step = 0 to 8 do
+    ignore (Condition.effective c2 ~step ~src:1 ~dst:2 ~base:5)
+  done;
+  Alcotest.(check int) "order independent" late_first
+    (Condition.effective c2 ~step:9 ~src:1 ~dst:2 ~base:5)
+
+let test_churn_protects_sources () =
+  let c =
+    Condition.churn ~seed:4 ~protected:[ 0 ] ~leave_prob:1.0 ~return_prob:0.0
+  in
+  (* Vertex 0 never leaves, everyone else leaves at step 1 and never
+     returns: arcs between 0 and a departed vertex are down. *)
+  Alcotest.(check int) "step 0 everyone present" 5
+    (Condition.effective c ~step:0 ~src:0 ~dst:1 ~base:5);
+  Alcotest.(check int) "step 2: 1 is gone" 0
+    (Condition.effective c ~step:2 ~src:0 ~dst:1 ~base:5)
+
+let test_graph_at () =
+  let g = Ocd_graph.Digraph.of_edges ~vertex_count:3 [ (0, 1, 4); (1, 2, 4) ] in
+  (match Condition.graph_at Condition.static ~step:0 g with
+  | Some g' ->
+    Alcotest.(check int) "same arcs" (Ocd_graph.Digraph.arc_count g)
+      (Ocd_graph.Digraph.arc_count g')
+  | None -> Alcotest.fail "static cannot be empty");
+  let killer = Condition.cross_traffic ~seed:1 ~prob:1.0 ~severity:1.0 in
+  Alcotest.(check bool) "all down -> None" true
+    (Condition.graph_at killer ~step:0 g = None)
+
+let test_condition_invalid_params () =
+  Alcotest.check_raises "bad prob"
+    (Invalid_argument "Condition.cross_traffic: parameters out of [0,1]")
+    (fun () -> ignore (Condition.cross_traffic ~seed:1 ~prob:1.5 ~severity:0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic_engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_dynamic_static_equals_engine () =
+  let inst = single_file ~seed:50 ~n:20 ~tokens:8 in
+  List.iter
+    (fun strategy ->
+      let static_run = Ocd_engine.Engine.run ~strategy ~seed:9 inst in
+      let dynamic_run =
+        Dynamic_engine.run ~condition:Condition.static ~strategy ~seed:9 inst
+      in
+      Alcotest.(check bool)
+        (strategy.Ocd_engine.Strategy.name ^ " schedules identical")
+        true
+        (Schedule.steps static_run.Ocd_engine.Engine.schedule
+        = Schedule.steps dynamic_run.Dynamic_engine.schedule);
+      Alcotest.(check int)
+        (strategy.Ocd_engine.Strategy.name ^ " no drops")
+        0 dynamic_run.Dynamic_engine.dropped_moves)
+    Ocd_heuristics.Registry.all
+
+let test_dynamic_all_down_stalls () =
+  let inst = single_file ~seed:51 ~n:10 ~tokens:4 in
+  let condition = Condition.cross_traffic ~seed:1 ~prob:1.0 ~severity:1.0 in
+  let run =
+    Dynamic_engine.run ~stall_patience:10
+      ~condition ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:9 inst
+  in
+  (match run.Dynamic_engine.outcome with
+  | Ocd_engine.Engine.Stalled _ -> ()
+  | _ -> Alcotest.fail "expected stall under a dead network")
+
+let test_dynamic_degraded_still_completes () =
+  let inst = single_file ~seed:52 ~n:25 ~tokens:10 in
+  let condition = Condition.cross_traffic ~seed:7 ~prob:0.5 ~severity:0.5 in
+  List.iter
+    (fun strategy ->
+      let run = Dynamic_engine.run ~condition ~strategy ~seed:9 inst in
+      Alcotest.(check bool)
+        (strategy.Ocd_engine.Strategy.name ^ " completes under cross traffic")
+        true
+        (run.Dynamic_engine.outcome = Ocd_engine.Engine.Completed);
+      Alcotest.(check bool)
+        (strategy.Ocd_engine.Strategy.name ^ " schedule valid statically")
+        true
+        (Validate.check_successful inst run.Dynamic_engine.schedule = Ok ()))
+    Ocd_heuristics.Registry.all
+
+let test_dynamic_degradation_slows () =
+  (* On a capacity-limited path, halving capacities must increase the
+     makespan. *)
+  let graph =
+    Ocd_graph.Digraph.of_edges ~vertex_count:3 [ (0, 1, 2); (1, 2, 2) ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:8
+      ~have:[ (0, List.init 8 Fun.id) ]
+      ~want:[ (2, List.init 8 Fun.id) ]
+  in
+  let strategy = Ocd_heuristics.Local_rarest.strategy in
+  let static_run = Ocd_engine.Engine.run ~strategy ~seed:3 inst in
+  let condition = Condition.cross_traffic ~seed:1 ~prob:1.0 ~severity:0.5 in
+  let slow_run = Dynamic_engine.run ~condition ~strategy ~seed:3 inst in
+  Alcotest.(check bool) "completed" true
+    (slow_run.Dynamic_engine.outcome = Ocd_engine.Engine.Completed);
+  Alcotest.(check bool) "slower than static" true
+    (slow_run.Dynamic_engine.metrics.Metrics.makespan
+    > static_run.Ocd_engine.Engine.metrics.Metrics.makespan)
+
+let test_dynamic_churn_completes () =
+  let inst = single_file ~seed:53 ~n:20 ~tokens:6 in
+  let condition =
+    Condition.churn ~seed:11 ~protected:[ 0 ] ~leave_prob:0.05
+      ~return_prob:0.5
+  in
+  let run =
+    Dynamic_engine.run ~condition
+      ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:9 inst
+  in
+  Alcotest.(check bool) "completes under churn" true
+    (run.Dynamic_engine.outcome = Ocd_engine.Engine.Completed)
+
+let test_dynamic_deterministic () =
+  let inst = single_file ~seed:54 ~n:15 ~tokens:5 in
+  let condition () = Condition.link_flaps ~seed:13 ~down_prob:0.2 ~up_prob:0.6 in
+  let r1 =
+    Dynamic_engine.run ~condition:(condition ())
+      ~strategy:Ocd_heuristics.Random_push.strategy ~seed:2 inst
+  in
+  let r2 =
+    Dynamic_engine.run ~condition:(condition ())
+      ~strategy:Ocd_heuristics.Random_push.strategy ~seed:2 inst
+  in
+  Alcotest.(check bool) "same schedule" true
+    (Schedule.steps r1.Dynamic_engine.schedule
+    = Schedule.steps r2.Dynamic_engine.schedule);
+  Alcotest.(check int) "same drops" r1.Dynamic_engine.dropped_moves
+    r2.Dynamic_engine.dropped_moves
+
+let prop_dynamic_schedules_statically_valid =
+  QCheck.Test.make
+    ~name:"dynamic schedules are always valid static §3.1 schedules" ~count:25
+    QCheck.(pair (int_range 0 1_000) (int_range 8 20))
+    (fun (seed, n) ->
+      let inst = single_file ~seed ~n ~tokens:5 in
+      let condition =
+        Condition.link_flaps ~seed:(seed + 1) ~down_prob:0.15 ~up_prob:0.5
+      in
+      let run =
+        Dynamic_engine.run ~condition
+          ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:(seed + 2) inst
+      in
+      match run.Dynamic_engine.outcome with
+      | Ocd_engine.Engine.Completed ->
+        Validate.check_successful inst run.Dynamic_engine.schedule = Ok ()
+      | _ -> Validate.check inst run.Dynamic_engine.schedule = Ok ())
+
+let () =
+  Alcotest.run "ocd_dynamics"
+    [
+      ( "condition",
+        [
+          Alcotest.test_case "static identity" `Quick test_static_identity;
+          Alcotest.test_case "cross traffic extremes" `Quick
+            test_cross_traffic_extremes;
+          Alcotest.test_case "cross traffic deterministic" `Quick
+            test_cross_traffic_deterministic;
+          Alcotest.test_case "flaps start up" `Quick test_link_flaps_start_up;
+          Alcotest.test_case "flaps never down" `Quick test_link_flaps_never_down;
+          Alcotest.test_case "flaps order independent" `Quick
+            test_link_flaps_order_independent;
+          Alcotest.test_case "churn protects sources" `Quick
+            test_churn_protects_sources;
+          Alcotest.test_case "graph_at" `Quick test_graph_at;
+          Alcotest.test_case "invalid params" `Quick test_condition_invalid_params;
+        ] );
+      ( "dynamic-engine",
+        [
+          Alcotest.test_case "static condition = engine" `Quick
+            test_dynamic_static_equals_engine;
+          Alcotest.test_case "dead network stalls" `Quick
+            test_dynamic_all_down_stalls;
+          Alcotest.test_case "degraded completes" `Quick
+            test_dynamic_degraded_still_completes;
+          Alcotest.test_case "degradation slows" `Quick test_dynamic_degradation_slows;
+          Alcotest.test_case "churn completes" `Quick test_dynamic_churn_completes;
+          Alcotest.test_case "deterministic" `Quick test_dynamic_deterministic;
+          qtest prop_dynamic_schedules_statically_valid;
+        ] );
+    ]

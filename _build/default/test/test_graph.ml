@@ -1,0 +1,581 @@
+(* Tests for ocd_graph. *)
+
+open Ocd_graph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A small fixed graph used across cases:
+     0 -> 1 (cap 2), 1 -> 2 (cap 1), 0 -> 2 (cap 5), 2 -> 0 (cap 1) *)
+let fixture () =
+  Digraph.of_arcs ~vertex_count:3
+    [
+      { Digraph.src = 0; dst = 1; capacity = 2 };
+      { Digraph.src = 1; dst = 2; capacity = 1 };
+      { Digraph.src = 0; dst = 2; capacity = 5 };
+      { Digraph.src = 2; dst = 0; capacity = 1 };
+    ]
+
+(* Random connected digraph generator for property tests (built as an
+   undirected graph, so strongly connected). *)
+let random_graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 12 in
+    let* seed = int_range 0 10_000 in
+    let rng = Ocd_prelude.Prng.create ~seed in
+    let edges = ref [] in
+    (* random spanning tree + extras *)
+    for i = 1 to n - 1 do
+      let j = Ocd_prelude.Prng.int rng i in
+      edges := (j, i, 1 + Ocd_prelude.Prng.int rng 5) :: !edges
+    done;
+    for _ = 1 to n do
+      let u = Ocd_prelude.Prng.int rng n and v = Ocd_prelude.Prng.int rng n in
+      if u <> v then edges := (u, v, 1 + Ocd_prelude.Prng.int rng 5) :: !edges
+    done;
+    return (Digraph.of_edges ~vertex_count:n !edges))
+
+let arbitrary_graph = QCheck.make random_graph_gen
+
+(* ------------------------------------------------------------------ *)
+(* Digraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_digraph_basic () =
+  let g = fixture () in
+  Alcotest.(check int) "vertices" 3 (Digraph.vertex_count g);
+  Alcotest.(check int) "arcs" 4 (Digraph.arc_count g);
+  Alcotest.(check int) "capacity 0->2" 5 (Digraph.capacity g 0 2);
+  Alcotest.(check int) "capacity absent" 0 (Digraph.capacity g 1 0);
+  Alcotest.(check bool) "mem_arc" true (Digraph.mem_arc g 0 1);
+  Alcotest.(check bool) "mem_arc absent" false (Digraph.mem_arc g 2 1)
+
+let test_digraph_degrees () =
+  let g = fixture () in
+  Alcotest.(check int) "out 0" 2 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in 2" 2 (Digraph.in_degree g 2);
+  Alcotest.(check int) "in_capacity 2" 6 (Digraph.in_capacity g 2);
+  Alcotest.(check int) "out_capacity 0" 7 (Digraph.out_capacity g 0)
+
+let test_digraph_merges_multiarcs () =
+  let g =
+    Digraph.of_arcs ~vertex_count:2
+      [
+        { Digraph.src = 0; dst = 1; capacity = 2 };
+        { Digraph.src = 0; dst = 1; capacity = 3 };
+      ]
+  in
+  Alcotest.(check int) "merged capacity" 5 (Digraph.capacity g 0 1);
+  Alcotest.(check int) "single arc" 1 (Digraph.arc_count g)
+
+let test_digraph_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.of_arcs: self-loop")
+    (fun () ->
+      ignore
+        (Digraph.of_arcs ~vertex_count:2
+           [ { Digraph.src = 1; dst = 1; capacity = 1 } ]))
+
+let test_digraph_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Digraph.of_arcs: non-positive capacity") (fun () ->
+      ignore
+        (Digraph.of_arcs ~vertex_count:2
+           [ { Digraph.src = 0; dst = 1; capacity = 0 } ]))
+
+let test_digraph_rejects_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Digraph.of_arcs: endpoint out of range") (fun () ->
+      ignore
+        (Digraph.of_arcs ~vertex_count:2
+           [ { Digraph.src = 0; dst = 2; capacity = 1 } ]))
+
+let test_digraph_of_edges_bidirectional () =
+  let g = Digraph.of_edges ~vertex_count:2 [ (0, 1, 4) ] in
+  Alcotest.(check int) "forward" 4 (Digraph.capacity g 0 1);
+  Alcotest.(check int) "backward" 4 (Digraph.capacity g 1 0)
+
+let test_digraph_reverse () =
+  let g = fixture () in
+  let r = Digraph.reverse g in
+  Alcotest.(check int) "reversed capacity" 2 (Digraph.capacity r 1 0);
+  Alcotest.(check int) "arc count preserved" (Digraph.arc_count g)
+    (Digraph.arc_count r)
+
+let test_digraph_neighbors () =
+  let g = fixture () in
+  Alcotest.(check (list int)) "neighbors of 0" [ 1; 2 ] (Digraph.neighbors g 0);
+  Alcotest.(check (list int)) "neighbors of 1" [ 0; 2 ] (Digraph.neighbors g 1)
+
+let test_digraph_arcs_listing () =
+  let g = fixture () in
+  let arcs = Digraph.arcs g in
+  Alcotest.(check int) "length" 4 (List.length arcs);
+  let srcs = List.map (fun a -> a.Digraph.src) arcs in
+  Alcotest.(check (list int)) "grouped by src" (List.sort compare srcs) srcs
+
+(* ------------------------------------------------------------------ *)
+(* Traversal / Paths                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let path_graph n =
+  Digraph.of_edges ~vertex_count:n (List.init (n - 1) (fun i -> (i, i + 1, 1)))
+
+let test_bfs_levels () =
+  let g = path_graph 5 in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 2; 3; 4 |]
+    (Traversal.bfs_levels g 0)
+
+let test_bfs_levels_unreachable () =
+  let g =
+    Digraph.of_arcs ~vertex_count:3 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  Alcotest.(check (array int)) "unreachable" [| 0; 1; -1 |]
+    (Traversal.bfs_levels g 0)
+
+let test_bfs_multi () =
+  let g = path_graph 5 in
+  Alcotest.(check (array int)) "multi source" [| 0; 1; 2; 1; 0 |]
+    (Traversal.bfs_levels_multi g [ 0; 4 ])
+
+let test_bfs_order_starts_at_root () =
+  let g = fixture () in
+  match Traversal.bfs_order g 0 with
+  | root :: _ -> Alcotest.(check int) "root first" 0 root
+  | [] -> Alcotest.fail "empty order"
+
+let test_dfs_postorder_parent_after_child () =
+  (* In a DAG, postorder lists every vertex after all its
+     descendants. *)
+  let g =
+    Digraph.of_arcs ~vertex_count:4
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 0; dst = 2; capacity = 1 };
+        { Digraph.src = 1; dst = 3; capacity = 1 };
+      ]
+  in
+  let order = Traversal.dfs_postorder g in
+  let pos v =
+    let rec go i = function
+      | [] -> Alcotest.fail "vertex missing from postorder"
+      | x :: _ when x = v -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "0 after 1" true (pos 0 > pos 1);
+  Alcotest.(check bool) "0 after 2" true (pos 0 > pos 2);
+  Alcotest.(check bool) "1 after 3" true (pos 1 > pos 3)
+
+let test_reachable () =
+  let g =
+    Digraph.of_arcs ~vertex_count:3 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  Alcotest.(check (array bool)) "reachable" [| true; true; false |]
+    (Traversal.reachable g 0)
+
+let test_dijkstra_unit_matches_bfs () =
+  let g = fixture () in
+  let dist, _ = Paths.dijkstra g ~cost:(fun _ _ -> 1) 0 in
+  let bfs = Traversal.bfs_levels g 0 in
+  Array.iteri
+    (fun v d ->
+      let expected = if bfs.(v) < 0 then max_int else bfs.(v) in
+      Alcotest.(check int) (Printf.sprintf "dist %d" v) expected d)
+    dist
+
+let test_dijkstra_weighted () =
+  (* 0->1 cost 10; 0->2 cost 1, 2->1 cost 1: shortest 0->1 is 2. *)
+  let g =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 0; dst = 2; capacity = 1 };
+        { Digraph.src = 2; dst = 1; capacity = 1 };
+      ]
+  in
+  let cost u v = if u = 0 && v = 1 then 10 else 1 in
+  let dist, _ = Paths.dijkstra g ~cost 0 in
+  Alcotest.(check int) "via 2" 2 dist.(1)
+
+let test_shortest_path_endpoints () =
+  let g = path_graph 4 in
+  match Paths.shortest_path g ~cost:(fun _ _ -> 1) 0 3 with
+  | Some path -> Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] path
+  | None -> Alcotest.fail "path expected"
+
+let test_shortest_path_none () =
+  let g =
+    Digraph.of_arcs ~vertex_count:3 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  Alcotest.(check bool) "no path" true
+    (Paths.shortest_path g ~cost:(fun _ _ -> 1) 1 2 = None)
+
+let test_diameter_path () =
+  Alcotest.(check int) "diameter" 4 (Paths.diameter (path_graph 5))
+
+let test_eccentricity () =
+  let g = path_graph 5 in
+  Alcotest.(check int) "center" 2 (Paths.eccentricity g 2);
+  Alcotest.(check int) "end" 4 (Paths.eccentricity g 0)
+
+let test_closure_incoming () =
+  (* Directed chain 0 -> 1 -> 2: closure around 2 must include the
+     vertices that can *reach* it. *)
+  let g =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+      ]
+  in
+  Alcotest.(check (list int)) "radius 0" [ 2 ] (Paths.closure g 2 ~radius:0);
+  Alcotest.(check (list int)) "radius 1" [ 1; 2 ] (Paths.closure g 2 ~radius:1);
+  Alcotest.(check (list int)) "radius 2" [ 0; 1; 2 ] (Paths.closure g 2 ~radius:2);
+  Alcotest.(check (list int)) "closure of 0" [ 0 ] (Paths.closure g 0 ~radius:2)
+
+let prop_diameter_bounds =
+  QCheck.Test.make ~name:"diameter <= n-1 on connected graphs" ~count:100
+    arbitrary_graph (fun g ->
+      let d = Paths.diameter g in
+      d >= 0 && d <= Digraph.vertex_count g - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Components                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_scc_cycle () =
+  let g =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+        { Digraph.src = 2; dst = 0; capacity = 1 };
+      ]
+  in
+  Alcotest.(check int) "one SCC" 1
+    (List.length (Components.strongly_connected_components g));
+  Alcotest.(check bool) "strongly connected" true
+    (Components.is_strongly_connected g)
+
+let test_scc_dag () =
+  let g =
+    Digraph.of_arcs ~vertex_count:3
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 2; capacity = 1 };
+      ]
+  in
+  Alcotest.(check int) "three SCCs" 3
+    (List.length (Components.strongly_connected_components g));
+  Alcotest.(check bool) "not strongly connected" false
+    (Components.is_strongly_connected g);
+  Alcotest.(check bool) "weakly connected" true
+    (Components.is_weakly_connected g)
+
+let test_scc_mixed () =
+  (* 0 <-> 1 cycle, 2 -> 0, 3 isolated: SCCs {0,1}, {2}, {3}. *)
+  let g =
+    Digraph.of_arcs ~vertex_count:4
+      [
+        { Digraph.src = 0; dst = 1; capacity = 1 };
+        { Digraph.src = 1; dst = 0; capacity = 1 };
+        { Digraph.src = 2; dst = 0; capacity = 1 };
+      ]
+  in
+  let sccs = Components.strongly_connected_components g in
+  Alcotest.(check int) "count" 3 (List.length sccs);
+  let ids, count = Components.component_ids g in
+  Alcotest.(check int) "ids count" 3 count;
+  Alcotest.(check int) "0 and 1 together" ids.(0) ids.(1);
+  Alcotest.(check bool) "2 separate" true (ids.(2) <> ids.(0))
+
+let test_weak_components () =
+  let g =
+    Digraph.of_arcs ~vertex_count:4 [ { Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  let comps = Components.weakly_connected_components g in
+  Alcotest.(check int) "three weak comps" 3 (List.length comps);
+  Alcotest.(check bool) "not weakly connected" false
+    (Components.is_weakly_connected g)
+
+let test_empty_graph_connectivity () =
+  let g = Digraph.of_arcs ~vertex_count:0 [] in
+  Alcotest.(check bool) "strongly" true (Components.is_strongly_connected g);
+  Alcotest.(check bool) "weakly" true (Components.is_weakly_connected g)
+
+let prop_undirected_graphs_strongly_connected =
+  QCheck.Test.make ~name:"of_edges trees are strongly connected" ~count:100
+    arbitrary_graph Components.is_strongly_connected
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the vertex set" ~count:100
+    arbitrary_graph (fun g ->
+      let sccs = Components.strongly_connected_components g in
+      let all = List.concat sccs |> List.sort compare in
+      all = Digraph.vertices g)
+
+(* ------------------------------------------------------------------ *)
+(* Mst                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prim_spans () =
+  let g = fixture () in
+  let tree = Mst.prim g ~cost:(fun _ _ -> 1) ~root:0 in
+  Alcotest.(check int) "root parent" (-1) tree.Mst.parent.(0);
+  Alcotest.(check bool) "1 attached" true (tree.Mst.parent.(1) >= 0);
+  Alcotest.(check bool) "2 attached" true (tree.Mst.parent.(2) >= 0)
+
+let test_prim_prefers_cheap () =
+  (* Triangle with one expensive edge: the expensive edge is avoided. *)
+  let g = Digraph.of_edges ~vertex_count:3 [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ] in
+  let cost u v = if (min u v, max u v) = (0, 2) then 100 else 1 in
+  let tree = Mst.prim g ~cost ~root:0 in
+  Alcotest.(check int) "total cost" 2 (Mst.total_cost tree ~cost);
+  Alcotest.(check int) "2 hangs off 1" 1 tree.Mst.parent.(2)
+
+let test_prim_depth () =
+  let g = path_graph 4 in
+  let tree = Mst.prim g ~cost:(fun _ _ -> 1) ~root:0 in
+  Alcotest.(check (array int)) "depths" [| 0; 1; 2; 3 |] (Mst.depth tree)
+
+let prop_prim_is_spanning =
+  QCheck.Test.make ~name:"prim spans connected graphs" ~count:100
+    arbitrary_graph (fun g ->
+      let tree = Mst.prim g ~cost:(fun _ _ -> 1) ~root:0 in
+      Array.for_all (fun x -> x >= 0) (Mst.depth tree))
+
+(* ------------------------------------------------------------------ *)
+(* Steiner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_steiner_direct () =
+  let g = path_graph 4 in
+  let t = Steiner.takahashi_matsuyama g ~sources:[ 0 ] ~terminals:[ 3 ] in
+  Alcotest.(check bool) "covers" true (Steiner.covers_all t);
+  Alcotest.(check int) "cost = path length" 3 (Steiner.cost t)
+
+let test_steiner_shares_path () =
+  (* Two leaves behind a shared stem: tree shares the stem, cost 3. *)
+  let g = Digraph.of_edges ~vertex_count:4 [ (0, 1, 1); (1, 2, 1); (1, 3, 1) ] in
+  let t = Steiner.takahashi_matsuyama g ~sources:[ 0 ] ~terminals:[ 2; 3 ] in
+  Alcotest.(check bool) "covers" true (Steiner.covers_all t);
+  Alcotest.(check int) "shared stem" 3 (Steiner.cost t)
+
+let test_steiner_multi_source () =
+  let g = path_graph 5 in
+  let t = Steiner.takahashi_matsuyama g ~sources:[ 0; 4 ] ~terminals:[ 1; 3 ] in
+  Alcotest.(check bool) "covers" true (Steiner.covers_all t);
+  Alcotest.(check int) "two single hops" 2 (Steiner.cost t)
+
+let test_steiner_terminal_is_source () =
+  let g = path_graph 3 in
+  let t = Steiner.takahashi_matsuyama g ~sources:[ 0 ] ~terminals:[ 0 ] in
+  Alcotest.(check int) "free" 0 (Steiner.cost t);
+  Alcotest.(check bool) "covered" true (Steiner.covers_all t)
+
+let test_steiner_unreachable () =
+  let g =
+    Digraph.of_arcs ~vertex_count:3 [ { Digraph.src = 1; dst = 0; capacity = 1 } ]
+  in
+  let t = Steiner.takahashi_matsuyama g ~sources:[ 0 ] ~terminals:[ 2 ] in
+  Alcotest.(check bool) "not covered" false (Steiner.covers_all t)
+
+let test_steiner_no_sources () =
+  Alcotest.check_raises "no sources" (Invalid_argument "Steiner: no sources")
+    (fun () ->
+      ignore
+        (Steiner.takahashi_matsuyama (path_graph 2) ~sources:[] ~terminals:[ 1 ]))
+
+let prop_steiner_covers_connected =
+  QCheck.Test.make ~name:"steiner covers all terminals when connected"
+    ~count:100 arbitrary_graph (fun g ->
+      let n = Digraph.vertex_count g in
+      let terminals = List.filter (fun v -> v mod 2 = 1) (Digraph.vertices g) in
+      let t = Steiner.takahashi_matsuyama g ~sources:[ 0 ] ~terminals in
+      Steiner.covers_all t && Steiner.cost t <= 3 * n)
+
+(* ------------------------------------------------------------------ *)
+(* Dominating                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dominating_star () =
+  let g =
+    Digraph.of_edges ~vertex_count:5 [ (0, 1, 1); (0, 2, 1); (0, 3, 1); (0, 4, 1) ]
+  in
+  Alcotest.(check (list int)) "minimum is the center" [ 0 ] (Dominating.minimum g);
+  Alcotest.(check bool) "size 1 exists" true (Dominating.exists_of_size g 1);
+  Alcotest.(check bool) "size 0 does not" false (Dominating.exists_of_size g 0)
+
+let test_dominating_path () =
+  (* Path of 6: minimum dominating set has size 2. *)
+  let g = path_graph 6 in
+  Alcotest.(check int) "minimum size" 2 (List.length (Dominating.minimum g));
+  Alcotest.(check bool) "dominates" true
+    (Dominating.dominates g (Dominating.minimum g))
+
+let test_dominating_greedy_valid () =
+  let g = path_graph 7 in
+  Alcotest.(check bool) "greedy dominates" true
+    (Dominating.dominates g (Dominating.greedy g))
+
+let test_dominates_predicate () =
+  let g = path_graph 3 in
+  Alcotest.(check bool) "middle dominates" true (Dominating.dominates g [ 1 ]);
+  Alcotest.(check bool) "end does not" false (Dominating.dominates g [ 0 ])
+
+let prop_dominating_minimum_le_greedy =
+  QCheck.Test.make ~name:"exact minimum <= greedy size" ~count:60
+    arbitrary_graph (fun g ->
+      List.length (Dominating.minimum g) <= List.length (Dominating.greedy g))
+
+let prop_dominating_minimum_dominates =
+  QCheck.Test.make ~name:"exact minimum dominates" ~count:60 arbitrary_graph
+    (fun g -> Dominating.dominates g (Dominating.minimum g))
+
+(* ------------------------------------------------------------------ *)
+(* Spanner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_spanner_keeps_tree_edges () =
+  let g = path_graph 5 in
+  let kept = Spanner.greedy g ~stretch:3 in
+  Alcotest.(check int) "path keeps all" 4 (List.length kept)
+
+let test_spanner_drops_redundant () =
+  (* Triangle with stretch 2: the last edge (distance 2 via the other
+     two) is dropped. *)
+  let g = Digraph.of_edges ~vertex_count:3 [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ] in
+  let kept = Spanner.greedy g ~stretch:2 in
+  Alcotest.(check int) "two edges" 2 (List.length kept)
+
+let test_spanner_stretch_1_keeps_all () =
+  let g = Digraph.of_edges ~vertex_count:3 [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ] in
+  Alcotest.(check int) "all kept" 3 (List.length (Spanner.greedy g ~stretch:1))
+
+let prop_spanner_respects_stretch =
+  QCheck.Test.make ~name:"spanner stretch bound holds" ~count:60
+    arbitrary_graph (fun g ->
+      let stretch = 3 in
+      let kept = Spanner.greedy g ~stretch in
+      let sub = Spanner.subgraph g kept in
+      Spanner.stretch_of g sub <= float_of_int stretch +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint trees                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_disjoint_trees_k2 () =
+  let g =
+    Digraph.of_edges ~vertex_count:4
+      [ (0, 1, 1); (0, 2, 1); (1, 3, 1); (2, 3, 1); (1, 2, 1) ]
+  in
+  let forest = Disjoint_trees.extract g ~root:0 ~k:2 in
+  Alcotest.(check int) "two trees" 2 (List.length forest);
+  Alcotest.(check bool) "arc disjoint" true (Disjoint_trees.arc_disjoint forest)
+
+let test_disjoint_trees_path_limit () =
+  (* A bare path admits only one spanning tree from its end. *)
+  let g = path_graph 4 in
+  let forest = Disjoint_trees.extract g ~root:0 ~k:3 in
+  Alcotest.(check int) "one tree" 1 (List.length forest)
+
+let test_disjoint_trees_k0 () =
+  Alcotest.(check int) "k=0" 0
+    (List.length (Disjoint_trees.extract (path_graph 3) ~root:0 ~k:0))
+
+let prop_disjoint_trees_are_disjoint =
+  QCheck.Test.make ~name:"extracted forests are arc-disjoint" ~count:60
+    arbitrary_graph (fun g ->
+      Disjoint_trees.arc_disjoint (Disjoint_trees.extract g ~root:0 ~k:3))
+
+let () =
+  Alcotest.run "ocd_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "degrees" `Quick test_digraph_degrees;
+          Alcotest.test_case "merges multi-arcs" `Quick test_digraph_merges_multiarcs;
+          Alcotest.test_case "rejects self-loop" `Quick test_digraph_rejects_self_loop;
+          Alcotest.test_case "rejects bad capacity" `Quick
+            test_digraph_rejects_bad_capacity;
+          Alcotest.test_case "rejects out-of-range" `Quick
+            test_digraph_rejects_out_of_range;
+          Alcotest.test_case "of_edges bidirectional" `Quick
+            test_digraph_of_edges_bidirectional;
+          Alcotest.test_case "reverse" `Quick test_digraph_reverse;
+          Alcotest.test_case "neighbors" `Quick test_digraph_neighbors;
+          Alcotest.test_case "arcs listing" `Quick test_digraph_arcs_listing;
+        ] );
+      ( "traversal-paths",
+        [
+          Alcotest.test_case "bfs levels" `Quick test_bfs_levels;
+          Alcotest.test_case "bfs unreachable" `Quick test_bfs_levels_unreachable;
+          Alcotest.test_case "bfs multi-source" `Quick test_bfs_multi;
+          Alcotest.test_case "bfs order root" `Quick test_bfs_order_starts_at_root;
+          Alcotest.test_case "dfs postorder" `Quick
+            test_dfs_postorder_parent_after_child;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "dijkstra unit = bfs" `Quick
+            test_dijkstra_unit_matches_bfs;
+          Alcotest.test_case "dijkstra weighted" `Quick test_dijkstra_weighted;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path_endpoints;
+          Alcotest.test_case "shortest path none" `Quick test_shortest_path_none;
+          Alcotest.test_case "diameter" `Quick test_diameter_path;
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+          Alcotest.test_case "closure incoming" `Quick test_closure_incoming;
+          qtest prop_diameter_bounds;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "scc cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "scc dag" `Quick test_scc_dag;
+          Alcotest.test_case "scc mixed" `Quick test_scc_mixed;
+          Alcotest.test_case "weak components" `Quick test_weak_components;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph_connectivity;
+          qtest prop_undirected_graphs_strongly_connected;
+          qtest prop_scc_partition;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "prim spans" `Quick test_prim_spans;
+          Alcotest.test_case "prim prefers cheap" `Quick test_prim_prefers_cheap;
+          Alcotest.test_case "prim depth" `Quick test_prim_depth;
+          qtest prop_prim_is_spanning;
+        ] );
+      ( "steiner",
+        [
+          Alcotest.test_case "direct path" `Quick test_steiner_direct;
+          Alcotest.test_case "shares stem" `Quick test_steiner_shares_path;
+          Alcotest.test_case "multi-source" `Quick test_steiner_multi_source;
+          Alcotest.test_case "terminal is source" `Quick
+            test_steiner_terminal_is_source;
+          Alcotest.test_case "unreachable terminal" `Quick test_steiner_unreachable;
+          Alcotest.test_case "no sources raises" `Quick test_steiner_no_sources;
+          qtest prop_steiner_covers_connected;
+        ] );
+      ( "dominating",
+        [
+          Alcotest.test_case "star" `Quick test_dominating_star;
+          Alcotest.test_case "path" `Quick test_dominating_path;
+          Alcotest.test_case "greedy valid" `Quick test_dominating_greedy_valid;
+          Alcotest.test_case "dominates predicate" `Quick test_dominates_predicate;
+          qtest prop_dominating_minimum_le_greedy;
+          qtest prop_dominating_minimum_dominates;
+        ] );
+      ( "spanner",
+        [
+          Alcotest.test_case "keeps tree edges" `Quick test_spanner_keeps_tree_edges;
+          Alcotest.test_case "drops redundant" `Quick test_spanner_drops_redundant;
+          Alcotest.test_case "stretch 1 keeps all" `Quick
+            test_spanner_stretch_1_keeps_all;
+          qtest prop_spanner_respects_stretch;
+        ] );
+      ( "disjoint-trees",
+        [
+          Alcotest.test_case "k=2 diamond" `Quick test_disjoint_trees_k2;
+          Alcotest.test_case "path limit" `Quick test_disjoint_trees_path_limit;
+          Alcotest.test_case "k=0" `Quick test_disjoint_trees_k0;
+          qtest prop_disjoint_trees_are_disjoint;
+        ] );
+    ]

@@ -1,0 +1,491 @@
+(* Tests for ocd_prelude: Prng, Bitset, Stats, Pqueue, Order. *)
+
+open Ocd_prelude
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_copy_replays () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  let xs = List.init 10 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check (list int64)) "copy replays" xs ys
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done
+
+let test_prng_int_in_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_prng_int_covers_all_residues () =
+  let g = Prng.create ~seed:9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_bernoulli_extremes () =
+  let g = Prng.create ~seed:4 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bernoulli g 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Prng.bernoulli g 1.0)
+  done
+
+let test_prng_bool_mixes () =
+  let g = Prng.create ~seed:6 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Prng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_shuffle_is_permutation () =
+  let g = Prng.create ~seed:8 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_list_is_permutation () =
+  let g = Prng.create ~seed:8 in
+  let l = Order.range 30 in
+  let s = Prng.shuffle_list g l in
+  Alcotest.(check (list int)) "permutation" l (List.sort compare s)
+
+let test_sample_without_replacement () =
+  let g = Prng.create ~seed:10 in
+  for _ = 1 to 50 do
+    let s = Prng.sample_without_replacement g 5 12 in
+    Alcotest.(check int) "size" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter
+      (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 12))
+      s
+  done
+
+let test_sample_full () =
+  let g = Prng.create ~seed:10 in
+  let s = Prng.sample_without_replacement g 6 6 in
+  Alcotest.(check (list int)) "all elements" (Order.range 6)
+    (List.sort compare s)
+
+let test_pick_singleton () =
+  let g = Prng.create ~seed:2 in
+  Alcotest.(check int) "array" 9 (Prng.pick g [| 9 |]);
+  Alcotest.(check int) "list" 9 (Prng.pick_list g [ 9 ])
+
+let test_prng_invalid_args () =
+  let g = Prng.create ~seed:1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in g 3 2));
+  Alcotest.check_raises "empty pick"
+    (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick g [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_empty () =
+  let s = Bitset.create 100 in
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty s);
+  Alcotest.(check (list int)) "elements" [] (Bitset.elements s)
+
+let test_bitset_add_remove () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check (list int)) "elements" [ 0; 63; 64; 99 ] (Bitset.elements s);
+  Bitset.remove s 63;
+  Alcotest.(check (list int)) "after remove" [ 0; 64; 99 ] (Bitset.elements s);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "mem 63" false (Bitset.mem s 63)
+
+let test_bitset_add_idempotent () =
+  let s = Bitset.create 10 in
+  Bitset.add s 5;
+  Bitset.add s 5;
+  Alcotest.(check int) "cardinal" 1 (Bitset.cardinal s)
+
+let test_bitset_full () =
+  let s = Bitset.full 130 in
+  Alcotest.(check int) "cardinal" 130 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem last" true (Bitset.mem s 129)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 100 [ 1; 2; 3; 64 ] in
+  let b = Bitset.of_list 100 [ 2; 3; 4; 65 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 64; 65 ]
+    (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 2; 3 ]
+    (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 64 ]
+    (Bitset.elements (Bitset.diff a b))
+
+let test_bitset_subset_disjoint () =
+  let a = Bitset.of_list 80 [ 1; 70 ] in
+  let b = Bitset.of_list 80 [ 1; 5; 70 ] in
+  let c = Bitset.of_list 80 [ 2; 6 ] in
+  Alcotest.(check bool) "a ⊆ b" true (Bitset.subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (Bitset.subset b a);
+  Alcotest.(check bool) "disjoint a c" true (Bitset.disjoint a c);
+  Alcotest.(check bool) "not disjoint a b" false (Bitset.disjoint a b)
+
+let test_bitset_next_member () =
+  let s = Bitset.of_list 200 [ 3; 62; 63; 150 ] in
+  Alcotest.(check (option int)) "from 0" (Some 3) (Bitset.next_member s 0);
+  Alcotest.(check (option int)) "from 4" (Some 62) (Bitset.next_member s 4);
+  Alcotest.(check (option int)) "from 63" (Some 63) (Bitset.next_member s 63);
+  Alcotest.(check (option int)) "from 64" (Some 150) (Bitset.next_member s 64);
+  Alcotest.(check (option int)) "from 151" None (Bitset.next_member s 151);
+  Alcotest.(check (option int)) "past capacity" None (Bitset.next_member s 200)
+
+let test_bitset_nth () =
+  let s = Bitset.of_list 100 [ 10; 20; 90 ] in
+  Alcotest.(check int) "nth 0" 10 (Bitset.nth s 0);
+  Alcotest.(check int) "nth 2" 90 (Bitset.nth s 2)
+
+let test_bitset_choose () =
+  Alcotest.(check (option int)) "empty" None (Bitset.choose (Bitset.create 5));
+  Alcotest.(check (option int)) "min" (Some 2)
+    (Bitset.choose (Bitset.of_list 5 [ 4; 2 ]))
+
+let test_bitset_into_ops () =
+  let a = Bitset.of_list 70 [ 1; 65 ] in
+  let b = Bitset.of_list 70 [ 2; 65 ] in
+  Bitset.union_into a b;
+  Alcotest.(check (list int)) "union_into" [ 1; 2; 65 ] (Bitset.elements a);
+  Bitset.diff_into a (Bitset.of_list 70 [ 1 ]);
+  Alcotest.(check (list int)) "diff_into" [ 2; 65 ] (Bitset.elements a);
+  Bitset.inter_into a (Bitset.of_list 70 [ 2; 3 ]);
+  Alcotest.(check (list int)) "inter_into" [ 2 ] (Bitset.elements a)
+
+let test_bitset_copy_independent () =
+  let a = Bitset.of_list 10 [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 2;
+  Alcotest.(check (list int)) "original untouched" [ 1 ] (Bitset.elements a)
+
+let test_bitset_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> Bitset.union_into a b)
+
+let test_bitset_out_of_range () =
+  let a = Bitset.create 10 in
+  Alcotest.check_raises "range" (Invalid_argument "Bitset: element out of range")
+    (fun () -> Bitset.add a 10)
+
+let test_bitset_random_element () =
+  let g = Prng.create ~seed:1 in
+  let s = Bitset.of_list 50 [ 7; 13; 44 ] in
+  for _ = 1 to 50 do
+    match Bitset.random_element g s with
+    | Some x -> Alcotest.(check bool) "member" true (Bitset.mem s x)
+    | None -> Alcotest.fail "unexpected empty"
+  done;
+  Alcotest.(check (option int)) "empty" None
+    (Bitset.random_element g (Bitset.create 3))
+
+(* Property tests against a sorted-list model. *)
+let bitset_model_gen =
+  QCheck.Gen.(
+    let* cap = int_range 1 150 in
+    let* elts = list_size (int_range 0 60) (int_range 0 (cap - 1)) in
+    return (cap, List.sort_uniq compare elts))
+
+let bitset_pair_gen =
+  QCheck.Gen.(
+    let* cap = int_range 1 150 in
+    let* xs = list_size (int_range 0 60) (int_range 0 (cap - 1)) in
+    let* ys = list_size (int_range 0 60) (int_range 0 (cap - 1)) in
+    return (cap, List.sort_uniq compare xs, List.sort_uniq compare ys))
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset elements = model" ~count:300
+    (QCheck.make bitset_model_gen) (fun (cap, elts) ->
+      Bitset.elements (Bitset.of_list cap elts) = elts)
+
+let prop_bitset_union =
+  QCheck.Test.make ~name:"bitset union = model union" ~count:300
+    (QCheck.make bitset_pair_gen) (fun (cap, xs, ys) ->
+      Bitset.elements (Bitset.union (Bitset.of_list cap xs) (Bitset.of_list cap ys))
+      = List.sort_uniq compare (xs @ ys))
+
+let prop_bitset_inter =
+  QCheck.Test.make ~name:"bitset inter = model inter" ~count:300
+    (QCheck.make bitset_pair_gen) (fun (cap, xs, ys) ->
+      Bitset.elements (Bitset.inter (Bitset.of_list cap xs) (Bitset.of_list cap ys))
+      = List.filter (fun x -> List.mem x ys) xs)
+
+let prop_bitset_diff =
+  QCheck.Test.make ~name:"bitset diff = model diff" ~count:300
+    (QCheck.make bitset_pair_gen) (fun (cap, xs, ys) ->
+      Bitset.elements (Bitset.diff (Bitset.of_list cap xs) (Bitset.of_list cap ys))
+      = List.filter (fun x -> not (List.mem x ys)) xs)
+
+let prop_bitset_cardinal =
+  QCheck.Test.make ~name:"bitset cardinal = model length" ~count:300
+    (QCheck.make bitset_model_gen) (fun (cap, elts) ->
+      Bitset.cardinal (Bitset.of_list cap elts) = List.length elts)
+
+let prop_bitset_nth =
+  QCheck.Test.make ~name:"bitset nth = model nth" ~count:300
+    (QCheck.make bitset_model_gen) (fun (cap, elts) ->
+      let s = Bitset.of_list cap elts in
+      List.for_all2 (fun i x -> Bitset.nth s i = x)
+        (List.mapi (fun i _ -> i) elts)
+        elts)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_stats_mean () = feq "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  feq "mean" 5.0 s.Stats.mean;
+  feq "stddev" 2.0 s.Stats.stddev;
+  feq "min" 2.0 s.Stats.min;
+  feq "max" 9.0 s.Stats.max;
+  Alcotest.(check int) "count" 8 s.Stats.count
+
+let test_stats_median_even () =
+  feq "median" 4.5 (Stats.summarize [ 1.0; 4.0; 5.0; 9.0 ]).Stats.median
+
+let test_stats_median_odd () =
+  feq "median" 4.0 (Stats.summarize [ 9.0; 4.0; 1.0 ]).Stats.median
+
+let test_stats_percentile () =
+  feq "p0" 1.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 0.0);
+  feq "p100" 3.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 1.0);
+  feq "p50" 2.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 0.5)
+
+let test_stats_singleton () =
+  let s = Stats.summarize [ 5.0 ] in
+  feq "mean" 5.0 s.Stats.mean;
+  feq "stddev" 0.0 s.Stats.stddev
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize []))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q ~priority:p p) [ 5; 1; 4; 2; 3 ];
+  let popped = List.init 5 (fun _ -> Option.get (Pqueue.pop q) |> snd) in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] popped;
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek q = None);
+  Pqueue.push q ~priority:2 "b";
+  Pqueue.push q ~priority:1 "a";
+  (match Pqueue.peek q with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "peek should be (1, a)");
+  Alcotest.(check int) "length" 2 (Pqueue.length q)
+
+let test_pqueue_duplicates () =
+  let q = Pqueue.create () in
+  List.iter (fun x -> Pqueue.push q ~priority:1 x) [ "x"; "y"; "z" ];
+  Pqueue.push q ~priority:0 "w";
+  (match Pqueue.pop q with
+  | Some (0, "w") -> ()
+  | _ -> Alcotest.fail "min first");
+  Alcotest.(check int) "rest" 3 (Pqueue.length q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list small_int) (fun xs ->
+      let q = Pqueue.create () in
+      List.iter (fun x -> Pqueue.push q ~priority:x x) xs;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (_, x) -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_pqueue_growth () =
+  let q = Pqueue.create () in
+  for i = 100 downto 1 do
+    Pqueue.push q ~priority:i i
+  done;
+  Alcotest.(check int) "length" 100 (Pqueue.length q);
+  (match Pqueue.pop q with
+  | Some (1, 1) -> ()
+  | _ -> Alcotest.fail "min across growth")
+
+(* ------------------------------------------------------------------ *)
+(* Order                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_argmin () =
+  Alcotest.(check (option int)) "argmin" (Some 3)
+    (Order.argmin (fun x -> x * x) [ 5; 3; 4 ]);
+  Alcotest.(check (option int)) "empty" None (Order.argmin Fun.id [])
+
+let test_order_argmin_first_tie () =
+  Alcotest.(check (option string)) "first of ties" (Some "aa")
+    (Order.argmax String.length [ "aa"; "bb"; "c" ])
+
+let test_order_argmax () =
+  Alcotest.(check (option int)) "argmax" (Some 5)
+    (Order.argmax Fun.id [ 1; 5; 3 ])
+
+let test_order_sort_by_stable () =
+  Alcotest.(check (list string)) "stable" [ "b"; "c"; "aa"; "dd" ]
+    (Order.sort_by String.length [ "aa"; "b"; "dd"; "c" ] |> fun l ->
+     (* equal keys keep input order: b before c, aa before dd *)
+     l)
+
+let test_order_take () =
+  Alcotest.(check (list int)) "take 2" [ 1; 2 ] (Order.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take over" [ 1 ] (Order.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "take 0" [] (Order.take 0 [ 1 ])
+
+let test_order_range () =
+  Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Order.range 3);
+  Alcotest.(check (list int)) "range 0" [] (Order.range 0)
+
+let test_order_min_score () =
+  Alcotest.(check (option int)) "min score" (Some 1)
+    (Order.min_score Fun.id [ 3; 1; 2 ]);
+  Alcotest.(check (option int)) "empty" None (Order.min_score Fun.id [])
+
+let () =
+  Alcotest.run "ocd_prelude"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy replays" `Quick test_prng_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in_bounds;
+          Alcotest.test_case "int covers residues" `Quick
+            test_prng_int_covers_all_residues;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "bool mixes" `Quick test_prng_bool_mixes;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle_list permutes" `Quick
+            test_shuffle_list_is_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "sample full" `Quick test_sample_full;
+          Alcotest.test_case "pick singleton" `Quick test_pick_singleton;
+          Alcotest.test_case "invalid args" `Quick test_prng_invalid_args;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "empty" `Quick test_bitset_empty;
+          Alcotest.test_case "add/remove" `Quick test_bitset_add_remove;
+          Alcotest.test_case "add idempotent" `Quick test_bitset_add_idempotent;
+          Alcotest.test_case "full" `Quick test_bitset_full;
+          Alcotest.test_case "set ops" `Quick test_bitset_ops;
+          Alcotest.test_case "subset/disjoint" `Quick test_bitset_subset_disjoint;
+          Alcotest.test_case "next_member" `Quick test_bitset_next_member;
+          Alcotest.test_case "nth" `Quick test_bitset_nth;
+          Alcotest.test_case "choose" `Quick test_bitset_choose;
+          Alcotest.test_case "in-place ops" `Quick test_bitset_into_ops;
+          Alcotest.test_case "copy independent" `Quick test_bitset_copy_independent;
+          Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
+          Alcotest.test_case "out of range" `Quick test_bitset_out_of_range;
+          Alcotest.test_case "random element" `Quick test_bitset_random_element;
+          qtest prop_bitset_roundtrip;
+          qtest prop_bitset_union;
+          qtest prop_bitset_inter;
+          qtest prop_bitset_diff;
+          qtest prop_bitset_cardinal;
+          qtest prop_bitset_nth;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek;
+          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "growth" `Quick test_pqueue_growth;
+          qtest prop_pqueue_sorts;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "argmin" `Quick test_order_argmin;
+          Alcotest.test_case "argmax first tie" `Quick test_order_argmin_first_tie;
+          Alcotest.test_case "argmax" `Quick test_order_argmax;
+          Alcotest.test_case "sort_by stable" `Quick test_order_sort_by_stable;
+          Alcotest.test_case "take" `Quick test_order_take;
+          Alcotest.test_case "range" `Quick test_order_range;
+          Alcotest.test_case "min_score" `Quick test_order_min_score;
+        ] );
+    ]

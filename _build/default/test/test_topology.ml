@@ -1,0 +1,219 @@
+(* Tests for ocd_topology. *)
+
+open Ocd_prelude
+open Ocd_topology
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_weights_paper_default () =
+  let rng = Prng.create ~seed:1 in
+  for _ = 1 to 500 do
+    let w = Weights.draw rng Weights.paper_default in
+    Alcotest.(check bool) "3..15" true (w >= 3 && w <= 15)
+  done
+
+let test_weights_constant () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check int) "constant" 7 (Weights.draw rng (Weights.Constant 7))
+
+let test_weights_invalid () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.check_raises "bad constant"
+    (Invalid_argument "Weights: non-positive constant capacity") (fun () ->
+      ignore (Weights.draw rng (Weights.Constant 0)));
+  Alcotest.check_raises "bad uniform"
+    (Invalid_argument "Weights: bad uniform bounds") (fun () ->
+      ignore (Weights.draw rng (Weights.Uniform (5, 2))))
+
+let test_weights_assign () =
+  let rng = Prng.create ~seed:2 in
+  let weighted = Weights.assign rng (Weights.Constant 4) [ (0, 1); (1, 2) ] in
+  Alcotest.(check (list (triple int int int))) "assigned"
+    [ (0, 1, 4); (1, 2, 4) ] weighted
+
+let test_paper_p_value () =
+  (* 2 ln 100 / 100 ≈ 0.0921 *)
+  Alcotest.(check (float 1e-3)) "p(100)" 0.0921 (Random_graph.paper_p 100);
+  Alcotest.(check (float 1e-9)) "p(1) clamps" 1.0 (Random_graph.paper_p 1)
+
+let test_erdos_renyi_shape () =
+  let rng = Prng.create ~seed:3 in
+  let g = Random_graph.erdos_renyi rng ~n:100 () in
+  Alcotest.(check int) "n" 100 (Ocd_graph.Digraph.vertex_count g);
+  Alcotest.(check bool) "connected" true
+    (Ocd_graph.Components.is_strongly_connected g);
+  (* ~ n^2/2 * p = ~460 undirected edges → ~920 arcs; very loose band *)
+  let arcs = Ocd_graph.Digraph.arc_count g in
+  Alcotest.(check bool) "edge count plausible" true (arcs > 300 && arcs < 2000)
+
+let test_erdos_renyi_deterministic () =
+  let g1 = Random_graph.erdos_renyi (Prng.create ~seed:4) ~n:50 () in
+  let g2 = Random_graph.erdos_renyi (Prng.create ~seed:4) ~n:50 () in
+  Alcotest.(check int) "same arc count" (Ocd_graph.Digraph.arc_count g1)
+    (Ocd_graph.Digraph.arc_count g2);
+  Alcotest.(check bool) "same arcs" true
+    (Ocd_graph.Digraph.arcs g1 = Ocd_graph.Digraph.arcs g2)
+
+let test_erdos_renyi_p_zero_repairs () =
+  let rng = Prng.create ~seed:5 in
+  let g = Random_graph.erdos_renyi rng ~n:10 ~p:0.0 () in
+  (* p = 0 leaves isolated vertices; repair must chain them. *)
+  Alcotest.(check bool) "connected after repair" true
+    (Ocd_graph.Components.is_weakly_connected g)
+
+let test_erdos_renyi_no_connect () =
+  let rng = Prng.create ~seed:5 in
+  let g = Random_graph.erdos_renyi rng ~n:10 ~p:0.0 ~connect:false () in
+  Alcotest.(check int) "no edges" 0 (Ocd_graph.Digraph.arc_count g)
+
+let test_gnm_exact_count () =
+  let rng = Prng.create ~seed:6 in
+  let g = Random_graph.gnm rng ~n:20 ~m:30 ~connect:false () in
+  Alcotest.(check int) "arcs = 2m" 60 (Ocd_graph.Digraph.arc_count g)
+
+let test_gnm_bad_m () =
+  let rng = Prng.create ~seed:6 in
+  Alcotest.check_raises "too many" (Invalid_argument "Random_graph.gnm: bad m")
+    (fun () -> ignore (Random_graph.gnm rng ~n:3 ~m:4 ()))
+
+let test_waxman_connected () =
+  let rng = Prng.create ~seed:7 in
+  let g = Random_graph.waxman rng ~n:60 () in
+  Alcotest.(check bool) "connected" true
+    (Ocd_graph.Components.is_strongly_connected g)
+
+let test_transit_stub_default_size () =
+  Alcotest.(check int) "200 vertices" 200
+    (Transit_stub.vertex_total Transit_stub.default_params)
+
+let test_transit_stub_generate () =
+  let rng = Prng.create ~seed:8 in
+  let g = Transit_stub.generate rng Transit_stub.default_params in
+  Alcotest.(check int) "n" 200 (Ocd_graph.Digraph.vertex_count g);
+  Alcotest.(check bool) "connected" true
+    (Ocd_graph.Components.is_strongly_connected g)
+
+let test_transit_stub_classify () =
+  let p = Transit_stub.default_params in
+  Alcotest.(check bool) "vertex 0 transit" true
+    (Transit_stub.classify p 0 = `Transit);
+  Alcotest.(check bool) "vertex 8 stub" true (Transit_stub.classify p 8 = `Stub)
+
+let test_transit_stub_for_size () =
+  List.iter
+    (fun n ->
+      let p = Transit_stub.params_for_size n in
+      let total = Transit_stub.vertex_total p in
+      (* within one stub-domain round-up of the request *)
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d ~ %d" n total)
+        true
+        (total >= n && total <= n + 32))
+    [ 50; 100; 200; 400; 1000 ]
+
+let test_transit_stub_stub_degree_low () =
+  (* Stub vertices should have much lower degree than transit ones on
+     average — the hierarchy the figures depend on. *)
+  let rng = Prng.create ~seed:9 in
+  let p = Transit_stub.default_params in
+  let g = Transit_stub.generate rng p in
+  let transit_n = p.Transit_stub.transit_domains * p.Transit_stub.transit_nodes in
+  let mean_degree vs =
+    let sum = List.fold_left (fun a v -> a + Ocd_graph.Digraph.out_degree g v) 0 vs in
+    float_of_int sum /. float_of_int (List.length vs)
+  in
+  let transit = List.init transit_n Fun.id in
+  let stubs = List.init (200 - transit_n) (fun i -> transit_n + i) in
+  Alcotest.(check bool) "transit fatter" true
+    (mean_degree transit > 1.2 *. mean_degree stubs)
+
+let test_topology_kinds () =
+  Alcotest.(check int) "three kinds" 3 (List.length Topology.all_kinds);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "roundtrip" true
+        (Topology.kind_of_name (Topology.kind_name k) = Some k))
+    Topology.all_kinds;
+  Alcotest.(check bool) "unknown" true (Topology.kind_of_name "nope" = None)
+
+let test_topology_generate_all_kinds () =
+  List.iter
+    (fun k ->
+      let rng = Prng.create ~seed:10 in
+      let g = Topology.generate rng k ~n:64 () in
+      Alcotest.(check bool)
+        (Topology.kind_name k ^ " connected")
+        true
+        (Ocd_graph.Components.is_strongly_connected g);
+      Alcotest.(check bool)
+        (Topology.kind_name k ^ " sized")
+        true
+        (Ocd_graph.Digraph.vertex_count g >= 64))
+    Topology.all_kinds
+
+let prop_er_capacities_in_range =
+  QCheck.Test.make ~name:"all capacities within the paper's [3,15]" ~count:30
+    QCheck.(int_range 5 60)
+    (fun n ->
+      let rng = Prng.create ~seed:n in
+      let g = Random_graph.erdos_renyi rng ~n () in
+      List.for_all
+        (fun a -> a.Ocd_graph.Digraph.capacity >= 3 && a.Ocd_graph.Digraph.capacity <= 15)
+        (Ocd_graph.Digraph.arcs g))
+
+let prop_er_connected_across_seeds =
+  QCheck.Test.make ~name:"generated graphs always strongly connected"
+    ~count:50
+    QCheck.(pair (int_range 5 80) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      Ocd_graph.Components.is_strongly_connected
+        (Random_graph.erdos_renyi rng ~n ()))
+
+let prop_transit_stub_connected =
+  QCheck.Test.make ~name:"transit-stub graphs always connected" ~count:30
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      Ocd_graph.Components.is_strongly_connected
+        (Transit_stub.generate rng Transit_stub.default_params))
+
+let () =
+  Alcotest.run "ocd_topology"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "paper default range" `Quick test_weights_paper_default;
+          Alcotest.test_case "constant" `Quick test_weights_constant;
+          Alcotest.test_case "invalid" `Quick test_weights_invalid;
+          Alcotest.test_case "assign" `Quick test_weights_assign;
+        ] );
+      ( "random-graph",
+        [
+          Alcotest.test_case "paper p" `Quick test_paper_p_value;
+          Alcotest.test_case "erdos-renyi shape" `Quick test_erdos_renyi_shape;
+          Alcotest.test_case "deterministic" `Quick test_erdos_renyi_deterministic;
+          Alcotest.test_case "p=0 repaired" `Quick test_erdos_renyi_p_zero_repairs;
+          Alcotest.test_case "no connect" `Quick test_erdos_renyi_no_connect;
+          Alcotest.test_case "gnm count" `Quick test_gnm_exact_count;
+          Alcotest.test_case "gnm bad m" `Quick test_gnm_bad_m;
+          Alcotest.test_case "waxman connected" `Quick test_waxman_connected;
+          qtest prop_er_capacities_in_range;
+          qtest prop_er_connected_across_seeds;
+        ] );
+      ( "transit-stub",
+        [
+          Alcotest.test_case "default size 200" `Quick test_transit_stub_default_size;
+          Alcotest.test_case "generate" `Quick test_transit_stub_generate;
+          Alcotest.test_case "classify" `Quick test_transit_stub_classify;
+          Alcotest.test_case "params for size" `Quick test_transit_stub_for_size;
+          Alcotest.test_case "stub degree low" `Quick
+            test_transit_stub_stub_degree_low;
+          qtest prop_transit_stub_connected;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "kinds" `Quick test_topology_kinds;
+          Alcotest.test_case "generate all" `Quick test_topology_generate_all_kinds;
+        ] );
+    ]
