@@ -8,9 +8,12 @@
    backing each figure: one Test.make per experiment family, measuring
    the per-run cost of the workload that experiment stresses.
 
-   Usage: main.exe [--full] [--figures-only | --micro-only]
+   Usage: main.exe [--full] [--figures-only | --micro-only] [--jobs N]
    OCD_BENCH_FULL=1 is equivalent to --full (the paper's exact sweep
-   parameters; the default is a faster sweep with the same shape). *)
+   parameters; the default is a faster sweep with the same shape).
+   --jobs N (or OCD_BENCH_JOBS=N) runs the figure sweeps on N domains;
+   the default is Domain.recommended_domain_count.  Figure output is
+   byte-identical for every jobs value. *)
 
 open Ocd_core
 open Ocd_prelude
@@ -134,6 +137,21 @@ let run_micro () =
 
 (* --------------------------- main -------------------------------- *)
 
+(* [--jobs N] from argv, falling back to OCD_BENCH_JOBS /
+   Domain.recommended_domain_count (see Pool.default_jobs). *)
+let rec jobs_of_args = function
+  | "--jobs" :: value :: _ -> (
+    match int_of_string_opt value with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      prerr_endline "--jobs expects a positive integer";
+      exit 2)
+  | "--jobs" :: [] ->
+    prerr_endline "--jobs expects a positive integer";
+    exit 2
+  | _ :: rest -> jobs_of_args rest
+  | [] -> Pool.default_jobs ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let full =
@@ -141,10 +159,15 @@ let () =
   in
   let figures_only = List.mem "--figures-only" args in
   let micro_only = List.mem "--micro-only" args in
+  let jobs = jobs_of_args args in
+  (* stderr, so the figure stream on stdout stays independent of the
+     host's core count and the jobs setting *)
+  Printf.eprintf "(bench running with %d worker domain%s)\n%!" jobs
+    (if jobs = 1 then "" else "s");
   if full then print_endline "(full paper-parameter sweep)"
   else
     print_endline
       "(quick sweep: same shapes, smaller parameters; pass --full or set \
        OCD_BENCH_FULL=1 for the paper's exact sweep)";
-  if not micro_only then Ocd_bench.Experiments.run_all ~full ();
+  if not micro_only then Ocd_bench.Experiments.run_all ~full ~jobs ();
   if not figures_only then run_micro ()

@@ -63,6 +63,24 @@ let full_arg =
     value & flag
     & info [ "full" ] ~doc:"Use the paper's full sweep parameters.")
 
+let jobs_arg =
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default: OCD_BENCH_JOBS or the \
+           recommended domain count).  Output is byte-identical for any \
+           value.")
+
 (* ---------------------- workload building ------------------------- *)
 
 let build_instance ~seed ~topology ~n ~tokens ~threshold ~files ~multi_sender =
@@ -105,11 +123,13 @@ let run_cmd =
     let inst =
       build_instance ~seed ~topology ~n ~tokens ~threshold ~files ~multi_sender
     in
-    Printf.printf "instance: n=%d m=%d deficit=%d (bw_lb=%d, moves_lb=%d)\n\n"
+    Printf.printf "instance: n=%d m=%d deficit=%d (bw_lb=%d, moves_lb=%s)\n\n"
       (Instance.vertex_count inst)
       inst.Instance.token_count (Instance.total_deficit inst)
       (Bounds.bandwidth_lower_bound inst)
-      (if Instance.satisfiable inst then Bounds.makespan_lower_bound inst else -1);
+      (if Instance.satisfiable inst then
+         string_of_int (Bounds.makespan_lower_bound inst)
+       else "n/a (unsatisfiable)");
     let chosen =
       match strategy with
       | None -> all_strategies ()
@@ -155,14 +175,14 @@ let run_cmd =
 (* ---------------------- ocd figure -------------------------------- *)
 
 let figure_cmd =
-  let run figure full =
+  let run figure full jobs =
     match figure with
     | 1 -> Ocd_bench.Experiments.figure1 ()
-    | 2 -> Ocd_bench.Experiments.figure2 ~full ()
-    | 3 -> Ocd_bench.Experiments.figure3 ~full ()
-    | 4 -> Ocd_bench.Experiments.figure4 ~full ()
-    | 5 -> Ocd_bench.Experiments.figure5 ~full ()
-    | 6 -> Ocd_bench.Experiments.figure6 ~full ()
+    | 2 -> Ocd_bench.Experiments.figure2 ~full ~jobs ()
+    | 3 -> Ocd_bench.Experiments.figure3 ~full ~jobs ()
+    | 4 -> Ocd_bench.Experiments.figure4 ~full ~jobs ()
+    | 5 -> Ocd_bench.Experiments.figure5 ~full ~jobs ()
+    | 6 -> Ocd_bench.Experiments.figure6 ~full ~jobs ()
     | 7 -> Ocd_bench.Experiments.figure7 ()
     | n ->
       Printf.eprintf "no figure %d (the paper has figures 1-7)\n" n;
@@ -176,7 +196,7 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures")
-    Term.(const run $ figure $ full_arg)
+    Term.(const run $ figure $ full_arg $ jobs_arg)
 
 (* ---------------------- ocd exact --------------------------------- *)
 
@@ -309,20 +329,23 @@ let bounds_cmd =
 let experiment_cmd =
   let experiments =
     [
-      ("adversary", Ocd_bench.Experiments.adversary);
-      ("ip-vs-search", Ocd_bench.Experiments.ip_vs_search);
-      ("optimality-gap", Ocd_bench.Experiments.optimality_gap);
-      ("baselines", Ocd_bench.Experiments.baselines);
-      ("ablation", Ocd_bench.Experiments.ablation_subdivision);
-      ("staleness", Ocd_bench.Experiments.ablation_staleness);
-      ("dynamics", Ocd_bench.Experiments.dynamics);
-      ("coding", Ocd_bench.Experiments.coding);
-      ("underlay", Ocd_bench.Experiments.underlay);
+      ("adversary", fun ~jobs:_ () -> Ocd_bench.Experiments.adversary ());
+      ("ip-vs-search", fun ~jobs:_ () -> Ocd_bench.Experiments.ip_vs_search ());
+      ( "optimality-gap",
+        fun ~jobs:_ () -> Ocd_bench.Experiments.optimality_gap () );
+      ("baselines", fun ~jobs () -> Ocd_bench.Experiments.baselines ~jobs ());
+      ( "ablation",
+        fun ~jobs () -> Ocd_bench.Experiments.ablation_subdivision ~jobs () );
+      ( "staleness",
+        fun ~jobs () -> Ocd_bench.Experiments.ablation_staleness ~jobs () );
+      ("dynamics", fun ~jobs:_ () -> Ocd_bench.Experiments.dynamics ());
+      ("coding", fun ~jobs:_ () -> Ocd_bench.Experiments.coding ());
+      ("underlay", fun ~jobs:_ () -> Ocd_bench.Experiments.underlay ());
     ]
   in
-  let run name =
+  let run name jobs =
     match List.assoc_opt name experiments with
-    | Some f -> f ()
+    | Some f -> f ~jobs ()
     | None ->
       Printf.eprintf "unknown experiment %S; available: %s\n" name
         (String.concat ", " (List.map fst experiments));
@@ -339,7 +362,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the extension experiments")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ jobs_arg)
 
 (* ---------------------- ocd export --------------------------------- *)
 

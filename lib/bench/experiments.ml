@@ -55,7 +55,7 @@ let figure1 () =
 (* Figures 2 & 3: graph size sweeps                                    *)
 (* ------------------------------------------------------------------ *)
 
-let size_sweep ~full ~seed ~title ~generate =
+let size_sweep ~full ~jobs ~seed ~title ~generate =
   let sizes =
     if full then [ 20; 50; 100; 200; 350; 500; 700; 1000 ]
     else [ 20; 50; 100; 200; 400 ]
@@ -63,27 +63,32 @@ let size_sweep ~full ~seed ~title ~generate =
   let tokens = if full then 200 else 100 in
   let trials = if full then 3 else 2 in
   let points =
-    List.map
-      (fun n ->
-        Sweep.run_point ~trials ~seed:(seed + n) ~strategies:heuristics
-          ~x_label:(string_of_int n) (fun rng ->
-            let graph = generate rng n in
-            (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance))
-      sizes
+    Sweep.run_sweep ~trials ~jobs ~strategies:heuristics
+      (List.map
+         (fun n ->
+           {
+             Sweep.label = string_of_int n;
+             point_seed = seed + n;
+             build =
+               (fun rng ->
+                 let graph = generate rng n in
+                 (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance);
+           })
+         sizes)
   in
   Sweep.report ~title ~x_column:"n" points
 
-let figure2 ?(full = false) () =
+let figure2 ?(full = false) ?(jobs = 1) () =
   Report.section
     "Figure 2: moves & bandwidth vs graph size (random 2ln n/n graph, single \
      source & file, all receivers)";
-  size_sweep ~full ~seed:seed_fig2 ~title:"figure2 random graph" ~generate:(fun rng n ->
-      Ocd_topology.Random_graph.erdos_renyi rng ~n ())
+  size_sweep ~full ~jobs ~seed:seed_fig2 ~title:"figure2 random graph"
+    ~generate:(fun rng n -> Ocd_topology.Random_graph.erdos_renyi rng ~n ())
 
-let figure3 ?(full = false) () =
+let figure3 ?(full = false) ?(jobs = 1) () =
   Report.section
     "Figure 3: moves & bandwidth vs graph size (transit-stub topology)";
-  size_sweep ~full ~seed:seed_fig3 ~title:"figure3 transit-stub"
+  size_sweep ~full ~jobs ~seed:seed_fig3 ~title:"figure3 transit-stub"
     ~generate:(fun rng n ->
       Ocd_topology.Transit_stub.generate rng
         (Ocd_topology.Transit_stub.params_for_size n))
@@ -92,7 +97,7 @@ let figure3 ?(full = false) () =
 (* Figure 4: receiver density                                          *)
 (* ------------------------------------------------------------------ *)
 
-let figure4 ?(full = false) () =
+let figure4 ?(full = false) ?(jobs = 1) () =
   Report.section
     "Figure 4: moves & bandwidth vs receiver-density threshold (n = 200, \
      random graph, single source)";
@@ -103,17 +108,21 @@ let figure4 ?(full = false) () =
   let tokens = if full then 200 else 100 in
   let trials = if full then 3 else 2 in
   let points =
-    List.map
-      (fun threshold ->
-        Sweep.run_point ~trials
-          ~seed:(seed_fig4 + int_of_float (threshold *. 100.0))
-          ~strategies:heuristics
-          ~x_label:(Printf.sprintf "%.2f" threshold)
-          (fun rng ->
-            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:200 () in
-            (Scenario.receiver_density rng ~graph ~tokens ~threshold ())
-              .Scenario.instance))
-      thresholds
+    Sweep.run_sweep ~trials ~jobs ~strategies:heuristics
+      (List.map
+         (fun threshold ->
+           {
+             Sweep.label = Printf.sprintf "%.2f" threshold;
+             point_seed = seed_fig4 + int_of_float (threshold *. 100.0);
+             build =
+               (fun rng ->
+                 let graph =
+                   Ocd_topology.Random_graph.erdos_renyi rng ~n:200 ()
+                 in
+                 (Scenario.receiver_density rng ~graph ~tokens ~threshold ())
+                   .Scenario.instance);
+           })
+         thresholds)
   in
   Sweep.report ~title:"figure4 receiver density" ~x_column:"threshold" points;
   Report.note
@@ -124,39 +133,46 @@ let figure4 ?(full = false) () =
 (* Figures 5 & 6: file subdivision                                     *)
 (* ------------------------------------------------------------------ *)
 
-let subdivision_sweep ~full ~seed ~title ~multi_sender =
+let subdivision_sweep ~full ~jobs ~seed ~title ~multi_sender =
   let total_tokens = if full then 512 else 256 in
   let file_counts =
     if full then [ 1; 2; 4; 8; 16; 32; 64; 128 ] else [ 1; 4; 16; 64 ]
   in
   let trials = if full then 3 else 2 in
   let points =
-    List.map
-      (fun files ->
-        Sweep.run_point ~trials ~seed:(seed + files) ~strategies:heuristics
-          ~x_label:(string_of_int files) (fun rng ->
-            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:200 () in
-            (Scenario.subdivide_files rng ~graph ~total_tokens ~files
-               ~multi_sender ())
-              .Scenario.instance))
-      file_counts
+    Sweep.run_sweep ~trials ~jobs ~strategies:heuristics
+      (List.map
+         (fun files ->
+           {
+             Sweep.label = string_of_int files;
+             point_seed = seed + files;
+             build =
+               (fun rng ->
+                 let graph =
+                   Ocd_topology.Random_graph.erdos_renyi rng ~n:200 ()
+                 in
+                 (Scenario.subdivide_files rng ~graph ~total_tokens ~files
+                    ~multi_sender ())
+                   .Scenario.instance);
+           })
+         file_counts)
   in
   Sweep.report ~title ~x_column:"files" points
 
-let figure5 ?(full = false) () =
+let figure5 ?(full = false) ?(jobs = 1) () =
   Report.section
     "Figure 5: moves & bandwidth vs number of files (single source, 200 \
      vertices)";
-  subdivision_sweep ~full ~seed:seed_fig5 ~title:"figure5 file subdivision"
-    ~multi_sender:false;
+  subdivision_sweep ~full ~jobs ~seed:seed_fig5
+    ~title:"figure5 file subdivision" ~multi_sender:false;
   Report.note
     "expected shape: flooding heuristics level off after the 1-file point; \
      only the bandwidth heuristic's consumption falls with more files"
 
-let figure6 ?(full = false) () =
+let figure6 ?(full = false) ?(jobs = 1) () =
   Report.section "Figure 6: as figure 5 with random per-file senders";
-  subdivision_sweep ~full ~seed:seed_fig6 ~title:"figure6 multiple senders"
-    ~multi_sender:true
+  subdivision_sweep ~full ~jobs ~seed:seed_fig6
+    ~title:"figure6 multiple senders" ~multi_sender:true
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: the reduction                                             *)
@@ -295,7 +311,7 @@ let ip_vs_search () =
 (* Baselines (extension)                                               *)
 (* ------------------------------------------------------------------ *)
 
-let baselines () =
+let baselines ?(jobs = 1) () =
   Report.section
     "Extension: related-work baselines vs the paper's heuristics";
   let strategies =
@@ -324,10 +340,11 @@ let baselines () =
     ]
   in
   let results =
-    List.map
-      (fun (label, build) ->
-        Sweep.run_point ~trials:2 ~seed:seed_base ~strategies ~x_label:label build)
-      points
+    Sweep.run_sweep ~trials:2 ~jobs ~strategies
+      (List.map
+         (fun (label, build) ->
+           { Sweep.label; point_seed = seed_base; build })
+         points)
   in
   Sweep.report ~title:"baselines comparison" ~x_column:"workload" results;
   Report.note
@@ -339,7 +356,7 @@ let baselines () =
 (* Ablation (extension)                                                *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_subdivision () =
+let ablation_subdivision ?(jobs = 1) () =
   Report.section
     "Ablation: Local heuristic with vs without request subdivision";
   let strategies =
@@ -349,13 +366,19 @@ let ablation_subdivision () =
     ]
   in
   let points =
-    List.map
-      (fun n ->
-        Sweep.run_point ~trials:3 ~seed:(seed_abl + n) ~strategies
-          ~x_label:(string_of_int n) (fun rng ->
-            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
-            (Scenario.single_file rng ~graph ~tokens:60 ()).Scenario.instance))
-      [ 30; 60; 120 ]
+    Sweep.run_sweep ~trials:3 ~jobs ~strategies
+      (List.map
+         (fun n ->
+           {
+             Sweep.label = string_of_int n;
+             point_seed = seed_abl + n;
+             build =
+               (fun rng ->
+                 let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+                 (Scenario.single_file rng ~graph ~tokens:60 ())
+                   .Scenario.instance);
+           })
+         [ 30; 60; 120 ])
   in
   Sweep.report ~title:"ablation request subdivision" ~x_column:"n" points;
   Report.note
@@ -426,7 +449,7 @@ let optimality_gap () =
 (* Staleness ablation (extension, suggested in §5.1)                   *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_staleness () =
+let ablation_staleness ?(jobs = 1) () =
   Report.section
     "Ablation: Random heuristic with k-turns-stale peer knowledge (the \
      relaxation §5.1 suggests exploring)";
@@ -436,13 +459,19 @@ let ablation_staleness () =
       [ 0; 1; 2; 4; 8 ]
   in
   let points =
-    List.map
-      (fun n ->
-        Sweep.run_point ~trials:3 ~seed:(seed_abl + 100 + n) ~strategies
-          ~x_label:(string_of_int n) (fun rng ->
-            let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
-            (Scenario.single_file rng ~graph ~tokens:60 ()).Scenario.instance))
-      [ 40; 80 ]
+    Sweep.run_sweep ~trials:3 ~jobs ~strategies
+      (List.map
+         (fun n ->
+           {
+             Sweep.label = string_of_int n;
+             point_seed = seed_abl + 100 + n;
+             build =
+               (fun rng ->
+                 let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+                 (Scenario.single_file rng ~graph ~tokens:60 ())
+                   .Scenario.instance);
+           })
+         [ 40; 80 ])
   in
   Sweep.report ~title:"ablation knowledge staleness" ~x_column:"n" points;
   Report.note
@@ -645,20 +674,20 @@ let underlay () =
      physical link, and the overlay-only model overestimates throughput \
      accordingly"
 
-let run_all ?(full = false) () =
+let run_all ?(full = false) ?(jobs = 1) () =
   figure1 ();
-  figure2 ~full ();
-  figure3 ~full ();
-  figure4 ~full ();
-  figure5 ~full ();
-  figure6 ~full ();
+  figure2 ~full ~jobs ();
+  figure3 ~full ~jobs ();
+  figure4 ~full ~jobs ();
+  figure5 ~full ~jobs ();
+  figure6 ~full ~jobs ();
   figure7 ();
   adversary ();
   ip_vs_search ();
   optimality_gap ();
-  baselines ();
-  ablation_subdivision ();
-  ablation_staleness ();
+  baselines ~jobs ();
+  ablation_subdivision ~jobs ();
+  ablation_staleness ~jobs ();
   dynamics ();
   coding ();
   underlay ()

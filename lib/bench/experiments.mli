@@ -5,26 +5,31 @@
     CSV mirror).  [full] switches figure 2/3 sweeps from the quick
     default to the paper's full parameters (graphs up to 1000
     vertices, 200-token file, 3 trials); the quick mode keeps the
-    same shape at a fraction of the runtime. *)
+    same shape at a fraction of the runtime.
+
+    [jobs] (default 1) fans the sweep-based experiments over that many
+    OCaml domains via {!Ocd_prelude.Pool}; every experiment derives its
+    randomness from explicit seeds, so output is byte-identical for any
+    [jobs] value. *)
 
 val figure1 : unit -> unit
 (** The time/bandwidth tension instance, solved exactly. *)
 
-val figure2 : ?full:bool -> unit -> unit
+val figure2 : ?full:bool -> ?jobs:int -> unit -> unit
 (** Moves & bandwidth vs graph size; random `2 ln n / n` graphs,
     single source and file, all receivers. *)
 
-val figure3 : ?full:bool -> unit -> unit
+val figure3 : ?full:bool -> ?jobs:int -> unit -> unit
 (** As figure 2 on transit-stub topologies. *)
 
-val figure4 : ?full:bool -> unit -> unit
+val figure4 : ?full:bool -> ?jobs:int -> unit -> unit
 (** Moves & bandwidth vs receiver-density threshold; n = 200. *)
 
-val figure5 : ?full:bool -> unit -> unit
+val figure5 : ?full:bool -> ?jobs:int -> unit -> unit
 (** Moves & bandwidth vs number of files (subdivision of one token
     pool), single source. *)
 
-val figure6 : ?full:bool -> unit -> unit
+val figure6 : ?full:bool -> ?jobs:int -> unit -> unit
 (** As figure 5 with a random sender per file. *)
 
 val figure7 : unit -> unit
@@ -42,14 +47,14 @@ val optimality_gap : unit -> unit
 (** Heuristics vs exact FOCD/EOCD optima on exactly solvable
     instances — §5's stated purpose for computing bounds. *)
 
-val baselines : unit -> unit
+val baselines : ?jobs:int -> unit -> unit
 (** Extension: related-work baseline systems vs the §5.1 heuristics. *)
 
-val ablation_subdivision : unit -> unit
+val ablation_subdivision : ?jobs:int -> unit -> unit
 (** Extension: the Local heuristic with and without request
     subdivision (duplicate-suppression ablation). *)
 
-val ablation_staleness : unit -> unit
+val ablation_staleness : ?jobs:int -> unit -> unit
 (** Extension (suggested in §5.1's Random description): peer-state
     knowledge that is k turns old — bandwidth cost of staleness. *)
 
@@ -67,4 +72,4 @@ val underlay : unit -> unit
     shared physical network; makespan inflation from physical-link
     contention. *)
 
-val run_all : ?full:bool -> unit -> unit
+val run_all : ?full:bool -> ?jobs:int -> unit -> unit

@@ -7,7 +7,13 @@
     derived from the base seed and the point), runs every strategy for
     the configured number of trials, and aggregates makespan ("moves"
     in the figures' terminology), bandwidth, pruned bandwidth and the
-    §5.1 lower bounds. *)
+    §5.1 lower bounds.
+
+    Both {!run_point} and {!run_sweep} accept [?jobs] and fan their
+    embarrassingly parallel work (the strategy × trial grid within a
+    point; the points of a sweep) over an {!Ocd_prelude.Pool} of
+    domains.  Every task derives its PRNG from an explicit seed, so
+    results are byte-identical for any [jobs] value. *)
 
 open Ocd_core
 
@@ -21,12 +27,21 @@ type aggregate = {
 type point_result = {
   x_label : string;
   bandwidth_lb : int;
-  makespan_lb : int;
+  makespan_lb : int option;
+      (** [None] when the instance is unsatisfiable — the §5.1 bound is
+          undefined there, not zero *)
   aggregates : aggregate list;
+}
+
+type point_spec = {
+  label : string;   (** x-axis label for the point *)
+  point_seed : int; (** base seed: instance build and engine trials *)
+  build : Ocd_prelude.Prng.t -> Instance.t;
 }
 
 val run_point :
   ?trials:int ->
+  ?jobs:int ->
   seed:int ->
   strategies:Ocd_engine.Strategy.t list ->
   x_label:string ->
@@ -34,9 +49,26 @@ val run_point :
   point_result
 (** [run_point ~seed ~strategies ~x_label build] derives a fresh PRNG
     from [seed], builds the instance once, and runs each strategy
-    [trials] (default 3) times with distinct engine seeds.  Raises
+    [trials] (default 3) times with distinct engine seeds, spreading
+    the strategy × trial grid over [jobs] domains (default 1).  Raises
     [Failure] if a strategy fails to complete (a stalled heuristic is
     a bug, not a data point). *)
+
+val run_sweep :
+  ?trials:int ->
+  ?jobs:int ->
+  strategies:Ocd_engine.Strategy.t list ->
+  point_spec list ->
+  point_result list
+(** Runs one {!run_point} per spec, parallelised across points
+    (nested point-internal parallelism degrades to sequential, so the
+    total worker count stays bounded by [jobs]).  Results are in spec
+    order. *)
+
+val table :
+  title:string -> x_column:string -> point_result list -> Report.table
+(** Builds (without printing) the standard moves/bandwidth table; pair
+    with {!Report.to_string} for buffered emission. *)
 
 val report :
   title:string -> x_column:string -> point_result list -> unit

@@ -1,0 +1,36 @@
+(** Fixed-size domain pool for deterministic fan-out.
+
+    [map ~jobs f xs] evaluates [f] over [xs] on up to [jobs] OCaml 5
+    domains (the calling domain counts as one of them) and returns the
+    results in input order — completion order never leaks into the
+    output, so a computation whose tasks are individually deterministic
+    produces byte-identical results for any [jobs] value.
+
+    Tasks are distributed through a channel (mutex/condition blocking
+    queue) of input indices; each worker drains the channel and writes
+    its result into an index-tagged slot.  With [jobs = 1] (or a single
+    task, or when called from inside a pool worker) no domain is
+    spawned and the map runs inline — nested [Pool] calls therefore
+    degrade to sequential execution instead of oversubscribing or
+    deadlocking.
+
+    If one or more tasks raise, the workers still drain the remaining
+    queue; afterwards the exception of the lowest-indexed failing task
+    is re-raised in the caller (with its backtrace), again independent
+    of scheduling. *)
+
+val default_jobs : unit -> int
+(** Worker count used by the benchmark harness when none is given on
+    the command line: the [OCD_BENCH_JOBS] environment variable if it
+    parses as a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated on up to [jobs]
+    domains.  @raise Invalid_argument when [jobs < 1]. *)
+
+val mapi : jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** As {!map} with the input index. *)
+
+val run : jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] forces every thunk, results in input order. *)

@@ -18,7 +18,7 @@ let percentile xs p =
   | xs ->
     if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     let rank = p *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
@@ -34,9 +34,13 @@ let summarize xs =
   | xs ->
     let count = List.length xs in
     let mu = mean xs in
+    (* Sample (Bessel-corrected) variance: sweeps summarise small
+       samples of trials, not whole populations. *)
     let var =
-      List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs
-      /. float_of_int count
+      if count <= 1 then 0.0
+      else
+        List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs
+        /. float_of_int (count - 1)
     in
     {
       count;

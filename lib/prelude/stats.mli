@@ -3,7 +3,7 @@
 type summary = {
   count : int;
   mean : float;
-  stddev : float;  (** population standard deviation; 0 for count <= 1 *)
+  stddev : float;  (** sample standard deviation (n-1); 0 for count <= 1 *)
   min : float;
   max : float;
   median : float;

@@ -298,7 +298,8 @@ let test_stats_mean () = feq "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ])
 let test_stats_summary () =
   let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
   feq "mean" 5.0 s.Stats.mean;
-  feq "stddev" 2.0 s.Stats.stddev;
+  (* sample stddev: sum of squared deviations is 32 over n-1 = 7 *)
+  feq "stddev" (sqrt (32.0 /. 7.0)) s.Stats.stddev;
   feq "min" 2.0 s.Stats.min;
   feq "max" 9.0 s.Stats.max;
   Alcotest.(check int) "count" 8 s.Stats.count
