@@ -86,6 +86,38 @@ let micro_tests () =
              (Ocd_exact.Ip_formulation.eocd_at_horizon (Figure1.instance ())
                 ~horizon:3)))
   in
+  (* Tentpole: post-hoc derivation from a long pipelined schedule —
+     the one-pass Timeline vs the legacy snapshot-history replay it
+     replaced (kept alive by Validate.possessions). *)
+  let ring_inst, ring_sched =
+    let n = 120 and tokens = 120 in
+    let arcs =
+      List.concat_map
+        (fun v -> [ (v, (v + 1) mod n, 1); ((v + 1) mod n, v, 1) ])
+        (Order.range n)
+    in
+    let g = Ocd_graph.Digraph.of_edges ~vertex_count:n arcs in
+    let all = Order.range tokens in
+    let inst =
+      Instance.make ~graph:g ~token_count:tokens
+        ~have:[ (0, all) ]
+        ~want:
+          (List.filter_map
+             (fun v -> if v = 0 then None else Some (v, all))
+             (Order.range n))
+    in
+    (inst, (run Ocd_heuristics.Local_rarest.strategy inst 7).Ocd_engine.Engine.schedule)
+  in
+  let timeline_test =
+    Test.make ~name:"timeline/one-pass-ring-120"
+      (Staged.stage (fun () ->
+           ignore (Timeline.completion_times (Timeline.run ring_inst ring_sched))))
+  in
+  let possessions_test =
+    Test.make ~name:"timeline/legacy-snapshots-ring-120"
+      (Staged.stage (fun () ->
+           ignore (Validate.possessions ring_inst ring_sched)))
+  in
   (* Substrate: steiner tree on an evaluation-size graph. *)
   let steiner_test =
     let rng = Prng.create ~seed:5 in
@@ -104,6 +136,8 @@ let micro_tests () =
       reduction_test;
       exact_test;
       ip_test;
+      timeline_test;
+      possessions_test;
       steiner_test;
     ]
 

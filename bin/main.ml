@@ -341,6 +341,8 @@ let experiment_cmd =
       ("dynamics", fun ~jobs:_ () -> Ocd_bench.Experiments.dynamics ());
       ("coding", fun ~jobs:_ () -> Ocd_bench.Experiments.coding ());
       ("underlay", fun ~jobs:_ () -> Ocd_bench.Experiments.underlay ());
+      ( "timeline-perf",
+        fun ~jobs:_ () -> Ocd_bench.Experiments.timeline_perf () );
     ]
   in
   let run name jobs =
@@ -358,7 +360,7 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "Experiment: adversary, ip-vs-search, baselines, ablation, \
-             dynamics or coding.")
+             dynamics, coding, underlay or timeline-perf.")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the extension experiments")

@@ -72,4 +72,11 @@ val underlay : unit -> unit
     shared physical network; makespan inflation from physical-link
     contention. *)
 
+val timeline_perf : unit -> unit
+(** Micro-benchmark of the {!Ocd_core.Timeline} one-pass derivation
+    against the legacy full-snapshot possession replay it replaced,
+    over schedules of growing size.  Timings are machine-dependent, so
+    this experiment is deliberately {e not} part of {!run_all} (whose
+    output must stay byte-stable). *)
+
 val run_all : ?full:bool -> ?jobs:int -> unit -> unit

@@ -3,7 +3,8 @@ open Ocd_prelude
 
 type aggregate = {
   strategy : string;
-  moves : Stats.summary;
+  completed : int;
+  moves : Stats.summary option;
   bandwidth : Stats.summary;
   pruned : Stats.summary;
 }
@@ -37,9 +38,8 @@ let run_point ?(trials = 3) ?(jobs = 1) ~seed ~strategies ~x_label build =
       (Pool.map ~jobs
          (fun (strategy, trial) ->
            let run =
-             Ocd_engine.Engine.completed_exn
-               (Ocd_engine.Engine.run ~strategy ~seed:(seed + (31 * trial))
-                  instance)
+             Ocd_engine.Engine.run ~strategy ~seed:(seed + (31 * trial))
+               instance
            in
            run.Ocd_engine.Engine.metrics)
          grid)
@@ -48,10 +48,21 @@ let run_point ?(trials = 3) ?(jobs = 1) ~seed ~strategies ~x_label build =
     List.mapi
       (fun i strategy ->
         let results = Array.to_list (Array.sub metrics (i * trials) trials) in
+        (* A makespan only exists for trials that completed: a stalled
+           or step-limited run must surface as n/a, not as the finite
+           step count it happened to reach.  Bandwidth (moves actually
+           spent) is meaningful either way. *)
+        let complete = List.filter (fun m -> m.Metrics.complete) results in
         {
           strategy = strategy.Ocd_engine.Strategy.name;
+          completed = List.length complete;
           moves =
-            Stats.summarize_ints (List.map (fun m -> m.Metrics.makespan) results);
+            (match complete with
+            | [] -> None
+            | ms ->
+              Some
+                (Stats.summarize_ints
+                   (List.map (fun m -> m.Metrics.makespan) ms)));
           bandwidth =
             Stats.summarize_ints (List.map (fun m -> m.Metrics.bandwidth) results);
           pruned =
@@ -80,6 +91,10 @@ let makespan_lb_cell = function
   | Some lb -> string_of_int lb
   | None -> "-"
 
+let moves_cell = function
+  | Some (s : Stats.summary) -> Printf.sprintf "%.1f" s.Stats.mean
+  | None -> "n/a"
+
 let table ~title ~x_column points =
   let table =
     Report.create ~title
@@ -102,7 +117,7 @@ let table ~title ~x_column points =
             [
               p.x_label;
               a.strategy;
-              Printf.sprintf "%.1f" a.moves.Stats.mean;
+              moves_cell a.moves;
               Printf.sprintf "%.0f" a.bandwidth.Stats.mean;
               Printf.sprintf "%.0f" a.pruned.Stats.mean;
               string_of_int p.bandwidth_lb;

@@ -19,7 +19,11 @@ open Ocd_core
 
 type aggregate = {
   strategy : string;
-  moves : Ocd_prelude.Stats.summary;      (** makespan over trials *)
+  completed : int;  (** trials that actually satisfied every vertex *)
+  moves : Ocd_prelude.Stats.summary option;
+      (** makespan over the completed trials; [None] when no trial
+          completed — a stalled run has no makespan, and rendering the
+          step count it happened to reach would overstate the strategy *)
   bandwidth : Ocd_prelude.Stats.summary;
   pruned : Ocd_prelude.Stats.summary;
 }
@@ -50,9 +54,11 @@ val run_point :
 (** [run_point ~seed ~strategies ~x_label build] derives a fresh PRNG
     from [seed], builds the instance once, and runs each strategy
     [trials] (default 3) times with distinct engine seeds, spreading
-    the strategy × trial grid over [jobs] domains (default 1).  Raises
-    [Failure] if a strategy fails to complete (a stalled heuristic is
-    a bug, not a data point). *)
+    the strategy × trial grid over [jobs] domains (default 1).
+    Incomplete trials (stall / step limit) are kept — they contribute
+    bandwidth but no makespan, and {!table} renders their moves cell
+    as ["n/a"] (mirroring the ["-"] convention for undefined
+    [makespan_lb]). *)
 
 val run_sweep :
   ?trials:int ->

@@ -65,16 +65,81 @@ type run = {
   completion_times : int array;
 }
 
+(* Incremental decoding state: instead of re-testing [decoded] against
+   a full possession snapshot per step (O(n · groups) each), track per
+   (group, vertex) how many of the group's coded tokens the vertex
+   holds and update in O(groups) per fresh delivery. *)
+type decode_state = {
+  ds_groups : group array;
+  ds_member : bool array array;  (* group index -> vertex -> receiver? *)
+  ds_counts : int array array;   (* group index -> vertex -> |p(v) ∩ tokens| *)
+  ds_pending : int array;        (* vertex -> groups not yet decoded *)
+  ds_completion : int array;     (* vertex -> first decoded boundary; -1 *)
+  mutable ds_undecoded : int;    (* vertices not yet decoded *)
+}
+
+let decode_state t =
+  let inst = t.instance in
+  let n = Instance.vertex_count inst in
+  let ds_groups = Array.of_list t.groups in
+  let ds_member =
+    Array.map
+      (fun g ->
+        let a = Array.make n false in
+        List.iter (fun v -> a.(v) <- true) g.receivers;
+        a)
+      ds_groups
+  in
+  let ds_counts =
+    Array.mapi
+      (fun gi g ->
+        Array.init n (fun v ->
+            if ds_member.(gi).(v) then
+              Bitset.cardinal (Bitset.inter inst.Instance.have.(v) g.tokens)
+            else 0))
+      ds_groups
+  in
+  let ds_pending = Array.make n 0 in
+  Array.iteri
+    (fun gi g ->
+      for v = 0 to n - 1 do
+        if ds_member.(gi).(v) && ds_counts.(gi).(v) < g.required then
+          ds_pending.(v) <- ds_pending.(v) + 1
+      done)
+    ds_groups;
+  let ds_completion = Array.map (fun p -> if p = 0 then 0 else -1) ds_pending in
+  let ds_undecoded =
+    Array.fold_left (fun acc p -> if p > 0 then acc + 1 else acc) 0 ds_pending
+  in
+  { ds_groups; ds_member; ds_counts; ds_pending; ds_completion; ds_undecoded }
+
+(* [dst] just freshly received [token] (it was missing before), visible
+   at boundary [step]. *)
+let decode_deliver st ~step ~dst ~token =
+  Array.iteri
+    (fun gi g ->
+      if st.ds_member.(gi).(dst) && Bitset.mem g.tokens token then begin
+        let c = st.ds_counts.(gi).(dst) + 1 in
+        st.ds_counts.(gi).(dst) <- c;
+        if c = g.required then begin
+          let p = st.ds_pending.(dst) - 1 in
+          st.ds_pending.(dst) <- p;
+          if p = 0 then begin
+            st.ds_completion.(dst) <- step;
+            st.ds_undecoded <- st.ds_undecoded - 1
+          end
+        end
+      end)
+    st.ds_groups
+
 let completion_times t schedule =
-  let p = Validate.possessions t.instance schedule in
-  let n = Instance.vertex_count t.instance in
-  Array.init n (fun v ->
-      let rec earliest i =
-        if i >= Array.length p then -1
-        else if decoded t p.(i) v then i
-        else earliest (i + 1)
-      in
-      earliest 0)
+  let st = decode_state t in
+  Timeline.fold t.instance schedule ~init:() ~f:(fun () v ->
+      List.iter
+        (fun (m : Move.t) ->
+          decode_deliver st ~step:v.Timeline.step ~dst:m.dst ~token:m.token)
+        v.Timeline.arrivals);
+  st.ds_completion
 
 let run ?step_limit ?stall_patience ~strategy ~seed t =
   let inst = t.instance in
@@ -93,9 +158,10 @@ let run ?step_limit ?stall_patience ~strategy ~seed t =
   let rng = Prng.create ~seed in
   let decide = strategy.Ocd_engine.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
+  let st = decode_state t in
   let steps = ref [] in
   let rec loop step since_progress =
-    if all_decoded t have then Ocd_engine.Engine.Completed
+    if st.ds_undecoded = 0 then Ocd_engine.Engine.Completed
     else if step >= step_limit then Ocd_engine.Engine.Step_limit
     else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
     else begin
@@ -121,12 +187,17 @@ let run ?step_limit ?stall_patience ~strategy ~seed t =
           if not (Bitset.mem have.(m.src) m.token) then
             invalid_arg "Coding.run: token not possessed")
         proposal;
+      (* Distinct (dst, token) arrivals only: the membership test
+         before each add dedups same-step duplicate deliveries. *)
       let fresh = ref 0 in
       List.iter
         (fun (m : Move.t) ->
-          if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+          if not (Bitset.mem have.(m.dst) m.token) then begin
+            incr fresh;
+            Bitset.add have.(m.dst) m.token;
+            decode_deliver st ~step:(step + 1) ~dst:m.dst ~token:m.token
+          end)
         proposal;
-      List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) proposal;
       steps := proposal :: !steps;
       loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
     end

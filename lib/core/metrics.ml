@@ -2,35 +2,26 @@ open Ocd_prelude
 
 type t = {
   makespan : int;
+  complete : bool;
   bandwidth : int;
   pruned_bandwidth : int;
   completion_times : int array;
 }
 
-let completion_times (inst : Instance.t) schedule =
-  let n = Instance.vertex_count inst in
-  let p = Validate.possessions inst schedule in
-  let times = Array.make n (-1) in
-  for v = 0 to n - 1 do
-    let rec earliest i =
-      if i >= Array.length p then -1
-      else if Bitset.subset inst.want.(v) p.(i).(v) then i
-      else earliest (i + 1)
-    in
-    times.(v) <- earliest 0
-  done;
-  times
-
 let of_schedule inst schedule =
-  let completion = completion_times inst schedule in
+  let timeline = Timeline.run inst schedule in
+  let completion = Timeline.completion_times timeline in
   let makespan = Array.fold_left max 0 completion in
   let pruned = Prune.prune inst schedule in
   {
     makespan;
+    complete = Timeline.complete timeline;
     bandwidth = Schedule.move_count schedule;
     pruned_bandwidth = Schedule.move_count pruned;
     completion_times = completion;
   }
+
+let makespan_cell t = if t.complete then string_of_int t.makespan else "n/a"
 
 let mean_completion t =
   let defined =
@@ -41,5 +32,5 @@ let mean_completion t =
   | xs -> Stats.mean (List.map float_of_int xs)
 
 let pp ppf t =
-  Format.fprintf ppf "makespan=%d bandwidth=%d pruned=%d mean_completion=%.2f"
-    t.makespan t.bandwidth t.pruned_bandwidth (mean_completion t)
+  Format.fprintf ppf "makespan=%s bandwidth=%d pruned=%d mean_completion=%.2f"
+    (makespan_cell t) t.bandwidth t.pruned_bandwidth (mean_completion t)

@@ -9,7 +9,13 @@
     figure "Bandwidth" = {!bandwidth}. *)
 
 type t = {
-  makespan : int;      (** timesteps until every want was satisfied *)
+  makespan : int;
+      (** timesteps until every want was satisfied; when [complete] is
+          false this is only the last completion among the vertices
+          that did finish — render it through {!makespan_cell} *)
+  complete : bool;
+      (** did every vertex finish?  A stalled or step-limited run
+          leaves this false, and its [makespan] is not a makespan *)
   bandwidth : int;     (** total moves *)
   pruned_bandwidth : int;
       (** bandwidth after §5.1 pruning of the same schedule *)
@@ -19,8 +25,13 @@ type t = {
 }
 
 val of_schedule : Instance.t -> Schedule.t -> t
-(** Computes all metrics; the schedule is assumed valid (run
-    {!Validate.check_successful} first). *)
+(** Computes all metrics in a single {!Timeline} pass; the schedule is
+    assumed valid (run {!Validate.check_successful} first). *)
+
+val makespan_cell : t -> string
+(** [makespan] as a table cell: the number when [complete], ["n/a"]
+    otherwise (the convention unsatisfiable makespan bounds already
+    use). *)
 
 val mean_completion : t -> float
 (** Mean of the defined completion times. *)

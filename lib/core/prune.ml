@@ -1,30 +1,12 @@
 open Ocd_prelude
 
 (* Pass 1: keep only the first delivery of each token to each vertex,
-   and only when the vertex did not already hold the token. *)
+   and only when the vertex did not already hold the token — exactly
+   the per-step [arrivals] of the possession timeline. *)
 let first_deliveries (inst : Instance.t) schedule =
-  let possessed = Array.map Bitset.copy inst.have in
-  let keep_step moves =
-    (* All sends in a step read the pre-step state, but two arcs may
-       deliver the same token to the same vertex within one step; keep
-       only one of them. *)
-    let arriving = Hashtbl.create 16 in
-    let kept =
-      List.filter
-        (fun (m : Move.t) ->
-          if Bitset.mem possessed.(m.dst) m.token then false
-          else if Hashtbl.mem arriving (m.dst, m.token) then false
-          else begin
-            Hashtbl.replace arriving (m.dst, m.token) ();
-            true
-          end)
-        moves
-    in
-    Hashtbl.iter (fun (dst, token) () -> Bitset.add possessed.(dst) token)
-      arriving;
-    kept
-  in
-  List.map keep_step (Schedule.steps schedule)
+  List.rev
+    (Timeline.fold inst schedule ~init:[] ~f:(fun acc v ->
+         if v.Timeline.step = 0 then acc else v.Timeline.arrivals :: acc))
 
 (* Pass 2: backwards sweep.  A delivery (step i, u->v, t) is useful iff
    v wants t, or v forwards t in a retained move at some step > i. *)

@@ -34,28 +34,19 @@ let pp_error ppf = function
          Format.pp_print_int)
       missing
 
+(* Compatibility wrapper: the snapshot-per-step representation is
+   inherently O(steps · n · m) memory, so prefer [Timeline] in new
+   code; this survives for consumers that genuinely need every
+   boundary materialised at once. *)
 let possessions (inst : Instance.t) schedule =
-  let steps = Schedule.steps schedule in
-  let current = Array.map Bitset.copy inst.have in
-  let snapshot () = Array.map Bitset.copy current in
-  let history = ref [ snapshot () ] in
-  let apply moves =
-    (* Deliveries land simultaneously; since we fold into fresh copies
-       after recording the snapshot, in-step sends already read the
-       pre-step state via the snapshot discipline of [check]. *)
-    List.iter
-      (fun (m : Move.t) ->
-        if m.token >= 0 && m.token < inst.token_count then
-          Bitset.add current.(m.dst) m.token)
-      moves;
-    history := snapshot () :: !history
+  let snapshots =
+    Timeline.fold inst schedule ~init:[] ~f:(fun acc v ->
+        Array.map Bitset.copy v.Timeline.have :: acc)
   in
-  List.iter apply steps;
-  Array.of_list (List.rev !history)
+  Array.of_list (List.rev snapshots)
 
 let final_possessions inst schedule =
-  let p = possessions inst schedule in
-  p.(Array.length p - 1)
+  Array.map Bitset.copy (Timeline.final (Timeline.run inst schedule))
 
 let check_validity (inst : Instance.t) schedule =
   let g = inst.graph in

@@ -8,12 +8,8 @@ type run = {
   schedule : Schedule.t;
   metrics : Metrics.t;
   dropped_moves : int;
+  fresh_deliveries : int;
 }
-
-let satisfied (inst : Instance.t) have =
-  let n = Instance.vertex_count inst in
-  let rec go v = v >= n || (Bitset.subset inst.want.(v) have.(v) && go (v + 1)) in
-  go 0
 
 (* Filter a proposal down to what the effective capacities deliver:
    per (arc) keep at most the effective capacity, drop duplicates and
@@ -68,10 +64,11 @@ let run ?step_limit ?stall_patience ~condition ~strategy ~seed
   let rng = Prng.create ~seed in
   let decide = strategy.Ocd_engine.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
+  let tracker = Timeline.Tracker.create inst in
   let steps = ref [] in
   let dropped_total = ref 0 in
   let rec loop step since_progress =
-    if satisfied inst have then Ocd_engine.Engine.Completed
+    if Timeline.Tracker.all_satisfied tracker then Ocd_engine.Engine.Completed
     else if step >= step_limit then Ocd_engine.Engine.Step_limit
     else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
     else begin
@@ -91,12 +88,18 @@ let run ?step_limit ?stall_patience ~condition ~strategy ~seed
       in
       let kept, dropped = enforce condition ~step inst have proposal in
       dropped_total := !dropped_total + dropped;
+      (* Distinct (dst, token) arrivals only: the membership test
+         before each add dedups same-step duplicate deliveries. *)
       let fresh = ref 0 in
       List.iter
         (fun (m : Move.t) ->
-          if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+          if not (Bitset.mem have.(m.dst) m.token) then begin
+            incr fresh;
+            Bitset.add have.(m.dst) m.token;
+            Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
+              ~token:m.token
+          end)
         kept;
-      List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) kept;
       steps := kept :: !steps;
       loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
     end
@@ -118,4 +121,5 @@ let run ?step_limit ?stall_patience ~condition ~strategy ~seed
     schedule;
     metrics = Metrics.of_schedule inst schedule;
     dropped_moves = !dropped_total;
+    fresh_deliveries = Timeline.Tracker.fresh_deliveries tracker;
   }

@@ -28,6 +28,8 @@ type run = {
   metrics : Metrics.t;
   dropped_moves : int;
       (** proposals discarded by the condition (congestion losses) *)
+  fresh_deliveries : int;
+      (** distinct [(dst, token)] pairs delivered over the run *)
 }
 
 val run :

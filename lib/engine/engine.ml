@@ -12,17 +12,18 @@ type run = {
   outcome : outcome;
   schedule : Schedule.t;
   metrics : Metrics.t;
+  fresh_deliveries : int;
 }
 
 let strategy_fail fmt = Format.kasprintf (fun s -> raise (Strategy_error s)) fmt
 
-(* Check one step's proposal against §3.1 and return the set of moves
-   that deliver a token its destination lacks (for stall accounting). *)
-let apply_step (inst : Instance.t) have step moves =
+(* Check one step's proposal against §3.1 and return the number of
+   distinct (dst, token) pairs it delivers fresh (for stall
+   accounting). *)
+let apply_step (inst : Instance.t) tracker have step moves =
   let g = inst.graph in
   let seen = Hashtbl.create 32 in
   let load = Hashtbl.create 32 in
-  let fresh = ref 0 in
   List.iter
     (fun (m : Move.t) ->
       if m.token < 0 || m.token >= inst.token_count then
@@ -43,18 +44,21 @@ let apply_step (inst : Instance.t) have step moves =
         strategy_fail "step %d: %d sends token %d it does not hold" step m.src
           m.token)
     moves;
-  (* All constraints hold; deliveries land simultaneously. *)
+  (* All constraints hold; deliveries land simultaneously.  The
+     membership test before each add counts each (dst, token) pair once
+     even when several sources deliver it in the same step, and keeps
+     the satisfaction tracker O(1) per fresh arrival. *)
+  let fresh = ref 0 in
   List.iter
     (fun (m : Move.t) ->
-      if not (Bitset.mem have.(m.dst) m.token) then incr fresh)
+      if not (Bitset.mem have.(m.dst) m.token) then begin
+        incr fresh;
+        Bitset.add have.(m.dst) m.token;
+        Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
+          ~token:m.token
+      end)
     moves;
-  List.iter (fun (m : Move.t) -> Bitset.add have.(m.dst) m.token) moves;
   !fresh
-
-let satisfied (inst : Instance.t) have =
-  let n = Instance.vertex_count inst in
-  let rec go v = v >= n || (Bitset.subset inst.want.(v) have.(v) && go (v + 1)) in
-  go 0
 
 let default_step_limit (inst : Instance.t) =
   (* Theorem 1: any satisfiable instance has a schedule of at most
@@ -76,14 +80,15 @@ let run ?step_limit ?stall_patience ~strategy ~seed inst =
   let rng = Prng.create ~seed in
   let decide = strategy.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
+  let tracker = Timeline.Tracker.create inst in
   let steps = ref [] in
   let rec loop step since_progress =
-    if satisfied inst have then Completed
+    if Timeline.Tracker.all_satisfied tracker then Completed
     else if step >= step_limit then Step_limit
     else if since_progress >= stall_patience then Stalled step
     else begin
       let moves = decide { Strategy.instance = inst; have; step; rng } in
-      let fresh = apply_step inst have step moves in
+      let fresh = apply_step inst tracker have step moves in
       steps := moves :: !steps;
       loop (step + 1) (if fresh > 0 then 0 else since_progress + 1)
     end
@@ -106,6 +111,7 @@ let run ?step_limit ?stall_patience ~strategy ~seed inst =
     outcome;
     schedule;
     metrics = Metrics.of_schedule inst schedule;
+    fresh_deliveries = Timeline.Tracker.fresh_deliveries tracker;
   }
 
 let completed_exn run =

@@ -29,7 +29,13 @@ type run = {
   outcome : outcome;
   schedule : Schedule.t;
       (** trailing all-want-satisfied steps are not recorded *)
-  metrics : Metrics.t;  (** meaningful when [outcome = Completed] *)
+  metrics : Metrics.t;
+      (** [metrics.complete] is false (and the makespan not meaningful)
+          unless [outcome = Completed] *)
+  fresh_deliveries : int;
+      (** distinct [(dst, token)] pairs delivered over the run — two
+          sources sending one token to one destination in the same
+          step count once *)
 }
 
 val run :

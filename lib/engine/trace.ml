@@ -1,5 +1,4 @@
 open Ocd_core
-open Ocd_prelude
 
 type snapshot = {
   step : int;
@@ -9,28 +8,18 @@ type snapshot = {
 }
 
 let timeline (inst : Instance.t) schedule =
-  let possessions = Validate.possessions inst schedule in
-  let steps = Array.of_list (Schedule.steps schedule) in
-  let n = Instance.vertex_count inst in
-  let snapshot_at i have =
-    let deficit = ref 0 and satisfied = ref 0 in
-    for v = 0 to n - 1 do
-      let missing = Bitset.cardinal (Bitset.diff inst.want.(v) have.(v)) in
-      deficit := !deficit + missing;
-      if missing = 0 then incr satisfied
-    done;
-    let moves = ref 0 in
-    for j = 0 to i - 1 do
-      moves := !moves + List.length steps.(j)
-    done;
-    {
-      step = i;
-      remaining_deficit = !deficit;
-      satisfied_vertices = !satisfied;
-      moves_so_far = !moves;
-    }
-  in
-  List.init (Array.length possessions) (fun i -> snapshot_at i possessions.(i))
+  (* One incremental pass: per-boundary deficit/satisfied counts and a
+     running move total, instead of the legacy full-bitset snapshots
+     with an O(i) move recount per boundary (O(steps²) overall). *)
+  List.rev
+    (Timeline.fold inst schedule ~init:[] ~f:(fun acc v ->
+         {
+           step = v.Timeline.step;
+           remaining_deficit = v.Timeline.deficit;
+           satisfied_vertices = v.Timeline.satisfied;
+           moves_so_far = v.Timeline.moves;
+         }
+         :: acc))
 
 let completion_cdf inst schedule =
   let n = max 1 (Instance.vertex_count inst) in

@@ -68,6 +68,8 @@ type run = {
   schedule : Schedule.t;
   metrics : Metrics.t;
   dropped_moves : int;  (** moves lost to physical-link contention *)
+  fresh_deliveries : int;
+      (** distinct [(dst, token)] pairs delivered over the run *)
 }
 
 val run :
