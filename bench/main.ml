@@ -118,6 +118,29 @@ let micro_tests () =
       (Staged.stage (fun () ->
            ignore (Validate.possessions ring_inst ring_sched)))
   in
+  (* Async runtime: one full protocol run on a mid-size instance, per
+     protocol (default profile), plus the lockstep twin of local-rarest
+     — its cost over the sync engine is the event-queue overhead. *)
+  let inst_async = build_instance ~seed:42 ~n:40 ~tokens:24 in
+  let async_tests =
+    List.map
+      (fun name ->
+        let protocol () = Option.get (Ocd_async.Registry.find name) in
+        Test.make ~name:("async/run-" ^ name)
+          (Staged.stage (fun () ->
+               ignore
+                 (Ocd_async.Runtime.run ~protocol:(protocol ()) ~seed:7
+                    inst_async))))
+      Ocd_async.Registry.names
+  in
+  let async_lockstep_test =
+    Test.make ~name:"async/run-async-local-lockstep"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_async.Runtime.run ~profile:Ocd_async.Net.lockstep
+                ~protocol:(Ocd_async.Local_rarest.protocol ())
+                ~seed:7 inst_async)))
+  in
   (* Substrate: steiner tree on an evaluation-size graph. *)
   let steiner_test =
     let rng = Prng.create ~seed:5 in
@@ -140,6 +163,8 @@ let micro_tests () =
       possessions_test;
       steiner_test;
     ]
+  @ async_tests
+  @ [ async_lockstep_test ]
 
 let run_micro () =
   let open Bechamel in

@@ -8,7 +8,8 @@
      ocd bounds     — print the §5.1 lower bounds for a workload
      ocd experiment — run an extension experiment
      ocd export     — dump a workload/schedule in the text codec
-     ocd trace      — render a run's progress timeline *)
+     ocd trace      — render a run's progress timeline
+     ocd async      — run the asynchronous message-passing protocols *)
 
 open Cmdliner
 open Ocd_core
@@ -339,6 +340,8 @@ let experiment_cmd =
       ( "staleness",
         fun ~jobs () -> Ocd_bench.Experiments.ablation_staleness ~jobs () );
       ("dynamics", fun ~jobs:_ () -> Ocd_bench.Experiments.dynamics ());
+      ( "async-overhead",
+        fun ~jobs () -> Ocd_bench.Experiments.async_overhead ~jobs () );
       ("coding", fun ~jobs:_ () -> Ocd_bench.Experiments.coding ());
       ("underlay", fun ~jobs:_ () -> Ocd_bench.Experiments.underlay ());
       ( "timeline-perf",
@@ -360,7 +363,7 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "Experiment: adversary, ip-vs-search, baselines, ablation, \
-             dynamics, coding, underlay or timeline-perf.")
+             dynamics, async-overhead, coding, underlay or timeline-perf.")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the extension experiments")
@@ -401,6 +404,144 @@ let export_cmd =
     Term.(
       const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
       $ strategy_arg)
+
+(* ---------------------- ocd async ---------------------------------- *)
+
+let async_cmd =
+  let run seed topology n tokens threshold protocol_name profile_name loss
+      pace condition_name jobs =
+    let inst =
+      build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+        ~multi_sender:false
+    in
+    let base_profile =
+      match profile_name with
+      | "default" -> Ocd_async.Net.default
+      | "lockstep" -> Ocd_async.Net.lockstep
+      | other ->
+        Printf.eprintf "unknown profile %S (default, lockstep)\n" other;
+        exit 2
+    in
+    let profile =
+      {
+        base_profile with
+        Ocd_async.Net.loss =
+          (match loss with Some l -> l | None -> base_profile.Ocd_async.Net.loss);
+        pace =
+          (match pace with Some p -> p | None -> base_profile.Ocd_async.Net.pace);
+      }
+    in
+    let condition =
+      match condition_name with
+      | "static" -> Ocd_dynamics.Condition.static
+      | "cross-traffic" ->
+        Ocd_dynamics.Condition.cross_traffic ~seed:(seed + 7) ~prob:0.4
+          ~severity:0.5
+      | "link-flaps" ->
+        Ocd_dynamics.Condition.link_flaps ~seed:(seed + 7) ~down_prob:0.1
+          ~up_prob:0.5
+      | "churn" ->
+        Ocd_dynamics.Condition.churn ~seed:(seed + 7) ~protected:[ 0 ]
+          ~leave_prob:0.05 ~return_prob:0.5
+      | other ->
+        Printf.eprintf
+          "unknown condition %S (static, cross-traffic, link-flaps, churn)\n"
+          other;
+        exit 2
+    in
+    let chosen =
+      match protocol_name with
+      | None -> Ocd_async.Registry.names
+      | Some name ->
+        if List.mem name Ocd_async.Registry.names then [ name ]
+        else begin
+          Printf.eprintf "unknown protocol %S; available: %s\n" name
+            (String.concat ", " Ocd_async.Registry.names);
+          exit 2
+        end
+    in
+    Printf.printf "instance: n=%d m=%d deficit=%d; profile=%s pace=%d loss=%.2f condition=%s\n\n"
+      (Instance.vertex_count inst)
+      inst.Instance.token_count (Instance.total_deficit inst) profile_name
+      profile.Ocd_async.Net.pace profile.Ocd_async.Net.loss condition_name;
+    let runs =
+      Pool.map ~jobs
+        (fun name ->
+          let protocol =
+            match Ocd_async.Registry.find name with
+            | Some p -> p
+            | None -> assert false
+          in
+          Ocd_async.Runtime.run ~profile ~condition ~protocol ~seed inst)
+        chosen
+    in
+    Printf.printf "%-12s %8s %8s %10s %9s %8s %8s %8s %8s\n" "protocol"
+      "rounds" "ticks" "makespan" "data" "control" "retrans" "dropped"
+      "goodput";
+    List.iter
+      (fun (r : Ocd_async.Runtime.run) ->
+        Printf.printf "%-12s %8s %8s %10s %9d %8d %8d %8d %8.3f\n"
+          r.Ocd_async.Runtime.protocol_name
+          (match r.Ocd_async.Runtime.outcome with
+          | Ocd_async.Runtime.Completed ->
+            string_of_int r.Ocd_async.Runtime.rounds
+          | Ocd_async.Runtime.Timed_out -> "timeout")
+          (match r.Ocd_async.Runtime.completion_ticks with
+          | Some t -> string_of_int t
+          | None -> "-")
+          (Metrics.makespan_cell r.Ocd_async.Runtime.metrics)
+          r.Ocd_async.Runtime.data_messages
+          r.Ocd_async.Runtime.control_messages
+          r.Ocd_async.Runtime.retransmissions
+          r.Ocd_async.Runtime.dropped_messages r.Ocd_async.Runtime.goodput)
+      runs
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:
+            "Protocol to run (default: all).  Available: async-local, \
+             async-push, flood-plan.")
+  in
+  let profile_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Network profile: default (latency, jitter, pacing) or lockstep \
+             (the synchronous-equivalent degenerate profile).")
+  in
+  let loss_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P" ~doc:"Override per-message loss probability.")
+  in
+  let pace_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pace" ] ~docv:"TICKS" ~doc:"Override ticks per round.")
+  in
+  let condition_arg =
+    Arg.(
+      value & opt string "static"
+      & info [ "condition" ] ~docv:"KIND"
+          ~doc:
+            "Fault injector: static, cross-traffic, link-flaps or churn \
+             (seeded from --seed).")
+  in
+  Cmd.v
+    (Cmd.info "async"
+       ~doc:
+         "Run the asynchronous message-passing protocols (discrete-event \
+          simulation with latency, loss and retry)")
+    Term.(
+      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
+      $ protocol_arg $ profile_arg $ loss_arg $ pace_arg $ condition_arg
+      $ jobs_arg)
 
 (* ---------------------- ocd trace ---------------------------------- *)
 
@@ -461,4 +602,5 @@ let () =
             experiment_cmd;
             export_cmd;
             trace_cmd;
+            async_cmd;
           ]))

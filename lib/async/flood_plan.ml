@@ -1,0 +1,118 @@
+open Ocd_prelude
+open Ocd_core
+module Digraph = Ocd_graph.Digraph
+module Engine = Ocd_engine.Engine
+module Knowledge = Ocd_engine.Knowledge
+
+let max_attempts = 8
+
+(* One outstanding planned transfer of [token] to [dst]. *)
+type job = {
+  dst : int;
+  token : int;
+  mutable attempts : int;
+  mutable deadline : int;  (** retry when [now >= deadline] and unacked *)
+}
+
+let protocol () =
+  (* Shared across this run's nodes: every full-knowledge node would
+     compute the identical (start round, plan) pair, so the first one
+     to get there fills the cache for the rest. *)
+  let plan_cell : (int * Move.t list array) option ref = ref None in
+  let init (ctx : Protocol.ctx) =
+    let inst = ctx.instance in
+    let graph = inst.Instance.graph in
+    let v = ctx.vertex in
+    let n = Instance.vertex_count inst in
+    let neighbors = Array.of_list (Digraph.neighbors graph v) in
+    let known = Bitset.singleton n v in
+    let neighbor_done : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let jobs : (int * int, job) Hashtbl.t = Hashtbl.create 16 in
+    let job_order : job list ref = ref [] in
+    let cursor = ref 0 in
+    let ensure_plan () =
+      match !plan_cell with
+      | Some _ -> ()
+      | None ->
+          let start = Knowledge.steps_to_complete inst in
+          let planner_seed = (ctx.seed * 1_000_003) + 257 in
+          let run =
+            Engine.run ~strategy:Ocd_heuristics.Global_greedy.strategy
+              ~seed:planner_seed inst
+          in
+          plan_cell := Some (start, Array.of_list (Schedule.steps run.Engine.schedule))
+    in
+    let flood () =
+      if Bitset.cardinal known < n || Hashtbl.length neighbor_done < Array.length neighbors
+      then
+        Array.iter
+          (fun u ->
+            if not (Hashtbl.mem neighbor_done u) then
+              ctx.send ~dst:u (Message.State (Bitset.copy known)))
+          neighbors
+    in
+    let enqueue_due_steps () =
+      match !plan_cell with
+      | None -> ()
+      | Some (start, steps) ->
+          let round = ctx.now () / ctx.pace in
+          while !cursor < Array.length steps && start + !cursor <= round do
+            List.iter
+              (fun (m : Move.t) ->
+                if m.src = v && not (Hashtbl.mem jobs (m.dst, m.token)) then begin
+                  let job =
+                    { dst = m.dst; token = m.token; attempts = 0; deadline = 0 }
+                  in
+                  Hashtbl.add jobs (m.dst, m.token) job;
+                  job_order := job :: !job_order
+                end)
+              steps.(!cursor);
+            incr cursor
+          done
+    in
+    let pump () =
+      let now = ctx.now () in
+      let live = ref [] in
+      List.iter
+        (fun job ->
+          if Hashtbl.mem jobs (job.dst, job.token) then
+            if job.attempts >= max_attempts then
+              Hashtbl.remove jobs (job.dst, job.token)
+            else begin
+              if now >= job.deadline && ctx.has job.token then begin
+                if job.attempts > 0 then ctx.note_retransmission ();
+                job.attempts <- job.attempts + 1;
+                job.deadline <- now + (2 * ctx.pace);
+                ctx.send ~dst:job.dst (Message.Data job.token)
+              end;
+              live := job :: !live
+            end)
+        (List.rev !job_order);
+      job_order := List.rev !live
+    in
+    let rec round () =
+      if not (ctx.finished ()) then begin
+        flood ();
+        ctx.after 1 (fun () ->
+            if not (ctx.finished ()) then begin
+              enqueue_due_steps ();
+              pump ()
+            end);
+        ctx.after ctx.pace round
+      end
+    in
+    let on_message ~src msg =
+      match msg with
+      | Message.State s ->
+          Bitset.union_into known s;
+          if Bitset.cardinal s = n then Hashtbl.replace neighbor_done src ();
+          if Bitset.cardinal known = n then ensure_plan ()
+      | Message.Data token ->
+          ignore (ctx.receive ~src token);
+          ctx.send ~dst:src (Message.Ack token)
+      | Message.Ack token -> Hashtbl.remove jobs (src, token)
+      | Message.Announce _ | Message.Request _ -> ()
+    in
+    { Protocol.on_start = round; on_message }
+  in
+  { Protocol.name = "flood-plan"; init }

@@ -1,0 +1,30 @@
+(** Flood-then-plan protocol: the asynchronous form of
+    {!Ocd_engine.Flood_optimal} (§4.2's diameter-additive scheme).
+
+    Phase 1 — knowledge flood.  Nodes gossip provenance sets ([State]
+    messages naming the vertices whose initial state they know) to all
+    neighbours each round, exactly the {!Ocd_engine.Knowledge} process
+    in message-passing form.  The flood quiesces per link once both
+    endpoints have announced complete knowledge.
+
+    Phase 2 — planned execution.  A node whose provenance set becomes
+    full can reconstruct the entire instance, so every node computes
+    the {e same} plan: a synchronous offline schedule (the
+    global-greedy planner seeded from the shared run seed).  Each node
+    executes its own sends of plan step [i] at round [K + i], where
+    [K = Knowledge.steps_to_complete] is the flood's nominal finish —
+    the async analogue of Flood_optimal's delayed replay.  Nodes whose
+    knowledge completed late (loss) enqueue overdue steps immediately
+    and rely on the transport's pacing.
+
+    Reliability: every planned [Data] is acknowledged; an unacked send
+    retries after [2 * pace] ticks, at most {!max_attempts} attempts,
+    each retry counting a retransmission.  A planned move whose token
+    has not yet arrived at the sender is deferred to the next round. *)
+
+val max_attempts : int
+(** Per planned move, including the first send (8). *)
+
+val protocol : unit -> Protocol.t
+(** Name ["flood-plan"].  The returned value caches the shared plan
+    across this run's nodes — use a fresh value per run. *)

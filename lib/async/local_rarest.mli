@@ -1,0 +1,31 @@
+(** Asynchronous local-rarest pull protocol (§5.1 "local" heuristic,
+    message-passing form).
+
+    Each round a node (a) announces its possession set to its
+    out-neighbours, and (b) one tick later ranks the tokens it still
+    lacks by {e neighbour-local} rarity — how many in-neighbours it
+    believes hold each token, per their latest announcements — and
+    requests each token from one believed holder chosen at random,
+    respecting per-arc capacity budgets.  Holders answer requests with
+    [Data]; non-holders stay silent and the request times out.
+
+    Retry: an unanswered request backs off exponentially
+    ([pace * 2^min(attempts, 6)] ticks) and re-issues, counting a
+    retransmission.  Duplicate data is suppressed by the runtime.
+
+    The decision core is shared with {!sync_strategy}, the synchronous
+    twin used by the differential test: under {!Net.lockstep} (zero
+    latency, zero loss, no pacing) announcements deliver perfect
+    round-start knowledge and every request is answered within its
+    round, so the async run replays the synchronous engine's schedule
+    move for move. *)
+
+val protocol : unit -> Protocol.t
+(** Name ["async-local"]. *)
+
+val sync_strategy : seed:int -> Ocd_engine.Strategy.t
+(** Synchronous strategy (name ["async-local-lockstep"]) driving the
+    shared decision core from the same per-vertex streams
+    ({!Protocol.node_rng}) the async nodes use, so a lockstep async run
+    and an engine run agree exactly.  [seed] must equal the
+    {!Runtime.run} seed; the engine-supplied rng is ignored. *)

@@ -1,0 +1,24 @@
+open Ocd_prelude
+
+type t =
+  | Announce of Bitset.t
+  | Request of int
+  | Data of int
+  | Ack of int
+  | State of Bitset.t
+
+let is_data = function Data _ -> true | _ -> false
+
+let kind = function
+  | Announce _ -> "announce"
+  | Request _ -> "request"
+  | Data _ -> "data"
+  | Ack _ -> "ack"
+  | State _ -> "state"
+
+let pp ppf = function
+  | Announce s -> Format.fprintf ppf "announce %a" Bitset.pp s
+  | Request t -> Format.fprintf ppf "request %d" t
+  | Data t -> Format.fprintf ppf "data %d" t
+  | Ack t -> Format.fprintf ppf "ack %d" t
+  | State s -> Format.fprintf ppf "state %a" Bitset.pp s

@@ -1,0 +1,35 @@
+(** Protocol messages of the asynchronous runtime.
+
+    Four application messages (the classic swarm vocabulary) plus the
+    knowledge-flood payload used by the flood-then-plan protocol:
+
+    - [Announce s]: "my possession set is [s]" — periodic gossip that
+      lets neighbours target requests and pushes;
+    - [Request t]: "send me token [t]";
+    - [Data t]: one token in flight (the only capacity-paced message);
+    - [Ack t]: "I received token [t]" — stops retransmission and
+      updates the sender's belief about the receiver;
+    - [State vs]: "I know the initial states of vertices [vs]" — the
+      provenance flood of {!Flood_plan}, mirroring
+    {!Ocd_engine.Knowledge}.
+
+    Bitset payloads are defensive copies made at send time: messages in
+    flight never alias a node's live mutable state. *)
+
+open Ocd_prelude
+
+type t =
+  | Announce of Bitset.t  (** sender's possession at send time *)
+  | Request of int        (** token id *)
+  | Data of int           (** token id *)
+  | Ack of int            (** token id *)
+  | State of Bitset.t     (** vertex ids whose initial state the sender knows *)
+
+val is_data : t -> bool
+(** Only [Data] consumes arc capacity; everything else is control
+    traffic. *)
+
+val kind : t -> string
+(** Short tag for traces and counters. *)
+
+val pp : Format.formatter -> t -> unit

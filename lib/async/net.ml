@@ -1,0 +1,117 @@
+open Ocd_prelude
+module Digraph = Ocd_graph.Digraph
+module Condition = Ocd_dynamics.Condition
+
+type profile = {
+  pace : int;
+  latency : int;
+  jitter_mean : float;
+  loss : float;
+  serialize : bool;
+}
+
+let default =
+  { pace = 64; latency = 16; jitter_mean = 8.0; loss = 0.0; serialize = true }
+
+let lockstep =
+  { pace = 4; latency = 0; jitter_mean = 0.0; loss = 0.0; serialize = false }
+
+(* Per-arc transport state: a private PRNG stream (loss and jitter
+   draws) and the leaky-bucket horizon for Data departures. *)
+type arc_state = { rng : Prng.t; mutable next_free : int }
+
+type t = {
+  sim : Sim.t;
+  graph : Digraph.t;
+  profile : profile;
+  condition : Condition.t;
+  seed : int;
+  deliver : src:int -> dst:int -> Message.t -> unit;
+  arcs : (int, arc_state) Hashtbl.t;
+  mutable data_sent : int;
+  mutable control_sent : int;
+  mutable dropped : int;
+}
+
+let create ~sim ~graph ~profile ~condition ~seed ~deliver =
+  if profile.pace <= 0 then invalid_arg "Net.create: pace must be positive";
+  { sim; graph; profile; condition; seed; deliver;
+    arcs = Hashtbl.create 64; data_sent = 0; control_sent = 0; dropped = 0 }
+
+let arc_state net ~src ~dst =
+  let key = (src * Digraph.vertex_count net.graph) + dst in
+  match Hashtbl.find_opt net.arcs key with
+  | Some s -> s
+  | None ->
+      (* Same stream-derivation mixing as Condition's coin: the arc's
+         draws are independent of every other arc's and of node rngs. *)
+      let seed = (((net.seed * 1_000_003) + src) * 1_000_003) + dst in
+      let s = { rng = Prng.create ~seed; next_free = 0 } in
+      Hashtbl.add net.arcs key s;
+      s
+
+let arc_latency profile ~capacity =
+  (* Inverse in capacity, clamped to a 0.5x-1.5x band around the base:
+     capacity 3 gives 1.5x, capacity 15 gives 0.5x. *)
+  profile.latency * 9 / (3 + max 0 capacity)
+
+let effective net ~round ~src ~dst =
+  let base = Digraph.capacity net.graph src dst in
+  if base = 0 then 0
+  else Condition.effective net.condition ~step:round ~src ~dst ~base
+
+let delay net state ~capacity =
+  let base = arc_latency net.profile ~capacity in
+  let jitter =
+    if net.profile.jitter_mean > 0.0 then
+      int_of_float (Prng.exponential state.rng ~mean:net.profile.jitter_mean)
+    else 0
+  in
+  base + jitter
+
+let lost net state =
+  net.profile.loss > 0.0 && Prng.bernoulli state.rng net.profile.loss
+
+let send net ~src ~dst msg =
+  let now = Sim.now net.sim in
+  let round = now / net.profile.pace in
+  let state = arc_state net ~src ~dst in
+  if Message.is_data msg then begin
+    let eff = effective net ~round ~src ~dst in
+    if eff = 0 || lost net state then net.dropped <- net.dropped + 1
+    else begin
+      net.data_sent <- net.data_sent + 1;
+      let depart =
+        if net.profile.serialize then begin
+          let depart = max now state.next_free in
+          state.next_free <- depart + max 1 (net.profile.pace / eff);
+          depart
+        end
+        else now
+      in
+      let arrive = depart + delay net state ~capacity:eff in
+      Sim.at net.sim arrive (fun () -> net.deliver ~src ~dst msg)
+    end
+  end
+  else begin
+    (* Control flows bidirectionally along the edge; it needs some
+       direction of the link to be up. *)
+    let up =
+      effective net ~round ~src ~dst > 0
+      || effective net ~round ~src:dst ~dst:src > 0
+    in
+    if (not up) || lost net state then net.dropped <- net.dropped + 1
+    else begin
+      net.control_sent <- net.control_sent + 1;
+      let cap =
+        max (Digraph.capacity net.graph src dst)
+          (Digraph.capacity net.graph dst src)
+      in
+      let arrive = now + delay net state ~capacity:cap in
+      Sim.at net.sim arrive (fun () -> net.deliver ~src ~dst msg)
+    end
+  end
+
+let data_sent net = net.data_sent
+let control_sent net = net.control_sent
+let dropped net = net.dropped

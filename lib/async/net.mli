@@ -1,0 +1,68 @@
+(** Message transport: latency, jitter, loss, and capacity pacing.
+
+    The network sits between {!Sim} and the protocol nodes.  Sending a
+    message samples the arc's private PRNG stream (loss coin, latency
+    jitter) and schedules a delivery event; everything is derived
+    deterministically from the run seed, so traces are reproducible.
+
+    Two classes of traffic, following the OCD model's split between
+    data and knowledge:
+
+    - [Data] consumes arc capacity.  It travels only along the arc's
+      direction and, when [serialize] is set, is paced by a per-arc
+      leaky bucket so at most [capacity] tokens depart per [pace]
+      ticks.  A round's effective capacity comes from the
+      {!Ocd_dynamics.Condition} injector; zero means the arc is down
+      and the message is dropped.
+    - Control ([Announce]/[Request]/[Ack]/[State]) is free but not
+      instant: it flows bidirectionally along an edge (the LOCD
+      convention) and is dropped only when every direction of the link
+      is down.
+
+    Base one-way latency of an arc scales inversely with its capacity
+    ([latency * 9 / (3 + capacity)]): fat links are fast links.  An
+    optional exponential jitter term is added per message. *)
+
+type profile = {
+  pace : int;
+      (** ticks per synchronous round; the denominator of capacity
+          pacing and the unit in which schedules are bucketed *)
+  latency : int;  (** base one-way latency scale, in ticks *)
+  jitter_mean : float;  (** mean of exponential per-message jitter; 0 = none *)
+  loss : float;  (** i.i.d. per-message loss probability *)
+  serialize : bool;  (** leaky-bucket pacing of [Data] departures *)
+}
+
+val default : profile
+(** [{pace = 64; latency = 16; jitter_mean = 8.0; loss = 0.0;
+     serialize = true}] *)
+
+val lockstep : profile
+(** Zero latency, zero jitter, zero loss, no serialization, [pace = 4]:
+    the degenerate profile under which the async runtime reproduces the
+    synchronous engine (see the differential test). *)
+
+type t
+
+val create :
+  sim:Sim.t ->
+  graph:Ocd_graph.Digraph.t ->
+  profile:profile ->
+  condition:Ocd_dynamics.Condition.t ->
+  seed:int ->
+  deliver:(src:int -> dst:int -> Message.t -> unit) ->
+  t
+(** [deliver] is invoked from simulator events as messages arrive. *)
+
+val send : t -> src:int -> dst:int -> Message.t -> unit
+(** Fire-and-forget.  May silently drop (loss, link down); protocols
+    own retries. *)
+
+val arc_latency : profile -> capacity:int -> int
+(** Deterministic base latency of an arc (no jitter), exposed for
+    tests and for protocols sizing their timeouts. *)
+
+val data_sent : t -> int
+val control_sent : t -> int
+val dropped : t -> int
+(** Messages lost to the loss coin or to a downed link. *)

@@ -1,0 +1,32 @@
+open Ocd_prelude
+open Ocd_core
+
+type ctx = {
+  instance : Instance.t;
+  vertex : int;
+  seed : int;
+  rng : Prng.t;
+  pace : int;
+  now : unit -> int;
+  after : int -> (unit -> unit) -> unit;
+  send : dst:int -> Message.t -> unit;
+  has : int -> bool;
+  have_copy : unit -> Bitset.t;
+  receive : src:int -> int -> bool;
+  note_retransmission : unit -> unit;
+  finished : unit -> bool;
+}
+
+type handlers = {
+  on_start : unit -> unit;
+  on_message : src:int -> Message.t -> unit;
+}
+
+type t = {
+  name : string;
+  init : ctx -> handlers;
+}
+
+(* Same prime-multiply mixing as Condition's coin; SplitMix64's
+   finaliser then decorrelates the consecutive seeds. *)
+let node_rng ~seed v = Prng.create ~seed:((seed * 1_000_003) + v)

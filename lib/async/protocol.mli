@@ -1,0 +1,59 @@
+(** Per-node protocol interface of the asynchronous runtime.
+
+    A protocol is a name plus a node factory: [init] is called once per
+    vertex with that vertex's capabilities (its private PRNG stream,
+    clock access, timers, the transport, and the runtime's delivery
+    hook) and returns the node's event handlers, closing over whatever
+    mutable per-node state the protocol keeps (belief tables, pending
+    requests, retry counters).
+
+    Nodes are epistemically local by construction: a node can observe
+    only its own sets, its incident arcs (via [ctx.instance]'s graph)
+    and the messages it receives — there is no shared possession array
+    to peek at, unlike the synchronous {!Ocd_engine.Strategy} where
+    locality is a documented convention.  The one global the runtime
+    exposes is [finished], the termination signal, so periodic loops
+    can stop rescheduling once every want is satisfied (the synchronous
+    engine stops its step loop the same way). *)
+
+open Ocd_prelude
+open Ocd_core
+
+type ctx = {
+  instance : Instance.t;  (** topology and initial/want sets *)
+  vertex : int;
+  seed : int;
+      (** the run seed — shared knowledge, like the topology; lets
+          nodes that reconstruct the instance derive identical plans *)
+  rng : Prng.t;  (** private stream, derived from the run seed *)
+  pace : int;  (** ticks per round, from the network profile *)
+  now : unit -> int;
+  after : int -> (unit -> unit) -> unit;  (** relative-time timer *)
+  send : dst:int -> Message.t -> unit;
+  has : int -> bool;  (** own possession test *)
+  have_copy : unit -> Bitset.t;  (** snapshot of own possession *)
+  receive : src:int -> int -> bool;
+      (** hand a received token to the runtime: updates possession,
+          counts it fresh or duplicate, and logs the schedule move;
+          [true] iff fresh *)
+  note_retransmission : unit -> unit;  (** metric hook *)
+  finished : unit -> bool;  (** all wants satisfied, globally *)
+}
+
+type handlers = {
+  on_start : unit -> unit;  (** runs at tick 0 *)
+  on_message : src:int -> Message.t -> unit;
+}
+
+type t = {
+  name : string;
+  init : ctx -> handlers;
+}
+(** A [t] value may hold cross-node state created by its constructor
+    (e.g. {!Flood_plan}'s shared plan cache), so use a fresh value per
+    run: obtain protocols through {!Registry.find}. *)
+
+val node_rng : seed:int -> int -> Prng.t
+(** [node_rng ~seed v] is vertex [v]'s private stream.  Exposed so the
+    lockstep differential test can drive a synchronous strategy from
+    the exact same streams (see {!Local_rarest.sync_strategy}). *)

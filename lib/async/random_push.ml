@@ -1,0 +1,67 @@
+open Ocd_prelude
+open Ocd_core
+module Digraph = Ocd_graph.Digraph
+
+let protocol () =
+  let init (ctx : Protocol.ctx) =
+    let inst = ctx.instance in
+    let graph = inst.Instance.graph in
+    let v = ctx.vertex in
+    let preds = Digraph.pred graph v in
+    let succs = Digraph.succ graph v in
+    let n = Instance.vertex_count inst in
+    (* What we believe each out-neighbour holds: last announcement,
+       refined by acks and by our own optimistic pushes. *)
+    let belief : Bitset.t option array = Array.make n None in
+    let believed dst =
+      match belief.(dst) with
+      | Some s -> s
+      | None ->
+          let s = Bitset.create inst.token_count in
+          belief.(dst) <- Some s;
+          s
+    in
+    (* (dst, token) pairs already pushed once, for the retransmission
+       counter. *)
+    let pushed : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let push () =
+      if not (ctx.finished ()) then
+        Array.iter
+          (fun (dst, cap) ->
+            let target = believed dst in
+            let useful = ctx.have_copy () in
+            Bitset.diff_into useful target;
+            let candidates = Array.of_list (Bitset.elements useful) in
+            Prng.shuffle ctx.rng candidates;
+            let count = min cap (Array.length candidates) in
+            for i = 0 to count - 1 do
+              let token = candidates.(i) in
+              if Hashtbl.mem pushed (dst, token) then ctx.note_retransmission ()
+              else Hashtbl.add pushed (dst, token) ();
+              Bitset.add target token;
+              ctx.send ~dst (Message.Data token)
+            done)
+          succs
+    in
+    let rec round () =
+      if not (ctx.finished ()) then begin
+        let snapshot = ctx.have_copy () in
+        Array.iter
+          (fun (src, _) -> ctx.send ~dst:src (Message.Announce (Bitset.copy snapshot)))
+          preds;
+        ctx.after 1 push;
+        ctx.after ctx.pace round
+      end
+    in
+    let on_message ~src msg =
+      match msg with
+      | Message.Announce s -> belief.(src) <- Some s
+      | Message.Data token ->
+          ignore (ctx.receive ~src token);
+          ctx.send ~dst:src (Message.Ack token)
+      | Message.Ack token -> Bitset.add (believed src) token
+      | Message.Request _ | Message.State _ -> ()
+    in
+    { Protocol.on_start = round; on_message }
+  in
+  { Protocol.name = "async-push"; init }

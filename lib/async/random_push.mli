@@ -1,0 +1,21 @@
+(** Asynchronous random-push protocol (§5.1 "random" heuristic,
+    message-passing form).
+
+    Each round a node announces its possession to its {e in}-neighbours
+    (so pushers learn what receivers hold), then pushes along each
+    outgoing arc up to [capacity] tokens drawn uniformly from the
+    tokens it holds and believes the receiver lacks.  Receivers [Ack]
+    every data arrival; acks and announcements both refine the
+    pusher's belief.
+
+    The push is optimistic: a pushed token is assumed delivered (added
+    to the belief) so the next round tries new tokens; a lost push is
+    healed when the receiver's next announcement exposes the gap, and
+    pushing a (receiver, token) pair a second time is counted as a
+    retransmission.  Duplicates are possible by design — two holders
+    may push the same token to one receiver — and are measured, not
+    prevented; the paper's random heuristic has the same redundancy in
+    its synchronous form. *)
+
+val protocol : unit -> Protocol.t
+(** Name ["async-push"]. *)

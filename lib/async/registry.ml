@@ -1,0 +1,13 @@
+let constructors =
+  [
+    ("async-local", Local_rarest.protocol);
+    ("async-push", Random_push.protocol);
+    ("flood-plan", Flood_plan.protocol);
+  ]
+
+let names = List.map fst constructors
+
+let find name =
+  Option.map (fun (_, make) -> make ()) (List.find_opt (fun (n, _) -> n = name) constructors)
+
+let all () = List.map (fun (_, make) -> make ()) constructors

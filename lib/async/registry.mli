@@ -1,0 +1,14 @@
+(** Name-indexed access to the async protocols, mirroring
+    {!Ocd_heuristics.Registry} for strategies.
+
+    Constructors, not values: a {!Protocol.t} may carry per-run shared
+    state (see {!Flood_plan}), so the registry hands out a fresh value
+    per {!find}/{!all} call. *)
+
+val names : string list
+(** ["async-local"; "async-push"; "flood-plan"], the CLI vocabulary. *)
+
+val find : string -> Protocol.t option
+(** Fresh protocol value by name. *)
+
+val all : unit -> Protocol.t list

@@ -1,0 +1,158 @@
+open Ocd_prelude
+open Ocd_core
+module Condition = Ocd_dynamics.Condition
+
+type outcome = Completed | Timed_out
+
+type run = {
+  protocol_name : string;
+  seed : int;
+  outcome : outcome;
+  completion_ticks : int option;
+  rounds : int;
+  schedule : Schedule.t;
+  metrics : Metrics.t;
+  fresh_deliveries : int;
+  duplicate_deliveries : int;
+  data_messages : int;
+  control_messages : int;
+  retransmissions : int;
+  dropped_messages : int;
+  goodput : float;
+  events : int;
+}
+
+(* Same shape as the synchronous engine's step budget: every token to
+   every vertex plus slack, capped so lossy runs still terminate. *)
+let default_round_limit (inst : Instance.t) =
+  let n = Instance.vertex_count inst in
+  min ((inst.token_count * (n - 1)) + n + 64) 1_000_000
+
+let run ?(profile = Net.default) ?(condition = Condition.static) ?round_limit
+    ~(protocol : Protocol.t) ~seed inst =
+  let n = Instance.vertex_count inst in
+  let round_limit =
+    match round_limit with Some l -> l | None -> default_round_limit inst
+  in
+  if round_limit <= 0 then invalid_arg "Runtime.run: round_limit must be positive";
+  let pace = profile.Net.pace in
+  let horizon = (round_limit * pace) - 1 in
+  let sim = Sim.create () in
+  let have = Array.map Bitset.copy inst.Instance.have in
+  let tracker = Timeline.Tracker.create inst in
+  let duplicates = ref 0 in
+  let retransmissions = ref 0 in
+  let completion = ref (if Timeline.Tracker.all_satisfied tracker then Some 0 else None) in
+  let buckets : (int, Move.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let log_move ~round move =
+    let bucket =
+      match Hashtbl.find_opt buckets round with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add buckets round b;
+          b
+    in
+    bucket := move :: !bucket
+  in
+  let handlers : Protocol.handlers option array = Array.make n None in
+  let deliver ~src ~dst msg =
+    match handlers.(dst) with
+    | Some h -> h.Protocol.on_message ~src msg
+    | None -> ()
+  in
+  let net =
+    Net.create ~sim ~graph:inst.Instance.graph ~profile ~condition ~seed ~deliver
+  in
+  let receive v ~src token =
+    if token < 0 || token >= inst.token_count then false
+    else if Bitset.mem have.(v) token then begin
+      incr duplicates;
+      false
+    end
+    else begin
+      Bitset.add have.(v) token;
+      let round = Sim.now sim / pace in
+      log_move ~round { Move.src; dst = v; token };
+      Timeline.Tracker.deliver tracker ~step:(round + 1) ~dst:v ~token;
+      if !completion = None && Timeline.Tracker.all_satisfied tracker then
+        completion := Some (Sim.now sim);
+      true
+    end
+  in
+  let finished () = !completion <> None in
+  for v = 0 to n - 1 do
+    let ctx =
+      {
+        Protocol.instance = inst;
+        vertex = v;
+        seed;
+        rng = Protocol.node_rng ~seed v;
+        pace;
+        now = (fun () -> Sim.now sim);
+        after = (fun d f -> Sim.after sim d f);
+        send = (fun ~dst msg -> Net.send net ~src:v ~dst msg);
+        has = (fun token -> Bitset.mem have.(v) token);
+        have_copy = (fun () -> Bitset.copy have.(v));
+        receive = (fun ~src token -> receive v ~src token);
+        note_retransmission = (fun () -> incr retransmissions);
+        finished;
+      }
+    in
+    handlers.(v) <- Some (protocol.Protocol.init ctx)
+  done;
+  for v = 0 to n - 1 do
+    match handlers.(v) with
+    | Some h -> Sim.at sim 0 h.Protocol.on_start
+    | None -> ()
+  done;
+  Sim.run ~limit:horizon sim;
+  let outcome = if finished () then Completed else Timed_out in
+  let rounds =
+    match !completion with
+    | Some tick -> (tick / pace) + 1
+    | None -> round_limit
+  in
+  let schedule =
+    Schedule.drop_trailing_empty
+      (Schedule.of_steps
+         (List.init rounds (fun r ->
+              match Hashtbl.find_opt buckets r with
+              | Some b -> List.rev !b
+              | None -> [])))
+  in
+  let metrics = Metrics.of_schedule inst schedule in
+  let fresh = Timeline.Tracker.fresh_deliveries tracker in
+  let data = Net.data_sent net in
+  {
+    protocol_name = protocol.Protocol.name;
+    seed;
+    outcome;
+    completion_ticks = !completion;
+    rounds;
+    schedule;
+    metrics;
+    fresh_deliveries = fresh;
+    duplicate_deliveries = !duplicates;
+    data_messages = data;
+    control_messages = Net.control_sent net;
+    retransmissions = !retransmissions;
+    dropped_messages = Net.dropped net;
+    goodput = (if data = 0 then 0.0 else float_of_int fresh /. float_of_int data);
+    events = Sim.events_processed sim;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s seed=%d: %s in %d rounds%a@,\
+     fresh=%d dup=%d data=%d control=%d retrans=%d dropped=%d goodput=%.3f \
+     events=%d@]"
+    r.protocol_name r.seed
+    (match r.outcome with Completed -> "completed" | Timed_out -> "timed out")
+    r.rounds
+    (fun ppf -> function
+      | Some t -> Format.fprintf ppf " (%d ticks)" t
+      | None -> ())
+    r.completion_ticks r.fresh_deliveries r.duplicate_deliveries
+    r.data_messages r.control_messages r.retransmissions r.dropped_messages
+    r.goodput r.events

@@ -1,0 +1,64 @@
+(** Run a protocol on an instance: wiring, accounting, and results.
+
+    The runtime owns the ground truth the protocol nodes cannot see:
+    the possession array, the {!Ocd_core.Timeline.Tracker} that detects
+    global satisfaction, and the delivery log.  Nodes affect it only
+    through [ctx.receive], which classifies each arriving token as
+    fresh or duplicate and appends fresh ones to the schedule.
+
+    {b Schedule emission.}  Fresh deliveries are bucketed by round
+    ([tick / pace]) into an {!Ocd_core.Schedule}, so the synchronous
+    toolchain — {!Ocd_core.Timeline}, {!Ocd_core.Metrics},
+    {!Ocd_core.Prune} — consumes async runs unchanged.  A delivery in
+    round [r] becomes visible at boundary [r + 1], matching the
+    synchronous engine's convention, so lockstep runs produce
+    step-identical schedules (the differential test relies on this).
+
+    {b Determinism.}  A run is a pure function of
+    [(instance, protocol, profile, condition, seed)]: the simulator is
+    single-threaded, its queue breaks ties FIFO, and every random draw
+    comes from a stream derived from the seed per node or per arc. *)
+
+open Ocd_core
+
+type outcome =
+  | Completed
+  | Timed_out  (** the round horizon elapsed with wants outstanding *)
+
+type run = {
+  protocol_name : string;
+  seed : int;
+  outcome : outcome;
+  completion_ticks : int option;
+      (** simulated time at which the last want was met *)
+  rounds : int;  (** schedule length in rounds (completion or horizon) *)
+  schedule : Schedule.t;  (** fresh deliveries, bucketed by round *)
+  metrics : Metrics.t;
+  fresh_deliveries : int;
+  duplicate_deliveries : int;
+      (** data arrivals for tokens already held — wasted bandwidth *)
+  data_messages : int;  (** [Data] departures (drops excluded) *)
+  control_messages : int;  (** control departures (drops excluded) *)
+  retransmissions : int;  (** protocol-reported retries *)
+  dropped_messages : int;  (** lost to the loss coin or downed links *)
+  goodput : float;  (** [fresh_deliveries / data_messages]; 0 when idle *)
+  events : int;  (** simulator events processed *)
+}
+
+val default_round_limit : Instance.t -> int
+(** Mirrors the synchronous engine's step budget: generous enough for
+    any reasonable protocol, finite so lossy runs terminate. *)
+
+val run :
+  ?profile:Net.profile ->
+  ?condition:Ocd_dynamics.Condition.t ->
+  ?round_limit:int ->
+  protocol:Protocol.t ->
+  seed:int ->
+  Instance.t ->
+  run
+(** Executes one simulation.  [profile] defaults to {!Net.default},
+    [condition] to {!Ocd_dynamics.Condition.static}. *)
+
+val pp : Format.formatter -> run -> unit
+(** One-paragraph human-readable summary. *)

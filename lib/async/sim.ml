@@ -1,0 +1,34 @@
+open Ocd_prelude
+
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : int;
+  mutable processed : int;
+}
+
+let create () = { queue = Pqueue.create (); clock = 0; processed = 0 }
+
+let now sim = sim.clock
+
+let at sim tick f =
+  let tick = if tick < sim.clock then sim.clock else tick in
+  Pqueue.push sim.queue ~priority:tick f
+
+let after sim d f = at sim (sim.clock + max 0 d) f
+
+let events_processed sim = sim.processed
+
+let run ?(limit = max_int) sim =
+  let rec loop () =
+    match Pqueue.pop sim.queue with
+    | None -> ()
+    | Some (tick, f) ->
+        if tick <= limit then begin
+          sim.clock <- tick;
+          sim.processed <- sim.processed + 1;
+          f ();
+          loop ()
+        end
+        else loop () (* beyond the horizon: discard, keep draining *)
+  in
+  loop ()

@@ -1,0 +1,34 @@
+(** Deterministic discrete-event simulator.
+
+    A thin scheduling core: events are thunks keyed by an integer tick
+    and drained from a {!Ocd_prelude.Pqueue} in [(tick, insertion)]
+    order.  Because the queue breaks ties FIFO and the runtime is
+    single-threaded, a simulation is a pure function of its seed and
+    initial events — re-running it yields the identical trace.
+
+    Events scheduled in the past (a delay of zero while handling the
+    current tick) run later in the same tick, after everything already
+    queued for it. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current tick; 0 before the first event runs. *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at sim tick f] schedules [f] for absolute time [tick].  Ticks in
+    the past are clamped to [now sim]. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after sim d f] schedules [f] at [now sim + max 0 d]. *)
+
+val events_processed : t -> int
+(** Total events run so far — a cheap progress/cost counter. *)
+
+val run : ?limit:int -> t -> unit
+(** Drain the queue, advancing [now] monotonically, until it is empty
+    or [now] would exceed [limit] (default [max_int]).  Events beyond
+    the horizon are discarded, so [run] always terminates when event
+    chains are time-bounded. *)

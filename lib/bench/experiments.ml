@@ -14,6 +14,7 @@ let seed_adv = 1010
 let seed_ip = 1011
 let seed_base = 1012
 let seed_abl = 1013
+let seed_async = 1030
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
@@ -675,6 +676,98 @@ let underlay () =
      accordingly"
 
 (* ------------------------------------------------------------------ *)
+(* Async overhead (extension)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let async_overhead ?(jobs = 1) () =
+  Report.section
+    "Extension: asynchronous message-passing runtime (Ocd_async) — latency, \
+     loss and retry overhead vs the synchronous engine";
+  let rng = Prng.create ~seed:seed_async in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:40 () in
+  let inst = (Scenario.single_file rng ~graph ~tokens:24 ()).Scenario.instance in
+  let sync_run =
+    Ocd_engine.Engine.completed_exn
+      (Ocd_engine.Engine.run
+         ~strategy:(Ocd_async.Local_rarest.sync_strategy ~seed:seed_async)
+         ~seed:seed_async inst)
+  in
+  let profiles =
+    [
+      ("lockstep", Ocd_async.Net.lockstep, Ocd_dynamics.Condition.static);
+      ("default", Ocd_async.Net.default, Ocd_dynamics.Condition.static);
+      ( "loss-10%",
+        { Ocd_async.Net.default with Ocd_async.Net.loss = 0.1 },
+        Ocd_dynamics.Condition.static );
+      ( "flaps",
+        Ocd_async.Net.default,
+        Ocd_dynamics.Condition.link_flaps ~seed:(seed_async + 1) ~down_prob:0.1
+          ~up_prob:0.5 );
+    ]
+  in
+  let combos =
+    List.concat_map
+      (fun profile ->
+        List.map (fun name -> (profile, name)) Ocd_async.Registry.names)
+      profiles
+  in
+  let results =
+    Pool.map ~jobs
+      (fun ((plabel, profile, condition), name) ->
+        let protocol =
+          match Ocd_async.Registry.find name with
+          | Some p -> p
+          | None -> assert false
+        in
+        ( plabel,
+          Ocd_async.Runtime.run ~profile ~condition ~protocol ~seed:seed_async
+            inst ))
+      combos
+  in
+  let table =
+    Report.create ~title:"async overhead"
+      ~columns:
+        [
+          "profile";
+          "protocol";
+          "rounds";
+          "makespan";
+          "bandwidth";
+          "control";
+          "retrans";
+          "dup";
+          "dropped";
+          "goodput";
+        ]
+  in
+  List.iter
+    (fun (plabel, (r : Ocd_async.Runtime.run)) ->
+      Report.row table
+        [
+          plabel;
+          r.Ocd_async.Runtime.protocol_name;
+          (match r.Ocd_async.Runtime.outcome with
+          | Ocd_async.Runtime.Completed ->
+            string_of_int r.Ocd_async.Runtime.rounds
+          | Ocd_async.Runtime.Timed_out -> "timeout");
+          Metrics.makespan_cell r.Ocd_async.Runtime.metrics;
+          string_of_int r.Ocd_async.Runtime.metrics.Metrics.bandwidth;
+          string_of_int r.Ocd_async.Runtime.control_messages;
+          string_of_int r.Ocd_async.Runtime.retransmissions;
+          string_of_int r.Ocd_async.Runtime.duplicate_deliveries;
+          string_of_int r.Ocd_async.Runtime.dropped_messages;
+          Printf.sprintf "%.3f" r.Ocd_async.Runtime.goodput;
+        ])
+    results;
+  Report.render table;
+  Report.note
+    "synchronous twin (engine + async-local-lockstep strategy) on the same \
+     instance: makespan %d, bandwidth %d — the lockstep/async-local row must \
+     match both exactly (the differential guarantee)"
+    sync_run.Ocd_engine.Engine.metrics.Metrics.makespan
+    sync_run.Ocd_engine.Engine.metrics.Metrics.bandwidth
+
+(* ------------------------------------------------------------------ *)
 (* Timeline micro-benchmark                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -794,4 +887,5 @@ let run_all ?(full = false) ?(jobs = 1) () =
   ablation_staleness ~jobs ();
   dynamics ();
   coding ();
-  underlay ()
+  underlay ();
+  async_overhead ~jobs ()

@@ -72,6 +72,13 @@ val underlay : unit -> unit
     shared physical network; makespan inflation from physical-link
     contention. *)
 
+val async_overhead : ?jobs:int -> unit -> unit
+(** Extension: the {!Ocd_async} message-passing runtime across network
+    profiles (lockstep, default latency, loss, link flaps) — rounds to
+    completion, control overhead, retransmissions, duplicates and
+    goodput per protocol, against the synchronous engine's makespan.
+    Deterministic for any [jobs] value. *)
+
 val timeline_perf : unit -> unit
 (** Micro-benchmark of the {!Ocd_core.Timeline} one-pass derivation
     against the legacy full-snapshot possession replay it replaced,

@@ -1,9 +1,16 @@
 (** Mutable binary min-heap keyed by integer priorities.
 
-    Used by Dijkstra/Prim-style graph algorithms.  Ties are broken
-    arbitrarily.  Stale entries are tolerated: callers following the
-    "lazy deletion" idiom should check whether a popped element is still
-    relevant. *)
+    Used by Dijkstra/Prim-style graph algorithms and as the event queue
+    of the discrete-event simulator ({!Ocd_async.Sim}).  Equal-priority
+    entries drain in insertion order: every push is stamped with an
+    internal sequence counter and the heap orders by
+    [(priority, sequence)], so ties are deterministic FIFO rather than
+    arbitrary.  The simulator's determinism rests on this (events
+    scheduled for the same tick run in schedule order), and
+    Dijkstra/Prim callers get reproducible tie-breaks for free.
+
+    Stale entries are tolerated: callers following the "lazy deletion"
+    idiom should check whether a popped element is still relevant. *)
 
 type 'a t
 
@@ -14,6 +21,7 @@ val length : 'a t -> int
 val push : 'a t -> priority:int -> 'a -> unit
 
 val pop : 'a t -> (int * 'a) option
-(** Removes and returns the minimum-priority entry. *)
+(** Removes and returns the minimum-priority entry; among entries of
+    equal priority, the earliest-pushed one. *)
 
 val peek : 'a t -> (int * 'a) option

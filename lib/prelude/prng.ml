@@ -42,6 +42,13 @@ let float g bound =
   let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
   bound *. (r /. 9007199254740992.0 (* 2^53 *))
 
+let exponential g ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  (* Inverse transform over u in [0, 1); 1 - u is in (0, 1], so the
+     log is finite and the result non-negative. *)
+  let u = float g 1.0 in
+  -.mean *. log (1.0 -. u)
+
 let bool g = Int64.logand (bits64 g) 1L = 1L
 
 let bernoulli g p = float g 1.0 < p

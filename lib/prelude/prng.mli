@@ -38,6 +38,12 @@ val int_in : t -> int -> int -> int
 val float : t -> float -> float
 (** [float g bound] is uniform in [\[0, bound)]. *)
 
+val exponential : t -> mean:float -> float
+(** [exponential g ~mean] draws from the exponential distribution with
+    the given mean (rate [1 / mean]) by inverse transform; always
+    non-negative.  Used for latency jitter in the asynchronous runtime.
+    @raise Invalid_argument unless [mean > 0]. *)
+
 val bool : t -> bool
 (** Fair coin. *)
 

@@ -1,0 +1,333 @@
+(* Tests for ocd_async: the discrete-event simulator, the transport,
+   the protocols, and the lockstep differential guarantee against the
+   synchronous engine. *)
+
+open Ocd_prelude
+open Ocd_core
+open Ocd_async
+
+(* ---------------------------- Sim --------------------------------- *)
+
+let test_sim_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  Sim.at sim 5 (record "a5");
+  Sim.at sim 2 (record "b2");
+  Sim.at sim 5 (record "c5");
+  Sim.at sim 0 (record "d0");
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "time order, FIFO ties" [ "d0"; "b2"; "a5"; "c5" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 5 (Sim.now sim);
+  Alcotest.(check int) "events counted" 4 (Sim.events_processed sim)
+
+let test_sim_same_tick_chain () =
+  (* An event scheduling another event for the current tick runs it in
+     the same tick, after everything already queued. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 3 (fun () ->
+      log := "first" :: !log;
+      Sim.after sim 0 (fun () -> log := "chained" :: !log));
+  Sim.at sim 3 (fun () -> log := "second" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "chained event last" [ "first"; "second"; "chained" ] (List.rev !log)
+
+let test_sim_limit () =
+  let sim = Sim.create () in
+  let ran = ref 0 in
+  Sim.at sim 10 (fun () -> incr ran);
+  Sim.at sim 20 (fun () -> incr ran);
+  Sim.run ~limit:15 sim;
+  Alcotest.(check int) "past-horizon event discarded" 1 !ran
+
+(* ------------------------- instances ------------------------------ *)
+
+let random_instance ~seed ~n ~tokens =
+  let rng = Prng.create ~seed in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+  (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance
+
+let transit_stub_instance ~seed ~n ~tokens =
+  let rng = Prng.create ~seed in
+  let graph =
+    Ocd_topology.Transit_stub.generate rng
+      (Ocd_topology.Transit_stub.params_for_size n)
+  in
+  (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance
+
+let line_instance () =
+  let graph =
+    Ocd_graph.Digraph.of_edges ~vertex_count:3 [ (0, 1, 2); (1, 2, 2) ]
+  in
+  Instance.make ~graph ~token_count:4
+    ~have:[ (0, [ 0; 1; 2; 3 ]) ]
+    ~want:[ (1, [ 0; 1; 2; 3 ]); (2, [ 0; 1; 2; 3 ]) ]
+
+(* -------------------- lockstep differential ----------------------- *)
+
+let canonical_steps schedule =
+  List.map (List.sort compare) (Schedule.steps schedule)
+
+let check_lockstep_matches_engine ~label inst ~seed =
+  let async_run =
+    Runtime.run ~profile:Net.lockstep
+      ~protocol:(Local_rarest.protocol ())
+      ~seed inst
+  in
+  let sync_run =
+    Ocd_engine.Engine.run
+      ~strategy:(Local_rarest.sync_strategy ~seed)
+      ~seed inst
+  in
+  Alcotest.(check bool)
+    (label ^ ": async completed") true
+    (async_run.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool)
+    (label ^ ": sync completed") true
+    (sync_run.Ocd_engine.Engine.outcome = Ocd_engine.Engine.Completed);
+  Alcotest.(check int)
+    (label ^ ": makespan matches")
+    sync_run.Ocd_engine.Engine.metrics.Metrics.makespan
+    async_run.Runtime.metrics.Metrics.makespan;
+  Alcotest.(check int)
+    (label ^ ": fresh deliveries match")
+    sync_run.Ocd_engine.Engine.fresh_deliveries
+    async_run.Runtime.fresh_deliveries;
+  Alcotest.(check bool)
+    (label ^ ": schedules identical as step-sets") true
+    (canonical_steps sync_run.Ocd_engine.Engine.schedule
+    = canonical_steps async_run.Runtime.schedule);
+  Alcotest.(check bool)
+    (label ^ ": async schedule revalidates") true
+    (Validate.check_successful inst async_run.Runtime.schedule = Ok ());
+  Alcotest.(check int)
+    (label ^ ": no retransmissions") 0 async_run.Runtime.retransmissions;
+  Alcotest.(check int)
+    (label ^ ": no duplicates") 0 async_run.Runtime.duplicate_deliveries
+
+let test_lockstep_random () =
+  check_lockstep_matches_engine ~label:"random"
+    (random_instance ~seed:31 ~n:20 ~tokens:10)
+    ~seed:7
+
+let test_lockstep_transit_stub () =
+  check_lockstep_matches_engine ~label:"transit-stub"
+    (transit_stub_instance ~seed:32 ~n:24 ~tokens:8)
+    ~seed:8
+
+let test_lockstep_many_seeds () =
+  List.iter
+    (fun seed ->
+      check_lockstep_matches_engine
+        ~label:(Printf.sprintf "seed-%d" seed)
+        (random_instance ~seed:(100 + seed) ~n:12 ~tokens:6)
+        ~seed)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------ determinism ----------------------------- *)
+
+let test_same_seed_same_run () =
+  let inst = random_instance ~seed:41 ~n:16 ~tokens:8 in
+  let go () = Runtime.run ~protocol:(Local_rarest.protocol ()) ~seed:5 inst in
+  let a = go () and b = go () in
+  Alcotest.(check bool)
+    "identical schedules" true
+    (Schedule.steps a.Runtime.schedule = Schedule.steps b.Runtime.schedule);
+  Alcotest.(check (option int))
+    "identical completion ticks" a.Runtime.completion_ticks
+    b.Runtime.completion_ticks;
+  Alcotest.(check int)
+    "identical control traffic" a.Runtime.control_messages
+    b.Runtime.control_messages;
+  Alcotest.(check int) "identical events" a.Runtime.events b.Runtime.events
+
+let test_different_seed_differs () =
+  let inst = random_instance ~seed:41 ~n:16 ~tokens:8 in
+  let run seed = Runtime.run ~protocol:(Local_rarest.protocol ()) ~seed inst in
+  let a = run 5 and b = run 6 in
+  (* Schedules are overwhelmingly unlikely to coincide move for move. *)
+  Alcotest.(check bool)
+    "different seeds explore different schedules" false
+    (Schedule.steps a.Runtime.schedule = Schedule.steps b.Runtime.schedule)
+
+(* --------------------- loss, retry, recovery ---------------------- *)
+
+let test_loss_recovery () =
+  let inst = random_instance ~seed:51 ~n:14 ~tokens:8 in
+  let profile = { Net.default with Net.loss = 0.25 } in
+  let r = Runtime.run ~profile ~protocol:(Local_rarest.protocol ()) ~seed:9 inst in
+  Alcotest.(check bool)
+    "completes despite 25% loss" true
+    (r.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool) "messages were dropped" true (r.Runtime.dropped_messages > 0);
+  Alcotest.(check bool)
+    "retries were needed" true
+    (r.Runtime.retransmissions > 0);
+  Alcotest.(check bool) "goodput within (0,1]" true
+    (r.Runtime.goodput > 0.0 && r.Runtime.goodput <= 1.0)
+
+let test_push_completes_and_acks () =
+  let inst = random_instance ~seed:52 ~n:14 ~tokens:8 in
+  let r = Runtime.run ~protocol:(Random_push.protocol ()) ~seed:10 inst in
+  Alcotest.(check bool)
+    "push completes" true
+    (r.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool)
+    "push is redundant (duplicates measured)" true
+    (r.Runtime.duplicate_deliveries >= 0
+    && r.Runtime.goodput > 0.0 && r.Runtime.goodput <= 1.0);
+  (* every data arrival is acked, so control >= data deliveries *)
+  Alcotest.(check bool)
+    "acks present" true
+    (r.Runtime.control_messages > r.Runtime.fresh_deliveries)
+
+let test_flood_plan_completes () =
+  let inst = random_instance ~seed:53 ~n:14 ~tokens:8 in
+  let r = Runtime.run ~protocol:(Flood_plan.protocol ()) ~seed:11 inst in
+  Alcotest.(check bool)
+    "flood-plan completes" true
+    (r.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool)
+    "knowledge flood costs control messages" true
+    (r.Runtime.control_messages > 0);
+  Alcotest.(check bool)
+    "plan is lean (goodput near 1)" true (r.Runtime.goodput > 0.8)
+
+let test_condition_injection () =
+  let inst = line_instance () in
+  let condition =
+    Ocd_dynamics.Condition.link_flaps ~seed:3 ~down_prob:0.3 ~up_prob:0.5
+  in
+  let r =
+    Runtime.run ~condition ~protocol:(Local_rarest.protocol ()) ~seed:12 inst
+  in
+  Alcotest.(check bool)
+    "completes under link flaps" true
+    (r.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool)
+    "flaps dropped messages" true
+    (r.Runtime.dropped_messages > 0)
+
+let test_churn_protected_sources () =
+  let inst = random_instance ~seed:54 ~n:14 ~tokens:6 in
+  let condition =
+    Ocd_dynamics.Condition.churn ~seed:5 ~protected:[ 0 ] ~leave_prob:0.1
+      ~return_prob:0.5
+  in
+  let r =
+    Runtime.run ~condition ~protocol:(Local_rarest.protocol ()) ~seed:13 inst
+  in
+  Alcotest.(check bool)
+    "completes under churn with protected source" true
+    (r.Runtime.outcome = Runtime.Completed)
+
+(* -------------------------- transport ----------------------------- *)
+
+let test_arc_latency_scaling () =
+  let p = Net.default in
+  Alcotest.(check bool)
+    "fat arcs are faster" true
+    (Net.arc_latency p ~capacity:15 < Net.arc_latency p ~capacity:3);
+  Alcotest.(check int)
+    "lockstep is zero-latency" 0
+    (Net.arc_latency Net.lockstep ~capacity:1)
+
+let test_trivial_instance () =
+  let graph = Ocd_graph.Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ] ~want:[ (0, [ 0 ]) ]
+  in
+  let r = Runtime.run ~protocol:(Local_rarest.protocol ()) ~seed:1 inst in
+  Alcotest.(check bool)
+    "trivially satisfied completes at once" true
+    (r.Runtime.outcome = Runtime.Completed
+    && r.Runtime.completion_ticks = Some 0
+    && r.Runtime.data_messages = 0)
+
+let test_timeout_on_unsatisfiable () =
+  (* Token 1's only holder is unreachable from vertex 2's side: no arc
+     into 2 carries it.  The run must hit the horizon, not hang. *)
+  let graph = Ocd_graph.Digraph.of_arcs ~vertex_count:3
+      [ { Ocd_graph.Digraph.src = 0; dst = 1; capacity = 1 } ]
+  in
+  let inst =
+    Instance.make ~graph ~token_count:1 ~have:[ (0, [ 0 ]) ]
+      ~want:[ (1, [ 0 ]); (2, [ 0 ]) ]
+  in
+  let r =
+    Runtime.run ~round_limit:20 ~protocol:(Local_rarest.protocol ()) ~seed:2
+      inst
+  in
+  Alcotest.(check bool)
+    "times out" true
+    (r.Runtime.outcome = Runtime.Timed_out);
+  Alcotest.(check int) "horizon respected" 20 r.Runtime.rounds
+
+let test_jobs_determinism () =
+  (* The CLI and experiments fan runs out with Pool.map; rendered output
+     must be byte-identical for every jobs value. *)
+  let inst = random_instance ~seed:61 ~n:14 ~tokens:6 in
+  let render jobs =
+    Pool.map ~jobs
+      (fun name ->
+        let protocol = Option.get (Registry.find name) in
+        Format.asprintf "%a" Runtime.pp (Runtime.run ~protocol ~seed:3 inst))
+      Registry.names
+  in
+  Alcotest.(check (list string)) "jobs=1 vs jobs=3" (render 1) (render 3)
+
+(* ---------------------- registry & reuse -------------------------- *)
+
+let test_registry () =
+  Alcotest.(check (list string))
+    "names" [ "async-local"; "async-push"; "flood-plan" ] Registry.names;
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | Some p -> Alcotest.(check string) "name round-trips" name p.Protocol.name
+      | None -> Alcotest.failf "registry lost %s" name)
+    Registry.names;
+  Alcotest.(check bool) "unknown name" true (Registry.find "nope" = None)
+
+let () =
+  Alcotest.run "ocd_async"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "event order" `Quick test_sim_order;
+          Alcotest.test_case "same-tick chain" `Quick test_sim_same_tick_chain;
+          Alcotest.test_case "horizon" `Quick test_sim_limit;
+        ] );
+      ( "lockstep differential",
+        [
+          Alcotest.test_case "random graph" `Quick test_lockstep_random;
+          Alcotest.test_case "transit-stub" `Quick test_lockstep_transit_stub;
+          Alcotest.test_case "seed sweep" `Quick test_lockstep_many_seeds;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed" `Quick test_same_seed_same_run;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_different_seed_differs;
+          Alcotest.test_case "jobs invariance" `Quick test_jobs_determinism;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "loss recovery" `Quick test_loss_recovery;
+          Alcotest.test_case "push acks" `Quick test_push_completes_and_acks;
+          Alcotest.test_case "flood-plan" `Quick test_flood_plan_completes;
+          Alcotest.test_case "link flaps" `Quick test_condition_injection;
+          Alcotest.test_case "churn" `Quick test_churn_protected_sources;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "latency scaling" `Quick test_arc_latency_scaling;
+          Alcotest.test_case "trivial instance" `Quick test_trivial_instance;
+          Alcotest.test_case "unsatisfiable timeout" `Quick
+            test_timeout_on_unsatisfiable;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+    ]

@@ -76,6 +76,34 @@ let test_churn_protects_sources () =
   Alcotest.(check int) "step 2: 1 is gone" 0
     (Condition.effective c ~step:2 ~src:0 ~dst:1 ~base:5)
 
+let prop_churn_protected_invariant =
+  (* Arcs between two protected vertices never lose capacity, under any
+     churn parameters: protected vertices are never away, and churn
+     touches nothing but presence. *)
+  QCheck.Test.make ~name:"churn never touches protected-to-protected arcs"
+    ~count:100
+    QCheck.(triple small_nat (int_range 0 100) (int_range 0 100))
+    (fun (seed, leave_pct, return_pct) ->
+      let leave_prob = float_of_int leave_pct /. 100.0 in
+      let return_prob = float_of_int return_pct /. 100.0 in
+      let c =
+        Condition.churn ~seed ~protected:[ 0; 1 ] ~leave_prob ~return_prob
+      in
+      List.for_all
+        (fun step -> Condition.effective c ~step ~src:0 ~dst:1 ~base:4 = 4)
+        [ 0; 1; 2; 5; 13; 40 ])
+
+let test_churn_unprotected_eventually_departs () =
+  let c =
+    Condition.churn ~seed:4 ~protected:[] ~leave_prob:0.5 ~return_prob:0.1
+  in
+  let ever_down = ref false in
+  for step = 0 to 50 do
+    if Condition.effective c ~step ~src:2 ~dst:3 ~base:4 = 0 then
+      ever_down := true
+  done;
+  Alcotest.(check bool) "unprotected vertices do churn" true !ever_down
+
 let test_graph_at () =
   let g = Ocd_graph.Digraph.of_edges ~vertex_count:3 [ (0, 1, 4); (1, 2, 4) ] in
   (match Condition.graph_at Condition.static ~step:0 g with
@@ -86,6 +114,49 @@ let test_graph_at () =
   let killer = Condition.cross_traffic ~seed:1 ~prob:1.0 ~severity:1.0 in
   Alcotest.(check bool) "all down -> None" true
     (Condition.graph_at killer ~step:0 g = None)
+
+let test_graph_at_none_only_when_all_down () =
+  (* graph_at is None exactly when every arc's effective capacity is 0;
+     a partially degraded step yields Some g' containing exactly the
+     live arcs at their effective capacities. *)
+  let g =
+    Ocd_graph.Digraph.of_edges ~vertex_count:4 [ (0, 1, 4); (1, 2, 4); (2, 3, 4) ]
+  in
+  let c = Condition.link_flaps ~seed:17 ~down_prob:0.4 ~up_prob:0.4 in
+  let arcs = Ocd_graph.Digraph.arcs g in
+  for step = 0 to 40 do
+    let live =
+      List.filter_map
+        (fun (a : Ocd_graph.Digraph.arc) ->
+          let eff =
+            Condition.effective c ~step ~src:a.Ocd_graph.Digraph.src
+              ~dst:a.Ocd_graph.Digraph.dst ~base:a.Ocd_graph.Digraph.capacity
+          in
+          if eff > 0 then Some (a.Ocd_graph.Digraph.src, a.Ocd_graph.Digraph.dst, eff)
+          else None)
+        arcs
+    in
+    match Condition.graph_at c ~step g with
+    | None ->
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "step %d: None iff no live arcs" step)
+        [] live
+    | Some g' ->
+      Alcotest.(check bool)
+        (Printf.sprintf "step %d: Some implies live arcs" step)
+        true (live <> []);
+      Alcotest.(check int)
+        (Printf.sprintf "step %d: arc count" step)
+        (List.length live)
+        (Ocd_graph.Digraph.arc_count g');
+      List.iter
+        (fun (src, dst, eff) ->
+          Alcotest.(check int)
+            (Printf.sprintf "step %d: capacity of %d->%d" step src dst)
+            eff
+            (Ocd_graph.Digraph.capacity g' src dst))
+        live
+  done
 
 let test_condition_invalid_params () =
   Alcotest.check_raises "bad prob"
@@ -226,7 +297,12 @@ let () =
             test_link_flaps_order_independent;
           Alcotest.test_case "churn protects sources" `Quick
             test_churn_protects_sources;
+          qtest prop_churn_protected_invariant;
+          Alcotest.test_case "churn unprotected departs" `Quick
+            test_churn_unprotected_eventually_departs;
           Alcotest.test_case "graph_at" `Quick test_graph_at;
+          Alcotest.test_case "graph_at none iff all down" `Quick
+            test_graph_at_none_only_when_all_down;
           Alcotest.test_case "invalid params" `Quick test_condition_invalid_params;
         ] );
       ( "dynamic-engine",

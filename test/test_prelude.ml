@@ -127,7 +127,34 @@ let test_prng_invalid_args () =
     (fun () -> ignore (Prng.int_in g 3 2));
   Alcotest.check_raises "empty pick"
     (Invalid_argument "Prng.pick: empty array") (fun () ->
-      ignore (Prng.pick g [||]))
+      ignore (Prng.pick g [||]));
+  Alcotest.check_raises "exponential mean 0"
+    (Invalid_argument "Prng.exponential: mean must be positive") (fun () ->
+      ignore (Prng.exponential g ~mean:0.0))
+
+let test_prng_exponential_deterministic () =
+  let a = Prng.create ~seed:11 and b = Prng.create ~seed:11 in
+  for _ = 1 to 50 do
+    Alcotest.(check (float 0.0))
+      "same draws"
+      (Prng.exponential a ~mean:8.0)
+      (Prng.exponential b ~mean:8.0)
+  done
+
+let test_prng_exponential_distribution () =
+  let g = Prng.create ~seed:12 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.exponential g ~mean:8.0 in
+    Alcotest.(check bool) "non-negative" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  (* stderr of the sample mean is mean/sqrt(n) ~ 0.036; 0.3 is ~8 sigma *)
+  Alcotest.(check bool) "sample mean near 8"
+    true
+    (Float.abs (mean -. 8.0) < 0.3)
 
 (* ------------------------------------------------------------------ *)
 (* Bitset                                                              *)
@@ -376,6 +403,47 @@ let test_pqueue_growth () =
   | Some (1, 1) -> ()
   | _ -> Alcotest.fail "min across growth")
 
+let test_pqueue_fifo_ties () =
+  (* Equal priorities drain in insertion order — the discrete-event
+     simulator's determinism rests on this. *)
+  let q = Pqueue.create () in
+  List.iter (fun x -> Pqueue.push q ~priority:1 x) [ "a"; "b"; "c"; "d" ];
+  Pqueue.push q ~priority:0 "head";
+  List.iter (fun x -> Pqueue.push q ~priority:1 x) [ "e"; "f" ];
+  let drained = List.init 7 (fun _ -> Option.get (Pqueue.pop q) |> snd) in
+  Alcotest.(check (list string))
+    "FIFO within a priority"
+    [ "head"; "a"; "b"; "c"; "d"; "e"; "f" ]
+    drained
+
+let test_pqueue_fifo_ties_interleaved () =
+  (* Ties stay FIFO even when pops interleave with pushes. *)
+  let q = Pqueue.create () in
+  Pqueue.push q ~priority:2 "x1";
+  Pqueue.push q ~priority:2 "x2";
+  (match Pqueue.pop q with
+  | Some (2, "x1") -> ()
+  | _ -> Alcotest.fail "first push first");
+  Pqueue.push q ~priority:2 "x3";
+  Alcotest.(check (list string))
+    "remaining order" [ "x2"; "x3" ]
+    (List.init 2 (fun _ -> Option.get (Pqueue.pop q) |> snd))
+
+let prop_pqueue_stable =
+  QCheck.Test.make ~name:"pqueue ties drain in insertion order" ~count:200
+    QCheck.(list (int_range 0 3))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iteri (fun i k -> Pqueue.push q ~priority:k (k, i)) keys;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (_, x) -> drain (x :: acc)
+      in
+      (* sorting (key, insertion index) pairs lexicographically is
+         exactly stable-by-key order *)
+      drain [] = List.sort compare (List.mapi (fun i k -> (k, i)) keys))
+
 (* ------------------------------------------------------------------ *)
 (* Order                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -437,6 +505,10 @@ let () =
           Alcotest.test_case "sample full" `Quick test_sample_full;
           Alcotest.test_case "pick singleton" `Quick test_pick_singleton;
           Alcotest.test_case "invalid args" `Quick test_prng_invalid_args;
+          Alcotest.test_case "exponential deterministic" `Quick
+            test_prng_exponential_deterministic;
+          Alcotest.test_case "exponential distribution" `Quick
+            test_prng_exponential_distribution;
         ] );
       ( "bitset",
         [
@@ -477,7 +549,11 @@ let () =
           Alcotest.test_case "peek" `Quick test_pqueue_peek;
           Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
           Alcotest.test_case "growth" `Quick test_pqueue_growth;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "fifo ties interleaved" `Quick
+            test_pqueue_fifo_ties_interleaved;
           qtest prop_pqueue_sorts;
+          qtest prop_pqueue_stable;
         ] );
       ( "order",
         [
