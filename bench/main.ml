@@ -141,6 +141,21 @@ let micro_tests () =
                 ~protocol:(Ocd_async.Local_rarest.protocol ())
                 ~seed:7 inst_async)))
   in
+  (* The same run under a crash-recovery fault plan: the cost delta over
+     async/run-local-rarest is the fault machinery (epoch checks, crash
+     and restart handling, failure-detector bookkeeping, refetch). *)
+  let async_faulted_test =
+    let faults =
+      Ocd_dynamics.Faults.crashes ~seed:9 ~protected:[ 0 ] ~crash_prob:0.05
+        ~recover_prob:0.5 ()
+    in
+    Test.make ~name:"async/run-local-rarest-crashes"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_async.Runtime.run ~faults ~round_limit:400
+                ~protocol:(Ocd_async.Local_rarest.protocol ())
+                ~seed:7 inst_async)))
+  in
   (* Substrate: steiner tree on an evaluation-size graph. *)
   let steiner_test =
     let rng = Prng.create ~seed:5 in
@@ -164,7 +179,7 @@ let micro_tests () =
       steiner_test;
     ]
   @ async_tests
-  @ [ async_lockstep_test ]
+  @ [ async_lockstep_test; async_faulted_test ]
 
 let run_micro () =
   let open Bechamel in

@@ -9,7 +9,9 @@
      ocd experiment — run an extension experiment
      ocd export     — dump a workload/schedule in the text codec
      ocd trace      — render a run's progress timeline
-     ocd async      — run the asynchronous message-passing protocols *)
+     ocd async      — run the asynchronous message-passing protocols
+     ocd chaos      — crash-recovery robustness campaign for the async
+                      protocols *)
 
 open Cmdliner
 open Ocd_core
@@ -543,6 +545,62 @@ let async_cmd =
       $ protocol_arg $ profile_arg $ loss_arg $ pace_arg $ condition_arg
       $ jobs_arg)
 
+(* ---------------------- ocd chaos ---------------------------------- *)
+
+let chaos_cmd =
+  let run seed grid_name n tokens trials jobs =
+    let base =
+      match grid_name with
+      | "smoke" -> Ocd_bench.Chaos.smoke_grid
+      | "default" -> Ocd_bench.Chaos.default_grid
+      | other ->
+        Printf.eprintf "unknown grid %S (expected smoke or default)\n" other;
+        exit 2
+    in
+    let grid =
+      {
+        base with
+        Ocd_bench.Chaos.n = (match n with Some n -> n | None -> base.Ocd_bench.Chaos.n);
+        tokens = (match tokens with Some m -> m | None -> base.Ocd_bench.Chaos.tokens);
+        trials = (match trials with Some t -> t | None -> base.Ocd_bench.Chaos.trials);
+      }
+    in
+    Ocd_bench.Chaos.report ~jobs ~seed grid
+  in
+  let grid_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "grid" ] ~docv:"GRID"
+          ~doc:"Campaign grid: smoke (tiny, for CI) or default.")
+  in
+  let n_override =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Override the grid's vertex count.")
+  in
+  let tokens_override =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tokens" ] ~docv:"M" ~doc:"Override the grid's token count.")
+  in
+  let trials_override =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"T" ~doc:"Override trials per grid cell.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the chaos campaign: a parallel sweep of the async protocols \
+          over loss, link flaps, churn and node crash-recovery faults, with \
+          per-cell robustness aggregates and stall diagnoses")
+    Term.(
+      const run $ seed_arg $ grid_arg $ n_override $ tokens_override
+      $ trials_override $ jobs_arg)
+
 (* ---------------------- ocd trace ---------------------------------- *)
 
 let trace_cmd =
@@ -603,4 +661,5 @@ let () =
             export_cmd;
             trace_cmd;
             async_cmd;
+            chaos_cmd;
           ]))

@@ -1,0 +1,22 @@
+type t = {
+  now : unit -> int;
+  timeout : int;
+  last : int array;
+}
+
+let create ~now ~timeout ~n =
+  if timeout <= 0 then invalid_arg "Detector.create: timeout must be positive";
+  { now; timeout; last = Array.make n (now ()) }
+
+let heard t peer = t.last.(peer) <- t.now ()
+
+let suspected t peer = t.now () - t.last.(peer) > t.timeout
+
+let last_heard t peer = t.last.(peer)
+
+let suspects t =
+  let acc = ref [] in
+  for peer = Array.length t.last - 1 downto 0 do
+    if suspected t peer then acc := peer :: !acc
+  done;
+  !acc

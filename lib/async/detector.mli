@@ -1,0 +1,40 @@
+(** Per-node heartbeat/timeout failure detector.
+
+    Each protocol node owns one detector over the peers it depends on
+    (providers it pulls from, receivers it pushes to).  Suspicion is
+    purely local and unreliable in the classic sense: a peer is
+    {e suspected} once nothing has been heard from it for [timeout]
+    ticks.  There is no separate heartbeat message — the periodic
+    traffic every protocol already emits (announcements, state floods,
+    acks) doubles as the liveness signal, so the detector costs no
+    bandwidth; protocols call {!heard} from their message handler and
+    consult {!suspected} when choosing peers.
+
+    Suspicion is self-healing: any later message from the peer (e.g.
+    the re-announce a restarted node sends from [on_start]) clears it.
+    False suspicion of a slow-but-live peer merely redirects requests,
+    which the peer's next message undoes — detectors never exclude a
+    peer permanently.
+
+    Creation counts as contact: a peer is only suspected after a full
+    [timeout] of silence from the detector's birth, so nodes do not
+    suspect the whole world at tick 0. *)
+
+type t
+
+val create : now:(unit -> int) -> timeout:int -> n:int -> t
+(** [create ~now ~timeout ~n] tracks peers [0 .. n-1]; [now] is the
+    owner's clock (typically [ctx.now]).
+    @raise Invalid_argument unless [timeout > 0]. *)
+
+val heard : t -> int -> unit
+(** Record a sign of life from the peer (any received message). *)
+
+val suspected : t -> int -> bool
+(** Has the peer been silent for more than [timeout] ticks? *)
+
+val last_heard : t -> int -> int
+(** Tick of the last sign of life (creation tick if none yet). *)
+
+val suspects : t -> int list
+(** Currently suspected peers, ascending.  For diagnosis displays. *)

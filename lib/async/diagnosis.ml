@@ -1,0 +1,127 @@
+open Ocd_prelude
+open Ocd_core
+module Digraph = Ocd_graph.Digraph
+module Condition = Ocd_dynamics.Condition
+module Faults = Ocd_dynamics.Faults
+
+type verdict = Unsatisfiable_window | Gave_up | Protocol_stall
+
+type t = {
+  outstanding : (int * int list) list;
+  dead_at_horizon : int list;
+  failed_jobs : int;
+  sampled_rounds : int;
+  partitioned_rounds : int;
+  last_partition : int option;
+  quiescent : bool;
+  verdict : verdict;
+}
+
+let max_samples = 64
+
+(* Vertices that can reach [target] in [g]: reverse BFS over pred. *)
+let reaches g target =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  seen.(target) <- true;
+  let queue = Queue.create () in
+  Queue.add target queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (u, _) ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.add u queue
+        end)
+      (Digraph.pred g v)
+  done;
+  seen
+
+let diagnose ~(instance : Instance.t) ~condition ~faults ~have ~rounds
+    ~failed_jobs ~quiescent =
+  let n = Instance.vertex_count instance in
+  let outstanding =
+    List.filter_map
+      (fun v ->
+        let missing = Bitset.diff instance.Instance.want.(v) have.(v) in
+        if Bitset.is_empty missing then None
+        else Some (v, Bitset.elements missing))
+      (List.init n (fun v -> v))
+  in
+  let dead_at_horizon =
+    List.filter
+      (fun v -> not (Faults.up faults ~round:(max 0 (rounds - 1)) v))
+      (List.init n (fun v -> v))
+  in
+  (* Partition analysis: in the effective topology of a sampled round
+     (condition and crashed nodes applied), can every outstanding want
+     still be served by some initial holder?  Initial holders survive
+     both durability models, so they are sound witnesses. *)
+  let effective = Condition.compose condition (Faults.to_condition faults) in
+  let stride = max 1 (rounds / max_samples) in
+  let sampled = ref 0 in
+  let partitioned = ref 0 in
+  let last_partition = ref None in
+  let round = ref 0 in
+  while !round < rounds do
+    incr sampled;
+    let cut =
+      match Condition.graph_at effective ~step:!round instance.Instance.graph with
+      | None -> outstanding <> []
+      | Some g ->
+          List.exists
+            (fun (v, tokens) ->
+              let reach = reaches g v in
+              List.exists
+                (fun token ->
+                  not
+                    (List.exists
+                       (fun holder -> reach.(holder))
+                       (Instance.holders instance token)))
+                tokens)
+            outstanding
+    in
+    if cut then begin
+      incr partitioned;
+      last_partition := Some !round
+    end;
+    round := !round + stride
+  done;
+  let verdict =
+    if !partitioned > 0 then Unsatisfiable_window
+    else if failed_jobs > 0 || quiescent then Gave_up
+    else Protocol_stall
+  in
+  {
+    outstanding;
+    dead_at_horizon;
+    failed_jobs;
+    sampled_rounds = !sampled;
+    partitioned_rounds = !partitioned;
+    last_partition = !last_partition;
+    quiescent;
+    verdict;
+  }
+
+let verdict_name = function
+  | Unsatisfiable_window -> "unsat-window"
+  | Gave_up -> "gave-up"
+  | Protocol_stall -> "protocol-stall"
+
+let summary d =
+  let wants = List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0 d.outstanding in
+  Printf.sprintf
+    "%s: %d wants outstanding at %d nodes; partitioned %d/%d sampled rounds%s; \
+     dead={%s}; failed_jobs=%d%s"
+    (verdict_name d.verdict) wants
+    (List.length d.outstanding)
+    d.partitioned_rounds d.sampled_rounds
+    (match d.last_partition with
+    | Some r -> Printf.sprintf " (last at round %d)" r
+    | None -> "")
+    (String.concat "," (List.map string_of_int d.dead_at_horizon))
+    d.failed_jobs
+    (if d.quiescent then "; quiescent before horizon" else "")
+
+let pp ppf d = Format.pp_print_string ppf (summary d)

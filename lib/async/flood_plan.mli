@@ -19,11 +19,30 @@
 
     Reliability: every planned [Data] is acknowledged; an unacked send
     retries after [2 * pace] ticks, at most {!max_attempts} attempts,
-    each retry counting a retransmission.  A planned move whose token
-    has not yet arrived at the sender is deferred to the next round. *)
+    each retry counting a retransmission — exhausting the attempts
+    abandons the move and reports it through [ctx.give_up].  A planned
+    move whose token has not yet arrived at the sender is deferred to
+    the next round.
+
+    Crash recovery.  A restarted node re-floods from scratch; its
+    partial [State] tells previously-quiesced neighbours to resume
+    flooding (the recovery handshake), and re-enqueueing its plan
+    cursor from round 0 replays its assigned sends (duplicates are
+    acked away).  The destination side is covered by a {e fallback
+    pull}: once a wanted token is {!refetch_grace} rounds overdue
+    against the plan — its assigned sender crashed, or the token was
+    lost in our own crash after its slot passed — the node requests it
+    directly, rotating through in-neighbours and preferring peers its
+    {!Detector} still trusts.  Any holder answers a [Request] with
+    [Data].  The fallback draws no randomness and never triggers in a
+    lockstep no-fault run. *)
 
 val max_attempts : int
 (** Per planned move, including the first send (8). *)
+
+val refetch_grace : int
+(** Rounds past a token's planned arrival before the destination
+    starts pulling it itself (4). *)
 
 val protocol : unit -> Protocol.t
 (** Name ["flood-plan"].  The returned value caches the shared plan

@@ -7,20 +7,23 @@ module Digraph = Ocd_graph.Digraph
    Determinism of the differential test hangs on both callers driving
    this with identical rng states and identical views, so every random
    draw lives here. *)
-let requests ~rng ~token_count ~have ~eligible ~preds ~known =
+let requests ~rng ~token_count ~have ~eligible ~alive ~preds ~known =
   let missing = Bitset.diff (Bitset.full token_count) have in
   if Bitset.is_empty missing then []
   else begin
     (* Ascending neighbour-local rarity, random tie-breaks: shuffle
        once, then stable-sort by believed holder count (the same
-       shape as the synchronous heuristic's global rarity order). *)
+       shape as the synchronous heuristic's global rarity order).
+       Suspected-dead peers are invisible: they contribute neither to
+       rarity nor to the candidate pool, so the node re-targets live
+       holders instead of backing off against a corpse. *)
     let tokens = Array.of_list (Bitset.elements missing) in
     Prng.shuffle rng tokens;
     let rarity token =
       Array.fold_left
         (fun acc (u, _) ->
           match known u with
-          | Some s when Bitset.mem s token -> acc + 1
+          | Some s when alive u && Bitset.mem s token -> acc + 1
           | _ -> acc)
         0 preds
     in
@@ -33,7 +36,7 @@ let requests ~rng ~token_count ~have ~eligible ~preds ~known =
           let candidates = ref [] in
           Array.iteri
             (fun i (u, _) ->
-              if budget.(i) > 0 then
+              if budget.(i) > 0 && alive u then
                 match known u with
                 | Some s when Bitset.mem s token ->
                     candidates := i :: !candidates
@@ -67,6 +70,15 @@ let protocol () =
        backoff keeps growing across timeouts. *)
     let pending : (int, int) Hashtbl.t = Hashtbl.create 8 in
     let attempts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    (* token -> the holder the pending request targets, so a suspected
+       crash releases the token for immediate re-targeting instead of
+       waiting out its exponential backoff. *)
+    let target : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    (* Announce traffic doubles as heartbeats: every in-neighbour talks
+       at least once per round, so a few silent rounds mean it is down
+       (or unreachable, which warrants re-targeting just the same). *)
+    let detector = Detector.create ~now:ctx.now ~timeout:(4 * ctx.pace) ~n in
+    let alive u = not (Detector.suspected detector u) in
     let eligible token =
       match Hashtbl.find_opt pending token with
       | None -> true
@@ -74,9 +86,19 @@ let protocol () =
     in
     let decide () =
       if not (ctx.finished ()) then begin
+        let stale =
+          Hashtbl.fold
+            (fun token holder acc -> if alive holder then acc else token :: acc)
+            target []
+        in
+        List.iter
+          (fun token ->
+            Hashtbl.remove pending token;
+            Hashtbl.remove target token)
+          stale;
         let picks =
           requests ~rng:ctx.rng ~token_count:inst.token_count
-            ~have:(ctx.have_copy ()) ~eligible ~preds
+            ~have:(ctx.have_copy ()) ~eligible ~alive ~preds
             ~known:(fun u -> belief.(u))
         in
         List.iter
@@ -88,6 +110,7 @@ let protocol () =
             Hashtbl.replace attempts token (a + 1);
             let backoff = ctx.pace * (1 lsl min a max_backoff_exp) in
             Hashtbl.replace pending token (ctx.now () + backoff);
+            Hashtbl.replace target token holder;
             ctx.send ~dst:holder (Message.Request token))
           picks
       end
@@ -103,12 +126,14 @@ let protocol () =
       end
     in
     let on_message ~src msg =
+      Detector.heard detector src;
       match msg with
       | Message.Announce s -> belief.(src) <- Some s
       | Message.Request token ->
           if ctx.has token then ctx.send ~dst:src (Message.Data token)
       | Message.Data token ->
           Hashtbl.remove pending token;
+          Hashtbl.remove target token;
           ignore (ctx.receive ~src token)
       | Message.Ack _ | Message.State _ -> ()
     in
@@ -128,6 +153,7 @@ let sync_strategy ~seed =
           requests ~rng:rngs.(dst) ~token_count:inst.Instance.token_count
             ~have:ctx.have.(dst)
             ~eligible:(fun _ -> true)
+            ~alive:(fun _ -> true)
             ~preds:(Digraph.pred graph dst)
             ~known:(fun u -> Some ctx.have.(u))
         in

@@ -13,6 +13,14 @@
     ([pace * 2^min(attempts, 6)] ticks) and re-issues, counting a
     retransmission.  Duplicate data is suppressed by the runtime.
 
+    Failure detection: announce traffic doubles as heartbeats.  An
+    in-neighbour silent for more than four rounds is suspected dead
+    ({!Detector}): it stops contributing to rarity counts and to the
+    candidate pool, and any request pending against it is released
+    immediately — the node re-targets another believed holder instead
+    of riding the exponential backoff against a crashed peer.  A
+    restarted neighbour clears its suspicion with its first announce.
+
     The decision core is shared with {!sync_strategy}, the synchronous
     twin used by the differential test: under {!Net.lockstep} (zero
     latency, zero loss, no pacing) announcements deliver perfect

@@ -27,16 +27,21 @@ type t = {
   condition : Condition.t;
   seed : int;
   deliver : src:int -> dst:int -> Message.t -> unit;
+  node_up : int -> bool;
+  node_epoch : int -> int;
   arcs : (int, arc_state) Hashtbl.t;
   mutable data_sent : int;
   mutable control_sent : int;
   mutable dropped : int;
+  mutable fault_dropped : int;
 }
 
-let create ~sim ~graph ~profile ~condition ~seed ~deliver =
+let create ~sim ~graph ~profile ~condition ~seed ?(node_up = fun _ -> true)
+    ?(node_epoch = fun _ -> 0) ~deliver () =
   if profile.pace <= 0 then invalid_arg "Net.create: pace must be positive";
-  { sim; graph; profile; condition; seed; deliver;
-    arcs = Hashtbl.create 64; data_sent = 0; control_sent = 0; dropped = 0 }
+  { sim; graph; profile; condition; seed; deliver; node_up; node_epoch;
+    arcs = Hashtbl.create 64; data_sent = 0; control_sent = 0; dropped = 0;
+    fault_dropped = 0 }
 
 let arc_state net ~src ~dst =
   let key = (src * Digraph.vertex_count net.graph) + dst in
@@ -72,11 +77,25 @@ let delay net state ~capacity =
 let lost net state =
   net.profile.loss > 0.0 && Prng.bernoulli state.rng net.profile.loss
 
+(* A message is bound to the incarnations of both endpoints at send
+   time: if either crashes while it is in flight, it never arrives —
+   even when the endpoint has already restarted.  This is what makes a
+   crash lose in-flight state rather than merely delaying it. *)
+let schedule_delivery net ~src ~dst ~arrive msg =
+  let src_epoch = net.node_epoch src and dst_epoch = net.node_epoch dst in
+  Sim.at net.sim arrive (fun () ->
+      if net.node_epoch src = src_epoch && net.node_epoch dst = dst_epoch then
+        net.deliver ~src ~dst msg
+      else net.fault_dropped <- net.fault_dropped + 1)
+
 let send net ~src ~dst msg =
   let now = Sim.now net.sim in
   let round = now / net.profile.pace in
   let state = arc_state net ~src ~dst in
-  if Message.is_data msg then begin
+  if not (net.node_up src && net.node_up dst) then
+    (* a crashed endpoint: nothing departs, nothing is received *)
+    net.fault_dropped <- net.fault_dropped + 1
+  else if Message.is_data msg then begin
     let eff = effective net ~round ~src ~dst in
     if eff = 0 || lost net state then net.dropped <- net.dropped + 1
     else begin
@@ -90,7 +109,7 @@ let send net ~src ~dst msg =
         else now
       in
       let arrive = depart + delay net state ~capacity:eff in
-      Sim.at net.sim arrive (fun () -> net.deliver ~src ~dst msg)
+      schedule_delivery net ~src ~dst ~arrive msg
     end
   end
   else begin
@@ -108,10 +127,11 @@ let send net ~src ~dst msg =
           (Digraph.capacity net.graph dst src)
       in
       let arrive = now + delay net state ~capacity:cap in
-      Sim.at net.sim arrive (fun () -> net.deliver ~src ~dst msg)
+      schedule_delivery net ~src ~dst ~arrive msg
     end
   end
 
 let data_sent net = net.data_sent
 let control_sent net = net.control_sent
 let dropped net = net.dropped
+let fault_dropped net = net.fault_dropped

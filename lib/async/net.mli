@@ -50,13 +50,26 @@ val create :
   profile:profile ->
   condition:Ocd_dynamics.Condition.t ->
   seed:int ->
+  ?node_up:(int -> bool) ->
+  ?node_epoch:(int -> int) ->
   deliver:(src:int -> dst:int -> Message.t -> unit) ->
+  unit ->
   t
-(** [deliver] is invoked from simulator events as messages arrive. *)
+(** [deliver] is invoked from simulator events as messages arrive.
+
+    The two optional hooks wire in the crash–recovery fault model
+    (both default to "always up, epoch 0"):
+    - [node_up v]: is [v] currently up?  Messages to or from a down
+      node are dropped at send time.
+    - [node_epoch v]: [v]'s incarnation number.  Each message captures
+      both endpoints' epochs when sent; if either has changed by
+      arrival time (the node crashed while the message was in flight),
+      the message is dropped instead of delivered — a restart does not
+      resurrect in-flight state. *)
 
 val send : t -> src:int -> dst:int -> Message.t -> unit
-(** Fire-and-forget.  May silently drop (loss, link down); protocols
-    own retries. *)
+(** Fire-and-forget.  May silently drop (loss, link down, crashed
+    endpoint); protocols own retries. *)
 
 val arc_latency : profile -> capacity:int -> int
 (** Deterministic base latency of an arc (no jitter), exposed for
@@ -66,3 +79,7 @@ val data_sent : t -> int
 val control_sent : t -> int
 val dropped : t -> int
 (** Messages lost to the loss coin or to a downed link. *)
+
+val fault_dropped : t -> int
+(** Messages lost to node crashes: sent to/from a down node, or in
+    flight across an endpoint's crash. *)

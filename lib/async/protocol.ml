@@ -5,6 +5,7 @@ type ctx = {
   instance : Instance.t;
   vertex : int;
   seed : int;
+  epoch : int;
   rng : Prng.t;
   pace : int;
   now : unit -> int;
@@ -14,6 +15,7 @@ type ctx = {
   have_copy : unit -> Bitset.t;
   receive : src:int -> int -> bool;
   note_retransmission : unit -> unit;
+  give_up : unit -> unit;
   finished : unit -> bool;
 }
 
@@ -30,3 +32,9 @@ type t = {
 (* Same prime-multiply mixing as Condition's coin; SplitMix64's
    finaliser then decorrelates the consecutive seeds. *)
 let node_rng ~seed v = Prng.create ~seed:((seed * 1_000_003) + v)
+
+(* Epoch 0 must be byte-compatible with node_rng: the no-fault path
+   (and the lockstep differential test) depends on it. *)
+let incarnation_rng ~seed ~epoch v =
+  if epoch = 0 then node_rng ~seed v
+  else node_rng ~seed:(seed + (epoch * 65_537)) v

@@ -25,18 +25,33 @@ type ctx = {
   seed : int;
       (** the run seed — shared knowledge, like the topology; lets
           nodes that reconstruct the instance derive identical plans *)
-  rng : Prng.t;  (** private stream, derived from the run seed *)
+  epoch : int;
+      (** incarnation number: 0 for the initial boot, incremented per
+          crash–restart.  A node's protocol state never survives an
+          epoch change; anything the node "remembers" across epochs is
+          a bug in the fault model. *)
+  rng : Prng.t;
+      (** private stream, derived from the run seed and the epoch — a
+          restarted node does not replay its previous incarnation's
+          draws *)
   pace : int;  (** ticks per round, from the network profile *)
   now : unit -> int;
-  after : int -> (unit -> unit) -> unit;  (** relative-time timer *)
+  after : int -> (unit -> unit) -> unit;
+      (** relative-time timer.  Timers die with the incarnation that
+          set them: a callback scheduled before a crash never fires. *)
   send : dst:int -> Message.t -> unit;
   has : int -> bool;  (** own possession test *)
   have_copy : unit -> Bitset.t;  (** snapshot of own possession *)
   receive : src:int -> int -> bool;
       (** hand a received token to the runtime: updates possession,
-          counts it fresh or duplicate, and logs the schedule move;
-          [true] iff fresh *)
+          counts it, and logs the schedule move; [true] iff possession
+          changed (first delivery, or re-delivery of a token lost in a
+          crash) *)
   note_retransmission : unit -> unit;  (** metric hook *)
+  give_up : unit -> unit;
+      (** metric hook: the node permanently abandoned a transfer it was
+          responsible for (e.g. a planned job out of retry attempts).
+          Feeds [failed_jobs] and the stall diagnosis. *)
   finished : unit -> bool;  (** all wants satisfied, globally *)
 }
 
@@ -57,3 +72,8 @@ val node_rng : seed:int -> int -> Prng.t
 (** [node_rng ~seed v] is vertex [v]'s private stream.  Exposed so the
     lockstep differential test can drive a synchronous strategy from
     the exact same streams (see {!Local_rarest.sync_strategy}). *)
+
+val incarnation_rng : seed:int -> epoch:int -> int -> Prng.t
+(** The stream of vertex [v]'s [epoch]-th incarnation.  Epoch 0 is
+    exactly {!node_rng} (the no-fault path is unchanged); later epochs
+    are decorrelated so a restarted node explores fresh randomness. *)

@@ -1,6 +1,7 @@
 open Ocd_prelude
 open Ocd_core
 module Condition = Ocd_dynamics.Condition
+module Faults = Ocd_dynamics.Faults
 
 type outcome = Completed | Timed_out
 
@@ -18,6 +19,13 @@ type run = {
   control_messages : int;
   retransmissions : int;
   dropped_messages : int;
+  fault_dropped : int;
+  crashes : int;
+  restarts : int;
+  lost_tokens : int;
+  failed_jobs : int;
+  limit_hit : bool;
+  diagnosis : Diagnosis.t option;
   goodput : float;
   events : int;
 }
@@ -28,8 +36,8 @@ let default_round_limit (inst : Instance.t) =
   let n = Instance.vertex_count inst in
   min ((inst.token_count * (n - 1)) + n + 64) 1_000_000
 
-let run ?(profile = Net.default) ?(condition = Condition.static) ?round_limit
-    ~(protocol : Protocol.t) ~seed inst =
+let run ?(profile = Net.default) ?(condition = Condition.static)
+    ?(faults = Faults.none) ?round_limit ~(protocol : Protocol.t) ~seed inst =
   let n = Instance.vertex_count inst in
   let round_limit =
     match round_limit with Some l -> l | None -> default_round_limit inst
@@ -39,33 +47,104 @@ let run ?(profile = Net.default) ?(condition = Condition.static) ?round_limit
   let horizon = (round_limit * pace) - 1 in
   let sim = Sim.create () in
   let have = Array.map Bitset.copy inst.Instance.have in
-  let tracker = Timeline.Tracker.create inst in
+  (* Satisfaction accounting lives here rather than in
+     Timeline.Tracker: the tracker is monotonic by design, and a crash
+     under Lost_unless_source durability *removes* tokens, which must
+     re-open the victim's deficit. *)
+  let delivered_ever = Array.init n (fun _ -> Bitset.create inst.Instance.token_count) in
+  let node_deficit = Array.init n (fun v -> Bitset.cardinal (Instance.deficit inst v)) in
+  let unsatisfied =
+    ref (Array.fold_left (fun acc d -> if d > 0 then acc + 1 else acc) 0 node_deficit)
+  in
+  let completion = ref (if !unsatisfied = 0 then Some 0 else None) in
   let duplicates = ref 0 in
   let retransmissions = ref 0 in
-  let completion = ref (if Timeline.Tracker.all_satisfied tracker then Some 0 else None) in
+  let failed_jobs = ref 0 in
+  let fresh = ref 0 in
+  let crashes = ref 0 in
+  let restarts = ref 0 in
+  let lost_tokens = ref 0 in
   let buckets : (int, Move.t list ref) Hashtbl.t = Hashtbl.create 64 in
-  let log_move ~round move =
-    let bucket =
-      match Hashtbl.find_opt buckets round with
-      | Some b -> b
-      | None ->
-          let b = ref [] in
-          Hashtbl.add buckets round b;
-          b
+  let max_logged_round = ref 0 in
+  (* Round from which a vertex's possession of a token is visible to
+     the schedule replay: its start for initial content, the boundary
+     after the logged delivery otherwise.  Arrival-round bucketing
+     alone is not schedule-valid — with latency a node can receive and
+     forward a token within one round, and the §3.1 constraints demand
+     the sender hold it at the {e start} of the forwarding step — so a
+     forward is logged at [max (arrival round) (sender visibility)].
+     In lockstep runs the two always coincide (the differential test
+     shows the schedule is step-identical to a valid engine run). *)
+  let visible_from =
+    Array.init n (fun v ->
+        Array.init inst.Instance.token_count (fun token ->
+            if Bitset.mem inst.Instance.have.(v) token then 0 else max_int))
+  in
+  let bucket_for round =
+    match Hashtbl.find_opt buckets round with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add buckets round b;
+        b
+  in
+  let log_move ~round (move : Move.t) =
+    (* Retry bunching (or the visibility shift itself) can pile more
+       arrivals onto an arc-round than the arc's capacity, and a token
+       lost to a crash can be re-delivered on the same arc twice; both
+       would make the emitted schedule invalid.  Slide the move to the
+       earliest round that respects visibility, set semantics and
+       capacity — replay possession is monotonic, so re-timing a
+       delivery later never invalidates downstream moves. *)
+    let capacity =
+      Ocd_graph.Digraph.capacity inst.Instance.graph move.src move.dst
     in
-    bucket := move :: !bucket
+    let round = ref (max round visible_from.(move.src).(move.token)) in
+    let placed = ref false in
+    let duplicate = ref (capacity <= 0) in
+    while (not !placed) && not !duplicate do
+      let bucket = bucket_for !round in
+      let on_arc = ref 0 in
+      List.iter
+        (fun (m : Move.t) ->
+          if m.src = move.src && m.dst = move.dst then begin
+            incr on_arc;
+            if m.token = move.token then duplicate := true
+          end)
+        !bucket;
+      if !duplicate then ()
+      else if !on_arc < capacity then begin
+        bucket := move :: !bucket;
+        placed := true
+      end
+      else incr round
+    done;
+    if !placed then begin
+      max_logged_round := max !max_logged_round !round;
+      visible_from.(move.dst).(move.token) <-
+        min visible_from.(move.dst).(move.token) (!round + 1)
+    end
   in
   let handlers : Protocol.handlers option array = Array.make n None in
+  (* Crash–recovery state: incarnation epochs (bumped per crash so the
+     transport can kill in-flight messages), current up/down status,
+     and each live incarnation's kill switch for its pending timers. *)
+  let epoch = Array.make n 0 in
+  let up_now = Array.make n true in
+  let alive : bool ref array = Array.init n (fun _ -> ref true) in
   let deliver ~src ~dst msg =
     match handlers.(dst) with
     | Some h -> h.Protocol.on_message ~src msg
     | None -> ()
   in
   let net =
-    Net.create ~sim ~graph:inst.Instance.graph ~profile ~condition ~seed ~deliver
+    Net.create ~sim ~graph:inst.Instance.graph ~profile ~condition ~seed
+      ~node_up:(fun v -> up_now.(v))
+      ~node_epoch:(fun v -> epoch.(v))
+      ~deliver ()
   in
   let receive v ~src token =
-    if token < 0 || token >= inst.token_count then false
+    if token < 0 || token >= inst.Instance.token_count then false
     else if Bitset.mem have.(v) token then begin
       incr duplicates;
       false
@@ -74,43 +153,109 @@ let run ?(profile = Net.default) ?(condition = Condition.static) ?round_limit
       Bitset.add have.(v) token;
       let round = Sim.now sim / pace in
       log_move ~round { Move.src; dst = v; token };
-      Timeline.Tracker.deliver tracker ~step:(round + 1) ~dst:v ~token;
-      if !completion = None && Timeline.Tracker.all_satisfied tracker then
-        completion := Some (Sim.now sim);
+      if not (Bitset.mem delivered_ever.(v) token) then begin
+        Bitset.add delivered_ever.(v) token;
+        incr fresh
+      end;
+      if Bitset.mem inst.Instance.want.(v) token then begin
+        node_deficit.(v) <- node_deficit.(v) - 1;
+        if node_deficit.(v) = 0 then begin
+          decr unsatisfied;
+          if !unsatisfied = 0 && !completion = None then
+            completion := Some (Sim.now sim)
+        end
+      end;
       true
     end
   in
   let finished () = !completion <> None in
-  for v = 0 to n - 1 do
+  let install v ~epoch:e =
+    let flag = ref true in
+    alive.(v) <- flag;
     let ctx =
       {
         Protocol.instance = inst;
         vertex = v;
         seed;
-        rng = Protocol.node_rng ~seed v;
+        epoch = e;
+        rng = Protocol.incarnation_rng ~seed ~epoch:e v;
         pace;
         now = (fun () -> Sim.now sim);
-        after = (fun d f -> Sim.after sim d f);
-        send = (fun ~dst msg -> Net.send net ~src:v ~dst msg);
+        after = (fun d f -> Sim.after sim d (fun () -> if !flag then f ()));
+        send = (fun ~dst msg -> if !flag then Net.send net ~src:v ~dst msg);
         has = (fun token -> Bitset.mem have.(v) token);
         have_copy = (fun () -> Bitset.copy have.(v));
-        receive = (fun ~src token -> receive v ~src token);
+        receive = (fun ~src token -> if !flag then receive v ~src token else false);
         note_retransmission = (fun () -> incr retransmissions);
+        give_up = (fun () -> incr failed_jobs);
         finished;
       }
     in
-    handlers.(v) <- Some (protocol.Protocol.init ctx)
+    let h = protocol.Protocol.init ctx in
+    handlers.(v) <- Some h;
+    h
+  in
+  let apply_crash v =
+    incr crashes;
+    up_now.(v) <- false;
+    epoch.(v) <- epoch.(v) + 1;
+    alive.(v) := false;
+    handlers.(v) <- None;
+    match Faults.durability faults with
+    | Faults.Durable -> ()
+    | Faults.Lost_unless_source ->
+        let lost = Bitset.diff have.(v) inst.Instance.have.(v) in
+        Bitset.iter
+          (fun token ->
+            Bitset.remove have.(v) token;
+            incr lost_tokens;
+            if Bitset.mem inst.Instance.want.(v) token then begin
+              if node_deficit.(v) = 0 then incr unsatisfied;
+              node_deficit.(v) <- node_deficit.(v) + 1
+            end)
+          lost
+  in
+  let apply_restart v =
+    incr restarts;
+    up_now.(v) <- true;
+    (* The fresh incarnation boots immediately: its on_start runs in
+       the restart's own tick and serves as the recovery handshake
+       (the first thing every protocol does is (re-)announce). *)
+    let h = install v ~epoch:epoch.(v) in
+    h.Protocol.on_start ()
+  in
+  (* Lazily chained fault events: each transition schedules the next,
+     so a completed run drains its queue instead of ploughing through
+     a horizon's worth of pre-booked no-ops. *)
+  let rec schedule_faults v = function
+    | [] -> ()
+    | (r, ev) :: rest ->
+        Sim.at sim (r * pace) (fun () ->
+            if not (finished ()) then begin
+              (match ev with
+              | `Crash -> apply_crash v
+              | `Restart -> apply_restart v);
+              schedule_faults v rest
+            end)
+  in
+  if not (Faults.is_none faults) then
+    for v = 0 to n - 1 do
+      schedule_faults v (Faults.transitions faults ~node:v ~horizon:round_limit)
+    done;
+  for v = 0 to n - 1 do
+    ignore (install v ~epoch:0)
   done;
   for v = 0 to n - 1 do
     match handlers.(v) with
     | Some h -> Sim.at sim 0 h.Protocol.on_start
     | None -> ()
   done;
-  Sim.run ~limit:horizon sim;
+  let stop = Sim.run ~limit:horizon sim in
+  let limit_hit = stop = Sim.Horizon_reached in
   let outcome = if finished () then Completed else Timed_out in
   let rounds =
     match !completion with
-    | Some tick -> (tick / pace) + 1
+    | Some tick -> max (tick / pace) !max_logged_round + 1
     | None -> round_limit
   in
   let schedule =
@@ -122,7 +267,15 @@ let run ?(profile = Net.default) ?(condition = Condition.static) ?round_limit
               | None -> [])))
   in
   let metrics = Metrics.of_schedule inst schedule in
-  let fresh = Timeline.Tracker.fresh_deliveries tracker in
+  let diagnosis =
+    match outcome with
+    | Completed -> None
+    | Timed_out ->
+        Some
+          (Diagnosis.diagnose ~instance:inst ~condition ~faults ~have
+             ~rounds:round_limit ~failed_jobs:!failed_jobs
+             ~quiescent:(not limit_hit))
+  in
   let data = Net.data_sent net in
   {
     protocol_name = protocol.Protocol.name;
@@ -132,21 +285,29 @@ let run ?(profile = Net.default) ?(condition = Condition.static) ?round_limit
     rounds;
     schedule;
     metrics;
-    fresh_deliveries = fresh;
+    fresh_deliveries = !fresh;
     duplicate_deliveries = !duplicates;
     data_messages = data;
     control_messages = Net.control_sent net;
     retransmissions = !retransmissions;
     dropped_messages = Net.dropped net;
-    goodput = (if data = 0 then 0.0 else float_of_int fresh /. float_of_int data);
+    fault_dropped = Net.fault_dropped net;
+    crashes = !crashes;
+    restarts = !restarts;
+    lost_tokens = !lost_tokens;
+    failed_jobs = !failed_jobs;
+    limit_hit;
+    diagnosis;
+    goodput = (if data = 0 then 0.0 else float_of_int !fresh /. float_of_int data);
     events = Sim.events_processed sim;
   }
 
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>%s seed=%d: %s in %d rounds%a@,\
-     fresh=%d dup=%d data=%d control=%d retrans=%d dropped=%d goodput=%.3f \
-     events=%d@]"
+     fresh=%d dup=%d data=%d control=%d retrans=%d dropped=%d+%d goodput=%.3f \
+     events=%d@,\
+     crashes=%d restarts=%d lost_tokens=%d failed_jobs=%d%a@]"
     r.protocol_name r.seed
     (match r.outcome with Completed -> "completed" | Timed_out -> "timed out")
     r.rounds
@@ -155,4 +316,9 @@ let pp ppf r =
       | None -> ())
     r.completion_ticks r.fresh_deliveries r.duplicate_deliveries
     r.data_messages r.control_messages r.retransmissions r.dropped_messages
-    r.goodput r.events
+    r.fault_dropped r.goodput r.events r.crashes r.restarts r.lost_tokens
+    r.failed_jobs
+    (fun ppf -> function
+      | Some d -> Format.fprintf ppf "@,diagnosis: %s" (Diagnosis.summary d)
+      | None -> ())
+    r.diagnosis

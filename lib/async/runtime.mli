@@ -1,8 +1,8 @@
 (** Run a protocol on an instance: wiring, accounting, and results.
 
     The runtime owns the ground truth the protocol nodes cannot see:
-    the possession array, the {!Ocd_core.Timeline.Tracker} that detects
-    global satisfaction, and the delivery log.  Nodes affect it only
+    the possession array, the satisfaction accounting that detects
+    global completion, and the delivery log.  Nodes affect it only
     through [ctx.receive], which classifies each arriving token as
     fresh or duplicate and appends fresh ones to the schedule.
 
@@ -14,10 +14,28 @@
     synchronous engine's convention, so lockstep runs produce
     step-identical schedules (the differential test relies on this).
 
+    {b Crash–recovery.}  With a non-trivial [faults] plan, nodes crash
+    and restart at plan-chosen round boundaries.  A crash is amnesia:
+    the incarnation's handlers are discarded, its pending timers are
+    disarmed, messages in flight to or from it are dropped on arrival
+    (epoch check in {!Net}), and — under
+    {!Ocd_dynamics.Faults.Lost_unless_source} durability — every token
+    the node was not seeded with is erased, re-opening its deficit.  A
+    restart installs a {e fresh} protocol node (epoch-specific PRNG
+    stream, empty protocol state) and runs its [on_start] immediately,
+    which doubles as the recovery handshake: every protocol's first act
+    is to (re-)announce its possession.  Re-deliveries of lost tokens
+    are logged as real schedule moves, so {!Ocd_core.Validate} accepts
+    crash runs unchanged.
+
     {b Determinism.}  A run is a pure function of
-    [(instance, protocol, profile, condition, seed)]: the simulator is
-    single-threaded, its queue breaks ties FIFO, and every random draw
-    comes from a stream derived from the seed per node or per arc. *)
+    [(instance, protocol, profile, condition, faults, seed)]: the
+    simulator is single-threaded, its queue breaks ties FIFO, and every
+    random draw comes from a stream derived from the seed per node, per
+    arc, or per incarnation.  With [faults = Faults.none] the run is
+    event-identical to the pre-fault runtime — the fault machinery
+    contributes no events, no draws, and no closures on the hot path
+    beyond always-true liveness checks. *)
 
 open Ocd_core
 
@@ -41,6 +59,20 @@ type run = {
   control_messages : int;  (** control departures (drops excluded) *)
   retransmissions : int;  (** protocol-reported retries *)
   dropped_messages : int;  (** lost to the loss coin or downed links *)
+  fault_dropped : int;
+      (** dropped because an endpoint was down at send, or crashed
+          while the message was in flight (epoch mismatch at arrival) *)
+  crashes : int;  (** crash events applied *)
+  restarts : int;  (** restart events applied *)
+  lost_tokens : int;
+      (** tokens erased by crashes under [Lost_unless_source] *)
+  failed_jobs : int;
+      (** transfers protocols permanently abandoned (out of retries) *)
+  limit_hit : bool;
+      (** the simulator discarded events beyond the horizon; [false]
+          for a timed-out run means the system went quiescent early *)
+  diagnosis : Diagnosis.t option;
+      (** stall forensics; [Some _] iff the outcome is [Timed_out] *)
   goodput : float;  (** [fresh_deliveries / data_messages]; 0 when idle *)
   events : int;  (** simulator events processed *)
 }
@@ -52,13 +84,15 @@ val default_round_limit : Instance.t -> int
 val run :
   ?profile:Net.profile ->
   ?condition:Ocd_dynamics.Condition.t ->
+  ?faults:Ocd_dynamics.Faults.t ->
   ?round_limit:int ->
   protocol:Protocol.t ->
   seed:int ->
   Instance.t ->
   run
 (** Executes one simulation.  [profile] defaults to {!Net.default},
-    [condition] to {!Ocd_dynamics.Condition.static}. *)
+    [condition] to {!Ocd_dynamics.Condition.static}, [faults] to
+    {!Ocd_dynamics.Faults.none}. *)
 
 val pp : Format.formatter -> run -> unit
 (** One-paragraph human-readable summary. *)

@@ -18,7 +18,10 @@ let after sim d f = at sim (sim.clock + max 0 d) f
 
 let events_processed sim = sim.processed
 
+type stop = Drained | Horizon_reached
+
 let run ?(limit = max_int) sim =
+  let discarded = ref false in
   let rec loop () =
     match Pqueue.pop sim.queue with
     | None -> ()
@@ -29,6 +32,11 @@ let run ?(limit = max_int) sim =
           f ();
           loop ()
         end
-        else loop () (* beyond the horizon: discard, keep draining *)
+        else begin
+          (* beyond the horizon: discard, keep draining *)
+          discarded := true;
+          loop ()
+        end
   in
-  loop ()
+  loop ();
+  if !discarded then Horizon_reached else Drained

@@ -27,8 +27,17 @@ val after : t -> int -> (unit -> unit) -> unit
 val events_processed : t -> int
 (** Total events run so far — a cheap progress/cost counter. *)
 
-val run : ?limit:int -> t -> unit
+type stop =
+  | Drained  (** the queue emptied naturally (quiescence) *)
+  | Horizon_reached
+      (** at least one event was discarded past the limit — the
+          simulation was cut short, not finished *)
+
+val run : ?limit:int -> t -> stop
 (** Drain the queue, advancing [now] monotonically, until it is empty
     or [now] would exceed [limit] (default [max_int]).  Events beyond
     the horizon are discarded, so [run] always terminates when event
-    chains are time-bounded. *)
+    chains are time-bounded.  The returned {!stop} says whether the
+    horizon actually cut anything: [Drained] at the limit is genuine
+    quiescence (every node stopped scheduling work), which the runtime
+    distinguishes from a timeout with events still pending. *)

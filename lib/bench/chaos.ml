@@ -1,0 +1,297 @@
+open Ocd_core
+open Ocd_prelude
+module Runtime = Ocd_async.Runtime
+module Diagnosis = Ocd_async.Diagnosis
+module Net = Ocd_async.Net
+module Condition = Ocd_dynamics.Condition
+module Faults = Ocd_dynamics.Faults
+
+type cell = {
+  label : string;
+  loss : float;
+  flaps : bool;
+  churn : bool;
+  crash_prob : float;
+}
+
+type grid = { n : int; tokens : int; trials : int; cells : cell list }
+
+let cell ?(loss = 0.0) ?(flaps = false) ?(churn = false) ?(crash_prob = 0.0) () =
+  let label =
+    let parts =
+      (if loss > 0.0 then [ Printf.sprintf "loss=%.2f" loss ] else [])
+      @ (if flaps then [ "flaps" ] else [])
+      @ (if churn then [ "churn" ] else [])
+      @
+      if crash_prob > 0.0 then [ Printf.sprintf "crash=%.2f" crash_prob ]
+      else []
+    in
+    match parts with [] -> "baseline" | ps -> String.concat "+" ps
+  in
+  { label; loss; flaps; churn; crash_prob }
+
+let smoke_grid =
+  {
+    n = 12;
+    tokens = 6;
+    trials = 2;
+    cells =
+      [
+        cell ();
+        cell ~loss:0.05 ~crash_prob:0.05 ();
+        cell ~flaps:true ~crash_prob:0.10 ();
+      ];
+  }
+
+let default_grid =
+  {
+    n = 24;
+    tokens = 10;
+    trials = 3;
+    cells =
+      (List.concat_map
+         (fun loss ->
+           List.concat_map
+             (fun (flaps, churn) ->
+               List.map
+                 (fun crash_prob -> cell ~loss ~flaps ~churn ~crash_prob ())
+                 [ 0.0; 0.10 ])
+             [ (false, false); (true, false); (false, true) ])
+         [ 0.0; 0.10 ]
+      @ [ cell ~loss:0.10 ~flaps:true ~churn:true ~crash_prob:0.20 () ])
+  }
+
+type agg = {
+  env : string;
+  protocol : string;
+  trials : int;
+  completed : int;
+  p95_ticks : float option;
+  retrans_mean : float;
+  duplicates_mean : float;
+  crashes : int;
+  restarts : int;
+  lost_tokens : int;
+  failed_jobs : int;
+  verdicts : (string * int) list;
+  invalid : int;
+  undiagnosed : int;
+}
+
+(* One trial's observation — everything aggregation needs, nothing
+   else, so the Pool tasks stay cheap to collect. *)
+type obs = {
+  o_ticks : int option;
+  o_retrans : int;
+  o_dup : int;
+  o_crashes : int;
+  o_restarts : int;
+  o_lost : int;
+  o_failed : int;
+  o_verdict : string option;
+  o_valid : bool;
+  o_undiagnosed : bool;
+}
+
+let verdict_names = [ "unsat-window"; "gave-up"; "protocol-stall" ]
+
+let run ?(jobs = 1) ~seed grid =
+  let rng = Prng.create ~seed in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:grid.n () in
+  let inst =
+    (Scenario.single_file rng ~graph ~tokens:grid.tokens ()).Scenario.instance
+  in
+  let sources =
+    List.filter
+      (fun v -> not (Bitset.is_empty inst.Instance.have.(v)))
+      (List.init grid.n (fun v -> v))
+  in
+  let cells = Array.of_list grid.cells in
+  let protocols = Ocd_async.Registry.names in
+  (* Task grid: cells outer, protocols inner, trials innermost.  Every
+     seed below is a function of the base seed and grid coordinates
+     only, so the observation list is identical for any [jobs]. *)
+  let tasks =
+    List.concat_map
+      (fun ci ->
+        List.concat_map
+          (fun name ->
+            List.map (fun trial -> (ci, name, trial)) (Order.range grid.trials))
+          protocols)
+      (Order.range (Array.length cells))
+  in
+  let observations =
+    Pool.map ~jobs
+      (fun (ci, name, trial) ->
+        let c = cells.(ci) in
+        let cell_seed = seed + (7919 * ci) in
+        let profile = { Net.default with Net.loss = c.loss } in
+        let condition =
+          let parts =
+            (if c.flaps then
+               [
+                 Condition.link_flaps ~seed:(cell_seed + 11) ~down_prob:0.1
+                   ~up_prob:0.5;
+               ]
+             else [])
+            @
+            if c.churn then
+              [
+                Condition.churn ~seed:(cell_seed + 13) ~protected:sources
+                  ~leave_prob:0.02 ~return_prob:0.3;
+              ]
+            else []
+          in
+          List.fold_left Condition.compose Condition.static parts
+        in
+        let faults =
+          if c.crash_prob > 0.0 then
+            Faults.crashes ~seed:(cell_seed + 17) ~crash_prob:c.crash_prob ()
+          else Faults.none
+        in
+        let protocol =
+          match Ocd_async.Registry.find name with
+          | Some p -> p
+          | None -> assert false
+        in
+        let r =
+          Runtime.run ~profile ~condition ~faults ~protocol
+            ~seed:(seed + (31 * trial) + 1)
+            inst
+        in
+        let completed = r.Runtime.outcome = Runtime.Completed in
+        let valid =
+          let checker =
+            if completed then Validate.check_successful else Validate.check
+          in
+          match checker inst r.Runtime.schedule with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        {
+          o_ticks = r.Runtime.completion_ticks;
+          o_retrans = r.Runtime.retransmissions;
+          o_dup = r.Runtime.duplicate_deliveries;
+          o_crashes = r.Runtime.crashes;
+          o_restarts = r.Runtime.restarts;
+          o_lost = r.Runtime.lost_tokens;
+          o_failed = r.Runtime.failed_jobs;
+          o_verdict =
+            Option.map
+              (fun (d : Diagnosis.t) -> Diagnosis.verdict_name d.Diagnosis.verdict)
+              r.Runtime.diagnosis;
+          o_valid = valid;
+          o_undiagnosed =
+            (not completed)
+            && (match r.Runtime.diagnosis with
+               | None -> true
+               | Some d -> d.Diagnosis.outstanding = []);
+        })
+      tasks
+  in
+  let obs = Array.of_list observations in
+  let num_protocols = List.length protocols in
+  List.concat
+    (List.mapi
+       (fun ci c ->
+         List.mapi
+           (fun pi name ->
+             let base = ((ci * num_protocols) + pi) * grid.trials in
+             let os =
+               List.init grid.trials (fun t -> obs.(base + t))
+             in
+             let completed_ticks =
+               List.filter_map (fun o -> o.o_ticks) os
+             in
+             let sum f = List.fold_left (fun acc o -> acc + f o) 0 os in
+             let mean f =
+               float_of_int (sum f) /. float_of_int grid.trials
+             in
+             {
+               env = c.label;
+               protocol = name;
+               trials = grid.trials;
+               completed = List.length completed_ticks;
+               p95_ticks =
+                 (match completed_ticks with
+                 | [] -> None
+                 | ts ->
+                     Some
+                       (Stats.percentile (List.map float_of_int ts) 0.95));
+               retrans_mean = mean (fun o -> o.o_retrans);
+               duplicates_mean = mean (fun o -> o.o_dup);
+               crashes = sum (fun o -> o.o_crashes);
+               restarts = sum (fun o -> o.o_restarts);
+               lost_tokens = sum (fun o -> o.o_lost);
+               failed_jobs = sum (fun o -> o.o_failed);
+               verdicts =
+                 List.map
+                   (fun vn ->
+                     ( vn,
+                       List.length
+                         (List.filter (fun o -> o.o_verdict = Some vn) os) ))
+                   verdict_names;
+               invalid =
+                 List.length (List.filter (fun o -> not o.o_valid) os);
+               undiagnosed =
+                 List.length (List.filter (fun o -> o.o_undiagnosed) os);
+             })
+           protocols)
+       (Array.to_list cells))
+
+let verdict_cell verdicts =
+  let nonzero =
+    List.filter_map
+      (fun (vn, c) -> if c > 0 then Some (Printf.sprintf "%s:%d" vn c) else None)
+      verdicts
+  in
+  match nonzero with [] -> "-" | vs -> String.concat " " vs
+
+let report ?(jobs = 1) ~seed grid =
+  Report.section "Chaos campaign: crash-recovery robustness (Ocd_async)";
+  let aggs = run ~jobs ~seed grid in
+  let table =
+    Report.create ~title:"chaos"
+      ~columns:
+        [
+          "env";
+          "protocol";
+          "done";
+          "p95_ticks";
+          "retrans";
+          "dup";
+          "crashes";
+          "restarts";
+          "lost";
+          "failed";
+          "verdicts";
+          "validate";
+        ]
+  in
+  List.iter
+    (fun a ->
+      Report.row table
+        [
+          a.env;
+          a.protocol;
+          Printf.sprintf "%d/%d" a.completed a.trials;
+          (match a.p95_ticks with
+          | Some t -> Printf.sprintf "%.0f" t
+          | None -> "-");
+          Printf.sprintf "%.1f" a.retrans_mean;
+          Printf.sprintf "%.1f" a.duplicates_mean;
+          string_of_int a.crashes;
+          string_of_int a.restarts;
+          string_of_int a.lost_tokens;
+          string_of_int a.failed_jobs;
+          verdict_cell a.verdicts;
+          (if a.invalid = 0 then "ok" else Printf.sprintf "%d bad" a.invalid);
+        ])
+    aggs;
+  Report.render table;
+  let undiagnosed = List.fold_left (fun acc a -> acc + a.undiagnosed) 0 aggs in
+  if undiagnosed > 0 then
+    Report.note "WARNING: %d timed-out runs carried no diagnosis" undiagnosed;
+  let invalid = List.fold_left (fun acc a -> acc + a.invalid) 0 aggs in
+  if invalid > 0 then
+    Report.note "WARNING: %d schedules failed validation" invalid

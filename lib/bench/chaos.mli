@@ -1,0 +1,66 @@
+(** Chaos campaign: a Pool-parallel robustness sweep for the
+    asynchronous runtime.
+
+    A campaign crosses a list of {e environment cells} — message loss,
+    link flaps, vertex churn, node crash rate — with every registered
+    async protocol and [trials] seeds, runs each combination through
+    {!Ocd_async.Runtime.run}, re-checks every produced schedule with
+    {!Ocd_core.Validate}, and aggregates per (cell, protocol):
+    completion rate, p95 completion ticks, mean retransmissions and
+    duplicates, fault counters, and — for timed-out runs — the
+    {!Ocd_async.Diagnosis} verdict census.
+
+    Determinism: every task derives its run, condition, and fault seeds
+    from the campaign's base seed and the task's grid coordinates
+    alone, and {!Ocd_prelude.Pool.map} preserves input order, so the
+    rendered report is byte-identical for any [--jobs]. *)
+
+type cell = {
+  label : string;  (** stable row label for the report *)
+  loss : float;  (** i.i.d. per-message loss probability *)
+  flaps : bool;  (** link up/down Markov process *)
+  churn : bool;  (** vertex departures (sources protected) *)
+  crash_prob : float;  (** per-round node crash probability; 0 = off *)
+}
+
+type grid = {
+  n : int;  (** vertex count of the campaign instance *)
+  tokens : int;
+  trials : int;
+  cells : cell list;
+}
+
+val smoke_grid : grid
+(** Tiny fixed grid (3 cells, 2 trials, 12 vertices) for CI: exercises
+    no-fault, loss + crash, and flaps + crash in seconds. *)
+
+val default_grid : grid
+(** The full campaign grid: loss {m \times} flaps {m \times} churn
+    {m \times} crash-rate cells over a 24-vertex instance. *)
+
+type agg = {
+  env : string;
+  protocol : string;
+  trials : int;
+  completed : int;
+  p95_ticks : float option;  (** over completed trials; [None] if none *)
+  retrans_mean : float;
+  duplicates_mean : float;
+  crashes : int;  (** total crash events across trials *)
+  restarts : int;
+  lost_tokens : int;
+  failed_jobs : int;
+  verdicts : (string * int) list;
+      (** diagnosis verdict census of timed-out trials, by
+          {!Ocd_async.Diagnosis.verdict_name}, fixed name order *)
+  invalid : int;  (** schedules rejected by {!Ocd_core.Validate} *)
+  undiagnosed : int;  (** timed-out trials missing a diagnosis: bug *)
+}
+
+val run : ?jobs:int -> seed:int -> grid -> agg list
+(** Executes the campaign.  Order: cells outer, protocols (registry
+    order) inner. *)
+
+val report : ?jobs:int -> seed:int -> grid -> unit
+(** Runs the campaign and renders the aggregate table (plus its CSV
+    mirror) to stdout. *)

@@ -4,6 +4,8 @@ type t = { effective : step:int -> src:int -> dst:int -> base:int -> int }
 
 let effective t = t.effective
 
+let make effective = { effective }
+
 (* A keyed deterministic coin: hash (seed, a, b, c) down to a float in
    [0, 1).  Uses the SplitMix64 finaliser through Prng by seeding a
    throwaway generator with the mixed key. *)
@@ -12,7 +14,17 @@ let coin ~seed ~a ~b ~c =
   let g = Ocd_prelude.Prng.create ~seed:key in
   Ocd_prelude.Prng.float g 1.0
 
+let keyed_coin = coin
+
 let static = { effective = (fun ~step:_ ~src:_ ~dst:_ ~base -> base) }
+
+let compose a b =
+  {
+    effective =
+      (fun ~step ~src ~dst ~base ->
+        let c = a.effective ~step ~src ~dst ~base in
+        if c <= 0 then 0 else b.effective ~step ~src ~dst ~base:c);
+  }
 
 let cross_traffic ~seed ~prob ~severity =
   if prob < 0.0 || prob > 1.0 || severity < 0.0 || severity > 1.0 then

@@ -26,6 +26,24 @@ val effective :
 (** Effective capacity of arc [(src, dst)] at [step]; always in
     [\[0, base\]]. *)
 
+val make : (step:int -> src:int -> dst:int -> base:int -> int) -> t
+(** Wraps a custom effective-capacity function into a condition.  The
+    function must keep its results in [\[0, base\]] and be a pure
+    function of its arguments (query order must not matter), or runs
+    stop being reproducible. *)
+
+val compose : t -> t -> t
+(** [compose a b] applies [a] first, then [b] to [a]'s result — two
+    independent degradation processes stacked on the same arc.  A zero
+    from [a] stays zero. *)
+
+val keyed_coin : seed:int -> a:int -> b:int -> c:int -> float
+(** The deterministic keyed coin every built-in condition draws from:
+    hashes [(seed, a, b, c)] to a float in [\[0, 1)] through the
+    SplitMix64 finaliser.  Exposed so sibling fault processes
+    ({!Faults}) can derive decorrelated-but-reproducible streams with
+    the same mixing. *)
+
 val static : t
 
 val cross_traffic : seed:int -> prob:float -> severity:float -> t

@@ -1,0 +1,85 @@
+type durability = Durable | Lost_unless_source
+
+type plan = {
+  seed : int;
+  crash_prob : float;
+  recover_prob : float;
+  protected : (int, unit) Hashtbl.t;
+  durability : durability;
+  (* (node, round) -> up?  Filled iteratively from the last cached
+     round, so deep horizons never recurse. *)
+  memo : (int * int, bool) Hashtbl.t;
+}
+
+type t = plan option
+
+let none = None
+let is_none = function None -> true | Some _ -> false
+
+let crashes ~seed ?(protected = []) ?(durability = Lost_unless_source)
+    ?(recover_prob = 0.5) ~crash_prob () =
+  if crash_prob < 0.0 || crash_prob > 1.0 || recover_prob < 0.0 || recover_prob > 1.0
+  then invalid_arg "Faults.crashes: probabilities must be in [0,1]";
+  let prot = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace prot v ()) protected;
+  Some
+    {
+      seed;
+      crash_prob;
+      recover_prob;
+      protected = prot;
+      durability;
+      memo = Hashtbl.create 256;
+    }
+
+let durability = function None -> Durable | Some p -> p.durability
+
+(* The node's chain draws coins keyed on (round, node, -2): the -2 slot
+   keeps the stream disjoint from Condition.churn's (node, -1) and
+   from every arc's (src, dst) stream under the same seed. *)
+let state p node round =
+  if round <= 0 then true
+  else
+    match Hashtbl.find_opt p.memo (node, round) with
+    | Some s -> s
+    | None ->
+        let r0 = ref (round - 1) in
+        while !r0 > 0 && not (Hashtbl.mem p.memo (node, !r0)) do
+          decr r0
+        done;
+        let s = ref (if !r0 = 0 then true else Hashtbl.find p.memo (node, !r0)) in
+        for r = !r0 + 1 to round do
+          let c = Condition.keyed_coin ~seed:p.seed ~a:r ~b:node ~c:(-2) in
+          s := (if !s then c >= p.crash_prob else c < p.recover_prob);
+          Hashtbl.replace p.memo (node, r) !s
+        done;
+        !s
+
+let up t ~round node =
+  match t with
+  | None -> true
+  | Some p -> Hashtbl.mem p.protected node || state p node round
+
+let transitions t ~node ~horizon =
+  match t with
+  | None -> []
+  | Some p ->
+      if Hashtbl.mem p.protected node then []
+      else begin
+        let events = ref [] in
+        let prev = ref true in
+        for r = 1 to horizon do
+          let cur = state p node r in
+          if cur <> !prev then
+            events := (r, if cur then `Restart else `Crash) :: !events;
+          prev := cur
+        done;
+        List.rev !events
+      end
+
+let to_condition t =
+  match t with
+  | None -> Condition.static
+  | Some _ ->
+      Condition.make (fun ~step ~src ~dst ~base ->
+          if up t ~round:step src && up t ~round:step dst then base else 0)

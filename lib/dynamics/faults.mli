@@ -1,0 +1,66 @@
+(** Node-level crash–recovery fault plans.
+
+    {!Condition} degrades {e links}; a fault plan kills {e nodes}.  The
+    difference matters for protocol state: a vertex behind a downed
+    link keeps its pending requests, backoff clocks and beliefs, while
+    a crashed node restarts with amnesia — the asynchronous runtime
+    discards its protocol instance, drops its in-flight messages, and
+    (depending on the durability model) wipes the tokens it had
+    fetched.  This is the failure model of the live-streaming overlay
+    literature, where peer departure with state loss is the defining
+    robustness problem, and it is strictly harsher than
+    {!Condition.churn}, which only zeroes incident arcs.
+
+    A plan is a deterministic process derived from a seed: per node, a
+    two-state (up/down) Markov chain over {e rounds}, sampled with the
+    same keyed-coin mixing as the built-in conditions, so any query
+    order yields the same trajectory and runs stay reproducible. *)
+
+type durability =
+  | Durable
+      (** crashed nodes keep every token across the restart (state on
+          disk); only protocol state is lost *)
+  | Lost_unless_source
+      (** a restarted node is reset to its {e initial} possession set:
+          origin content survives (it is the node's own), everything
+          fetched from peers is lost *)
+
+type t
+
+val none : t
+(** Every node up at every round; no transitions.  The default. *)
+
+val is_none : t -> bool
+
+val crashes :
+  seed:int ->
+  ?protected:int list ->
+  ?durability:durability ->
+  ?recover_prob:float ->
+  crash_prob:float ->
+  unit ->
+  t
+(** Per-node two-state Markov chain over presence: an up node crashes
+    at the next round boundary with probability [crash_prob]; a down
+    node restarts with probability [recover_prob] (default [0.5]).
+    All nodes start up.  Vertices in [protected] never crash.
+    [durability] defaults to [Lost_unless_source].
+    @raise Invalid_argument when a probability is outside [\[0,1\]]. *)
+
+val durability : t -> durability
+(** [Durable] for {!none}. *)
+
+val up : t -> round:int -> int -> bool
+(** Is the node up during [round]?  Round 0 is always up. *)
+
+val transitions : t -> node:int -> horizon:int -> (int * [ `Crash | `Restart ]) list
+(** The node's state changes over rounds [1..horizon], in round order:
+    [(r, `Crash)] means the node is down from round [r] (it was up in
+    [r - 1]), [(r, `Restart)] the converse.  O(horizon) per node,
+    memoised. *)
+
+val to_condition : t -> Condition.t
+(** The link-level shadow of the plan: an arc's capacity is zeroed
+    while either endpoint is down.  Used by diagnosis to reason about
+    reachability; the runtime itself drops a downed node's traffic at
+    the transport layer. *)

@@ -16,7 +16,9 @@ let test_sim_order () =
   Sim.at sim 2 (record "b2");
   Sim.at sim 5 (record "c5");
   Sim.at sim 0 (record "d0");
-  Sim.run sim;
+  (match Sim.run sim with
+  | Sim.Drained -> ()
+  | Sim.Horizon_reached -> Alcotest.fail "no limit given, queue must drain");
   Alcotest.(check (list string))
     "time order, FIFO ties" [ "d0"; "b2"; "a5"; "c5" ] (List.rev !log);
   Alcotest.(check int) "clock at last event" 5 (Sim.now sim);
@@ -31,7 +33,7 @@ let test_sim_same_tick_chain () =
       log := "first" :: !log;
       Sim.after sim 0 (fun () -> log := "chained" :: !log));
   Sim.at sim 3 (fun () -> log := "second" :: !log);
-  Sim.run sim;
+  ignore (Sim.run sim);
   Alcotest.(check (list string))
     "chained event last" [ "first"; "second"; "chained" ] (List.rev !log)
 
@@ -40,8 +42,15 @@ let test_sim_limit () =
   let ran = ref 0 in
   Sim.at sim 10 (fun () -> incr ran);
   Sim.at sim 20 (fun () -> incr ran);
-  Sim.run ~limit:15 sim;
-  Alcotest.(check int) "past-horizon event discarded" 1 !ran
+  (match Sim.run ~limit:15 sim with
+  | Sim.Horizon_reached -> ()
+  | Sim.Drained -> Alcotest.fail "discarded event must report Horizon_reached");
+  Alcotest.(check int) "past-horizon event discarded" 1 !ran;
+  let sim2 = Sim.create () in
+  Sim.at sim2 10 (fun () -> ());
+  match Sim.run ~limit:15 sim2 with
+  | Sim.Drained -> ()
+  | Sim.Horizon_reached -> Alcotest.fail "nothing discarded, must report Drained"
 
 (* ------------------------- instances ------------------------------ *)
 
@@ -279,6 +288,132 @@ let test_jobs_determinism () =
   in
   Alcotest.(check (list string)) "jobs=1 vs jobs=3" (render 1) (render 3)
 
+(* ----------------------- failure detector ------------------------- *)
+
+let test_detector_basics () =
+  let clock = ref 0 in
+  let d = Detector.create ~now:(fun () -> !clock) ~timeout:10 ~n:3 in
+  Alcotest.(check (list int)) "no suspects at creation" [] (Detector.suspects d);
+  clock := 10;
+  Alcotest.(check bool)
+    "silence equal to timeout is tolerated" false
+    (Detector.suspected d 1);
+  clock := 11;
+  Alcotest.(check (list int))
+    "all suspected after silence" [ 0; 1; 2 ] (Detector.suspects d);
+  Detector.heard d 1;
+  Alcotest.(check (list int)) "contact clears" [ 0; 2 ] (Detector.suspects d);
+  Alcotest.(check int) "last_heard updated" 11 (Detector.last_heard d 1);
+  clock := 22;
+  Alcotest.(check bool) "suspicion returns" true (Detector.suspected d 1)
+
+let test_detector_rejects_bad_timeout () =
+  Alcotest.check_raises "timeout must be positive"
+    (Invalid_argument "Detector.create: timeout must be positive") (fun () ->
+      ignore (Detector.create ~now:(fun () -> 0) ~timeout:0 ~n:2))
+
+(* --------------------- liveness under loss ------------------------ *)
+
+(* Satellite: the pull protocols must stay live under sustained loss
+   with a static condition, across a seed sweep (not one lucky seed). *)
+let check_loss_liveness ~label protocol_of_seed =
+  List.iter
+    (fun seed ->
+      let inst = random_instance ~seed:(70 + seed) ~n:12 ~tokens:6 in
+      let profile = { Net.default with Net.loss = 0.15 } in
+      let r =
+        Runtime.run ~profile ~condition:Ocd_dynamics.Condition.static
+          ~protocol:(protocol_of_seed ()) ~seed inst
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d completes under 15%% loss" label seed)
+        true
+        (r.Runtime.outcome = Runtime.Completed);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d revalidates" label seed)
+        true
+        (Validate.check_successful inst r.Runtime.schedule = Ok ()))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_local_rarest_loss_liveness () =
+  check_loss_liveness ~label:"async-local" Local_rarest.protocol
+
+let test_flood_plan_loss_liveness () =
+  check_loss_liveness ~label:"flood-plan" Flood_plan.protocol
+
+(* ------------------------ crash recovery -------------------------- *)
+
+(* A single unprotected non-source vertex crashes (losing its fetched
+   tokens) and restarts; the run must still complete, and the emitted
+   schedule must satisfy Validate — re-deliveries are real moves, and
+   no token may be fabricated across the restart. *)
+let check_crash_recovery ~label protocol_of_unit ~seed =
+  let inst = random_instance ~seed:(80 + seed) ~n:12 ~tokens:6 in
+  let victim =
+    (* any vertex that holds nothing initially *)
+    let rec find v =
+      if Ocd_prelude.Bitset.is_empty inst.Instance.have.(v) then v
+      else find (v + 1)
+    in
+    find 0
+  in
+  let protected =
+    List.filter (fun v -> v <> victim) (List.init 12 (fun v -> v))
+  in
+  let faults =
+    Ocd_dynamics.Faults.crashes ~seed:(90 + seed) ~protected
+      ~crash_prob:0.25 ~recover_prob:0.7 ()
+  in
+  let r =
+    Runtime.run ~faults ~protocol:(protocol_of_unit ()) ~seed inst
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: victim crashed at least once" label)
+    true (r.Runtime.crashes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: completes despite crash of a non-source holder" label)
+    true
+    (r.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: crash-recovery schedule revalidates" label)
+    true
+    (Validate.check_successful inst r.Runtime.schedule = Ok ())
+
+let test_local_rarest_crash_recovery () =
+  check_crash_recovery ~label:"async-local" Local_rarest.protocol ~seed:3
+
+let test_push_crash_recovery () =
+  check_crash_recovery ~label:"async-push" Random_push.protocol ~seed:3
+
+let test_flood_plan_crash_recovery () =
+  check_crash_recovery ~label:"flood-plan" Flood_plan.protocol ~seed:3
+
+let test_durable_crash_loses_nothing () =
+  let inst = random_instance ~seed:83 ~n:12 ~tokens:6 in
+  let faults =
+    Ocd_dynamics.Faults.crashes ~seed:91 ~durability:Ocd_dynamics.Faults.Durable
+      ~crash_prob:0.15 ()
+  in
+  let r =
+    Runtime.run ~faults ~protocol:(Local_rarest.protocol ()) ~seed:4 inst
+  in
+  Alcotest.(check bool) "crashes happened" true (r.Runtime.crashes > 0);
+  Alcotest.(check int) "durable crashes lose no tokens" 0 r.Runtime.lost_tokens
+
+let test_no_fault_run_unchanged () =
+  (* Faults.none must be invisible: field-for-field identical runs. *)
+  let inst = random_instance ~seed:84 ~n:12 ~tokens:6 in
+  let go faults =
+    Runtime.run ?faults ~protocol:(Local_rarest.protocol ()) ~seed:5 inst
+  in
+  let plain = go None and with_none = go (Some Ocd_dynamics.Faults.none) in
+  Alcotest.(check bool)
+    "schedules identical" true
+    (Schedule.steps plain.Runtime.schedule
+    = Schedule.steps with_none.Runtime.schedule);
+  Alcotest.(check int) "events identical" plain.Runtime.events with_none.Runtime.events;
+  Alcotest.(check int) "no crash events" 0 with_none.Runtime.crashes
+
 (* ---------------------- registry & reuse -------------------------- *)
 
 let test_registry () =
@@ -321,6 +456,30 @@ let () =
           Alcotest.test_case "flood-plan" `Quick test_flood_plan_completes;
           Alcotest.test_case "link flaps" `Quick test_condition_injection;
           Alcotest.test_case "churn" `Quick test_churn_protected_sources;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "suspicion lifecycle" `Quick test_detector_basics;
+          Alcotest.test_case "bad timeout" `Quick
+            test_detector_rejects_bad_timeout;
+        ] );
+      ( "loss liveness",
+        [
+          Alcotest.test_case "async-local seed sweep" `Quick
+            test_local_rarest_loss_liveness;
+          Alcotest.test_case "flood-plan seed sweep" `Quick
+            test_flood_plan_loss_liveness;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "async-local" `Quick
+            test_local_rarest_crash_recovery;
+          Alcotest.test_case "async-push" `Quick test_push_crash_recovery;
+          Alcotest.test_case "flood-plan" `Quick test_flood_plan_crash_recovery;
+          Alcotest.test_case "durable crashes" `Quick
+            test_durable_crash_loses_nothing;
+          Alcotest.test_case "none plan invisible" `Quick
+            test_no_fault_run_unchanged;
         ] );
       ( "runtime",
         [

@@ -1,0 +1,216 @@
+(* Tests for the crash-recovery fault model (Ocd_dynamics.Faults), the
+   stall diagnosis, and the chaos campaign harness (Ocd_bench.Chaos). *)
+
+open Ocd_prelude
+open Ocd_core
+
+module Faults = Ocd_dynamics.Faults
+module Condition = Ocd_dynamics.Condition
+module Chaos = Ocd_bench.Chaos
+
+(* --------------------------- fault plans --------------------------- *)
+
+let test_none_plan () =
+  Alcotest.(check bool) "none is none" true (Faults.is_none Faults.none);
+  Alcotest.(check bool)
+    "crashes plan is not none" false
+    (Faults.is_none (Faults.crashes ~seed:1 ~crash_prob:0.5 ()));
+  for v = 0 to 4 do
+    Alcotest.(check bool) "always up" true (Faults.up Faults.none ~round:17 v);
+    Alcotest.(check (list (pair int reject)))
+      "no transitions" []
+      (List.map
+         (fun (r, _) -> (r, ()))
+         (Faults.transitions Faults.none ~node:v ~horizon:50))
+  done
+
+let test_plan_determinism () =
+  let plan () = Faults.crashes ~seed:42 ~crash_prob:0.2 () in
+  let a = plan () and b = plan () in
+  for v = 0 to 9 do
+    Alcotest.(check bool)
+      "transitions reproducible" true
+      (Faults.transitions a ~node:v ~horizon:100
+      = Faults.transitions b ~node:v ~horizon:100);
+    (* query order must not matter: probe b backwards first *)
+    for r = 60 downto 0 do
+      ignore (Faults.up b ~round:r v)
+    done;
+    for r = 0 to 60 do
+      Alcotest.(check bool)
+        "up agrees under any query order" (Faults.up a ~round:r v)
+        (Faults.up b ~round:r v)
+    done
+  done
+
+let test_transitions_consistent_with_up () =
+  let plan = Faults.crashes ~seed:7 ~crash_prob:0.3 ~recover_prob:0.4 () in
+  for v = 0 to 7 do
+    Alcotest.(check bool) "round 0 up" true (Faults.up plan ~round:0 v);
+    List.iter
+      (fun (r, ev) ->
+        Alcotest.(check bool) "transition rounds positive" true (r >= 1);
+        match ev with
+        | `Crash ->
+          Alcotest.(check bool) "up before crash" true (Faults.up plan ~round:(r - 1) v);
+          Alcotest.(check bool) "down from crash" false (Faults.up plan ~round:r v)
+        | `Restart ->
+          Alcotest.(check bool) "down before restart" false
+            (Faults.up plan ~round:(r - 1) v);
+          Alcotest.(check bool) "up from restart" true (Faults.up plan ~round:r v))
+      (Faults.transitions plan ~node:v ~horizon:80)
+  done
+
+let test_protected_nodes_never_crash () =
+  let plan =
+    Faults.crashes ~seed:3 ~protected:[ 2; 5 ] ~crash_prob:0.9 ()
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        "protected node has no transitions" 0
+        (List.length (Faults.transitions plan ~node:v ~horizon:200));
+      for r = 0 to 50 do
+        Alcotest.(check bool) "protected node always up" true
+          (Faults.up plan ~round:r v)
+      done)
+    [ 2; 5 ];
+  (* sanity: an unprotected node under 0.9 crash probability does move *)
+  Alcotest.(check bool)
+    "unprotected node crashes" true
+    (Faults.transitions plan ~node:0 ~horizon:200 <> [])
+
+let test_to_condition_shadow () =
+  let plan = Faults.crashes ~seed:11 ~crash_prob:0.5 () in
+  let cond = Faults.to_condition plan in
+  let checked = ref 0 in
+  for r = 0 to 40 do
+    for src = 0 to 3 do
+      for dst = 0 to 3 do
+        if src <> dst then begin
+          let eff = Condition.effective cond ~step:r ~src ~dst ~base:2 in
+          let expect =
+            if Faults.up plan ~round:r src && Faults.up plan ~round:r dst then 2
+            else 0
+          in
+          if expect = 0 then incr checked;
+          Alcotest.(check int) "arc zeroed iff an endpoint is down" expect eff
+        end
+      done
+    done
+  done;
+  Alcotest.(check bool) "some downtime was exercised" true (!checked > 0)
+
+(* --------------------------- diagnosis ----------------------------- *)
+
+let harsh_timed_out_run () =
+  let rng = Prng.create ~seed:19 in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:10 () in
+  let inst = (Scenario.single_file rng ~graph ~tokens:5 ()).Scenario.instance in
+  let faults = Faults.crashes ~seed:23 ~crash_prob:0.6 ~recover_prob:0.2 () in
+  let r =
+    Ocd_async.Runtime.run ~faults ~round_limit:30
+      ~protocol:(Ocd_async.Local_rarest.protocol ())
+      ~seed:6 inst
+  in
+  Alcotest.(check bool)
+    "harsh faults time the run out" true
+    (r.Ocd_async.Runtime.outcome = Ocd_async.Runtime.Timed_out);
+  r
+
+let test_timed_out_carries_diagnosis () =
+  let r = harsh_timed_out_run () in
+  match r.Ocd_async.Runtime.diagnosis with
+  | None -> Alcotest.fail "timed-out run lost its diagnosis"
+  | Some d ->
+    Alcotest.(check bool)
+      "outstanding wants recorded" true
+      (d.Ocd_async.Diagnosis.outstanding <> []);
+    Alcotest.(check bool)
+      "sampling happened" true
+      (d.Ocd_async.Diagnosis.sampled_rounds > 0);
+    Alcotest.(check bool)
+      "verdict renders" true
+      (String.length
+         (Ocd_async.Diagnosis.verdict_name d.Ocd_async.Diagnosis.verdict)
+      > 0)
+
+let test_completed_has_no_diagnosis () =
+  let rng = Prng.create ~seed:29 in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:10 () in
+  let inst = (Scenario.single_file rng ~graph ~tokens:5 ()).Scenario.instance in
+  let r =
+    Ocd_async.Runtime.run
+      ~protocol:(Ocd_async.Local_rarest.protocol ())
+      ~seed:8 inst
+  in
+  Alcotest.(check bool)
+    "completed" true
+    (r.Ocd_async.Runtime.outcome = Ocd_async.Runtime.Completed);
+  Alcotest.(check bool)
+    "no diagnosis on success" true
+    (r.Ocd_async.Runtime.diagnosis = None)
+
+(* ------------------------- chaos campaign -------------------------- *)
+
+let test_chaos_jobs_determinism () =
+  let a = Chaos.run ~jobs:1 ~seed:7 Chaos.smoke_grid in
+  let b = Chaos.run ~jobs:4 ~seed:7 Chaos.smoke_grid in
+  Alcotest.(check bool) "aggregates identical across jobs" true (a = b)
+
+let test_chaos_smoke_invariants () =
+  let aggs = Chaos.run ~jobs:2 ~seed:7 Chaos.smoke_grid in
+  Alcotest.(check int)
+    "cells x protocols rows" 9 (List.length aggs);
+  List.iter
+    (fun (a : Chaos.agg) ->
+      Alcotest.(check int)
+        (a.Chaos.env ^ "/" ^ a.Chaos.protocol ^ ": every schedule validates")
+        0 a.Chaos.invalid;
+      Alcotest.(check int)
+        (a.Chaos.env ^ "/" ^ a.Chaos.protocol ^ ": every timeout diagnosed")
+        0 a.Chaos.undiagnosed;
+      Alcotest.(check bool)
+        "completed within trials" true
+        (a.Chaos.completed >= 0 && a.Chaos.completed <= a.Chaos.trials))
+    aggs;
+  (* The acceptance bar: in a crash cell, at least one protocol
+     completes every trial — it demonstrably recovers from crashes. *)
+  let crash_cells =
+    List.filter (fun (a : Chaos.agg) -> a.Chaos.crashes > 0) aggs
+  in
+  Alcotest.(check bool) "crash cells exercised" true (crash_cells <> []);
+  Alcotest.(check bool)
+    "some protocol recovers from crashes" true
+    (List.exists
+       (fun (a : Chaos.agg) -> a.Chaos.completed = a.Chaos.trials)
+       crash_cells)
+
+let () =
+  Alcotest.run "ocd_chaos"
+    [
+      ( "fault plans",
+        [
+          Alcotest.test_case "none plan" `Quick test_none_plan;
+          Alcotest.test_case "determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "transitions vs up" `Quick
+            test_transitions_consistent_with_up;
+          Alcotest.test_case "protected nodes" `Quick
+            test_protected_nodes_never_crash;
+          Alcotest.test_case "condition shadow" `Quick test_to_condition_shadow;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "timeouts diagnosed" `Quick
+            test_timed_out_carries_diagnosis;
+          Alcotest.test_case "success undiagnosed" `Quick
+            test_completed_has_no_diagnosis;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs determinism" `Quick
+            test_chaos_jobs_determinism;
+          Alcotest.test_case "smoke invariants" `Quick
+            test_chaos_smoke_invariants;
+        ] );
+    ]
