@@ -156,6 +156,32 @@ let micro_tests () =
                 ~protocol:(Ocd_async.Local_rarest.protocol ())
                 ~seed:7 inst_async)))
   in
+  (* Observability overhead: the same engine run plain, with the
+     explicitly-disabled scope (the <2% Null-sink acceptance check —
+     one flag test per hot-path site), and with a live memory sink +
+     registry (the full cost of capture, for context). *)
+  let obs_baseline_test =
+    Test.make ~name:"obs/run-local-baseline"
+      (Staged.stage (fun () ->
+           ignore (run Ocd_heuristics.Local_rarest.strategy inst_mid 7)))
+  in
+  let obs_null_test =
+    Test.make ~name:"obs/run-local-null"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_engine.Engine.run ~obs:Ocd_obs.disabled
+                ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7
+                inst_mid)))
+  in
+  let obs_memory_test =
+    Test.make ~name:"obs/run-local-memory"
+      (Staged.stage (fun () ->
+           let obs = Ocd_obs.create ~sink:(Ocd_obs.Sink.memory ()) () in
+           ignore
+             (Ocd_engine.Engine.run ~obs
+                ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7
+                inst_mid)))
+  in
   (* Substrate: steiner tree on an evaluation-size graph. *)
   let steiner_test =
     let rng = Prng.create ~seed:5 in
@@ -180,6 +206,7 @@ let micro_tests () =
     ]
   @ async_tests
   @ [ async_lockstep_test; async_faulted_test ]
+  @ [ obs_baseline_test; obs_null_test; obs_memory_test ]
 
 let run_micro () =
   let open Bechamel in

@@ -11,7 +11,13 @@
      ocd trace      — render a run's progress timeline
      ocd async      — run the asynchronous message-passing protocols
      ocd chaos      — crash-recovery robustness campaign for the async
-                      protocols *)
+                      protocols
+     ocd profile    — run a workload under the wall-clock/allocation
+                      probe and print the per-phase table
+
+   run, async and chaos also accept --trace-out FILE (Chrome
+   trace-event JSON for Perfetto) and --metrics-out FILE (the
+   deterministic metrics registry, byte-identical across --jobs). *)
 
 open Cmdliner
 open Ocd_core
@@ -84,6 +90,81 @@ let jobs_arg =
            recommended domain count).  Output is byte-identical for any \
            value.")
 
+(* ---------------------- observability plumbing -------------------- *)
+
+let ( let* ) = Result.bind
+
+(* Every file the CLI writes goes through this, so a bad path surfaces
+   as a cmdliner `Msg error (exit 124 with the usage line) instead of a
+   Sys_error backtrace. *)
+let open_out_result path =
+  try Ok (open_out path) with Sys_error msg -> Error (`Msg msg)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's event stream to $(docv) as Chrome trace-event \
+           JSON (open in Perfetto or chrome://tracing).  Timestamps are \
+           simulator/engine time, so the file is byte-identical across \
+           $(b,--jobs) values.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the deterministic metrics registry (counters, gauges, \
+           histograms; sorted keys) to $(docv) as text.")
+
+(* Opens both output files up front — an unwritable path fails before
+   the workload runs, not after — then hands the body a live scope
+   whose memory sink and registry are flushed to the files at the end.
+   With neither flag the body gets the disabled scope and pays only
+   its [if obs.on] guards. *)
+let with_observed ~trace_out ~metrics_out body =
+  match (trace_out, metrics_out) with
+  | None, None ->
+    body Ocd_obs.disabled;
+    Ok ()
+  | _ ->
+    let* trace_oc =
+      match trace_out with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (open_out_result path)
+    in
+    let* metrics_oc =
+      match metrics_out with
+      | None -> Ok None
+      | Some path -> (
+        match open_out_result path with
+        | Ok oc -> Ok (Some oc)
+        | Error e ->
+          Option.iter close_out trace_oc;
+          Error e)
+    in
+    let sink =
+      if trace_oc <> None then Ocd_obs.Sink.memory () else Ocd_obs.Sink.null
+    in
+    let obs = Ocd_obs.create ~sink () in
+    body obs;
+    Option.iter
+      (fun oc ->
+        let jsonl = Ocd_obs.Sink.jsonl oc in
+        List.iter (Ocd_obs.Sink.emit jsonl) (Ocd_obs.Sink.events sink);
+        Ocd_obs.Sink.close jsonl;
+        close_out oc)
+      trace_oc;
+    Option.iter
+      (fun oc ->
+        output_string oc (Ocd_obs.Metrics.render obs.Ocd_obs.metrics);
+        close_out oc)
+      metrics_oc;
+    Ok ()
+
 (* ---------------------- workload building ------------------------- *)
 
 let build_instance ~seed ~topology ~n ~tokens ~threshold ~files ~multi_sender =
@@ -122,7 +203,8 @@ let strategy_arg =
            fast-replica, serial-steiner.")
 
 let run_cmd =
-  let run seed topology n tokens threshold files multi_sender strategy =
+  let run seed topology n tokens threshold files multi_sender strategy
+      trace_out metrics_out =
     let inst =
       build_instance ~seed ~topology ~n ~tokens ~threshold ~files ~multi_sender
     in
@@ -147,30 +229,43 @@ let run_cmd =
           Printf.eprintf "unknown strategy %S\n" name;
           exit 2)
     in
-    Printf.printf "%-16s %10s %10s %10s %12s\n" "strategy" "makespan"
-      "bandwidth" "pruned" "mean-finish";
-    List.iter
-      (fun strategy ->
-        let run = Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst in
-        match run.Ocd_engine.Engine.outcome with
-        | Ocd_engine.Engine.Completed ->
-          let m = run.Ocd_engine.Engine.metrics in
-          Printf.printf "%-16s %10d %10d %10d %12.1f\n"
-            run.Ocd_engine.Engine.strategy_name m.Metrics.makespan
-            m.Metrics.bandwidth m.Metrics.pruned_bandwidth
-            (Metrics.mean_completion m)
-        | Ocd_engine.Engine.Stalled step ->
-          Printf.printf "%-16s stalled at step %d\n"
-            run.Ocd_engine.Engine.strategy_name step
-        | Ocd_engine.Engine.Step_limit ->
-          Printf.printf "%-16s hit the step limit\n"
-            run.Ocd_engine.Engine.strategy_name)
-      chosen
+    with_observed ~trace_out ~metrics_out (fun obs ->
+        Printf.printf "%-16s %10s %10s %10s %12s\n" "strategy" "makespan"
+          "bandwidth" "pruned" "mean-finish";
+        List.iteri
+          (fun i strategy ->
+            (* Per-strategy child scope: counters and trace events merge
+               back under a "<strategy>/" prefix with pid = strategy
+               index, so runs over several strategies stay separable in
+               the output files. *)
+            let sobs = Ocd_obs.child obs in
+            let run =
+              Ocd_engine.Engine.run ~obs:sobs ~strategy ~seed:(seed + 1) inst
+            in
+            Ocd_obs.absorb ~into:obs ~pid:i
+              ~prefix:(strategy.Ocd_engine.Strategy.name ^ "/")
+              sobs;
+            match run.Ocd_engine.Engine.outcome with
+            | Ocd_engine.Engine.Completed ->
+              let m = run.Ocd_engine.Engine.metrics in
+              Printf.printf "%-16s %10d %10d %10d %12.1f\n"
+                run.Ocd_engine.Engine.strategy_name m.Metrics.makespan
+                m.Metrics.bandwidth m.Metrics.pruned_bandwidth
+                (Metrics.mean_completion m)
+            | Ocd_engine.Engine.Stalled step ->
+              Printf.printf "%-16s stalled at step %d\n"
+                run.Ocd_engine.Engine.strategy_name step
+            | Ocd_engine.Engine.Step_limit ->
+              Printf.printf "%-16s hit the step limit\n"
+                run.Ocd_engine.Engine.strategy_name)
+          chosen)
   in
   let term =
     Term.(
-      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
-      $ files_arg $ multi_sender_arg $ strategy_arg)
+      term_result
+        (const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+       $ threshold_arg $ files_arg $ multi_sender_arg $ strategy_arg
+       $ trace_out_arg $ metrics_out_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run heuristics/baselines on a generated workload")
     term
@@ -373,14 +468,35 @@ let experiment_cmd =
 
 (* ---------------------- ocd export --------------------------------- *)
 
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write to $(docv) instead of stdout.")
+
+(* Emit [text] to stdout or to [-o FILE]; a bad path is a cmdliner
+   error, not a backtrace. *)
+let emit ~output text =
+  match output with
+  | None ->
+    print_string text;
+    Ok ()
+  | Some path ->
+    let* oc = open_out_result path in
+    output_string oc text;
+    close_out oc;
+    Ok ()
+
 let export_cmd =
-  let run seed topology n tokens threshold strategy_name =
+  let run seed topology n tokens threshold strategy_name output =
     let inst =
       build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
         ~multi_sender:false
     in
-    print_string (Codec.instance_to_string inst);
-    match strategy_name with
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Codec.instance_to_string inst);
+    (match strategy_name with
     | None -> ()
     | Some name -> (
       match
@@ -396,7 +512,9 @@ let export_cmd =
           Ocd_engine.Engine.completed_exn
             (Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst)
         in
-        print_string (Codec.schedule_to_string run.Ocd_engine.Engine.schedule))
+        Buffer.add_string buf
+          (Codec.schedule_to_string run.Ocd_engine.Engine.schedule)));
+    emit ~output (Buffer.contents buf)
   in
   Cmd.v
     (Cmd.info "export"
@@ -404,14 +522,15 @@ let export_cmd =
          "Dump a generated workload (and optionally a strategy's schedule) \
           in the text codec format")
     Term.(
-      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
-      $ strategy_arg)
+      term_result
+        (const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+       $ threshold_arg $ strategy_arg $ output_arg))
 
 (* ---------------------- ocd async ---------------------------------- *)
 
 let async_cmd =
   let run seed topology n tokens threshold protocol_name profile_name loss
-      pace condition_name jobs =
+      pace condition_name jobs trace_out metrics_out =
     let inst =
       build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
         ~multi_sender:false
@@ -466,37 +585,52 @@ let async_cmd =
       (Instance.vertex_count inst)
       inst.Instance.token_count (Instance.total_deficit inst) profile_name
       profile.Ocd_async.Net.pace profile.Ocd_async.Net.loss condition_name;
-    let runs =
-      Pool.map ~jobs
-        (fun name ->
-          let protocol =
-            match Ocd_async.Registry.find name with
-            | Some p -> p
-            | None -> assert false
-          in
-          Ocd_async.Runtime.run ~profile ~condition ~protocol ~seed inst)
-        chosen
-    in
-    Printf.printf "%-12s %8s %8s %10s %9s %8s %8s %8s %8s\n" "protocol"
-      "rounds" "ticks" "makespan" "data" "control" "retrans" "dropped"
-      "goodput";
-    List.iter
-      (fun (r : Ocd_async.Runtime.run) ->
-        Printf.printf "%-12s %8s %8s %10s %9d %8d %8d %8d %8.3f\n"
-          r.Ocd_async.Runtime.protocol_name
-          (match r.Ocd_async.Runtime.outcome with
-          | Ocd_async.Runtime.Completed ->
-            string_of_int r.Ocd_async.Runtime.rounds
-          | Ocd_async.Runtime.Timed_out -> "timeout")
-          (match r.Ocd_async.Runtime.completion_ticks with
-          | Some t -> string_of_int t
-          | None -> "-")
-          (Metrics.makespan_cell r.Ocd_async.Runtime.metrics)
-          r.Ocd_async.Runtime.data_messages
-          r.Ocd_async.Runtime.control_messages
-          r.Ocd_async.Runtime.retransmissions
-          r.Ocd_async.Runtime.dropped_messages r.Ocd_async.Runtime.goodput)
-      runs
+    with_observed ~trace_out ~metrics_out (fun obs ->
+        let runs =
+          Pool.map ~obs ~jobs
+            (fun name ->
+              let protocol =
+                match Ocd_async.Registry.find name with
+                | Some p -> p
+                | None -> assert false
+              in
+              (* Child scope per protocol: its registry and memory sink
+                 are private to this worker, then absorbed in protocol
+                 order below — so the files are byte-identical for any
+                 --jobs. *)
+              let pobs = Ocd_obs.child obs in
+              let r =
+                Ocd_async.Runtime.run ~obs:pobs ~profile ~condition ~protocol
+                  ~seed inst
+              in
+              (r, pobs))
+            chosen
+        in
+        if obs.Ocd_obs.on then
+          List.iteri
+            (fun i (name, (_, pobs)) ->
+              Ocd_obs.absorb ~into:obs ~pid:i ~prefix:(name ^ "/") pobs)
+            (List.combine chosen runs);
+        Printf.printf "%-12s %8s %8s %10s %9s %8s %8s %8s %8s\n" "protocol"
+          "rounds" "ticks" "makespan" "data" "control" "retrans" "dropped"
+          "goodput";
+        List.iter
+          (fun ((r : Ocd_async.Runtime.run), _) ->
+            Printf.printf "%-12s %8s %8s %10s %9d %8d %8d %8d %8.3f\n"
+              r.Ocd_async.Runtime.protocol_name
+              (match r.Ocd_async.Runtime.outcome with
+              | Ocd_async.Runtime.Completed ->
+                string_of_int r.Ocd_async.Runtime.rounds
+              | Ocd_async.Runtime.Timed_out -> "timeout")
+              (match r.Ocd_async.Runtime.completion_ticks with
+              | Some t -> string_of_int t
+              | None -> "-")
+              (Metrics.makespan_cell r.Ocd_async.Runtime.metrics)
+              r.Ocd_async.Runtime.data_messages
+              r.Ocd_async.Runtime.control_messages
+              r.Ocd_async.Runtime.retransmissions
+              r.Ocd_async.Runtime.dropped_messages r.Ocd_async.Runtime.goodput)
+          runs)
   in
   let protocol_arg =
     Arg.(
@@ -541,14 +675,15 @@ let async_cmd =
          "Run the asynchronous message-passing protocols (discrete-event \
           simulation with latency, loss and retry)")
     Term.(
-      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
-      $ protocol_arg $ profile_arg $ loss_arg $ pace_arg $ condition_arg
-      $ jobs_arg)
+      term_result
+        (const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+       $ threshold_arg $ protocol_arg $ profile_arg $ loss_arg $ pace_arg
+       $ condition_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg))
 
 (* ---------------------- ocd chaos ---------------------------------- *)
 
 let chaos_cmd =
-  let run seed grid_name n tokens trials jobs =
+  let run seed grid_name n tokens trials jobs trace_out metrics_out =
     let base =
       match grid_name with
       | "smoke" -> Ocd_bench.Chaos.smoke_grid
@@ -565,7 +700,8 @@ let chaos_cmd =
         trials = (match trials with Some t -> t | None -> base.Ocd_bench.Chaos.trials);
       }
     in
-    Ocd_bench.Chaos.report ~jobs ~seed grid
+    with_observed ~trace_out ~metrics_out (fun obs ->
+        Ocd_bench.Chaos.report ~obs ~jobs ~seed grid)
   in
   let grid_arg =
     Arg.(
@@ -598,13 +734,14 @@ let chaos_cmd =
           over loss, link flaps, churn and node crash-recovery faults, with \
           per-cell robustness aggregates and stall diagnoses")
     Term.(
-      const run $ seed_arg $ grid_arg $ n_override $ tokens_override
-      $ trials_override $ jobs_arg)
+      term_result
+        (const run $ seed_arg $ grid_arg $ n_override $ tokens_override
+       $ trials_override $ jobs_arg $ trace_out_arg $ metrics_out_arg))
 
 (* ---------------------- ocd trace ---------------------------------- *)
 
 let trace_cmd =
-  let run seed topology n tokens threshold strategy_name =
+  let run seed topology n tokens threshold strategy_name output =
     let inst =
       build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
         ~multi_sender:false
@@ -627,20 +764,100 @@ let trace_cmd =
       Ocd_engine.Engine.completed_exn
         (Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst)
     in
-    Printf.printf "%s on n=%d m=%d:\n\n" run.Ocd_engine.Engine.strategy_name
-      (Instance.vertex_count inst) inst.Instance.token_count;
-    print_string
+    let buf = Buffer.create 4096 in
+    Printf.bprintf buf "%s on n=%d m=%d:\n\n"
+      run.Ocd_engine.Engine.strategy_name
+      (Instance.vertex_count inst)
+      inst.Instance.token_count;
+    Buffer.add_string buf
       (Ocd_engine.Trace.render ~width:40 inst run.Ocd_engine.Engine.schedule);
     let fairness = Fairness.of_schedule inst run.Ocd_engine.Engine.schedule in
-    Printf.printf "\nJain fairness over forwarding load: %.3f\n"
-      fairness.Fairness.jain_index
+    Printf.bprintf buf "\nJain fairness over forwarding load: %.3f\n"
+      fairness.Fairness.jain_index;
+    emit ~output (Buffer.contents buf)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run one strategy and render its per-step progress timeline")
     Term.(
-      const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg $ threshold_arg
-      $ strategy_arg)
+      term_result
+        (const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+       $ threshold_arg $ strategy_arg $ output_arg))
+
+(* ---------------------- ocd profile -------------------------------- *)
+
+let profile_cmd =
+  let run kind seed topology n tokens jobs =
+    let probe = Ocd_obs.Probe.create () in
+    (* A probing scope with the null sink: deterministic streams stay
+       off, the probe collects wall-clock and GC deltas per phase. *)
+    let obs = Ocd_obs.create ~probe () in
+    let title =
+      match kind with
+      | "run" ->
+        let inst =
+          build_instance ~seed ~topology ~n ~tokens ~threshold:1.0 ~files:1
+            ~multi_sender:false
+        in
+        let strategies = all_strategies () in
+        List.iter
+          (fun strategy ->
+            ignore
+              (Ocd_engine.Engine.run ~obs ~strategy ~seed:(seed + 1) inst))
+          strategies;
+        Printf.sprintf "ocd profile run: n=%d m=%d, %d strategies"
+          (Instance.vertex_count inst)
+          inst.Instance.token_count (List.length strategies)
+      | "async" ->
+        let inst =
+          build_instance ~seed ~topology ~n ~tokens ~threshold:1.0 ~files:1
+            ~multi_sender:false
+        in
+        List.iter
+          (fun name ->
+            let protocol =
+              match Ocd_async.Registry.find name with
+              | Some p -> p
+              | None -> assert false
+            in
+            ignore (Ocd_async.Runtime.run ~obs ~protocol ~seed inst))
+          Ocd_async.Registry.names;
+        Printf.sprintf "ocd profile async: n=%d m=%d, %d protocols"
+          (Instance.vertex_count inst)
+          inst.Instance.token_count
+          (List.length Ocd_async.Registry.names)
+      | "chaos" ->
+        let grid = Ocd_bench.Chaos.smoke_grid in
+        ignore (Ocd_bench.Chaos.run ~obs ~jobs ~seed grid);
+        Printf.sprintf "ocd profile chaos: smoke grid, %d cells x %d trials"
+          (List.length grid.Ocd_bench.Chaos.cells)
+          grid.Ocd_bench.Chaos.trials
+      | other ->
+        Printf.eprintf "unknown profile workload %S (run, async, chaos)\n"
+          other;
+        exit 2
+    in
+    print_string (Ocd_obs.Probe.render ~title probe)
+  in
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload to profile: run (sync engine), async or chaos.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload under the wall-clock/allocation probe and print \
+          the per-phase table (strategy decide/apply phases, protocol \
+          message handlers, simulator events, pool workers).  Probe \
+          numbers are non-deterministic by nature; the deterministic \
+          metrics/trace streams are the --metrics-out/--trace-out flags \
+          of run, async and chaos.")
+    Term.(
+      const run $ kind_arg $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+      $ jobs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -662,4 +879,5 @@ let () =
             trace_cmd;
             async_cmd;
             chaos_cmd;
+            profile_cmd;
           ]))

@@ -2,15 +2,35 @@ type t = {
   now : unit -> int;
   timeout : int;
   last : int array;
+  (* [in_episode.(p)] is true once the current silence of [p] has been
+     observed as a suspicion, so [on_suspect] fires once per episode
+     (cleared by [heard]).  Pure observability bookkeeping: it never
+     influences what [suspected] returns. *)
+  in_episode : bool array;
+  on_suspect : (int -> unit) option;
 }
 
-let create ~now ~timeout ~n =
+let create ?on_suspect ~now ~timeout ~n () =
   if timeout <= 0 then invalid_arg "Detector.create: timeout must be positive";
-  { now; timeout; last = Array.make n (now ()) }
+  {
+    now;
+    timeout;
+    last = Array.make n (now ());
+    in_episode = Array.make n false;
+    on_suspect;
+  }
 
-let heard t peer = t.last.(peer) <- t.now ()
+let heard t peer =
+  t.last.(peer) <- t.now ();
+  t.in_episode.(peer) <- false
 
-let suspected t peer = t.now () - t.last.(peer) > t.timeout
+let suspected t peer =
+  let s = t.now () - t.last.(peer) > t.timeout in
+  if s && not t.in_episode.(peer) then begin
+    t.in_episode.(peer) <- true;
+    match t.on_suspect with Some f -> f peer | None -> ()
+  end;
+  s
 
 let last_heard t peer = t.last.(peer)
 

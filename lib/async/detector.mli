@@ -22,9 +22,15 @@
 
 type t
 
-val create : now:(unit -> int) -> timeout:int -> n:int -> t
-(** [create ~now ~timeout ~n] tracks peers [0 .. n-1]; [now] is the
-    owner's clock (typically [ctx.now]).
+val create :
+  ?on_suspect:(int -> unit) -> now:(unit -> int) -> timeout:int -> n:int ->
+  unit -> t
+(** [create ~now ~timeout ~n ()] tracks peers [0 .. n-1]; [now] is the
+    owner's clock (typically [ctx.now]).  [on_suspect] is an
+    observability hook fired the first time each silence episode of a
+    peer is observed by {!suspected} (protocols wire it to
+    [ctx.note_suspicion]); it is re-armed by {!heard} and never
+    changes what {!suspected} returns.
     @raise Invalid_argument unless [timeout > 0]. *)
 
 val heard : t -> int -> unit

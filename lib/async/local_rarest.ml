@@ -77,7 +77,8 @@ let protocol () =
     (* Announce traffic doubles as heartbeats: every in-neighbour talks
        at least once per round, so a few silent rounds mean it is down
        (or unreachable, which warrants re-targeting just the same). *)
-    let detector = Detector.create ~now:ctx.now ~timeout:(4 * ctx.pace) ~n in
+    let detector = Detector.create ~on_suspect:(fun _ -> ctx.note_suspicion ())
+        ~now:ctx.now ~timeout:(4 * ctx.pace) ~n () in
     let alive u = not (Detector.suspected detector u) in
     let eligible token =
       match Hashtbl.find_opt pending token with

@@ -15,6 +15,7 @@ type ctx = {
   have_copy : unit -> Bitset.t;
   receive : src:int -> int -> bool;
   note_retransmission : unit -> unit;
+  note_suspicion : unit -> unit;
   give_up : unit -> unit;
   finished : unit -> bool;
 }

@@ -48,6 +48,11 @@ type ctx = {
           changed (first delivery, or re-delivery of a token lost in a
           crash) *)
   note_retransmission : unit -> unit;  (** metric hook *)
+  note_suspicion : unit -> unit;
+      (** metric hook: the node's failure detector entered a new
+          suspicion episode for some peer (see
+          {!Detector.create}'s [on_suspect]).  Feeds the runtime's
+          [suspicions] count and the [async/suspicions] metric. *)
   give_up : unit -> unit;
       (** metric hook: the node permanently abandoned a transfer it was
           responsible for (e.g. a planned job out of retry attempts).

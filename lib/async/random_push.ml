@@ -29,7 +29,8 @@ let protocol () =
        neighbours.  A restarted peer's first announce both clears the
        suspicion and resets our belief to its post-crash truth, which
        re-triggers pushes for anything it lost. *)
-    let detector = Detector.create ~now:ctx.now ~timeout:(4 * ctx.pace) ~n in
+    let detector = Detector.create ~on_suspect:(fun _ -> ctx.note_suspicion ())
+        ~now:ctx.now ~timeout:(4 * ctx.pace) ~n () in
     let push () =
       if not (ctx.finished ()) then
         Array.iter

@@ -24,6 +24,7 @@ type run = {
   restarts : int;
   lost_tokens : int;
   failed_jobs : int;
+  suspicions : int;
   limit_hit : bool;
   diagnosis : Diagnosis.t option;
   goodput : float;
@@ -36,8 +37,9 @@ let default_round_limit (inst : Instance.t) =
   let n = Instance.vertex_count inst in
   min ((inst.token_count * (n - 1)) + n + 64) 1_000_000
 
-let run ?(profile = Net.default) ?(condition = Condition.static)
-    ?(faults = Faults.none) ?round_limit ~(protocol : Protocol.t) ~seed inst =
+let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
+    ?(condition = Condition.static) ?(faults = Faults.none) ?round_limit
+    ~(protocol : Protocol.t) ~seed inst =
   let n = Instance.vertex_count inst in
   let round_limit =
     match round_limit with Some l -> l | None -> default_round_limit inst
@@ -45,7 +47,10 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
   if round_limit <= 0 then invalid_arg "Runtime.run: round_limit must be positive";
   let pace = profile.Net.pace in
   let horizon = (round_limit * pace) - 1 in
-  let sim = Sim.create () in
+  let sim = Sim.create ~obs () in
+  let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
+  let sink = obs.Ocd_obs.sink in
+  let pid = obs.Ocd_obs.pid in
   let have = Array.map Bitset.copy inst.Instance.have in
   (* Satisfaction accounting lives here rather than in
      Timeline.Tracker: the tracker is monotonic by design, and a crash
@@ -60,6 +65,7 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
   let duplicates = ref 0 in
   let retransmissions = ref 0 in
   let failed_jobs = ref 0 in
+  let suspicions = ref 0 in
   let fresh = ref 0 in
   let crashes = ref 0 in
   let restarts = ref 0 in
@@ -132,9 +138,16 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
   let epoch = Array.make n 0 in
   let up_now = Array.make n true in
   let alive : bool ref array = Array.init n (fun _ -> ref true) in
+  let probe = Ocd_obs.probe obs in
+  let on_message_label = protocol.Protocol.name ^ "/on_message" in
   let deliver ~src ~dst msg =
     match handlers.(dst) with
-    | Some h -> h.Protocol.on_message ~src msg
+    | Some h -> (
+        match probe with
+        | None -> h.Protocol.on_message ~src msg
+        | Some p ->
+            Ocd_obs.Probe.time p on_message_label (fun () ->
+                h.Protocol.on_message ~src msg))
     | None -> ()
   in
   let net =
@@ -147,6 +160,10 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
     if token < 0 || token >= inst.Instance.token_count then false
     else if Bitset.mem have.(v) token then begin
       incr duplicates;
+      if trace then
+        Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"dup" ~ts:(Sim.now sim)
+          ~args:[ ("token", Ocd_obs.Sink.Int token); ("src", Ocd_obs.Sink.Int src) ]
+          ();
       false
     end
     else begin
@@ -157,12 +174,21 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
         Bitset.add delivered_ever.(v) token;
         incr fresh
       end;
+      if trace then
+        Ocd_obs.Span.complete sink ~pid ~tid:v ~name:"recv" ~ts:(Sim.now sim)
+          ~dur:1
+          ~args:[ ("token", Ocd_obs.Sink.Int token); ("src", Ocd_obs.Sink.Int src) ]
+          ();
       if Bitset.mem inst.Instance.want.(v) token then begin
         node_deficit.(v) <- node_deficit.(v) - 1;
         if node_deficit.(v) = 0 then begin
           decr unsatisfied;
-          if !unsatisfied = 0 && !completion = None then
-            completion := Some (Sim.now sim)
+          if !unsatisfied = 0 && !completion = None then begin
+            completion := Some (Sim.now sim);
+            if trace then
+              Ocd_obs.Span.instant sink ~pid ~tid:0 ~name:"all-satisfied"
+                ~ts:(Sim.now sim) ()
+          end
         end
       end;
       true
@@ -187,16 +213,22 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
         have_copy = (fun () -> Bitset.copy have.(v));
         receive = (fun ~src token -> if !flag then receive v ~src token else false);
         note_retransmission = (fun () -> incr retransmissions);
+        note_suspicion = (fun () -> incr suspicions);
         give_up = (fun () -> incr failed_jobs);
         finished;
       }
     in
     let h = protocol.Protocol.init ctx in
     handlers.(v) <- Some h;
+    if trace then
+      Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"boot" ~ts:(Sim.now sim)
+        ~args:[ ("epoch", Ocd_obs.Sink.Int e) ] ();
     h
   in
   let apply_crash v =
     incr crashes;
+    if trace then
+      Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"crash" ~ts:(Sim.now sim) ();
     up_now.(v) <- false;
     epoch.(v) <- epoch.(v) + 1;
     alive.(v) := false;
@@ -217,6 +249,9 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
   in
   let apply_restart v =
     incr restarts;
+    if trace then
+      Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"restart" ~ts:(Sim.now sim)
+        ~args:[ ("epoch", Ocd_obs.Sink.Int epoch.(v)) ] ();
     up_now.(v) <- true;
     (* The fresh incarnation boots immediately: its on_start runs in
        the restart's own tick and serves as the recovery handshake
@@ -277,6 +312,28 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
              ~quiescent:(not limit_hit))
   in
   let data = Net.data_sent net in
+  if obs.Ocd_obs.on then begin
+    (* Final totals mirrored into the registry in one deterministic
+       batch — all sim-time quantities, so renders are byte-identical
+       across seeds of the same run and across --jobs. *)
+    let reg = obs.Ocd_obs.metrics in
+    let put name v = Ocd_obs.Metrics.add reg name v in
+    put "async/completed" (match outcome with Completed -> 1 | Timed_out -> 0);
+    put "async/control_messages" (Net.control_sent net);
+    put "async/crashes" !crashes;
+    put "async/data_messages" data;
+    put "async/dropped" (Net.dropped net);
+    put "async/duplicates" !duplicates;
+    put "async/events" (Sim.events_processed sim);
+    put "async/failed_jobs" !failed_jobs;
+    put "async/fault_dropped" (Net.fault_dropped net);
+    put "async/fresh_deliveries" !fresh;
+    put "async/lost_tokens" !lost_tokens;
+    put "async/restarts" !restarts;
+    put "async/retransmissions" !retransmissions;
+    put "async/rounds" rounds;
+    put "async/suspicions" !suspicions
+  end;
   {
     protocol_name = protocol.Protocol.name;
     seed;
@@ -296,6 +353,7 @@ let run ?(profile = Net.default) ?(condition = Condition.static)
     restarts = !restarts;
     lost_tokens = !lost_tokens;
     failed_jobs = !failed_jobs;
+    suspicions = !suspicions;
     limit_hit;
     diagnosis;
     goodput = (if data = 0 then 0.0 else float_of_int !fresh /. float_of_int data);
@@ -307,7 +365,7 @@ let pp ppf r =
     "@[<v>%s seed=%d: %s in %d rounds%a@,\
      fresh=%d dup=%d data=%d control=%d retrans=%d dropped=%d+%d goodput=%.3f \
      events=%d@,\
-     crashes=%d restarts=%d lost_tokens=%d failed_jobs=%d%a@]"
+     crashes=%d restarts=%d lost_tokens=%d failed_jobs=%d suspicions=%d%a@]"
     r.protocol_name r.seed
     (match r.outcome with Completed -> "completed" | Timed_out -> "timed out")
     r.rounds
@@ -317,7 +375,7 @@ let pp ppf r =
     r.completion_ticks r.fresh_deliveries r.duplicate_deliveries
     r.data_messages r.control_messages r.retransmissions r.dropped_messages
     r.fault_dropped r.goodput r.events r.crashes r.restarts r.lost_tokens
-    r.failed_jobs
+    r.failed_jobs r.suspicions
     (fun ppf -> function
       | Some d -> Format.fprintf ppf "@,diagnosis: %s" (Diagnosis.summary d)
       | None -> ())

@@ -68,6 +68,10 @@ type run = {
       (** tokens erased by crashes under [Lost_unless_source] *)
   failed_jobs : int;
       (** transfers protocols permanently abandoned (out of retries) *)
+  suspicions : int;
+      (** failure-detector suspicion episodes across all nodes (see
+          {!Detector.create}'s [on_suspect]) — nonzero under crash
+          faults or heavy loss, 0 in a healthy lockstep run *)
   limit_hit : bool;
       (** the simulator discarded events beyond the horizon; [false]
           for a timed-out run means the system went quiescent early *)
@@ -82,6 +86,7 @@ val default_round_limit : Instance.t -> int
     any reasonable protocol, finite so lossy runs terminate. *)
 
 val run :
+  ?obs:Ocd_obs.t ->
   ?profile:Net.profile ->
   ?condition:Ocd_dynamics.Condition.t ->
   ?faults:Ocd_dynamics.Faults.t ->
@@ -92,7 +97,17 @@ val run :
   run
 (** Executes one simulation.  [profile] defaults to {!Net.default},
     [condition] to {!Ocd_dynamics.Condition.static}, [faults] to
-    {!Ocd_dynamics.Faults.none}. *)
+    {!Ocd_dynamics.Faults.none}.
+
+    [?obs] (default {!Ocd_obs.disabled}) instruments the run without
+    perturbing it: [async/*] counters mirror the run record's totals
+    into the registry, the trace sink receives sim-time events
+    ([recv]/[dup] per delivery, [boot]/[crash]/[restart] per
+    incarnation change with [tid] = vertex, and an [all-satisfied]
+    instant at completion), and a probe — when the scope carries one —
+    times every message delivery under [<protocol>/on_message] plus
+    the simulator's [sim/event].  All trace timestamps are simulator
+    ticks, so the emitted stream is a pure function of the run inputs. *)
 
 val pp : Format.formatter -> run -> unit
 (** One-paragraph human-readable summary. *)

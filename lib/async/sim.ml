@@ -4,9 +4,25 @@ type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : int;
   mutable processed : int;
+  obs : Ocd_obs.t;
+  depth : Ocd_obs.Metrics.histogram;
 }
 
-let create () = { queue = Pqueue.create (); clock = 0; processed = 0 }
+(* Queue-depth histogram edges: powers of two up to 4096 pending
+   events; the +inf bucket catches pathological backlogs. *)
+let depth_buckets = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.;
+                      1024.; 2048.; 4096. |]
+
+let create ?(obs = Ocd_obs.disabled) () =
+  {
+    queue = Pqueue.create ();
+    clock = 0;
+    processed = 0;
+    obs;
+    depth =
+      Ocd_obs.Metrics.histogram obs.Ocd_obs.metrics "sim/queue_depth"
+        ~buckets:depth_buckets;
+  }
 
 let now sim = sim.clock
 
@@ -21,6 +37,7 @@ let events_processed sim = sim.processed
 type stop = Drained | Horizon_reached
 
 let run ?(limit = max_int) sim =
+  let probe = Ocd_obs.probe sim.obs in
   let discarded = ref false in
   let rec loop () =
     match Pqueue.pop sim.queue with
@@ -29,7 +46,14 @@ let run ?(limit = max_int) sim =
         if tick <= limit then begin
           sim.clock <- tick;
           sim.processed <- sim.processed + 1;
-          f ();
+          (* Depth after the pop, i.e. the backlog this event leaves
+             behind — a deterministic sim-time quantity (the queue is
+             single-threaded and FIFO-tied). *)
+          if sim.obs.Ocd_obs.on then
+            Ocd_obs.Metrics.observe_int sim.depth (Pqueue.length sim.queue);
+          (match probe with
+          | None -> f ()
+          | Some p -> Ocd_obs.Probe.time p "sim/event" f);
           loop ()
         end
         else begin

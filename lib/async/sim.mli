@@ -12,7 +12,13 @@
 
 type t
 
-val create : unit -> t
+val create : ?obs:Ocd_obs.t -> unit -> t
+(** [?obs] (default {!Ocd_obs.disabled}) instruments the drain loop:
+    a [sim/queue_depth] histogram records the backlog left after each
+    pop (a deterministic sim-time quantity), and when the scope
+    carries a probe every event thunk is timed under the [sim/event]
+    label.  With the disabled scope the loop pays one flag test per
+    event. *)
 
 val now : t -> int
 (** Current tick; 0 before the first event runs. *)

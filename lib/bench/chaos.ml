@@ -95,7 +95,7 @@ type obs = {
 
 let verdict_names = [ "unsat-window"; "gave-up"; "protocol-stall" ]
 
-let run ?(jobs = 1) ~seed grid =
+let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
   let rng = Prng.create ~seed in
   let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:grid.n () in
   let inst =
@@ -120,11 +120,17 @@ let run ?(jobs = 1) ~seed grid =
           protocols)
       (Order.range (Array.length cells))
   in
-  let observations =
-    Pool.map ~jobs
+  let probe = Ocd_obs.probe obs in
+  (* Each task runs its Runtime under a child scope (fresh registry and
+     memory sink), so worker domains never share mutable observability
+     state; children are absorbed in task order afterwards, which keeps
+     the merged metrics and trace byte-identical for any [jobs]. *)
+  let results =
+    Pool.map ~obs ~jobs
       (fun (ci, name, trial) ->
         let c = cells.(ci) in
         let cell_seed = seed + (7919 * ci) in
+        let task_obs = Ocd_obs.child obs in
         let profile = { Net.default with Net.loss = c.loss } in
         let condition =
           let parts =
@@ -155,9 +161,16 @@ let run ?(jobs = 1) ~seed grid =
           | None -> assert false
         in
         let r =
-          Runtime.run ~profile ~condition ~faults ~protocol
-            ~seed:(seed + (31 * trial) + 1)
-            inst
+          let go () =
+            Runtime.run ~obs:task_obs ~profile ~condition ~faults ~protocol
+              ~seed:(seed + (31 * trial) + 1)
+              inst
+          in
+          (* Per-cell wall time: call count per label is
+             trials × protocols, so the profile row gives trials/sec. *)
+          match probe with
+          | None -> go ()
+          | Some p -> Ocd_obs.Probe.time p ("chaos/" ^ c.label) go
         in
         let completed = r.Runtime.outcome = Runtime.Completed in
         let valid =
@@ -168,28 +181,39 @@ let run ?(jobs = 1) ~seed grid =
           | Ok () -> true
           | Error _ -> false
         in
-        {
-          o_ticks = r.Runtime.completion_ticks;
-          o_retrans = r.Runtime.retransmissions;
-          o_dup = r.Runtime.duplicate_deliveries;
-          o_crashes = r.Runtime.crashes;
-          o_restarts = r.Runtime.restarts;
-          o_lost = r.Runtime.lost_tokens;
-          o_failed = r.Runtime.failed_jobs;
-          o_verdict =
-            Option.map
-              (fun (d : Diagnosis.t) -> Diagnosis.verdict_name d.Diagnosis.verdict)
-              r.Runtime.diagnosis;
-          o_valid = valid;
-          o_undiagnosed =
-            (not completed)
-            && (match r.Runtime.diagnosis with
-               | None -> true
-               | Some d -> d.Diagnosis.outstanding = []);
-        })
+        ( {
+            o_ticks = r.Runtime.completion_ticks;
+            o_retrans = r.Runtime.retransmissions;
+            o_dup = r.Runtime.duplicate_deliveries;
+            o_crashes = r.Runtime.crashes;
+            o_restarts = r.Runtime.restarts;
+            o_lost = r.Runtime.lost_tokens;
+            o_failed = r.Runtime.failed_jobs;
+            o_verdict =
+              Option.map
+                (fun (d : Diagnosis.t) ->
+                  Diagnosis.verdict_name d.Diagnosis.verdict)
+                r.Runtime.diagnosis;
+            o_valid = valid;
+            o_undiagnosed =
+              (not completed)
+              && (match r.Runtime.diagnosis with
+                 | None -> true
+                 | Some d -> d.Diagnosis.outstanding = []);
+          },
+          task_obs ))
       tasks
   in
-  let obs = Array.of_list observations in
+  if obs.Ocd_obs.on then
+    List.iter2
+      (fun (ci, name, _trial) (_, task_obs) ->
+        let prefix = "chaos/" ^ cells.(ci).label ^ "/" ^ name ^ "/" in
+        (* pid in the merged trace = task index would also work, but the
+           cell index groups a cell's trials into one Perfetto process
+           row, which reads better and is equally jobs-independent. *)
+        Ocd_obs.absorb ~into:obs ~pid:ci ~prefix task_obs)
+      tasks results;
+  let obs_arr = Array.of_list (List.map fst results) in
   let num_protocols = List.length protocols in
   List.concat
     (List.mapi
@@ -198,7 +222,7 @@ let run ?(jobs = 1) ~seed grid =
            (fun pi name ->
              let base = ((ci * num_protocols) + pi) * grid.trials in
              let os =
-               List.init grid.trials (fun t -> obs.(base + t))
+               List.init grid.trials (fun t -> obs_arr.(base + t))
              in
              let completed_ticks =
                List.filter_map (fun o -> o.o_ticks) os
@@ -247,9 +271,9 @@ let verdict_cell verdicts =
   in
   match nonzero with [] -> "-" | vs -> String.concat " " vs
 
-let report ?(jobs = 1) ~seed grid =
+let report ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
   Report.section "Chaos campaign: crash-recovery robustness (Ocd_async)";
-  let aggs = run ~jobs ~seed grid in
+  let aggs = run ~obs ~jobs ~seed grid in
   let table =
     Report.create ~title:"chaos"
       ~columns:

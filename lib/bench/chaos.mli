@@ -57,10 +57,20 @@ type agg = {
   undiagnosed : int;  (** timed-out trials missing a diagnosis: bug *)
 }
 
-val run : ?jobs:int -> seed:int -> grid -> agg list
+val run : ?obs:Ocd_obs.t -> ?jobs:int -> seed:int -> grid -> agg list
 (** Executes the campaign.  Order: cells outer, protocols (registry
-    order) inner. *)
+    order) inner.
 
-val report : ?jobs:int -> seed:int -> grid -> unit
+    [?obs] (default disabled) instruments every trial: each task runs
+    its {!Ocd_async.Runtime.run} under {!Ocd_obs.child} (fresh
+    registry and memory sink, so worker domains share nothing) and the
+    children are absorbed back in task order with
+    [prefix = "chaos/<cell>/<protocol>/"] and [pid] = cell index —
+    the merged metrics render and trace stream are byte-identical for
+    any [jobs].  With a probe, each trial is timed under
+    [chaos/<cell>] (calls = trials {m \times} protocols, so the
+    profile row reads as trials/sec). *)
+
+val report : ?obs:Ocd_obs.t -> ?jobs:int -> seed:int -> grid -> unit
 (** Runs the campaign and renders the aggregate table (plus its CSV
     mirror) to stdout. *)

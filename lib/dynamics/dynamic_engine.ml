@@ -47,8 +47,8 @@ let enforce condition ~step (inst : Instance.t) have moves =
   let kept = List.filter keep moves in
   (kept, !dropped)
 
-let run ?step_limit ?stall_patience ~condition ~strategy ~seed
-    (inst : Instance.t) =
+let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~condition
+    ~strategy ~seed (inst : Instance.t) =
   let step_limit =
     match step_limit with
     | Some l -> l
@@ -65,6 +65,22 @@ let run ?step_limit ?stall_patience ~condition ~strategy ~seed
   let decide = strategy.Ocd_engine.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
   let tracker = Timeline.Tracker.create inst in
+  let m = obs.Ocd_obs.metrics in
+  let c_rounds = Ocd_obs.Metrics.counter m "dynamic/rounds" in
+  let c_moves = Ocd_obs.Metrics.counter m "dynamic/moves" in
+  let c_dropped = Ocd_obs.Metrics.counter m "dynamic/dropped_moves" in
+  let c_fresh = Ocd_obs.Metrics.counter m "dynamic/fresh_deliveries" in
+  let c_quiet = Ocd_obs.Metrics.counter m "dynamic/quiet_steps" in
+  let h_moves =
+    Ocd_obs.Metrics.histogram m "dynamic/moves_per_step"
+      ~buckets:Ocd_engine.Engine.moves_buckets
+  in
+  let probe = Ocd_obs.probe obs in
+  let lbl_decide = "dynamic/" ^ strategy.Ocd_engine.Strategy.name ^ "/decide" in
+  let lbl_enforce =
+    "dynamic/" ^ strategy.Ocd_engine.Strategy.name ^ "/enforce"
+  in
+  let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
   let steps = ref [] in
   let dropped_total = ref 0 in
   let rec loop step since_progress =
@@ -82,11 +98,21 @@ let run ?step_limit ?stall_patience ~condition ~strategy ~seed
             ~have:inst.have ~want:inst.want
         | None -> inst
       in
-      let proposal =
-        decide
-          { Ocd_engine.Strategy.instance = visible_instance; have; step; rng }
+      let ctx =
+        { Ocd_engine.Strategy.instance = visible_instance; have; step; rng }
       in
-      let kept, dropped = enforce condition ~step inst have proposal in
+      let proposal =
+        match probe with
+        | None -> decide ctx
+        | Some p -> Ocd_obs.Probe.time p lbl_decide (fun () -> decide ctx)
+      in
+      let kept, dropped =
+        match probe with
+        | None -> enforce condition ~step inst have proposal
+        | Some p ->
+          Ocd_obs.Probe.time p lbl_enforce (fun () ->
+              enforce condition ~step inst have proposal)
+      in
       dropped_total := !dropped_total + dropped;
       (* Distinct (dst, token) arrivals only: the membership test
          before each add dedups same-step duplicate deliveries. *)
@@ -97,9 +123,31 @@ let run ?step_limit ?stall_patience ~condition ~strategy ~seed
             incr fresh;
             Bitset.add have.(m.dst) m.token;
             Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
-              ~token:m.token
+              ~token:m.token;
+            if trace then
+              Ocd_obs.Span.complete obs.Ocd_obs.sink ~pid:obs.Ocd_obs.pid
+                ~tid:m.dst ~name:"recv" ~ts:step ~dur:1
+                ~args:[ ("token", Ocd_obs.Sink.Int m.token);
+                        ("src", Ocd_obs.Sink.Int m.src) ]
+                ()
           end)
         kept;
+      if obs.Ocd_obs.on then begin
+        let n_kept = List.length kept in
+        Ocd_obs.Metrics.incr c_rounds;
+        Ocd_obs.Metrics.incr c_moves ~by:n_kept;
+        Ocd_obs.Metrics.incr c_dropped ~by:dropped;
+        Ocd_obs.Metrics.incr c_fresh ~by:!fresh;
+        if !fresh = 0 then Ocd_obs.Metrics.incr c_quiet;
+        Ocd_obs.Metrics.observe_int h_moves n_kept;
+        if trace then
+          Ocd_obs.Span.complete obs.Ocd_obs.sink ~pid:obs.Ocd_obs.pid ~tid:0
+            ~name:"step" ~ts:step ~dur:1
+            ~args:[ ("moves", Ocd_obs.Sink.Int n_kept);
+                    ("dropped", Ocd_obs.Sink.Int dropped);
+                    ("fresh", Ocd_obs.Sink.Int !fresh) ]
+            ()
+      end;
       steps := kept :: !steps;
       loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
     end

@@ -33,6 +33,7 @@ type run = {
 }
 
 val run :
+  ?obs:Ocd_obs.t ->
   ?step_limit:int ->
   ?stall_patience:int ->
   condition:Condition.t ->
@@ -40,3 +41,10 @@ val run :
   seed:int ->
   Instance.t ->
   run
+(** [obs] (default {!Ocd_obs.disabled}): sim-time counters
+    [dynamic/rounds], [dynamic/moves], [dynamic/dropped_moves],
+    [dynamic/fresh_deliveries], [dynamic/quiet_steps] and the
+    [dynamic/moves_per_step] histogram; per-step and per-delivery
+    trace events (as in {!Ocd_engine.Engine.run}); wall-clock probe
+    phases [dynamic/<strategy>/decide] and [.../enforce].
+    Instrumentation never perturbs the run. *)

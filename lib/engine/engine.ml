@@ -17,10 +17,15 @@ type run = {
 
 let strategy_fail fmt = Format.kasprintf (fun s -> raise (Strategy_error s)) fmt
 
+(* Upper edges for the moves-per-step histogram: powers of two up to a
+   step that moves 256 tokens at once (larger lands in +inf). *)
+let moves_buckets = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+
 (* Check one step's proposal against §3.1 and return the number of
    distinct (dst, token) pairs it delivers fresh (for stall
    accounting). *)
-let apply_step (inst : Instance.t) tracker have step moves =
+let apply_step ?(obs = Ocd_obs.disabled) (inst : Instance.t) tracker have step
+    moves =
   let g = inst.graph in
   let seen = Hashtbl.create 32 in
   let load = Hashtbl.create 32 in
@@ -49,13 +54,22 @@ let apply_step (inst : Instance.t) tracker have step moves =
      even when several sources deliver it in the same step, and keeps
      the satisfaction tracker O(1) per fresh arrival. *)
   let fresh = ref 0 in
+  let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
   List.iter
     (fun (m : Move.t) ->
       if not (Bitset.mem have.(m.dst) m.token) then begin
         incr fresh;
         Bitset.add have.(m.dst) m.token;
         Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
-          ~token:m.token
+          ~token:m.token;
+        (* One trace lane per receiving vertex (tid = node id), in
+           sim-time (ts = step) — deterministic by construction. *)
+        if trace then
+          Ocd_obs.Span.complete obs.Ocd_obs.sink ~pid:obs.Ocd_obs.pid
+            ~tid:m.dst ~name:"recv" ~ts:step ~dur:1
+            ~args:[ ("token", Ocd_obs.Sink.Int m.token);
+                    ("src", Ocd_obs.Sink.Int m.src) ]
+            ()
       end)
     moves;
   !fresh
@@ -68,7 +82,8 @@ let default_step_limit (inst : Instance.t) =
   let n = Instance.vertex_count inst and m = max 1 inst.token_count in
   min ((m * (max 1 (n - 1))) + n + 64) 1_000_000
 
-let run ?step_limit ?stall_patience ~strategy ~seed inst =
+let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~strategy ~seed
+    inst =
   let step_limit =
     match step_limit with Some l -> l | None -> default_step_limit inst
   in
@@ -81,36 +96,93 @@ let run ?step_limit ?stall_patience ~strategy ~seed inst =
   let decide = strategy.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
   let tracker = Timeline.Tracker.create inst in
+  (* Instrumentation setup is unconditional (a disabled registry hands
+     back shared dummies); the per-step work below is guarded so the
+     default Null path costs one load-and-branch per site. *)
+  let m = obs.Ocd_obs.metrics in
+  let c_rounds = Ocd_obs.Metrics.counter m "engine/rounds" in
+  let c_moves = Ocd_obs.Metrics.counter m "engine/moves" in
+  let c_fresh = Ocd_obs.Metrics.counter m "engine/fresh_deliveries" in
+  let c_quiet = Ocd_obs.Metrics.counter m "engine/quiet_steps" in
+  let h_moves =
+    Ocd_obs.Metrics.histogram m "engine/moves_per_step" ~buckets:moves_buckets
+  in
+  let probe = Ocd_obs.probe obs in
+  let lbl_decide = "engine/" ^ strategy.Strategy.name ^ "/decide" in
+  let lbl_apply = "engine/" ^ strategy.Strategy.name ^ "/apply" in
+  let lbl_post = "engine/" ^ strategy.Strategy.name ^ "/post" in
+  let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
   let steps = ref [] in
   let rec loop step since_progress =
     if Timeline.Tracker.all_satisfied tracker then Completed
     else if step >= step_limit then Step_limit
     else if since_progress >= stall_patience then Stalled step
     else begin
-      let moves = decide { Strategy.instance = inst; have; step; rng } in
-      let fresh = apply_step inst tracker have step moves in
+      let ctx = { Strategy.instance = inst; have; step; rng } in
+      let moves =
+        match probe with
+        | None -> decide ctx
+        | Some p -> Ocd_obs.Probe.time p lbl_decide (fun () -> decide ctx)
+      in
+      let fresh =
+        match probe with
+        | None -> apply_step ~obs inst tracker have step moves
+        | Some p ->
+          Ocd_obs.Probe.time p lbl_apply (fun () ->
+              apply_step ~obs inst tracker have step moves)
+      in
+      if obs.Ocd_obs.on then begin
+        let n_moves = List.length moves in
+        Ocd_obs.Metrics.incr c_rounds;
+        Ocd_obs.Metrics.incr c_moves ~by:n_moves;
+        Ocd_obs.Metrics.incr c_fresh ~by:fresh;
+        if fresh = 0 then Ocd_obs.Metrics.incr c_quiet;
+        Ocd_obs.Metrics.observe_int h_moves n_moves;
+        if trace then
+          Ocd_obs.Span.complete obs.Ocd_obs.sink ~pid:obs.Ocd_obs.pid ~tid:0
+            ~name:"step" ~ts:step ~dur:1
+            ~args:[ ("moves", Ocd_obs.Sink.Int n_moves);
+                    ("fresh", Ocd_obs.Sink.Int fresh) ]
+            ()
+      end;
       steps := moves :: !steps;
       loop (step + 1) (if fresh > 0 then 0 else since_progress + 1)
     end
   in
   let outcome = loop 0 0 in
-  let schedule =
-    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+  let finish () =
+    let schedule =
+      Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+    in
+    (match outcome with
+    | Completed -> (
+      match Validate.check_successful inst schedule with
+      | Ok () -> ()
+      | Error e ->
+        strategy_fail "engine produced an invalid schedule: %a"
+          Validate.pp_error e)
+    | Stalled _ | Step_limit -> ());
+    (schedule, Metrics.of_schedule inst schedule)
   in
-  (match outcome with
-  | Completed -> (
-    match Validate.check_successful inst schedule with
-    | Ok () -> ()
-    | Error e ->
-      strategy_fail "engine produced an invalid schedule: %a" Validate.pp_error
-        e)
-  | Stalled _ | Step_limit -> ());
+  let schedule, metrics =
+    match probe with
+    | None -> finish ()
+    | Some p -> Ocd_obs.Probe.time p lbl_post finish
+  in
+  if trace then
+    Ocd_obs.Span.instant obs.Ocd_obs.sink ~pid:obs.Ocd_obs.pid ~tid:0
+      ~name:
+        (match outcome with
+        | Completed -> "completed"
+        | Stalled _ -> "stalled"
+        | Step_limit -> "step-limit")
+      ~ts:(Schedule.length schedule) ();
   {
     strategy_name = strategy.Strategy.name;
     seed;
     outcome;
     schedule;
-    metrics = Metrics.of_schedule inst schedule;
+    metrics;
     fresh_deliveries = Timeline.Tracker.fresh_deliveries tracker;
   }
 

@@ -39,6 +39,7 @@ type run = {
 }
 
 val run :
+  ?obs:Ocd_obs.t ->
   ?step_limit:int ->
   ?stall_patience:int ->
   strategy:Strategy.t ->
@@ -47,8 +48,22 @@ val run :
   run
 (** [step_limit] defaults to [4 * (tokens + diameter-ish slack)] scaled
     by the instance (see implementation); [stall_patience] defaults to
-    [2 * token_count + 16]. *)
+    [2 * token_count + 16].
+
+    [obs] (default {!Ocd_obs.disabled}) attaches an observability
+    scope.  Counters [engine/rounds], [engine/moves],
+    [engine/fresh_deliveries], [engine/quiet_steps] and the
+    [engine/moves_per_step] histogram are fed in sim-time; the trace
+    sink receives one ['X'] event per step (tid 0) and per fresh
+    delivery (tid = receiving vertex, ts = step); a probe times
+    [engine/<strategy>/decide], [.../apply] and [.../post] phases in
+    wall-clock.  Instrumentation never affects the run: schedule and
+    metrics are byte-identical with and without it. *)
 
 val completed_exn : run -> run
 (** Returns the run, raising [Failure] with a diagnostic when it did
     not complete — used by benches that require success. *)
+
+val moves_buckets : float array
+(** Shared histogram edges for moves-per-step distributions (powers of
+    two to 256), so engine and dynamic-engine histograms merge. *)

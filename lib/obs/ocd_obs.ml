@@ -1,0 +1,45 @@
+module Sink = Sink
+module Metrics = Metrics
+module Span = Span
+module Probe = Probe
+
+type t = {
+  on : bool;
+  pid : int;
+  metrics : Metrics.t;
+  sink : Sink.t;
+  probe : Probe.t option;
+}
+
+let disabled =
+  { on = false; pid = 0; metrics = Metrics.disabled; sink = Sink.null;
+    probe = None }
+
+let create ?(pid = 0) ?(sink = Sink.null) ?probe () =
+  { on = true; pid; metrics = Metrics.create (); sink; probe }
+
+let enabled t = t.on
+let probe t = if t.on then t.probe else None
+
+let child t =
+  if not t.on then disabled
+  else
+    {
+      t with
+      metrics = Metrics.create ();
+      sink = (if Sink.enabled t.sink then Sink.memory () else Sink.null);
+    }
+
+let absorb ~into ?pid ?prefix src =
+  if into.on then begin
+    (match pid with
+    | Some pid ->
+      List.iter
+        (fun e -> Sink.emit into.sink { e with Sink.pid })
+        (Sink.events src.sink)
+    | None -> List.iter (Sink.emit into.sink) (Sink.events src.sink));
+    Metrics.merge ~into:into.metrics ?prefix src.metrics
+  end
+
+let time t label f =
+  match probe t with Some p -> Probe.time p label f | None -> f ()

@@ -1,0 +1,68 @@
+(** Unified observability scope: the value instrumented code threads
+    through the engines, the async runtime, the domain pool and the
+    bench harness.
+
+    A scope bundles three channels with different determinism
+    contracts:
+
+    - {!Metrics} — counters/gauges/histograms fed from {e sim-time}
+      quantities; deterministic, rendered in stable key order.
+    - a trace {!Sink} — Chrome trace-event records, timestamped in
+      sim-time; deterministic.
+    - an optional {!Probe} — wall-clock and GC profiling; explicitly
+      non-deterministic, never merged into the other two.
+
+    {!disabled} is the default everywhere: [on] is [false], the sink
+    is {!Sink.null}, the registry is {!Metrics.disabled} and there is
+    no probe, so every instrumentation site reduces to one load and
+    branch — no allocation on the hot path.  Instrumented code must
+    guard event construction with [t.on] (or {!enabled}) and probe use
+    with {!probe}. *)
+
+module Sink = Sink
+module Metrics = Metrics
+module Span = Span
+module Probe = Probe
+
+type t = {
+  on : bool;
+  pid : int;
+      (** trace-event process lane.  0 by default; orchestrators that
+          merge several runs into one stream give each run its own
+          [pid] (task index, not domain id — so the merged stream does
+          not depend on [--jobs]). *)
+  metrics : Metrics.t;
+  sink : Sink.t;
+  probe : Probe.t option;
+}
+
+val disabled : t
+(** The shared do-nothing scope; safe to use concurrently from any
+    number of domains (nothing is ever written through it). *)
+
+val create :
+  ?pid:int -> ?sink:Sink.t -> ?probe:Probe.t -> unit -> t
+(** A live scope with a fresh {!Metrics} registry.  [sink] defaults to
+    {!Sink.null} — metrics-and-profile-only instrumentation. *)
+
+val enabled : t -> bool
+val probe : t -> Probe.t option
+(** [None] when [on] is false, even if a probe was attached. *)
+
+val child : t -> t
+(** A per-task scope for deterministic parallel capture: same [on]
+    flag and probe, but a {e fresh} registry and a fresh memory sink
+    (when the parent records traces).  Run one task against the child,
+    then {!absorb} it into the parent in task order. *)
+
+val absorb : into:t -> ?pid:int -> ?prefix:string -> t -> unit
+(** Merge a {!child}'s capture into the parent: memory-sink events are
+    re-emitted into the parent sink with [pid] overridden (when
+    given), and the child registry is {!Metrics.merge}d under
+    [prefix].  Call sequentially, in task order, for a stream that is
+    byte-identical for any worker count. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Probe-timed section when profiling is on; plain call otherwise.
+    (Allocates a closure — avoid in per-step hot loops, where callers
+    should branch on {!probe} themselves.) *)

@@ -1,0 +1,95 @@
+type value = Int of int | Float of float | String of string
+
+type event = {
+  name : string;
+  ph : char;
+  ts : int;
+  dur : int;
+  pid : int;
+  tid : int;
+  args : (string * value) list;
+}
+
+type t =
+  | Null
+  | Memory of event list ref
+  | Jsonl of { oc : out_channel; mutable first : bool; mutable closed : bool }
+
+let null = Null
+let enabled = function Null -> false | Memory _ | Jsonl _ -> true
+let memory () = Memory (ref [])
+let events = function Memory r -> List.rev !r | Null | Jsonl _ -> []
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let value_into buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* %.17g round-trips every float; trim the common integral case *)
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> escape_into buf s
+
+let event_to_json e =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "{\"name\":";
+  escape_into buf e.name;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%c\",\"ts\":%d" e.ph e.ts);
+  if e.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%d" e.dur);
+  if e.ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
+  (match e.args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        value_into buf v)
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let emit t e =
+  match t with
+  | Null -> ()
+  | Memory r -> r := e :: !r
+  | Jsonl j ->
+    if not j.closed then begin
+      if j.first then begin
+        output_string j.oc "[\n";
+        j.first <- false
+      end
+      else output_string j.oc ",\n";
+      output_string j.oc (event_to_json e)
+    end
+
+let close = function
+  | Null | Memory _ -> ()
+  | Jsonl j ->
+    if not j.closed then begin
+      if j.first then output_string j.oc "[\n";
+      output_string j.oc "\n]\n";
+      j.closed <- true;
+      flush j.oc
+    end
+
+let jsonl oc = Jsonl { oc; first = true; closed = false }

@@ -1,0 +1,17 @@
+let complete sink ~pid ~tid ~name ~ts ~dur ?(args = []) () =
+  Sink.emit sink { Sink.name; ph = 'X'; ts; dur; pid; tid; args }
+
+let instant sink ~pid ~tid ~name ~ts ?(args = []) () =
+  Sink.emit sink { Sink.name; ph = 'i'; ts; dur = 0; pid; tid; args }
+
+let counter sink ~pid ~tid ~name ~ts args =
+  Sink.emit sink { Sink.name; ph = 'C'; ts; dur = 0; pid; tid; args }
+
+type scope = { sink : Sink.t; pid : int; tid : int; name : string }
+
+let enter sink ~pid ~tid ~name ~ts ?(args = []) () =
+  Sink.emit sink { Sink.name; ph = 'B'; ts; dur = 0; pid; tid; args };
+  { sink; pid; tid; name }
+
+let exit_ { sink; pid; tid; name } ~ts =
+  Sink.emit sink { Sink.name; ph = 'E'; ts; dur = 0; pid; tid; args = [] }

@@ -1,0 +1,54 @@
+(** Scoped timers over a {!Sink}: Chrome trace-event emission helpers.
+
+    All timestamps are caller-supplied — the engines pass step numbers
+    and the async runtime passes simulator ticks, keeping the emitted
+    stream deterministic.  Wall-clock profiling lives in {!Probe}.
+
+    Every helper is a no-op on a disabled sink, but callers on hot
+    paths should still branch on [Sink.enabled] first to avoid
+    constructing the [args] list. *)
+
+val complete :
+  Sink.t ->
+  pid:int ->
+  tid:int ->
+  name:string ->
+  ts:int ->
+  dur:int ->
+  ?args:(string * Sink.value) list ->
+  unit ->
+  unit
+(** An ['X'] (complete) event: a span with an explicit duration. *)
+
+val instant :
+  Sink.t ->
+  pid:int ->
+  tid:int ->
+  name:string ->
+  ts:int ->
+  ?args:(string * Sink.value) list ->
+  unit ->
+  unit
+(** An ['i'] (instant) event — crashes, restarts, completion marks. *)
+
+val counter :
+  Sink.t -> pid:int -> tid:int -> name:string -> ts:int ->
+  (string * Sink.value) list -> unit
+(** A ['C'] (counter) event — sampled series such as queue depth. *)
+
+type scope
+(** An open ['B']/['E'] pair. *)
+
+val enter :
+  Sink.t ->
+  pid:int ->
+  tid:int ->
+  name:string ->
+  ts:int ->
+  ?args:(string * Sink.value) list ->
+  unit ->
+  scope
+(** Emits the ['B'] event and returns the scope to close. *)
+
+val exit_ : scope -> ts:int -> unit
+(** Emits the matching ['E'] event. *)

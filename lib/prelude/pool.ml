@@ -58,11 +58,15 @@ let default_jobs () =
    bound) — and the guard keeps [mapi] reentrant by construction. *)
 let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let mapi ~jobs f xs =
+let mapi ?(obs = Ocd_obs.disabled) ~jobs f xs =
   if jobs < 1 then invalid_arg "Pool.mapi: jobs must be >= 1";
   let n = List.length xs in
   let jobs = min jobs n in
-  if jobs <= 1 || Domain.DLS.get inside_pool then List.mapi f xs
+  let probe = Ocd_obs.probe obs in
+  if jobs <= 1 || Domain.DLS.get inside_pool then
+    match probe with
+    | Some p -> Ocd_obs.Probe.time p "pool/inline" (fun () -> List.mapi f xs)
+    | None -> List.mapi f xs
   else begin
     let input = Array.of_list xs in
     let results = Array.make n None in
@@ -72,24 +76,45 @@ let mapi ~jobs f xs =
       Chan.push chan i
     done;
     Chan.close chan;
-    let worker () =
+    (* Worker identity is the spawn index (0 = the calling domain), a
+       deterministic label; the values behind it — which tasks a worker
+       drained, how long it blocked on the channel — are scheduling-
+       dependent, which is fine: probe rows are wall-clock profiling
+       and never part of the deterministic output contract. *)
+    let worker widx () =
       Domain.DLS.set inside_pool true;
-      let rec loop () =
-        match Chan.pop chan with
-        | None -> ()
-        | Some i ->
-          (try results.(i) <- Some (f i input.(i))
-           with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-          loop ()
+      let run_task i =
+        try results.(i) <- Some (f i input.(i))
+        with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
       in
-      loop ()
+      match probe with
+      | None ->
+        let rec loop () =
+          match Chan.pop chan with
+          | None -> ()
+          | Some i ->
+            run_task i;
+            loop ()
+        in
+        loop ()
+      | Some p ->
+        let busy = Printf.sprintf "pool/worker-%d" widx in
+        let wait = Printf.sprintf "pool/worker-%d/queue-wait" widx in
+        let rec loop () =
+          match Ocd_obs.Probe.time p wait (fun () -> Chan.pop chan) with
+          | None -> ()
+          | Some i ->
+            Ocd_obs.Probe.time p busy (fun () -> run_task i);
+            loop ()
+        in
+        loop ()
     in
-    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain is the [jobs]-th worker. *)
+    let helpers = Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    (* The calling domain is worker 0. *)
     Fun.protect
       ~finally:(fun () -> Domain.DLS.set inside_pool false)
       (fun () ->
-        worker ();
+        worker 0 ();
         Array.iter Domain.join helpers);
     let first_failure = ref None in
     for i = n - 1 downto 0 do
@@ -108,5 +133,5 @@ let mapi ~jobs f xs =
            results)
   end
 
-let map ~jobs f xs = mapi ~jobs (fun _ x -> f x) xs
-let run ~jobs thunks = mapi ~jobs (fun _ thunk -> thunk ()) thunks
+let map ?obs ~jobs f xs = mapi ?obs ~jobs (fun _ x -> f x) xs
+let run ?obs ~jobs thunks = mapi ?obs ~jobs (fun _ thunk -> thunk ()) thunks

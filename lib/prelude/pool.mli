@@ -25,12 +25,18 @@ val default_jobs : unit -> int
     parses as a positive integer, otherwise
     [Domain.recommended_domain_count ()]. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?obs:Ocd_obs.t -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] evaluated on up to [jobs]
-    domains.  @raise Invalid_argument when [jobs < 1]. *)
+    domains.  When [obs] carries a {!Ocd_obs.Probe}, each worker's
+    task count, busy time, channel-wait time and allocation are folded
+    into rows [pool/worker-<i>] (and [pool/worker-<i>/queue-wait]);
+    worker rows are wall-clock profiling only and are never part of
+    the deterministic output contract.
+    @raise Invalid_argument when [jobs < 1]. *)
 
-val mapi : jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val mapi :
+  ?obs:Ocd_obs.t -> jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** As {!map} with the input index. *)
 
-val run : jobs:int -> (unit -> 'a) list -> 'a list
+val run : ?obs:Ocd_obs.t -> jobs:int -> (unit -> 'a) list -> 'a list
 (** [run ~jobs thunks] forces every thunk, results in input order. *)

@@ -20,13 +20,22 @@ let percentile xs p =
     let a = Array.of_list xs in
     Array.sort Float.compare a;
     let n = Array.length a in
-    let rank = p *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.floor rank) in
-    let hi = int_of_float (Float.ceil rank) in
-    if lo = hi then a.(lo)
-    else
+    (* The boundaries are exact order statistics, not interpolations:
+       p=0 is the minimum and p=1 the maximum even when floating-point
+       noise in [p *. (n-1)] would otherwise push [ceil rank] one slot
+       past the end (the off-by-one was visible at a single-sample
+       input, where any such overshoot indexed out of bounds).  The
+       same contract is mirrored by Ocd_obs.Metrics.quantile. *)
+    if p <= 0.0 || n = 1 then a.(0)
+    else if p >= 1.0 then a.(n - 1)
+    else begin
+      let rank = p *. float_of_int (n - 1) in
+      let lo = min (n - 1) (max 0 (int_of_float (Float.floor rank))) in
+      let hi = min (n - 1) (lo + 1) in
       let frac = rank -. float_of_int lo in
-      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+      if hi = lo || frac <= 0.0 then a.(lo)
+      else (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+    end
 
 let summarize xs =
   match xs with

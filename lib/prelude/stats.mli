@@ -17,6 +17,9 @@ val summarize_ints : int list -> summary
 val mean : float list -> float
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [\[0,1\]], linear interpolation between
-    order statistics. *)
+    order statistics.  The boundaries are exact: [p = 0.0] returns the
+    minimum and [p = 1.0] the maximum (no interpolation or float-noise
+    overshoot), matching [Ocd_obs.Metrics.quantile]'s contract at
+    p0/p100. *)
 
 val pp_summary : Format.formatter -> summary -> unit

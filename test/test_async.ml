@@ -292,7 +292,7 @@ let test_jobs_determinism () =
 
 let test_detector_basics () =
   let clock = ref 0 in
-  let d = Detector.create ~now:(fun () -> !clock) ~timeout:10 ~n:3 in
+  let d = Detector.create ~now:(fun () -> !clock) ~timeout:10 ~n:3 () in
   Alcotest.(check (list int)) "no suspects at creation" [] (Detector.suspects d);
   clock := 10;
   Alcotest.(check bool)
@@ -310,7 +310,7 @@ let test_detector_basics () =
 let test_detector_rejects_bad_timeout () =
   Alcotest.check_raises "timeout must be positive"
     (Invalid_argument "Detector.create: timeout must be positive") (fun () ->
-      ignore (Detector.create ~now:(fun () -> 0) ~timeout:0 ~n:2))
+      ignore (Detector.create ~now:(fun () -> 0) ~timeout:0 ~n:2 ()))
 
 (* --------------------- liveness under loss ------------------------ *)
 

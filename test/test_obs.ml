@@ -1,0 +1,357 @@
+(* Tests for the observability layer (Ocd_obs): sink/trace format,
+   metrics registry determinism, quantile/percentile boundary
+   agreement, zero-perturbation differential runs, and jobs-independent
+   merged capture. *)
+
+open Ocd_prelude
+open Ocd_core
+module Obs = Ocd_obs
+module Sink = Ocd_obs.Sink
+module OMetrics = Ocd_obs.Metrics
+module Span = Ocd_obs.Span
+module Engine = Ocd_engine.Engine
+module Runtime = Ocd_async.Runtime
+module Faults = Ocd_dynamics.Faults
+
+let small_instance ?(seed = 11) ?(n = 14) ?(tokens = 5) () =
+  let rng = Prng.create ~seed in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+  (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance
+
+(* ------------------- percentile boundary contract ------------------ *)
+
+(* The single-sample off-by-one this guards against: with one sample,
+   rank interpolation used to read past the data at p=1.0 and blend
+   the sample with itself at interior p via a fractional index — the
+   contract is: every percentile of a singleton IS that sample. *)
+let test_percentile_single_sample () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "singleton at p=%g" p)
+        42.5
+        (Stats.percentile [ 42.5 ] p))
+    [ 0.0; 0.25; 0.5; 0.95; 1.0 ]
+
+let test_percentile_boundaries () =
+  let xs = [ 3.0; 1.0; 4.0; 1.5; 9.0; 2.6 ] in
+  Alcotest.(check (float 0.0)) "p0 is the minimum" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the maximum" 9.0 (Stats.percentile xs 1.0);
+  Alcotest.check_raises "p>1 rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs 1.5));
+  Alcotest.check_raises "p<0 rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs (-0.5)));
+  (* interior values still interpolate: median of 1,1.5,2.6,3,4,9 *)
+  Alcotest.(check (float 1e-9)) "median" 2.8 (Stats.percentile xs 0.5)
+
+let test_quantile_agrees_with_percentile () =
+  let samples = [ 2.0; 7.0; 7.0; 11.0; 30.0; 64.0; 120.0 ] in
+  let reg = OMetrics.create () in
+  let h =
+    OMetrics.histogram reg "t" ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+  in
+  List.iter (OMetrics.observe h) samples;
+  (* Boundary quantiles are exact observed extremes, matching
+     Stats.percentile — not bucket-edge interpolations. *)
+  Alcotest.(check (float 0.0))
+    "q0 = p0" (Stats.percentile samples 0.0) (OMetrics.quantile h 0.0);
+  Alcotest.(check (float 0.0))
+    "q1 = p100" (Stats.percentile samples 1.0) (OMetrics.quantile h 1.0);
+  (* Interior estimates are bucketed, so only clamping is guaranteed. *)
+  List.iter
+    (fun p ->
+      let q = OMetrics.quantile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%g within [min,max]" p)
+        true
+        (q >= 2.0 && q <= 120.0))
+    [ 0.25; 0.5; 0.9; 0.99 ]
+
+let test_quantile_single_sample () =
+  let reg = OMetrics.create () in
+  let h = OMetrics.histogram reg "s" ~buckets:[| 10.; 100. |] in
+  OMetrics.observe h 37.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "singleton histogram at p=%g" p)
+        37.0 (OMetrics.quantile h p))
+    [ 0.0; 0.5; 1.0 ]
+
+(* --------------------------- registry ------------------------------ *)
+
+let test_registry_render_deterministic () =
+  let fill () =
+    let reg = OMetrics.create () in
+    OMetrics.add reg "z/counter" 3;
+    OMetrics.add reg "a/counter" 1;
+    OMetrics.set (OMetrics.gauge reg "m/gauge") 2.5;
+    let h = OMetrics.histogram reg "h/hist" ~buckets:[| 1.; 10. |] in
+    List.iter (OMetrics.observe h) [ 0.5; 5.0; 50.0 ];
+    reg
+  in
+  let a = OMetrics.render (fill ()) and b = OMetrics.render (fill ()) in
+  Alcotest.(check string) "same fills render identically" a b;
+  (* sorted keys: a/ before h/ before m/ before z/ *)
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' a)
+  in
+  Alcotest.(check bool)
+    "keys sorted" true
+    (List.sort compare lines = lines)
+
+let test_registry_merge_prefix () =
+  let src = OMetrics.create () in
+  OMetrics.add src "c" 2;
+  let h = OMetrics.histogram src "h" ~buckets:[| 1. |] in
+  OMetrics.observe h 0.5;
+  let into = OMetrics.create () in
+  OMetrics.add into "p/c" 3;
+  OMetrics.merge ~into ~prefix:"p/" src;
+  OMetrics.merge ~into ~prefix:"q/" src;
+  (match List.assoc "p/c" (OMetrics.snapshot into) with
+  | OMetrics.Counter n -> Alcotest.(check int) "counters add" 5 n
+  | _ -> Alcotest.fail "p/c is not a counter");
+  match List.assoc "q/h" (OMetrics.snapshot into) with
+  | OMetrics.Histogram s -> Alcotest.(check int) "histogram copied" 1 s.OMetrics.count
+  | _ -> Alcotest.fail "q/h is not a histogram"
+
+let test_disabled_registry_inert () =
+  let reg = OMetrics.disabled in
+  OMetrics.add reg "x" 5;
+  OMetrics.incr (OMetrics.counter reg "x");
+  OMetrics.set (OMetrics.gauge reg "g") 1.0;
+  OMetrics.observe (OMetrics.histogram reg "h" ~buckets:[| 1. |]) 0.5;
+  Alcotest.(check (list reject)) "records nothing"
+    []
+    (List.map (fun _ -> ()) (OMetrics.snapshot reg))
+
+(* ------------------------ differential runs ------------------------ *)
+
+(* The central contract: instrumentation observes, it never perturbs.
+   An instrumented run must be bit-identical in schedule and metrics to
+   the bare run. *)
+let test_engine_differential () =
+  let inst = small_instance () in
+  List.iter
+    (fun strategy ->
+      let bare = Engine.run ~strategy ~seed:7 inst in
+      let obs = Obs.create ~sink:(Sink.memory ()) () in
+      let seen = Engine.run ~obs ~strategy ~seed:7 inst in
+      Alcotest.(check bool)
+        ("same schedule: " ^ strategy.Ocd_engine.Strategy.name)
+        true
+        (Schedule.steps bare.Engine.schedule = Schedule.steps seen.Engine.schedule);
+      Alcotest.(check bool)
+        ("same metrics: " ^ strategy.Ocd_engine.Strategy.name)
+        true
+        (bare.Engine.metrics = seen.Engine.metrics))
+    Ocd_heuristics.Registry.all
+
+let async_run ?obs ?faults () =
+  let inst = small_instance ~seed:5 ~n:12 ~tokens:4 () in
+  let protocol = Option.get (Ocd_async.Registry.find "async-local") in
+  Runtime.run ?obs ?faults ~round_limit:300 ~protocol ~seed:3 inst
+
+let check_same_async name (a : Runtime.run) (b : Runtime.run) =
+  Alcotest.(check bool)
+    (name ^ ": same schedule") true
+    (Schedule.steps a.Runtime.schedule = Schedule.steps b.Runtime.schedule);
+  Alcotest.(check int)
+    (name ^ ": same events") a.Runtime.events b.Runtime.events;
+  Alcotest.(check int)
+    (name ^ ": same fresh") a.Runtime.fresh_deliveries b.Runtime.fresh_deliveries;
+  Alcotest.(check int)
+    (name ^ ": same retrans") a.Runtime.retransmissions b.Runtime.retransmissions;
+  Alcotest.(check int)
+    (name ^ ": same crashes") a.Runtime.crashes b.Runtime.crashes;
+  Alcotest.(check bool)
+    (name ^ ": same completion") true
+    (a.Runtime.completion_ticks = b.Runtime.completion_ticks)
+
+let test_async_differential () =
+  let bare = async_run () in
+  let seen = async_run ~obs:(Obs.create ~sink:(Sink.memory ()) ()) () in
+  check_same_async "healthy" bare seen
+
+let test_async_differential_faulted () =
+  let faults = Faults.crashes ~seed:9 ~protected:[ 0 ] ~crash_prob:0.08 () in
+  let bare = async_run ~faults () in
+  let obs = Obs.create ~sink:(Sink.memory ()) () in
+  let seen = async_run ~obs ~faults () in
+  check_same_async "faulted" bare seen;
+  (* and the crash/restart instants really were captured *)
+  let instants =
+    List.filter (fun e -> e.Sink.name = "crash") (Sink.events obs.Obs.sink)
+  in
+  Alcotest.(check int)
+    "one crash instant per crash" seen.Runtime.crashes (List.length instants)
+
+(* ------------------------- trace format ---------------------------- *)
+
+(* Golden rendering of each phase kind, pinned byte for byte: the
+   Chrome trace-event consumers (Perfetto, chrome://tracing) parse
+   these exact shapes. *)
+let test_event_json_golden () =
+  let check msg want e =
+    Alcotest.(check string) msg want (Sink.event_to_json e)
+  in
+  check "complete span"
+    {|{"name":"recv","ph":"X","ts":12,"dur":1,"pid":0,"tid":3,"args":{"token":7,"src":1}}|}
+    {
+      Sink.name = "recv";
+      ph = 'X';
+      ts = 12;
+      dur = 1;
+      pid = 0;
+      tid = 3;
+      args = [ ("token", Sink.Int 7); ("src", Sink.Int 1) ];
+    };
+  check "instant (empty args omitted)"
+    {|{"name":"crash","ph":"i","ts":640,"s":"t","pid":2,"tid":9}|}
+    { Sink.name = "crash"; ph = 'i'; ts = 640; dur = 0; pid = 2; tid = 9; args = [] };
+  check "counter with float and escaped string"
+    {|{"name":"q \"d\"","ph":"C","ts":5,"pid":0,"tid":0,"args":{"depth":1.5,"k":"a\nb"}}|}
+    {
+      Sink.name = "q \"d\"";
+      ph = 'C';
+      ts = 5;
+      dur = 0;
+      pid = 0;
+      tid = 0;
+      args = [ ("depth", Sink.Float 1.5); ("k", Sink.String "a\nb") ];
+    }
+
+let test_jsonl_golden_file () =
+  let path = Filename.temp_file "ocd_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Sink.jsonl oc in
+      Span.enter sink ~pid:0 ~tid:1 ~name:"phase" ~ts:0 ()
+      |> fun scope ->
+      Span.complete sink ~pid:0 ~tid:1 ~name:"work" ~ts:1 ~dur:2
+        ~args:[ ("k", Sink.Int 3) ]
+        ();
+      Span.exit_ scope ~ts:4;
+      Sink.close sink;
+      close_out oc;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check string)
+        "whole stream"
+        ("[\n"
+       ^ {|{"name":"phase","ph":"B","ts":0,"pid":0,"tid":1},|}
+       ^ "\n"
+       ^ {|{"name":"work","ph":"X","ts":1,"dur":2,"pid":0,"tid":1,"args":{"k":3}},|}
+       ^ "\n"
+       ^ {|{"name":"phase","ph":"E","ts":4,"pid":0,"tid":1}|}
+       ^ "\n]\n")
+        s)
+
+(* Structural validation on a real instrumented run: every event
+   carries the required trace-event fields, and per tid the sim-time
+   timestamps are monotone in emission order. *)
+let test_trace_fields_and_monotonicity () =
+  let obs = Obs.create ~sink:(Sink.memory ()) () in
+  ignore (async_run ~obs ());
+  let events = Sink.events obs.Obs.sink in
+  Alcotest.(check bool) "events captured" true (List.length events > 0);
+  let last_ts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sink.event) ->
+      Alcotest.(check bool) "name nonempty" true (e.Sink.name <> "");
+      Alcotest.(check bool)
+        "known phase" true
+        (List.mem e.Sink.ph [ 'B'; 'E'; 'X'; 'i'; 'C' ]);
+      Alcotest.(check bool) "ts nonnegative" true (e.Sink.ts >= 0);
+      (* the json form must carry all five required fields *)
+      let j = Sink.event_to_json e in
+      List.iter
+        (fun field ->
+          let needle = "\"" ^ field ^ "\"" in
+          let found =
+            let n = String.length j and m = String.length needle in
+            let rec scan i = i + m <= n && (String.sub j i m = needle || scan (i + 1)) in
+            scan 0
+          in
+          Alcotest.(check bool) ("field " ^ field) true found)
+        [ "name"; "ph"; "ts"; "pid"; "tid" ];
+      let prev =
+        Option.value ~default:0 (Hashtbl.find_opt last_ts e.Sink.tid)
+      in
+      Alcotest.(check bool)
+        "per-tid sim-time monotone" true (e.Sink.ts >= prev);
+      Hashtbl.replace last_ts e.Sink.tid e.Sink.ts)
+    events
+
+(* --------------------- jobs-independent capture -------------------- *)
+
+let test_chaos_capture_jobs_independent () =
+  let cell label crash_prob =
+    { Ocd_bench.Chaos.label; loss = 0.0; flaps = false; churn = false; crash_prob }
+  in
+  let grid =
+    {
+      Ocd_bench.Chaos.n = 10;
+      tokens = 4;
+      trials = 2;
+      cells = [ cell "baseline" 0.0; cell "crash" 0.1 ];
+    }
+  in
+  let capture jobs =
+    let obs = Obs.create ~sink:(Sink.memory ()) () in
+    ignore (Ocd_bench.Chaos.run ~obs ~jobs ~seed:21 grid);
+    ( OMetrics.render obs.Obs.metrics,
+      String.concat "\n"
+        (List.map Sink.event_to_json (Sink.events obs.Obs.sink)) )
+  in
+  let m1, t1 = capture 1 and m3, t3 = capture 3 in
+  Alcotest.(check string) "metrics byte-identical across jobs" m1 m3;
+  Alcotest.(check string) "trace byte-identical across jobs" t1 t3;
+  Alcotest.(check bool) "metrics nonempty" true (String.length m1 > 0)
+
+let () =
+  Alcotest.run "ocd_obs"
+    [
+      ( "percentile",
+        [
+          Alcotest.test_case "single sample" `Quick test_percentile_single_sample;
+          Alcotest.test_case "boundaries" `Quick test_percentile_boundaries;
+          Alcotest.test_case "quantile agreement" `Quick
+            test_quantile_agrees_with_percentile;
+          Alcotest.test_case "quantile singleton" `Quick
+            test_quantile_single_sample;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "render deterministic" `Quick
+            test_registry_render_deterministic;
+          Alcotest.test_case "merge prefix" `Quick test_registry_merge_prefix;
+          Alcotest.test_case "disabled inert" `Quick test_disabled_registry_inert;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "sync engine" `Quick test_engine_differential;
+          Alcotest.test_case "async healthy" `Quick test_async_differential;
+          Alcotest.test_case "async faulted" `Quick
+            test_async_differential_faulted;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "event json golden" `Quick test_event_json_golden;
+          Alcotest.test_case "jsonl golden file" `Quick test_jsonl_golden_file;
+          Alcotest.test_case "fields and monotonicity" `Quick
+            test_trace_fields_and_monotonicity;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "chaos jobs independent" `Quick
+            test_chaos_capture_jobs_independent;
+        ] );
+    ]
