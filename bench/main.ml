@@ -182,6 +182,42 @@ let micro_tests () =
                 ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7
                 inst_mid)))
   in
+  (* Graph core: CSR construction and topology generation at a size
+     (50k) where the skip samplers and bulk array paths are active —
+     the regime the flat representation exists for. *)
+  let graph_n = 50_000 in
+  let graph_build_er_test =
+    Test.make ~name:"graph/build-er-50k"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_topology.Random_graph.erdos_renyi (Prng.create ~seed:21)
+                ~n:graph_n ())))
+  in
+  let graph_build_ts_test =
+    let p = Ocd_topology.Transit_stub.params_for_size graph_n in
+    Test.make ~name:"graph/build-transit-stub-50k"
+      (Staged.stage (fun () ->
+           ignore (Ocd_topology.Transit_stub.generate (Prng.create ~seed:22) p)))
+  in
+  let graph_tick_test =
+    let p = Ocd_topology.Transit_stub.params_for_size graph_n in
+    let g = Ocd_topology.Transit_stub.generate (Prng.create ~seed:23) p in
+    let tokens = 8 in
+    let all = Order.range tokens in
+    let inst =
+      Instance.make ~graph:g ~token_count:tokens
+        ~have:[ (0, all) ]
+        ~want:
+          (List.filter_map
+             (fun v -> if v = 0 then None else Some (v, all))
+             (Order.range (Ocd_graph.Digraph.vertex_count g)))
+    in
+    Test.make ~name:"graph/tick-local-rarest-50k"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_engine.Engine.run ~step_limit:1 ~stall_patience:1
+                ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7 inst)))
+  in
   (* Substrate: steiner tree on an evaluation-size graph. *)
   let steiner_test =
     let rng = Prng.create ~seed:5 in
@@ -202,6 +238,9 @@ let micro_tests () =
       ip_test;
       timeline_test;
       possessions_test;
+      graph_build_er_test;
+      graph_build_ts_test;
+      graph_tick_test;
       steiner_test;
     ]
   @ async_tests

@@ -427,27 +427,29 @@ let bounds_cmd =
 let experiment_cmd =
   let experiments =
     [
-      ("adversary", fun ~jobs:_ () -> Ocd_bench.Experiments.adversary ());
-      ("ip-vs-search", fun ~jobs:_ () -> Ocd_bench.Experiments.ip_vs_search ());
+      ("adversary", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.adversary ());
+      ("ip-vs-search", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.ip_vs_search ());
       ( "optimality-gap",
-        fun ~jobs:_ () -> Ocd_bench.Experiments.optimality_gap () );
-      ("baselines", fun ~jobs () -> Ocd_bench.Experiments.baselines ~jobs ());
+        fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.optimality_gap () );
+      ("baselines", fun ~jobs ~full:_ () -> Ocd_bench.Experiments.baselines ~jobs ());
       ( "ablation",
-        fun ~jobs () -> Ocd_bench.Experiments.ablation_subdivision ~jobs () );
+        fun ~jobs ~full:_ () -> Ocd_bench.Experiments.ablation_subdivision ~jobs () );
       ( "staleness",
-        fun ~jobs () -> Ocd_bench.Experiments.ablation_staleness ~jobs () );
-      ("dynamics", fun ~jobs:_ () -> Ocd_bench.Experiments.dynamics ());
+        fun ~jobs ~full:_ () -> Ocd_bench.Experiments.ablation_staleness ~jobs () );
+      ("dynamics", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.dynamics ());
       ( "async-overhead",
-        fun ~jobs () -> Ocd_bench.Experiments.async_overhead ~jobs () );
-      ("coding", fun ~jobs:_ () -> Ocd_bench.Experiments.coding ());
-      ("underlay", fun ~jobs:_ () -> Ocd_bench.Experiments.underlay ());
+        fun ~jobs ~full:_ () -> Ocd_bench.Experiments.async_overhead ~jobs () );
+      ("coding", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.coding ());
+      ("underlay", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.underlay ());
       ( "timeline-perf",
-        fun ~jobs:_ () -> Ocd_bench.Experiments.timeline_perf () );
+        fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.timeline_perf () );
+      ( "graph-scale",
+        fun ~jobs:_ ~full () -> Ocd_bench.Experiments.graph_scale ~full () );
     ]
   in
-  let run name jobs =
+  let run name full jobs =
     match List.assoc_opt name experiments with
-    | Some f -> f ~jobs ()
+    | Some f -> f ~jobs ~full ()
     | None ->
       Printf.eprintf "unknown experiment %S; available: %s\n" name
         (String.concat ", " (List.map fst experiments));
@@ -460,11 +462,12 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "Experiment: adversary, ip-vs-search, baselines, ablation, \
-             dynamics, async-overhead, coding, underlay or timeline-perf.")
+             dynamics, async-overhead, coding, underlay, timeline-perf or \
+             graph-scale.")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the extension experiments")
-    Term.(const run $ name_arg $ jobs_arg)
+    Term.(const run $ name_arg $ full_arg $ jobs_arg)
 
 (* ---------------------- ocd export --------------------------------- *)
 

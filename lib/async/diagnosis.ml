@@ -28,8 +28,8 @@ let reaches g target =
   Queue.add target queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Array.iter
-      (fun (u, _) ->
+    Digraph.View.iter
+      (fun u _ ->
         if not seen.(u) then begin
           seen.(u) <- true;
           Queue.add u queue

@@ -151,16 +151,16 @@ let protocol () =
                     | Some st -> st
                     | None -> (0, 0)
                   in
-                  if now >= deadline && Array.length preds > 0 then begin
+                  if now >= deadline && Digraph.View.length preds > 0 then begin
                     let trusted = ref [] in
-                    Array.iter
-                      (fun (u, _) ->
+                    Digraph.View.iter
+                      (fun u _ ->
                         if not (Detector.suspected detector u) then
                           trusted := u :: !trusted)
                       preds;
                     let pool =
                       match List.rev !trusted with
-                      | [] -> Array.to_list (Array.map fst preds)
+                      | [] -> Array.to_list (Digraph.View.dsts preds)
                       | t -> t
                     in
                     let u = List.nth pool (a mod List.length pool) in

@@ -20,22 +20,22 @@ let requests ~rng ~token_count ~have ~eligible ~alive ~preds ~known =
     let tokens = Array.of_list (Bitset.elements missing) in
     Prng.shuffle rng tokens;
     let rarity token =
-      Array.fold_left
-        (fun acc (u, _) ->
+      Digraph.View.fold
+        (fun acc u _ ->
           match known u with
           | Some s when alive u && Bitset.mem s token -> acc + 1
           | _ -> acc)
         0 preds
     in
     let ranked = Order.sort_by rarity (Array.to_list tokens) in
-    let budget = Array.map snd preds in
+    let budget = Digraph.View.caps preds in
     let picks = ref [] in
     List.iter
       (fun token ->
         if eligible token then begin
           let candidates = ref [] in
-          Array.iteri
-            (fun i (u, _) ->
+          Digraph.View.iteri
+            (fun i u _ ->
               if budget.(i) > 0 && alive u then
                 match known u with
                 | Some s when Bitset.mem s token ->
@@ -47,7 +47,7 @@ let requests ~rng ~token_count ~have ~eligible ~alive ~preds ~known =
           | cs ->
               let i = Prng.pick_list rng cs in
               budget.(i) <- budget.(i) - 1;
-              let src, _ = preds.(i) in
+              let src = Digraph.View.dst preds i in
               picks := (src, token) :: !picks
         end)
       ranked;
@@ -119,8 +119,8 @@ let protocol () =
     let rec round () =
       if not (ctx.finished ()) then begin
         let snapshot = ctx.have_copy () in
-        Array.iter
-          (fun (dst, _) -> ctx.send ~dst (Message.Announce (Bitset.copy snapshot)))
+        Digraph.View.iter
+          (fun dst _ -> ctx.send ~dst (Message.Announce (Bitset.copy snapshot)))
           succs;
         ctx.after 1 decide;
         ctx.after ctx.pace round

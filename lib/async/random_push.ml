@@ -33,8 +33,8 @@ let protocol () =
         ~now:ctx.now ~timeout:(4 * ctx.pace) ~n () in
     let push () =
       if not (ctx.finished ()) then
-        Array.iter
-          (fun (dst, cap) ->
+        Digraph.View.iter
+          (fun dst cap ->
             if not (Detector.suspected detector dst) then begin
             let target = believed dst in
             let useful = ctx.have_copy () in
@@ -55,8 +55,8 @@ let protocol () =
     let rec round () =
       if not (ctx.finished ()) then begin
         let snapshot = ctx.have_copy () in
-        Array.iter
-          (fun (src, _) -> ctx.send ~dst:src (Message.Announce (Bitset.copy snapshot)))
+        Digraph.View.iter
+          (fun src _ -> ctx.send ~dst:src (Message.Announce (Bitset.copy snapshot)))
           preds;
         ctx.after 1 push;
         ctx.after ctx.pace round

@@ -29,8 +29,8 @@ let widest_path_tree g ~root =
     | Some (neg, u) ->
       if (not settled.(u)) && -neg = width.(u) then begin
         settled.(u) <- true;
-        Array.iter
-          (fun (v, cap) ->
+        Digraph.View.iter
+          (fun v cap ->
             let w = min width.(u) cap in
             if w > width.(v) then begin
               width.(v) <- w;

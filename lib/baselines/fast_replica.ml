@@ -6,14 +6,17 @@ open Ocd_graph
    the source, sized proportionally to arc capacity. *)
 let chunk_assignment (inst : Instance.t) source =
   let arcs = Digraph.succ inst.graph source in
-  let total_cap = max 1 (Array.fold_left (fun a (_, c) -> a + c) 0 arcs) in
+  let deg = Digraph.View.length arcs in
+  let total_cap =
+    max 1 (Digraph.View.fold (fun a _ c -> a + c) 0 arcs)
+  in
   let m = inst.token_count in
-  let chunks = Array.map (fun _ -> Bitset.create m) arcs in
+  let chunks = Array.init deg (fun _ -> Bitset.create m) in
   let cursor = ref 0 in
-  Array.iteri
-    (fun i (_, cap) ->
+  Digraph.View.iteri
+    (fun i _ cap ->
       let share =
-        if i = Array.length arcs - 1 then m - !cursor
+        if i = deg - 1 then m - !cursor
         else m * cap / total_cap
       in
       for t = !cursor to min (m - 1) (!cursor + share - 1) do
@@ -37,8 +40,8 @@ let strategy ?source () =
          mesh — unlike FastReplica's clique — a neighbour may be
          reachable only through the source, so the source must
          eventually serve beyond its chunk). *)
-      Array.iteri
-        (fun i (dst, cap) ->
+      Digraph.View.iteri
+        (fun i dst cap ->
           let chunked =
             Baseline_util.send_down_arc ~have:ctx.have ~src:source ~dst ~cap
               ~only:(Some chunks.(i))
@@ -58,8 +61,8 @@ let strategy ?source () =
       (* Everyone else: pairwise exchange of whatever helps. *)
       for src = 0 to Instance.vertex_count inst - 1 do
         if src <> source && not (Bitset.is_empty ctx.have.(src)) then
-          Array.iter
-            (fun (dst, cap) ->
+          Digraph.View.iter
+            (fun dst cap ->
               moves :=
                 Baseline_util.send_down_arc ~have:ctx.have ~src ~dst ~cap
                   ~only:None

@@ -871,6 +871,75 @@ let timeline_perf () =
      timings are machine-dependent, so this experiment is not part of \
      run_all"
 
+let graph_scale ?(full = false) () =
+  Report.section "Graph scale: CSR build time, footprint, and tick rate";
+  let table =
+    Report.create ~title:"graph-scale"
+      ~columns:
+        [ "topology"; "n"; "arcs"; "build_s"; "bytes_per_node"; "tick_ms"; "ticks_per_s" ]
+  in
+  let sizes =
+    (if full then [ 1_000_000 ] else [])
+    |> List.append [ 1_000; 10_000; 100_000 ]
+  in
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let measure name build =
+    let g, build_s = time build in
+    let bytes_per_node =
+      Obj.reachable_words (Obj.repr g) * (Sys.word_size / 8)
+      / Ocd_graph.Digraph.vertex_count g
+    in
+    (* One full strategy round — every wanter scans its predecessor
+       rows, so a tick touches the whole CSR; its rate is the engine
+       throughput the refactor is meant to buy. *)
+    let tokens = 8 in
+    let all = Order.range tokens in
+    let inst =
+      Instance.make ~graph:g ~token_count:tokens
+        ~have:[ (0, all) ]
+        ~want:
+          (List.filter_map
+             (fun v -> if v = 0 then None else Some (v, all))
+             (Order.range (Ocd_graph.Digraph.vertex_count g)))
+    in
+    let _, tick_s =
+      time (fun () ->
+          Ocd_engine.Engine.run ~step_limit:1 ~stall_patience:1
+            ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:1060 inst)
+    in
+    Report.row table
+      [
+        name;
+        string_of_int (Ocd_graph.Digraph.vertex_count g);
+        string_of_int (Ocd_graph.Digraph.arc_count g);
+        Printf.sprintf "%.3f" build_s;
+        string_of_int bytes_per_node;
+        Printf.sprintf "%.1f" (tick_s *. 1000.0);
+        Printf.sprintf "%.2f" (1.0 /. Float.max 1e-9 tick_s);
+      ]
+  in
+  List.iter
+    (fun n ->
+      measure "erdos-renyi" (fun () ->
+          Ocd_topology.Random_graph.erdos_renyi
+            (Prng.create ~seed:(1050 + n)) ~n ());
+      measure "transit-stub" (fun () ->
+          let p = Ocd_topology.Transit_stub.params_for_size n in
+          Ocd_topology.Transit_stub.generate
+            (Prng.create ~seed:(1051 + n)) p))
+    sizes;
+  Report.render table;
+  Report.note
+    "build = generator + CSR construction + connectivity repair; \
+     bytes_per_node = Obj.reachable_words over the whole graph record; \
+     tick = one local-rarest round (single source, 8 tokens, all \
+     receivers).  Timings are machine-dependent, so this experiment \
+     is not part of run_all"
+
 let run_all ?(full = false) ?(jobs = 1) () =
   figure1 ();
   figure2 ~full ~jobs ();

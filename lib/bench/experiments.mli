@@ -86,4 +86,11 @@ val timeline_perf : unit -> unit
     this experiment is deliberately {e not} part of {!run_all} (whose
     output must stay byte-stable). *)
 
+val graph_scale : ?full:bool -> unit -> unit
+(** Scale curve for the flat CSR graph core: build time, resident
+    bytes per node ({!Obj.reachable_words}) and one-round tick rate
+    for Erdős–Rényi and transit-stub graphs at n = 10^3..10^5
+    ([full] adds 10^6).  Timings are machine-dependent, so this
+    experiment is deliberately {e not} part of {!run_all}. *)
+
 val run_all : ?full:bool -> ?jobs:int -> unit -> unit

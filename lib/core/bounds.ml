@@ -47,8 +47,8 @@ let relay_aware_bandwidth_lower_bound (inst : Instance.t) =
         | None -> ()
         | Some (d, u) ->
           if d = dist.(u) then
-            Array.iter
-              (fun (v, _) ->
+            Digraph.View.iter
+              (fun v _ ->
                 let nd = d + cost_of v in
                 if nd < dist.(v) then begin
                   dist.(v) <- nd;
@@ -85,7 +85,7 @@ let vertex_bound distances in_capacity =
   match distances with
   | [] -> 0
   | distances ->
-    let sorted = List.sort compare distances in
+    let sorted = List.sort Int.compare distances in
     let total = List.length sorted in
     let max_d = List.fold_left max 0 sorted in
     let intake = max 1 in_capacity in
@@ -157,13 +157,13 @@ let vertex_one_step_exact (inst : Instance.t) have v =
     let token_node i = 2 + i in
     let arc_node i = 2 + need + i in
     let flow =
-      Maxflow.create ~node_count:(2 + need + Array.length preds)
+      Maxflow.create ~node_count:(2 + need + Digraph.View.length preds)
     in
     List.iteri
       (fun i _ -> Maxflow.add_edge flow ~src:0 ~dst:(token_node i) ~capacity:1)
       tokens;
-    Array.iteri
-      (fun i (u, cap) ->
+    Digraph.View.iteri
+      (fun i u cap ->
         Maxflow.add_edge flow ~src:(arc_node i) ~dst:1 ~capacity:cap;
         List.iteri
           (fun j t ->
@@ -189,8 +189,8 @@ let one_step_feasible (inst : Instance.t) ~have =
       let need = Bitset.cardinal deficit in
       if need > 0 then begin
         let supply = ref 0 in
-        Array.iter
-          (fun (u, cap) ->
+        Digraph.View.iter
+          (fun u cap ->
             let available = Bitset.cardinal (Bitset.inter deficit have.(u)) in
             supply := !supply + min cap available)
           (Digraph.pred g v);
@@ -199,7 +199,8 @@ let one_step_feasible (inst : Instance.t) ~have =
         let covered =
           Bitset.for_all
             (fun token ->
-              Array.exists (fun (u, _) -> Bitset.mem have.(u) token)
+              Digraph.View.exists
+                (fun u _ -> Bitset.mem have.(u) token)
                 (Digraph.pred g v))
             deficit
         in

@@ -109,8 +109,8 @@ let two_step_solvable g ~k =
     for j = 0 to n - 1 do
       if !ok then begin
         let covered = ref false in
-        Array.iter
-          (fun (src, _) ->
+        Digraph.View.iter
+          (fun src _ ->
             (* in-neighbours of v'_j in the reduced graph are relays *)
             let i = src - 2 in
             if i >= 0 && i < n && d_mask land (1 lsl i) <> 0 then covered := true)

@@ -24,8 +24,8 @@ let strongly_connected_components g =
       while not (Stack.is_empty frames) do
         let v, cursor = Stack.top frames in
         let row = Digraph.succ g v in
-        if !cursor < Array.length row then begin
-          let w, _ = row.(!cursor) in
+        if !cursor < Digraph.View.length row then begin
+          let w = Digraph.View.dst row !cursor in
           incr cursor;
           if index.(w) = -1 then open_vertex w
           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
@@ -82,7 +82,7 @@ let weakly_connected_components g =
       in
       List.iter push (Digraph.neighbors g u)
     done;
-    List.sort compare !acc
+    List.sort Int.compare !acc
   in
   List.filter_map
     (fun v -> if seen.(v) then None else Some (component v))

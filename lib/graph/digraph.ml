@@ -2,108 +2,406 @@ type vertex = int
 
 type arc = { src : vertex; dst : vertex; capacity : int }
 
+(* Flat CSR adjacency: the out-arcs of vertex [v] live at indices
+   [succ_off.(v) .. succ_off.(v+1) - 1] of the parallel [succ_dst] /
+   [succ_cap] int arrays, destinations ascending; the predecessor side
+   mirrors it.  For graphs built from undirected edges the two sides
+   are physically the same arrays (the adjacency is symmetric), which
+   halves the footprint of every evaluation topology. *)
 type t = {
   vertex_count : int;
   arc_count : int;
-  succ : (vertex * int) array array;
-  pred : (vertex * int) array array;
+  succ_off : int array;
+  succ_dst : int array;
+  succ_cap : int array;
+  pred_off : int array;
+  pred_dst : int array;
+  pred_cap : int array;
 }
+
+type view = { dsts : int array; caps : int array; off : int; len : int }
+
+module View = struct
+  type nonrec t = view
+
+  let length v = v.len
+  let dst v i = v.dsts.(v.off + i)
+  let cap v i = v.caps.(v.off + i)
+
+  let iter f v =
+    for i = v.off to v.off + v.len - 1 do
+      f v.dsts.(i) v.caps.(i)
+    done
+
+  let iteri f v =
+    for i = 0 to v.len - 1 do
+      f i v.dsts.(v.off + i) v.caps.(v.off + i)
+    done
+
+  let fold f acc v =
+    let acc = ref acc in
+    for i = v.off to v.off + v.len - 1 do
+      acc := f !acc v.dsts.(i) v.caps.(i)
+    done;
+    !acc
+
+  let exists p v =
+    let rec go i =
+      i < v.len && (p v.dsts.(v.off + i) v.caps.(v.off + i) || go (i + 1))
+    in
+    go 0
+
+  let dsts v = Array.sub v.dsts v.off v.len
+  let caps v = Array.sub v.caps v.off v.len
+  let to_array v = Array.init v.len (fun i -> (dst v i, cap v i))
+end
 
 let vertex_count g = g.vertex_count
 let arc_count g = g.arc_count
 
+(* ---------------------- construction core ------------------------- *)
+
+let check_arc ~fn ~vertex_count src dst capacity =
+  if src < 0 || src >= vertex_count || dst < 0 || dst >= vertex_count then
+    invalid_arg (fn ^ ": endpoint out of range");
+  if src = dst then invalid_arg (fn ^ ": self-loop");
+  if capacity <= 0 then invalid_arg (fn ^ ": non-positive capacity")
+
+(* In-place quicksort of [dst].(lo..hi) ascending, mirroring every swap
+   in [cap] — monomorphic int comparisons only, no boxing. *)
+let sort_row dst (cap : int array) lo hi =
+  let swap i j =
+    let d = dst.(i) in
+    dst.(i) <- dst.(j);
+    dst.(j) <- d;
+    let c = cap.(i) in
+    cap.(i) <- cap.(j);
+    cap.(j) <- c
+  in
+  let rec go lo hi =
+    if hi - lo < 12 then
+      for i = lo + 1 to hi do
+        let d = dst.(i) and c = cap.(i) in
+        let j = ref i in
+        while !j > lo && dst.(!j - 1) > d do
+          dst.(!j) <- dst.(!j - 1);
+          cap.(!j) <- cap.(!j - 1);
+          decr j
+        done;
+        dst.(!j) <- d;
+        cap.(!j) <- c
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if dst.(mid) < dst.(lo) then swap mid lo;
+      if dst.(hi) < dst.(lo) then swap hi lo;
+      if dst.(hi) < dst.(mid) then swap hi mid;
+      let pivot = dst.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while dst.(!i) < pivot do incr i done;
+        while dst.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      go lo !j;
+      go !i hi
+    end
+  in
+  if hi > lo then go lo hi
+
+(* Group the [m] directed arcs in [src]/[dst]/[cap] by source (counting
+   sort), sort each row by destination and merge duplicates by summing
+   capacities.  Returns the (offsets, destinations, capacities) of one
+   CSR side. *)
+let build_side ~vertex_count ~m ~src ~dst ~cap =
+  let off = Array.make (vertex_count + 1) 0 in
+  for k = 0 to m - 1 do
+    off.(src.(k)) <- off.(src.(k)) + 1
+  done;
+  let total = ref 0 in
+  for v = 0 to vertex_count - 1 do
+    let d = off.(v) in
+    off.(v) <- !total;
+    total := !total + d
+  done;
+  off.(vertex_count) <- !total;
+  let cursor = Array.sub off 0 vertex_count in
+  let d_out = Array.make m 0 and c_out = Array.make m 0 in
+  for k = 0 to m - 1 do
+    let s = src.(k) in
+    let i = cursor.(s) in
+    d_out.(i) <- dst.(k);
+    c_out.(i) <- cap.(k);
+    cursor.(s) <- i + 1
+  done;
+  for v = 0 to vertex_count - 1 do
+    sort_row d_out c_out off.(v) (off.(v + 1) - 1)
+  done;
+  (* Compact duplicate destinations (rows are sorted, so duplicates are
+     adjacent); capacities sum, as the paper's multi-arc flattening
+     prescribes. *)
+  let w = ref 0 in
+  let merged_off = Array.make (vertex_count + 1) 0 in
+  for v = 0 to vertex_count - 1 do
+    merged_off.(v) <- !w;
+    let i = ref off.(v) in
+    let row_end = off.(v + 1) in
+    while !i < row_end do
+      let d = d_out.(!i) in
+      let c = ref c_out.(!i) in
+      incr i;
+      while !i < row_end && d_out.(!i) = d do
+        c := !c + c_out.(!i);
+        incr i
+      done;
+      d_out.(!w) <- d;
+      c_out.(!w) <- !c;
+      incr w
+    done
+  done;
+  merged_off.(vertex_count) <- !w;
+  if !w = m then (merged_off, d_out, c_out)
+  else (merged_off, Array.sub d_out 0 !w, Array.sub c_out 0 !w)
+
+(* Predecessor side of a merged successor side: scanning sources in
+   ascending order fills every pred row already sorted and merged. *)
+let transpose ~vertex_count (off, dsts, caps) =
+  let m = off.(vertex_count) in
+  let p_off = Array.make (vertex_count + 1) 0 in
+  for i = 0 to m - 1 do
+    p_off.(dsts.(i)) <- p_off.(dsts.(i)) + 1
+  done;
+  let total = ref 0 in
+  for v = 0 to vertex_count - 1 do
+    let d = p_off.(v) in
+    p_off.(v) <- !total;
+    total := !total + d
+  done;
+  p_off.(vertex_count) <- !total;
+  let cursor = Array.sub p_off 0 vertex_count in
+  let p_dst = Array.make m 0 and p_cap = Array.make m 0 in
+  for v = 0 to vertex_count - 1 do
+    for i = off.(v) to off.(v + 1) - 1 do
+      let d = dsts.(i) in
+      let j = cursor.(d) in
+      p_dst.(j) <- v;
+      p_cap.(j) <- caps.(i);
+      cursor.(d) <- j + 1
+    done
+  done;
+  (p_off, p_dst, p_cap)
+
+let of_sides ~vertex_count (succ_off, succ_dst, succ_cap)
+    (pred_off, pred_dst, pred_cap) =
+  {
+    vertex_count;
+    arc_count = succ_off.(vertex_count);
+    succ_off;
+    succ_dst;
+    succ_cap;
+    pred_off;
+    pred_dst;
+    pred_cap;
+  }
+
 let of_arcs ~vertex_count arcs =
   if vertex_count < 0 then invalid_arg "Digraph.of_arcs: negative vertex count";
-  let check { src; dst; capacity } =
-    if src < 0 || src >= vertex_count || dst < 0 || dst >= vertex_count then
-      invalid_arg "Digraph.of_arcs: endpoint out of range";
-    if src = dst then invalid_arg "Digraph.of_arcs: self-loop";
-    if capacity <= 0 then invalid_arg "Digraph.of_arcs: non-positive capacity"
-  in
-  List.iter check arcs;
-  (* Merge duplicates by summing capacities through per-source hashtables. *)
-  let tables = Array.init vertex_count (fun _ -> Hashtbl.create 4) in
-  let add { src; dst; capacity } =
-    let table = tables.(src) in
-    let existing = Option.value (Hashtbl.find_opt table dst) ~default:0 in
-    Hashtbl.replace table dst (existing + capacity)
-  in
-  List.iter add arcs;
-  let sorted_bindings table =
-    Hashtbl.fold (fun dst c acc -> (dst, c) :: acc) table []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> Array.of_list
-  in
-  let succ = Array.map sorted_bindings tables in
-  let pred_lists = Array.make vertex_count [] in
-  Array.iteri
-    (fun src row ->
-      Array.iter (fun (dst, c) -> pred_lists.(dst) <- (src, c) :: pred_lists.(dst)) row)
-    succ;
-  let pred =
-    Array.map
-      (fun l -> Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) l))
-      pred_lists
-  in
-  let arc_count = Array.fold_left (fun acc row -> acc + Array.length row) 0 succ in
-  { vertex_count; arc_count; succ; pred }
+  List.iter
+    (fun { src; dst; capacity } ->
+      check_arc ~fn:"Digraph.of_arcs" ~vertex_count src dst capacity)
+    arcs;
+  let m = List.length arcs in
+  let src = Array.make m 0 and dst = Array.make m 0 and cap = Array.make m 0 in
+  List.iteri
+    (fun k a ->
+      src.(k) <- a.src;
+      dst.(k) <- a.dst;
+      cap.(k) <- a.capacity)
+    arcs;
+  let succ = build_side ~vertex_count ~m ~src ~dst ~cap in
+  of_sides ~vertex_count succ (transpose ~vertex_count succ)
+
+(* Symmetric bulk build shared by [of_edges] and
+   [of_undirected_arrays]: each undirected edge contributes both
+   directed arcs, and — duplicates merging by sum on the unordered pair
+   — the adjacency is symmetric, so the predecessor side aliases the
+   successor arrays. *)
+let symmetric ~fn ~vertex_count ~count ~edge =
+  if vertex_count < 0 then invalid_arg (fn ^ ": negative vertex count");
+  let m = 2 * count in
+  let src = Array.make m 0 and dst = Array.make m 0 and cap = Array.make m 0 in
+  for k = 0 to count - 1 do
+    let u, v, c = edge k in
+    check_arc ~fn ~vertex_count u v c;
+    src.(2 * k) <- u;
+    dst.(2 * k) <- v;
+    cap.(2 * k) <- c;
+    src.((2 * k) + 1) <- v;
+    dst.((2 * k) + 1) <- u;
+    cap.((2 * k) + 1) <- c
+  done;
+  let side = build_side ~vertex_count ~m ~src ~dst ~cap in
+  of_sides ~vertex_count side side
 
 let of_edges ~vertex_count edges =
-  let arcs =
-    List.concat_map
-      (fun (u, v, c) ->
-        [ { src = u; dst = v; capacity = c }; { src = v; dst = u; capacity = c } ])
-      edges
-  in
-  of_arcs ~vertex_count arcs
+  let edges = Array.of_list edges in
+  symmetric ~fn:"Digraph.of_arcs" ~vertex_count ~count:(Array.length edges)
+    ~edge:(fun k -> edges.(k))
 
-let succ g v = g.succ.(v)
-let pred g v = g.pred.(v)
+let of_undirected_arrays ~vertex_count ~src ~dst ~cap =
+  let count = Array.length src in
+  if Array.length dst <> count || Array.length cap <> count then
+    invalid_arg "Digraph.of_undirected_arrays: length mismatch";
+  symmetric ~fn:"Digraph.of_undirected_arrays" ~vertex_count ~count
+    ~edge:(fun k -> (src.(k), dst.(k), cap.(k)))
+
+(* ------------------------- appending ------------------------------ *)
+
+(* One CSR side with per-vertex sorted insertion rows merged in (equal
+   destinations sum): a single linear copy, no re-sort of the existing
+   m arcs. *)
+let merge_side ~vertex_count (off, dsts, caps) extra =
+  let added = Array.fold_left (fun acc row -> acc + List.length row) 0 extra in
+  let m = off.(vertex_count) in
+  let n_off = Array.make (vertex_count + 1) 0 in
+  let n_dst = Array.make (m + added) 0 and n_cap = Array.make (m + added) 0 in
+  let w = ref 0 in
+  for v = 0 to vertex_count - 1 do
+    n_off.(v) <- !w;
+    let row_start = !w in
+    let i = ref off.(v) in
+    let ins = ref extra.(v) in
+    let push d c =
+      if !w > row_start && n_dst.(!w - 1) = d then n_cap.(!w - 1) <- n_cap.(!w - 1) + c
+      else begin
+        n_dst.(!w) <- d;
+        n_cap.(!w) <- c;
+        incr w
+      end
+    in
+    while !i < off.(v + 1) || !ins <> [] do
+      match !ins with
+      | (d, c) :: rest when !i >= off.(v + 1) || d <= dsts.(!i) ->
+        push d c;
+        ins := rest
+      | _ ->
+        push dsts.(!i) caps.(!i);
+        incr i
+    done
+  done;
+  n_off.(vertex_count) <- !w;
+  if !w = m + added then (n_off, n_dst, n_cap)
+  else (n_off, Array.sub n_dst 0 !w, Array.sub n_cap 0 !w)
+
+let add_undirected_edges g edges =
+  match edges with
+  | [] -> g
+  | edges ->
+    let n = g.vertex_count in
+    let ins = Array.make n [] in
+    List.iter
+      (fun (u, v, c) ->
+        check_arc ~fn:"Digraph.of_arcs" ~vertex_count:n u v c;
+        ins.(u) <- (v, c) :: ins.(u);
+        ins.(v) <- (u, c) :: ins.(v))
+      edges;
+    for v = 0 to n - 1 do
+      ins.(v) <-
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) ins.(v)
+    done;
+    let succ = merge_side ~vertex_count:n (g.succ_off, g.succ_dst, g.succ_cap) ins in
+    let pred =
+      (* Symmetric graphs keep the two sides aliased. *)
+      if g.pred_dst == g.succ_dst && g.pred_off == g.succ_off then succ
+      else merge_side ~vertex_count:n (g.pred_off, g.pred_dst, g.pred_cap) ins
+    in
+    of_sides ~vertex_count:n succ pred
+
+(* -------------------------- queries ------------------------------- *)
+
+let succ g v =
+  {
+    dsts = g.succ_dst;
+    caps = g.succ_cap;
+    off = g.succ_off.(v);
+    len = g.succ_off.(v + 1) - g.succ_off.(v);
+  }
+
+let pred g v =
+  {
+    dsts = g.pred_dst;
+    caps = g.pred_cap;
+    off = g.pred_off.(v);
+    len = g.pred_off.(v + 1) - g.pred_off.(v);
+  }
 
 let capacity g u v =
-  let row = g.succ.(u) in
-  let rec go i =
-    if i >= Array.length row then 0
-    else
-      let dst, c = row.(i) in
-      if dst = v then c else if dst > v then 0 else go (i + 1)
-  in
-  go 0
+  (* Rows are sorted by destination: binary search. *)
+  let lo = ref g.succ_off.(u) and hi = ref (g.succ_off.(u + 1) - 1) in
+  let found = ref 0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = g.succ_dst.(mid) in
+    if d = v then begin
+      found := g.succ_cap.(mid);
+      lo := !hi + 1
+    end
+    else if d < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
 
 let mem_arc g u v = capacity g u v > 0
 
-let out_degree g v = Array.length g.succ.(v)
-let in_degree g v = Array.length g.pred.(v)
+let out_degree g v = g.succ_off.(v + 1) - g.succ_off.(v)
+let in_degree g v = g.pred_off.(v + 1) - g.pred_off.(v)
 
-let sum_capacities row = Array.fold_left (fun acc (_, c) -> acc + c) 0 row
+let sum_row off cap v =
+  let acc = ref 0 in
+  for i = off.(v) to off.(v + 1) - 1 do
+    acc := !acc + cap.(i)
+  done;
+  !acc
 
-let in_capacity g v = sum_capacities g.pred.(v)
-let out_capacity g v = sum_capacities g.succ.(v)
+let in_capacity g v = sum_row g.pred_off g.pred_cap v
+let out_capacity g v = sum_row g.succ_off g.succ_cap v
 
 let arcs g =
   let acc = ref [] in
   for src = g.vertex_count - 1 downto 0 do
-    let row = g.succ.(src) in
-    for i = Array.length row - 1 downto 0 do
-      let dst, capacity = row.(i) in
-      acc := { src; dst; capacity } :: !acc
+    for i = g.succ_off.(src + 1) - 1 downto g.succ_off.(src) do
+      acc := { src; dst = g.succ_dst.(i); capacity = g.succ_cap.(i) } :: !acc
     done
   done;
   !acc
 
 let neighbors g v =
-  let seen = Hashtbl.create 8 in
-  let collect (u, _) = if not (Hashtbl.mem seen u) then Hashtbl.add seen u () in
-  Array.iter collect g.succ.(v);
-  Array.iter collect g.pred.(v);
-  Hashtbl.fold (fun u () acc -> u :: acc) seen [] |> List.sort compare
+  (* Merge-union of the two sorted rows, ascending. *)
+  let s_lo = g.succ_off.(v) and s_hi = g.succ_off.(v + 1) in
+  let p_lo = g.pred_off.(v) and p_hi = g.pred_off.(v + 1) in
+  let rec go i j acc =
+    if i >= s_hi && j >= p_hi then List.rev acc
+    else if j >= p_hi || (i < s_hi && g.succ_dst.(i) < g.pred_dst.(j)) then
+      go (i + 1) j (g.succ_dst.(i) :: acc)
+    else if i >= s_hi || g.pred_dst.(j) < g.succ_dst.(i) then
+      go i (j + 1) (g.pred_dst.(j) :: acc)
+    else go (i + 1) (j + 1) (g.succ_dst.(i) :: acc)
+  in
+  go s_lo p_lo []
 
 let reverse g =
   {
-    vertex_count = g.vertex_count;
-    arc_count = g.arc_count;
-    succ = g.pred;
-    pred = g.succ;
+    g with
+    succ_off = g.pred_off;
+    succ_dst = g.pred_dst;
+    succ_cap = g.pred_cap;
+    pred_off = g.succ_off;
+    pred_dst = g.succ_dst;
+    pred_cap = g.succ_cap;
   }
 
 let vertices g = List.init g.vertex_count Fun.id

@@ -3,8 +3,14 @@
     This is the substrate for the OCD model of §3.1 of the paper: a
     simple weighted directed graph [G = (V, E)] whose arc weights are
     interpreted as per-timestep token capacities.  The representation is
-    immutable after construction (adjacency arrays), which lets the
-    simulator share one graph across many runs.
+    immutable after construction, which lets the simulator share one
+    graph across many runs.
+
+    Adjacency is stored as flat CSR: one [int array] of row offsets
+    plus parallel [int array]s for destinations and capacities, with a
+    mirrored predecessor side (aliased to the successor side for graphs
+    built from undirected edges, halving the footprint).  [succ]/[pred]
+    return a zero-copy {!view} into those arrays.
 
     Multi-arcs are merged at build time by summing capacities, exactly
     as the paper prescribes ("multi-arcs can be represented as a single
@@ -16,6 +22,39 @@ type vertex = int
 type arc = { src : vertex; dst : vertex; capacity : int }
 
 type t
+
+type view
+(** A read-only slice of one adjacency row: the neighbours of a vertex
+    with the capacities of the connecting arcs, destinations ascending.
+    Views borrow the graph's arrays — creating one allocates nothing. *)
+
+module View : sig
+  type nonrec t = view
+
+  val length : view -> int
+
+  val dst : view -> int -> vertex
+  (** [dst v i] is the [i]-th neighbour (ascending order). *)
+
+  val cap : view -> int -> int
+  (** [cap v i] is the capacity of the arc to the [i]-th neighbour. *)
+
+  val iter : (vertex -> int -> unit) -> view -> unit
+  (** [iter f v] applies [f dst cap] to each entry in ascending order. *)
+
+  val iteri : (int -> vertex -> int -> unit) -> view -> unit
+  val fold : ('a -> vertex -> int -> 'a) -> 'a -> view -> 'a
+  val exists : (vertex -> int -> bool) -> view -> bool
+
+  val dsts : view -> vertex array
+  (** Fresh array of the neighbours, ascending. *)
+
+  val caps : view -> int array
+  (** Fresh array of the capacities, aligned with {!dsts}. *)
+
+  val to_array : view -> (vertex * int) array
+  (** Fresh boxed copy, for tests and cold paths. *)
+end
 
 val vertex_count : t -> int
 val arc_count : t -> int
@@ -30,17 +69,29 @@ val of_edges : vertex_count:int -> (vertex * vertex * int) list -> t
     *undirected* edge: arcs [u -> v] and [v -> u], both of capacity [c],
     are added.  This is how the paper's evaluation graphs are built. *)
 
+val of_undirected_arrays :
+  vertex_count:int -> src:int array -> dst:int array -> cap:int array -> t
+(** Bulk variant of {!of_edges} for generators: edge [k] is
+    [(src.(k), dst.(k), cap.(k))].  Avoids materialising a boxed edge
+    list for large graphs; same validation and merge semantics. *)
+
+val add_undirected_edges : t -> (vertex * vertex * int) list -> t
+(** [add_undirected_edges g edges] is [g] with the extra undirected
+    edges merged in (capacities of duplicates summed) — a linear splice
+    into the existing CSR rows, not a rebuild.  Used by connectivity
+    repair, where the handful of added edges never justifies re-merging
+    all [m] existing arcs. *)
+
 val capacity : t -> vertex -> vertex -> int
-(** 0 when the arc is absent. *)
+(** 0 when the arc is absent.  Binary search on the sorted row. *)
 
 val mem_arc : t -> vertex -> vertex -> bool
 
-val succ : t -> vertex -> (vertex * int) array
-(** Out-neighbours with arc capacities.  The returned array is owned by
-    the graph; callers must not mutate it. *)
+val succ : t -> vertex -> view
+(** Out-neighbours with arc capacities, destinations ascending. *)
 
-val pred : t -> vertex -> (vertex * int) array
-(** In-neighbours with arc capacities. *)
+val pred : t -> vertex -> view
+(** In-neighbours with arc capacities, sources ascending. *)
 
 val out_degree : t -> vertex -> int
 val in_degree : t -> vertex -> int
@@ -55,9 +106,9 @@ val arcs : t -> arc list
 (** All arcs, grouped by source, ascending destinations. *)
 
 val neighbors : t -> vertex -> vertex list
-(** Union of in- and out-neighbours (the vertices knowledge can be
-    exchanged with under the LOCD model, where "information travels
-    bidirectionally along an edge"). *)
+(** Union of in- and out-neighbours, ascending (the vertices knowledge
+    can be exchanged with under the LOCD model, where "information
+    travels bidirectionally along an edge"). *)
 
 val reverse : t -> t
 (** Graph with every arc flipped. *)

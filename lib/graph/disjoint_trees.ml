@@ -18,16 +18,16 @@ let lazy_root_tree g ~root ~used ~preferred =
     Queue.add v queue
   in
   let expand u =
-    Array.iter
-      (fun (v, _) ->
+    Digraph.View.iter
+      (fun v _ ->
         if (not seen.(v)) && not (Hashtbl.mem used (u, v)) then adopt u v)
       (Digraph.succ g u)
   in
   let root_arcs =
     let row = Digraph.succ g root in
-    let deg = Array.length row in
+    let deg = Digraph.View.length row in
     (* rotate so each round prefers a different first arc *)
-    Array.init deg (fun i -> fst row.((i + preferred) mod deg))
+    Array.init deg (fun i -> Digraph.View.dst row ((i + preferred) mod deg))
   in
   let next_root_arc = ref 0 in
   let try_seed () =

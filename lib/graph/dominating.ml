@@ -50,7 +50,7 @@ let minimum g =
   let n = Digraph.vertex_count g in
   let rec first k =
     match search_of_size g k with
-    | Some d -> List.sort compare d
+    | Some d -> List.sort Int.compare d
     | None -> if k >= n then [] else first (k + 1)
   in
   if n = 0 then [] else first 0
@@ -68,4 +68,4 @@ let greedy g =
       chosen := v :: !chosen;
       Bitset.union_into covered hoods.(v)
   done;
-  List.sort compare !chosen
+  List.sort Int.compare !chosen

@@ -19,7 +19,7 @@ let dijkstra g ~cost src =
     | Some (d, u) ->
       if not settled.(u) && d = dist.(u) then begin
         settled.(u) <- true;
-        let relax (v, _cap) =
+        let relax v _cap =
           let c = cost u v in
           if c < 0 then invalid_arg "Paths.dijkstra: negative arc cost";
           let candidate = d + c in
@@ -29,7 +29,7 @@ let dijkstra g ~cost src =
             Pqueue.push heap ~priority:candidate v
           end
         in
-        Array.iter relax (Digraph.succ g u)
+        Digraph.View.iter relax (Digraph.succ g u)
       end;
       drain ()
   in

@@ -26,8 +26,8 @@ let takahashi_matsuyama g ~sources ~terminals =
       let parent = Array.make n (-1) in
       let record_parent v =
         if dist.(v) > 0 then
-          Array.iter
-            (fun (u, _) ->
+          Digraph.View.iter
+            (fun u _ ->
               if parent.(v) = -1 && dist.(u) >= 0 && dist.(u) = dist.(v) - 1
               then parent.(v) <- u)
             (Digraph.pred g v)

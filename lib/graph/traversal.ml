@@ -11,8 +11,8 @@ let bfs_levels_multi g roots =
   List.iter start roots;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun (v, _) ->
+    Digraph.View.iter
+      (fun v _ ->
         if dist.(v) = -1 then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v queue
@@ -33,8 +33,8 @@ let bfs_order g root =
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     order := u :: !order;
-    Array.iter
-      (fun (v, _) ->
+    Digraph.View.iter
+      (fun v _ ->
         if not seen.(v) then begin
           seen.(v) <- true;
           Queue.add v queue
@@ -64,8 +64,8 @@ let dfs_postorder g =
           if not seen.(u) then begin
             seen.(u) <- true;
             Stack.push (`Finish u) stack;
-            Array.iter
-              (fun (v, _) -> if not seen.(v) then Stack.push (`Visit v) stack)
+            Digraph.View.iter
+              (fun v _ -> if not seen.(v) then Stack.push (`Visit v) stack)
               (Digraph.succ g u)
           end
       done

@@ -17,8 +17,8 @@ let voronoi_labels g sources =
     sources;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun (v, _) ->
+    Digraph.View.iter
+      (fun v _ ->
         if label.(v) = -1 then begin
           label.(v) <- label.(u);
           Queue.add v queue
@@ -45,8 +45,8 @@ let relay_tokens (inst : Instance.t) have =
       for u = 0 to n - 1 do
         if
           (not (Bitset.mem have.(u) token))
-          && Array.exists
-               (fun (w, _) -> Bitset.mem have.(w) token)
+          && Digraph.View.exists
+               (fun w _ -> Bitset.mem have.(w) token)
                (Digraph.pred g u)
         then one_hop := u :: !one_hop
       done;
@@ -82,17 +82,17 @@ let strategy =
         let pulls = by_rarity wanted @ by_rarity relayed in
         if pulls <> [] then begin
           let preds = Digraph.pred graph dst in
-          let budget = Array.map snd preds in
+          let budget = Digraph.View.caps preds in
           let assign token =
             let chosen = ref (-1) in
-            Array.iteri
-              (fun i (u, _) ->
+            Digraph.View.iteri
+              (fun i u _ ->
                 if !chosen = -1 && budget.(i) > 0 && Bitset.mem ctx.have.(u) token
                 then chosen := i)
               preds;
             if !chosen >= 0 then begin
               budget.(!chosen) <- budget.(!chosen) - 1;
-              let src, _ = preds.(!chosen) in
+              let src = Digraph.View.dst preds !chosen in
               moves := { Move.src; dst; token } :: !moves
             end
           in

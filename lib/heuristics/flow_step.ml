@@ -11,12 +11,14 @@ let assign_exact ~have ~preds tokens =
     let count = List.length tokens in
     let token_node i = 2 + i in
     let arc_node i = 2 + count + i in
-    let flow = Maxflow.create ~node_count:(2 + count + Array.length preds) in
+    let flow =
+      Maxflow.create ~node_count:(2 + count + Digraph.View.length preds)
+    in
     List.iteri
       (fun i _ -> Maxflow.add_edge flow ~src:0 ~dst:(token_node i) ~capacity:1)
       tokens;
-    Array.iteri
-      (fun i (u, cap) ->
+    Digraph.View.iteri
+      (fun i u cap ->
         Maxflow.add_edge flow ~src:(arc_node i) ~dst:1 ~capacity:cap;
         List.iteri
           (fun j t ->
@@ -44,16 +46,16 @@ let strategy =
       let moves = ref [] in
       for dst = 0 to n - 1 do
         let preds = Digraph.pred graph dst in
-        if Array.length preds > 0 then begin
+        if Digraph.View.length preds > 0 then begin
           let wanted = Bitset.diff inst.want.(dst) ctx.have.(dst) in
           let assigned =
             assign_exact ~have:ctx.have ~preds (Bitset.elements wanted)
           in
-          let budget = Array.map snd preds in
+          let budget = Digraph.View.caps preds in
           List.iter
             (fun (token, i) ->
               budget.(i) <- budget.(i) - 1;
-              let src, _ = preds.(i) in
+              let src = Digraph.View.dst preds i in
               moves := { Move.src; dst; token } :: !moves)
             assigned;
           (* Fill leftover budget with rarest-first relay flooding
@@ -68,14 +70,14 @@ let strategy =
           List.iter
             (fun token ->
               let chosen = ref (-1) in
-              Array.iteri
-                (fun i (u, _) ->
+              Digraph.View.iteri
+                (fun i u _ ->
                   if !chosen = -1 && budget.(i) > 0 && Bitset.mem ctx.have.(u) token
                   then chosen := i)
                 preds;
               if !chosen >= 0 then begin
                 budget.(!chosen) <- budget.(!chosen) - 1;
-                let src, _ = preds.(!chosen) in
+                let src = Digraph.View.dst preds !chosen in
                 moves := { Move.src; dst; token } :: !moves
               end)
             ranked

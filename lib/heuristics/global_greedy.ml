@@ -17,19 +17,19 @@ let strategy =
       Prng.shuffle ctx.rng order;
       let process dst =
         let preds = Digraph.pred graph dst in
-        if Array.length preds > 0 then begin
-          let budget = Array.map snd preds in
+        if Digraph.View.length preds > 0 then begin
+          let budget = Digraph.View.caps preds in
           let assign token =
             let chosen = ref (-1) in
-            Array.iteri
-              (fun i (u, _) ->
+            Digraph.View.iteri
+              (fun i u _ ->
                 if !chosen = -1 && budget.(i) > 0 && Bitset.mem ctx.have.(u) token
                 then chosen := i)
               preds;
             if !chosen >= 0 then begin
               budget.(!chosen) <- budget.(!chosen) - 1;
               working.(token) <- working.(token) + 1;
-              let src, _ = preds.(!chosen) in
+              let src = Digraph.View.dst preds !chosen in
               moves := { Move.src; dst; token } :: !moves;
               true
             end

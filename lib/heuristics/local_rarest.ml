@@ -21,13 +21,13 @@ let strategy =
         let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
         if not (Bitset.is_empty missing) then begin
           let preds = Digraph.pred graph dst in
-          let budget = Array.map snd preds in
+          let budget = Digraph.View.caps preds in
           let assign token =
             (* All in-neighbours holding the token with spare budget;
                pick one at random (the "request" subdivision). *)
             let candidates = ref [] in
-            Array.iteri
-              (fun i (u, _) ->
+            Digraph.View.iteri
+              (fun i u _ ->
                 if budget.(i) > 0 && Bitset.mem ctx.have.(u) token then
                   candidates := i :: !candidates)
               preds;
@@ -36,7 +36,7 @@ let strategy =
             | cs ->
               let i = Prng.pick_list ctx.rng cs in
               budget.(i) <- budget.(i) - 1;
-              let src, _ = preds.(i) in
+              let src = Digraph.View.dst preds i in
               moves := { Move.src; dst; token } :: !moves
           in
           List.iter assign (rarity_order ctx.rng agg missing)
@@ -58,11 +58,11 @@ let subdivided_requests (inst : Instance.t) (ctx : Ocd_engine.Strategy.context)
     let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
     if not (Bitset.is_empty missing) then begin
       let preds = Digraph.pred graph dst in
-      let budget = Array.map snd preds in
+      let budget = Digraph.View.caps preds in
       let assign token =
         let candidates = ref [] in
-        Array.iteri
-          (fun i (u, _) ->
+        Digraph.View.iteri
+          (fun i u _ ->
             if budget.(i) > 0 && Bitset.mem ctx.have.(u) token then
               candidates := i :: !candidates)
           preds;
@@ -71,7 +71,7 @@ let subdivided_requests (inst : Instance.t) (ctx : Ocd_engine.Strategy.context)
         | cs ->
           let i = Prng.pick_list ctx.rng cs in
           budget.(i) <- budget.(i) - 1;
-          let src, _ = preds.(i) in
+          let src = Digraph.View.dst preds i in
           moves := { Move.src; dst; token } :: !moves
       in
       List.iter assign (rarity_order ctx.rng agg missing)
@@ -109,8 +109,8 @@ let strategy_without_subdivision =
       let moves = ref [] in
       for src = 0 to n - 1 do
         if not (Bitset.is_empty ctx.have.(src)) then
-          Array.iter
-            (fun (dst, cap) ->
+          Digraph.View.iter
+            (fun dst cap ->
               let useful = Bitset.diff ctx.have.(src) ctx.have.(dst) in
               let ranked = rarity_order ctx.rng agg useful in
               List.iter

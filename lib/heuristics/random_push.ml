@@ -29,8 +29,8 @@ let strategy =
       let moves = ref [] in
       for src = 0 to n - 1 do
         if not (Bitset.is_empty ctx.have.(src)) then
-          Array.iter
-            (fun (dst, cap) ->
+          Digraph.View.iter
+            (fun dst cap ->
               let useful = Bitset.diff ctx.have.(src) ctx.have.(dst) in
               List.iter
                 (fun token -> moves := { Move.src; dst; token } :: !moves)
@@ -61,8 +61,8 @@ let with_staleness ~turns =
       let moves = ref [] in
       for src = 0 to n - 1 do
         if not (Bitset.is_empty ctx.have.(src)) then
-          Array.iter
-            (fun (dst, cap) ->
+          Digraph.View.iter
+            (fun dst cap ->
               (* The sender's own possession is current; only the
                  peer's state is stale. *)
               let useful = Bitset.diff ctx.have.(src) stale.(dst) in

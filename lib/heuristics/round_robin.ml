@@ -29,8 +29,8 @@ let strategy =
       for src = 0 to n - 1 do
         let have = ctx.have.(src) in
         if not (Bitset.is_empty have) then
-          Array.iter
-            (fun (dst, cap) ->
+          Digraph.View.iter
+            (fun dst cap ->
               let cursor =
                 Option.value (Hashtbl.find_opt cursors (src, dst)) ~default:0
               in

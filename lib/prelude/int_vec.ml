@@ -1,0 +1,23 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let data = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Int_vec.get";
+  v.data.(i)
+
+let clear v = v.len <- 0
+
+let to_array v = Array.sub v.data 0 v.len

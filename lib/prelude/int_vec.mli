@@ -1,0 +1,19 @@
+(** Growable unboxed int array.
+
+    The topology generators accumulate edge endpoints here instead of
+    in [(int * int) list]s: no per-edge boxing, and the result hands
+    straight to [Digraph.of_undirected_arrays]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+
+val get : t -> int -> int
+(** Raises [Invalid_argument] out of bounds. *)
+
+val clear : t -> unit
+
+val to_array : t -> int array
+(** Fresh array of the [length] pushed elements. *)

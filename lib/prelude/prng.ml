@@ -53,6 +53,19 @@ let bool g = Int64.logand (bits64 g) 1L = 1L
 
 let bernoulli g p = float g 1.0 < p
 
+let geometric g p =
+  if p <= 0.0 then invalid_arg "Prng.geometric: p must be positive";
+  if p >= 1.0 then 0
+  else begin
+    (* Inverse transform of the geometric distribution: number of
+       failures before the next success of a Bernoulli(p) process from
+       one uniform draw.  Clamped so extreme [p]/[u] pairs cannot
+       overflow the int conversion. *)
+    let u = float g 1.0 in
+    let f = Float.log1p (-.u) /. Float.log1p (-.p) in
+    if f >= 1.0e18 then max_int / 2 else int_of_float f
+  end
+
 let shuffle g a =
   for i = Array.length a - 1 downto 1 do
     let j = int g (i + 1) in

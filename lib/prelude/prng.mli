@@ -50,6 +50,14 @@ val bool : t -> bool
 val bernoulli : t -> float -> bool
 (** [bernoulli g p] is [true] with probability [p]. *)
 
+val geometric : t -> float -> int
+(** [geometric g p] is the number of failures before the next success
+    of a Bernoulli(p) process, from a single uniform draw (inverse
+    transform).  This is the skip length of the Batagelj–Brandes
+    sampler the topology generators use to enumerate random edges in
+    O(m) expected time.
+    @raise Invalid_argument unless [p > 0]. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

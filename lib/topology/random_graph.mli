@@ -6,7 +6,23 @@
     while the edge count grows as O(n ln n).  Since flooding heuristics
     need every wanter to be reachable, generators can optionally repair
     connectivity by linking consecutive weakly-connected components
-    with one extra edge each (a negligible perturbation at this p). *)
+    with one extra edge each (a negligible perturbation at this p).
+
+    {2 Seed streams}
+
+    All generators are deterministic per seed, but the *stream* — which
+    uniform draws are made in which order — depends on the regime:
+
+    - [n <= 2048]: the original per-pair Bernoulli loops run verbatim,
+      so graphs at paper sizes are bit-identical to earlier releases.
+    - [n > 2048]: {!erdos_renyi} and {!waxman} switch to geometric skip
+      sampling (Batagelj–Brandes): O(m) expected draws instead of
+      n(n-1)/2.  Same distribution, different (stable, documented)
+      stream.
+    - {!gnm} with [2m <= n(n-1)/2] keeps the original rejection
+      sampler; denser requests sample the *complement* (the excluded
+      pairs) instead, because rejection degenerates as [m] approaches
+      the maximum.  Again a distinct stable stream. *)
 
 open Ocd_prelude
 

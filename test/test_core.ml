@@ -236,7 +236,7 @@ let prop_validator_catches_mutations =
         match non_holder with
         | None -> QCheck.assume_fail ()
         | Some v -> (
-          match Ocd_graph.Digraph.succ g v with
+          match Ocd_graph.Digraph.(View.to_array (succ g v)) with
           | [||] -> QCheck.assume_fail ()
           | row ->
             let dst, _ = row.(0) in

@@ -27,8 +27,8 @@ let forward_strategy =
       let inst = ctx.Strategy.instance in
       let moves = ref [] in
       for src = 0 to Instance.vertex_count inst - 1 do
-        Array.iter
-          (fun (dst, cap) ->
+        Digraph.View.iter
+          (fun dst cap ->
             let useful = Bitset.diff ctx.Strategy.have.(src) ctx.Strategy.have.(dst) in
             let taken = ref 0 in
             Bitset.iter

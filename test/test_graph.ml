@@ -113,6 +113,142 @@ let test_digraph_arcs_listing () =
   Alcotest.(check (list int)) "grouped by src" (List.sort compare srcs) srcs
 
 (* ------------------------------------------------------------------ *)
+(* CSR differential: the flat representation must agree with a naive   *)
+(* reference adjacency (the legacy semantics: rows sorted ascending,   *)
+(* duplicates merged by summing capacities).                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent reference implementation over a directed arc list. *)
+let naive_rows n arcs key other =
+  Array.init n (fun v ->
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun a ->
+          if key a = v then begin
+            let w = other a in
+            let prev = Option.value (Hashtbl.find_opt tbl w) ~default:0 in
+            Hashtbl.replace tbl w (prev + a.Digraph.capacity)
+          end)
+        arcs;
+      Hashtbl.fold (fun w c acc -> (w, c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> Array.of_list)
+
+let check_against_naive n arcs g =
+  let succ_ref = naive_rows n arcs (fun a -> a.Digraph.src) (fun a -> a.Digraph.dst) in
+  let pred_ref = naive_rows n arcs (fun a -> a.Digraph.dst) (fun a -> a.Digraph.src) in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if Digraph.View.to_array (Digraph.succ g v) <> succ_ref.(v) then ok := false;
+    if Digraph.View.to_array (Digraph.pred g v) <> pred_ref.(v) then ok := false;
+    Array.iter
+      (fun (w, c) -> if Digraph.capacity g v w <> c then ok := false)
+      succ_ref.(v)
+  done;
+  !ok
+
+let directed_arcs_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 15 in
+    let* seed = int_range 0 10_000 in
+    let rng = Ocd_prelude.Prng.create ~seed in
+    let count = 2 * n in
+    let arcs = ref [] in
+    for _ = 1 to count do
+      let u = Ocd_prelude.Prng.int rng n and v = Ocd_prelude.Prng.int rng n in
+      if u <> v then
+        arcs :=
+          { Digraph.src = u; dst = v; capacity = 1 + Ocd_prelude.Prng.int rng 9 }
+          :: !arcs
+    done;
+    return (n, !arcs))
+
+let prop_csr_matches_naive_directed =
+  QCheck.Test.make ~name:"CSR succ/pred match naive adjacency (of_arcs)"
+    ~count:200
+    (QCheck.make directed_arcs_gen)
+    (fun (n, arcs) ->
+      check_against_naive n arcs (Digraph.of_arcs ~vertex_count:n arcs))
+
+let prop_csr_matches_naive_undirected =
+  QCheck.Test.make ~name:"CSR succ/pred match naive adjacency (of_edges)"
+    ~count:200
+    (QCheck.make directed_arcs_gen)
+    (fun (n, arcs) ->
+      let edges =
+        List.map (fun a -> (a.Digraph.src, a.Digraph.dst, a.Digraph.capacity)) arcs
+      in
+      let both =
+        arcs
+        @ List.map
+            (fun a -> { a with Digraph.src = a.Digraph.dst; dst = a.Digraph.src })
+            arcs
+      in
+      check_against_naive n both (Digraph.of_edges ~vertex_count:n edges))
+
+let prop_append_equals_rebuild =
+  QCheck.Test.make
+    ~name:"add_undirected_edges equals a full rebuild" ~count:200
+    (QCheck.make directed_arcs_gen)
+    (fun (n, arcs) ->
+      match arcs with
+      | [] -> true
+      | first :: rest ->
+        let edge a = (a.Digraph.src, a.Digraph.dst, a.Digraph.capacity) in
+        (* split: build from [rest], append [first] plus a fresh edge *)
+        let base = Digraph.of_edges ~vertex_count:n (List.map edge rest) in
+        let extra = [ edge first ] in
+        let appended = Digraph.add_undirected_edges base extra in
+        let rebuilt =
+          Digraph.of_edges ~vertex_count:n (List.map edge rest @ extra)
+        in
+        Digraph.arcs appended = Digraph.arcs rebuilt
+        && Digraph.arc_count appended = Digraph.arc_count rebuilt)
+
+let test_view_accessors () =
+  let g = fixture () in
+  let row = Digraph.succ g 0 in
+  Alcotest.(check int) "length" 2 (Digraph.View.length row);
+  Alcotest.(check int) "dst 0" 1 (Digraph.View.dst row 0);
+  Alcotest.(check int) "cap 0" 2 (Digraph.View.cap row 0);
+  Alcotest.(check int) "dst 1" 2 (Digraph.View.dst row 1);
+  Alcotest.(check (array int)) "dsts" [| 1; 2 |] (Digraph.View.dsts row);
+  Alcotest.(check (array int)) "caps" [| 2; 5 |] (Digraph.View.caps row);
+  Alcotest.(check int) "fold sums caps" 7
+    (Digraph.View.fold (fun acc _ c -> acc + c) 0 row);
+  Alcotest.(check bool) "exists" true
+    (Digraph.View.exists (fun d _ -> d = 2) row);
+  Alcotest.(check bool) "exists false" false
+    (Digraph.View.exists (fun d _ -> d = 0) row);
+  let seen = ref [] in
+  Digraph.View.iteri (fun i d c -> seen := (i, d, c) :: !seen) row;
+  Alcotest.(check (list (triple int int int)))
+    "iteri order" [ (0, 1, 2); (1, 2, 5) ] (List.rev !seen)
+
+let test_add_edges_merges_duplicate () =
+  let g = Digraph.of_edges ~vertex_count:3 [ (0, 1, 2) ] in
+  let g' = Digraph.add_undirected_edges g [ (0, 1, 3); (1, 2, 1) ] in
+  Alcotest.(check int) "summed" 5 (Digraph.capacity g' 0 1);
+  Alcotest.(check int) "summed reverse" 5 (Digraph.capacity g' 1 0);
+  Alcotest.(check int) "new edge" 1 (Digraph.capacity g' 1 2);
+  Alcotest.(check int) "arc count" 4 (Digraph.arc_count g');
+  Alcotest.(check int) "base untouched" 2 (Digraph.capacity g 0 1)
+
+let test_add_edges_validates () =
+  let g = Digraph.of_edges ~vertex_count:2 [ (0, 1, 1) ] in
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.of_arcs: self-loop")
+    (fun () -> ignore (Digraph.add_undirected_edges g [ (1, 1, 1) ]))
+
+let test_of_undirected_arrays_matches_of_edges () =
+  let edges = [ (0, 1, 3); (2, 0, 4); (1, 2, 1); (0, 1, 2) ] in
+  let g1 = Digraph.of_edges ~vertex_count:3 edges in
+  let g2 =
+    Digraph.of_undirected_arrays ~vertex_count:3
+      ~src:[| 0; 2; 1; 0 |] ~dst:[| 1; 0; 2; 1 |] ~cap:[| 3; 4; 1; 2 |]
+  in
+  Alcotest.(check bool) "same arcs" true (Digraph.arcs g1 = Digraph.arcs g2)
+
+(* ------------------------------------------------------------------ *)
 (* Traversal / Paths                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -506,6 +642,18 @@ let () =
           Alcotest.test_case "reverse" `Quick test_digraph_reverse;
           Alcotest.test_case "neighbors" `Quick test_digraph_neighbors;
           Alcotest.test_case "arcs listing" `Quick test_digraph_arcs_listing;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "view accessors" `Quick test_view_accessors;
+          Alcotest.test_case "append merges duplicate" `Quick
+            test_add_edges_merges_duplicate;
+          Alcotest.test_case "append validates" `Quick test_add_edges_validates;
+          Alcotest.test_case "arrays match of_edges" `Quick
+            test_of_undirected_arrays_matches_of_edges;
+          qtest prop_csr_matches_naive_directed;
+          qtest prop_csr_matches_naive_undirected;
+          qtest prop_append_equals_rebuild;
         ] );
       ( "traversal-paths",
         [

@@ -170,6 +170,132 @@ let prop_er_connected_across_seeds =
       Ocd_graph.Components.is_strongly_connected
         (Random_graph.erdos_renyi rng ~n ()))
 
+(* ---- scale regime (skip samplers, bulk transit-stub) ---- *)
+
+(* 3000 vertices is above [legacy_threshold], so these exercise the
+   Batagelj–Brandes skip-sampling path. *)
+let skip_n = 3000
+
+let test_er_skip_expected_degree () =
+  let rng = Prng.create ~seed:11 in
+  let g = Random_graph.erdos_renyi rng ~n:skip_n ~connect:false () in
+  let p = Random_graph.paper_p skip_n in
+  let expected = float_of_int (skip_n * (skip_n - 1)) *. p in
+  let arcs = float_of_int (Ocd_graph.Digraph.arc_count g) in
+  (* mean degree within 10% of p(n-1): loose enough for one sample,
+     tight enough to catch an off-by-one in the skip recurrence *)
+  Alcotest.(check bool)
+    (Printf.sprintf "arc count %.0f ~ %.0f" arcs expected)
+    true
+    (Float.abs (arcs -. expected) < 0.1 *. expected)
+
+let test_er_skip_deterministic () =
+  let g1 = Random_graph.erdos_renyi (Prng.create ~seed:12) ~n:skip_n () in
+  let g2 = Random_graph.erdos_renyi (Prng.create ~seed:12) ~n:skip_n () in
+  Alcotest.(check bool) "same arcs" true
+    (Ocd_graph.Digraph.arcs g1 = Ocd_graph.Digraph.arcs g2);
+  Alcotest.(check bool) "connected" true
+    (Ocd_graph.Components.is_strongly_connected g1)
+
+let test_waxman_skip_deterministic () =
+  let g1 = Random_graph.waxman (Prng.create ~seed:13) ~n:skip_n () in
+  let g2 = Random_graph.waxman (Prng.create ~seed:13) ~n:skip_n () in
+  Alcotest.(check bool) "same arcs" true
+    (Ocd_graph.Digraph.arcs g1 = Ocd_graph.Digraph.arcs g2);
+  Alcotest.(check bool) "connected" true
+    (Ocd_graph.Components.is_strongly_connected g1)
+
+let test_gnm_dense_complement () =
+  (* m > max_edges/2 exercises the complement sampler. *)
+  let n = 30 in
+  let max_edges = n * (n - 1) / 2 in
+  let m = max_edges - 35 in
+  let g1 = Random_graph.gnm (Prng.create ~seed:14) ~n ~m ~connect:false () in
+  let g2 = Random_graph.gnm (Prng.create ~seed:14) ~n ~m ~connect:false () in
+  Alcotest.(check int) "arcs = 2m" (2 * m) (Ocd_graph.Digraph.arc_count g1);
+  Alcotest.(check bool) "deterministic" true
+    (Ocd_graph.Digraph.arcs g1 = Ocd_graph.Digraph.arcs g2)
+
+let test_gnm_complete () =
+  let n = 12 in
+  let m = n * (n - 1) / 2 in
+  let rng = Prng.create ~seed:15 in
+  let g = Random_graph.gnm rng ~n ~m ~connect:false () in
+  Alcotest.(check int) "complete graph" (n * (n - 1))
+    (Ocd_graph.Digraph.arc_count g);
+  Alcotest.(check bool) "every pair present" true
+    (let ok = ref true in
+     for u = 0 to n - 1 do
+       for v = 0 to n - 1 do
+         if u <> v && not (Ocd_graph.Digraph.mem_arc g u v) then ok := false
+       done
+     done;
+     !ok)
+
+let test_transit_stub_for_size_bulk () =
+  List.iter
+    (fun n ->
+      let p = Transit_stub.params_for_size n in
+      let total = Transit_stub.vertex_total p in
+      (* one per-anchor round-up: transit_count * stub_nodes = 8 * 32 *)
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d ~ %d" n total)
+        true
+        (total >= n && total <= n + 256))
+    [ 5000; 20_000; 100_000 ]
+
+let test_transit_stub_bulk_generate () =
+  let n = 10_000 in
+  let p = Transit_stub.params_for_size n in
+  let g1 = Transit_stub.generate (Prng.create ~seed:16) p in
+  let g2 = Transit_stub.generate (Prng.create ~seed:16) p in
+  Alcotest.(check bool) "sized" true
+    (Ocd_graph.Digraph.vertex_count g1 >= n);
+  Alcotest.(check bool) "connected" true
+    (Ocd_graph.Components.is_strongly_connected g1);
+  Alcotest.(check bool) "deterministic" true
+    (Ocd_graph.Digraph.arcs g1 = Ocd_graph.Digraph.arcs g2)
+
+(* CSR views on generated topologies must agree with the arc list (the
+   differential counterpart of the raw-input tests in test_graph). *)
+let views_match_arcs g =
+  let n = Ocd_graph.Digraph.vertex_count g in
+  let arcs = Ocd_graph.Digraph.arcs g in
+  let succ_ref = Array.make n [] and pred_ref = Array.make n [] in
+  List.iter
+    (fun a ->
+      let open Ocd_graph.Digraph in
+      succ_ref.(a.src) <- (a.dst, a.capacity) :: succ_ref.(a.src);
+      pred_ref.(a.dst) <- (a.src, a.capacity) :: pred_ref.(a.dst))
+    (List.rev arcs);
+  let by_fst (a, _) (b, _) = Int.compare a b in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let succ =
+      Ocd_graph.Digraph.(View.to_array (succ g v)) |> Array.to_list
+    in
+    let pred =
+      Ocd_graph.Digraph.(View.to_array (pred g v)) |> Array.to_list
+    in
+    if succ <> List.sort by_fst succ_ref.(v) then ok := false;
+    if pred <> List.sort by_fst pred_ref.(v) then ok := false
+  done;
+  !ok
+
+let prop_er_views_match_arcs =
+  QCheck.Test.make ~name:"CSR views match arc list on ER graphs" ~count:30
+    QCheck.(pair (int_range 5 80) (int_range 0 1000))
+    (fun (n, seed) ->
+      views_match_arcs (Random_graph.erdos_renyi (Prng.create ~seed) ~n ()))
+
+let prop_transit_stub_views_match_arcs =
+  QCheck.Test.make ~name:"CSR views match arc list on transit-stub graphs"
+    ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      views_match_arcs
+        (Transit_stub.generate (Prng.create ~seed) Transit_stub.default_params))
+
 let prop_transit_stub_connected =
   QCheck.Test.make ~name:"transit-stub graphs always connected" ~count:30
     QCheck.(int_range 0 1000)
@@ -200,6 +326,23 @@ let () =
           Alcotest.test_case "waxman connected" `Quick test_waxman_connected;
           qtest prop_er_capacities_in_range;
           qtest prop_er_connected_across_seeds;
+          qtest prop_er_views_match_arcs;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "er skip expected degree" `Quick
+            test_er_skip_expected_degree;
+          Alcotest.test_case "er skip deterministic" `Quick
+            test_er_skip_deterministic;
+          Alcotest.test_case "waxman skip deterministic" `Quick
+            test_waxman_skip_deterministic;
+          Alcotest.test_case "gnm dense complement" `Quick
+            test_gnm_dense_complement;
+          Alcotest.test_case "gnm complete" `Quick test_gnm_complete;
+          Alcotest.test_case "params for size (bulk)" `Quick
+            test_transit_stub_for_size_bulk;
+          Alcotest.test_case "bulk generate" `Quick
+            test_transit_stub_bulk_generate;
         ] );
       ( "transit-stub",
         [
@@ -210,6 +353,7 @@ let () =
           Alcotest.test_case "stub degree low" `Quick
             test_transit_stub_stub_degree_low;
           qtest prop_transit_stub_connected;
+          qtest prop_transit_stub_views_match_arcs;
         ] );
       ( "facade",
         [
