@@ -218,6 +218,36 @@ let micro_tests () =
              (Ocd_engine.Engine.run ~step_limit:1 ~stall_patience:1
                 ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7 inst)))
   in
+  (* Engine rounds at scale: the allocation-free decide/apply path —
+     packed schedule emission, incremental aggregates and strategy
+     scratch.  One full local-rarest tick on transit-stub graphs of
+     rising size; together with Gc stats these are the ticks/sec and
+     bytes/step rows of the engine-scale experiment. *)
+  let engine_tick_tests =
+    List.map
+      (fun n ->
+        let p = Ocd_topology.Transit_stub.params_for_size n in
+        let g =
+          Ocd_topology.Transit_stub.generate (Prng.create ~seed:(24 + n)) p
+        in
+        let tokens = 8 in
+        let all = Order.range tokens in
+        let inst =
+          Instance.make ~graph:g ~token_count:tokens
+            ~have:[ (0, all) ]
+            ~want:
+              (List.filter_map
+                 (fun v -> if v = 0 then None else Some (v, all))
+                 (Order.range (Ocd_graph.Digraph.vertex_count g)))
+        in
+        Test.make
+          ~name:(Printf.sprintf "engine/tick-local-rarest-%dk" (n / 1000))
+          (Staged.stage (fun () ->
+               ignore
+                 (Ocd_engine.Engine.run ~step_limit:1 ~stall_patience:1
+                    ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7 inst))))
+      [ 1_000; 10_000; 100_000 ]
+  in
   (* Substrate: steiner tree on an evaluation-size graph. *)
   let steiner_test =
     let rng = Prng.create ~seed:5 in
@@ -243,6 +273,7 @@ let micro_tests () =
       graph_tick_test;
       steiner_test;
     ]
+  @ engine_tick_tests
   @ async_tests
   @ [ async_lockstep_test; async_faulted_test ]
   @ [ obs_baseline_test; obs_null_test; obs_memory_test ]

@@ -427,29 +427,39 @@ let bounds_cmd =
 let experiment_cmd =
   let experiments =
     [
-      ("adversary", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.adversary ());
-      ("ip-vs-search", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.ip_vs_search ());
+      ( "adversary",
+        fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.adversary () );
+      ( "ip-vs-search",
+        fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.ip_vs_search () );
       ( "optimality-gap",
-        fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.optimality_gap () );
-      ("baselines", fun ~jobs ~full:_ () -> Ocd_bench.Experiments.baselines ~jobs ());
+        fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.optimality_gap () );
+      ( "baselines",
+        fun ~jobs ~full:_ ~n:_ () -> Ocd_bench.Experiments.baselines ~jobs () );
       ( "ablation",
-        fun ~jobs ~full:_ () -> Ocd_bench.Experiments.ablation_subdivision ~jobs () );
+        fun ~jobs ~full:_ ~n:_ () ->
+          Ocd_bench.Experiments.ablation_subdivision ~jobs () );
       ( "staleness",
-        fun ~jobs ~full:_ () -> Ocd_bench.Experiments.ablation_staleness ~jobs () );
-      ("dynamics", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.dynamics ());
+        fun ~jobs ~full:_ ~n:_ () ->
+          Ocd_bench.Experiments.ablation_staleness ~jobs () );
+      ( "dynamics",
+        fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.dynamics () );
       ( "async-overhead",
-        fun ~jobs ~full:_ () -> Ocd_bench.Experiments.async_overhead ~jobs () );
-      ("coding", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.coding ());
-      ("underlay", fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.underlay ());
+        fun ~jobs ~full:_ ~n:_ () ->
+          Ocd_bench.Experiments.async_overhead ~jobs () );
+      ("coding", fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.coding ());
+      ( "underlay",
+        fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.underlay () );
       ( "timeline-perf",
-        fun ~jobs:_ ~full:_ () -> Ocd_bench.Experiments.timeline_perf () );
+        fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.timeline_perf () );
       ( "graph-scale",
-        fun ~jobs:_ ~full () -> Ocd_bench.Experiments.graph_scale ~full () );
+        fun ~jobs:_ ~full ~n:_ () -> Ocd_bench.Experiments.graph_scale ~full () );
+      ( "engine-scale",
+        fun ~jobs:_ ~full:_ ~n () -> Ocd_bench.Experiments.engine_scale ?n () );
     ]
   in
-  let run name full jobs =
+  let run name full jobs n =
     match List.assoc_opt name experiments with
-    | Some f -> f ~jobs ~full ()
+    | Some f -> f ~jobs ~full ~n ()
     | None ->
       Printf.eprintf "unknown experiment %S; available: %s\n" name
         (String.concat ", " (List.map fst experiments));
@@ -462,12 +472,21 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "Experiment: adversary, ip-vs-search, baselines, ablation, \
-             dynamics, async-overhead, coding, underlay, timeline-perf or \
-             graph-scale.")
+             dynamics, async-overhead, coding, underlay, timeline-perf, \
+             graph-scale or engine-scale.")
+  in
+  let n_override_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Restrict a scale experiment to a single vertex count \
+             (engine-scale only).")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the extension experiments")
-    Term.(const run $ name_arg $ full_arg $ jobs_arg)
+    Term.(const run $ name_arg $ full_arg $ jobs_arg $ n_override_arg)
 
 (* ---------------------- ocd export --------------------------------- *)
 

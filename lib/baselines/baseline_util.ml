@@ -46,8 +46,15 @@ let widest_path_tree g ~root =
   Array.iteri (fun v p -> if p >= 0 then children.(p) <- v :: children.(p)) parent;
   { Mst.root; parent; children }
 
-let send_down_arc ~have ~src ~dst ~cap ~only =
-  let candidates = Bitset.diff have.(src) have.(dst) in
+let send_down_arc ?buf ~have ~src ~dst ~cap ~only () =
+  let candidates =
+    match buf with
+    | Some b ->
+      Bitset.assign b have.(src);
+      b
+    | None -> Bitset.copy have.(src)
+  in
+  Bitset.diff_into candidates have.(dst);
   (match only with Some s -> Bitset.inter_into candidates s | None -> ());
   let rec collect cursor left acc =
     if left = 0 then List.rev acc

@@ -34,6 +34,8 @@ let strategy ?source () =
     let out = Digraph.succ inst.graph source in
     let chunks = chunk_assignment inst source in
     fun (ctx : Ocd_engine.Strategy.context) ->
+      let buf = ctx.scratch.Ocd_engine.Strategy.tokens_a in
+      let outside = ctx.scratch.Ocd_engine.Strategy.tokens_b in
       let moves = ref [] in
       (* Source: push each chunk down its own arc first; any leftover
          arc capacity carries ordinary exchange traffic (on a general
@@ -43,17 +45,17 @@ let strategy ?source () =
       Digraph.View.iteri
         (fun i dst cap ->
           let chunked =
-            Baseline_util.send_down_arc ~have:ctx.have ~src:source ~dst ~cap
-              ~only:(Some chunks.(i))
+            Baseline_util.send_down_arc ~buf ~have:ctx.have ~src:source ~dst
+              ~cap ~only:(Some chunks.(i)) ()
           in
           let spare = cap - List.length chunked in
           let rest =
             if spare <= 0 then []
             else begin
-              let outside = Bitset.full inst.token_count in
+              Bitset.fill outside;
               Bitset.diff_into outside chunks.(i);
-              Baseline_util.send_down_arc ~have:ctx.have ~src:source ~dst
-                ~cap:spare ~only:(Some outside)
+              Baseline_util.send_down_arc ~buf ~have:ctx.have ~src:source ~dst
+                ~cap:spare ~only:(Some outside) ()
             end
           in
           moves := chunked @ rest @ !moves)
@@ -64,8 +66,8 @@ let strategy ?source () =
           Digraph.View.iter
             (fun dst cap ->
               moves :=
-                Baseline_util.send_down_arc ~have:ctx.have ~src ~dst ~cap
-                  ~only:None
+                Baseline_util.send_down_arc ~buf ~have:ctx.have ~src ~dst ~cap
+                  ~only:None ()
                 @ !moves)
             (Digraph.succ inst.graph src)
       done;

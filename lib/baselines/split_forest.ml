@@ -42,12 +42,13 @@ let strategy ?source ~k () =
       List.mapi (fun i tree -> (stripes.(i), arcs_of_tree tree)) forest
     in
     fun (ctx : Ocd_engine.Strategy.context) ->
+      let buf = ctx.scratch.Ocd_engine.Strategy.tokens_a in
       List.concat_map
         (fun (stripe, arcs) ->
           List.concat_map
             (fun (src, dst, cap) ->
-              Baseline_util.send_down_arc ~have:ctx.have ~src ~dst ~cap
-                ~only:(Some stripe))
+              Baseline_util.send_down_arc ~buf ~have:ctx.have ~src ~dst ~cap
+                ~only:(Some stripe) ())
             arcs)
         striped_arcs
   in

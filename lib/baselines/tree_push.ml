@@ -18,9 +18,11 @@ let strategy ?source () =
            (Digraph.vertices inst.graph))
     in
     fun (ctx : Ocd_engine.Strategy.context) ->
+      let buf = ctx.scratch.Ocd_engine.Strategy.tokens_a in
       List.concat_map
         (fun (src, dst, cap) ->
-          Baseline_util.send_down_arc ~have:ctx.have ~src ~dst ~cap ~only:None)
+          Baseline_util.send_down_arc ~buf ~have:ctx.have ~src ~dst ~cap
+            ~only:None ())
         arcs
   in
   { Ocd_engine.Strategy.name = "tree-push"; make }

@@ -940,6 +940,73 @@ let graph_scale ?(full = false) () =
      receivers).  Timings are machine-dependent, so this experiment \
      is not part of run_all"
 
+let engine_scale ?n:size_override () =
+  Report.section
+    "Engine scale: allocation-free rounds (packed schedule, incremental \
+     aggregates, strategy scratch)";
+  let table =
+    Report.create ~title:"engine-scale"
+      ~columns:
+        [
+          "n";
+          "arcs";
+          "steps";
+          "tick_ms";
+          "ticks_per_s";
+          "alloc_MB_per_step";
+        ]
+  in
+  let sizes =
+    match size_override with
+    | Some n -> [ n ]
+    | None -> [ 1_000; 10_000; 100_000 ]
+  in
+  let measure n =
+    let p = Ocd_topology.Transit_stub.params_for_size n in
+    let g =
+      Ocd_topology.Transit_stub.generate (Prng.create ~seed:(1070 + n)) p
+    in
+    let tokens = 8 in
+    let all = Order.range tokens in
+    let inst =
+      Instance.make ~graph:g ~token_count:tokens
+        ~have:[ (0, all) ]
+        ~want:
+          (List.filter_map
+             (fun v -> if v = 0 then None else Some (v, all))
+             (Order.range (Ocd_graph.Digraph.vertex_count g)))
+    in
+    let step_limit = 5 in
+    let bytes0 = Gc.allocated_bytes () in
+    let t0 = Sys.time () in
+    let run =
+      Ocd_engine.Engine.run ~step_limit ~stall_patience:step_limit
+        ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:1071 inst
+    in
+    let dt = Sys.time () -. t0 in
+    let bytes = Gc.allocated_bytes () -. bytes0 in
+    let steps = max 1 (Schedule.length run.Ocd_engine.Engine.schedule) in
+    let per_tick = dt /. float_of_int steps in
+    Report.row table
+      [
+        string_of_int (Ocd_graph.Digraph.vertex_count g);
+        string_of_int (Ocd_graph.Digraph.arc_count g);
+        string_of_int steps;
+        Printf.sprintf "%.1f" (per_tick *. 1000.0);
+        Printf.sprintf "%.2f" (1.0 /. Float.max 1e-9 per_tick);
+        Printf.sprintf "%.1f"
+          (bytes /. float_of_int steps /. (1024.0 *. 1024.0));
+      ]
+  in
+  List.iter measure sizes;
+  Report.render table;
+  Report.note
+    "tick = one full local-rarest round (decide + apply + incremental \
+     aggregate update) on a transit-stub graph, single source, 8 tokens, \
+     all receivers; alloc_MB_per_step = Gc.allocated_bytes over the run \
+     divided by steps.  Timings are machine-dependent, so this \
+     experiment is not part of run_all"
+
 let run_all ?(full = false) ?(jobs = 1) () =
   figure1 ();
   figure2 ~full ~jobs ();

@@ -93,4 +93,13 @@ val graph_scale : ?full:bool -> unit -> unit
     ([full] adds 10^6).  Timings are machine-dependent, so this
     experiment is deliberately {e not} part of {!run_all}. *)
 
+val engine_scale : ?n:int -> unit -> unit
+(** Scale curve for the allocation-free engine round (packed CSR
+    schedule, incremental aggregates, per-run strategy scratch): tick
+    time, tick rate and allocated bytes per step for a local-rarest
+    round on transit-stub graphs at n = 10^3..10^5 ([n] restricts the
+    sweep to a single size — the CI smoke configuration).  Timings are
+    machine-dependent, so this experiment is deliberately {e not} part
+    of {!run_all}. *)
+
 val run_all : ?full:bool -> ?jobs:int -> unit -> unit

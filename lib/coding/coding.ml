@@ -159,33 +159,45 @@ let run ?step_limit ?stall_patience ~strategy ~seed t =
   let decide = strategy.Ocd_engine.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
   let st = decode_state t in
-  let steps = ref [] in
+  let builder = Schedule.Builder.create () in
+  let scratch =
+    Ocd_engine.Strategy.scratch_create ~token_count:inst.token_count
+  in
+  (* Int-packed per-run validation tables, cleared in place each step;
+     coded tokens range over the expanded coded universe, which
+     [Bitset.mem] range-checks before [seen] is keyed. *)
+  let n = Instance.vertex_count inst in
+  let token_count = inst.token_count in
+  let seen = Hashtbl.create 64 in
+  let load = Hashtbl.create 64 in
   let rec loop step since_progress =
     if st.ds_undecoded = 0 then Ocd_engine.Engine.Completed
     else if step >= step_limit then Ocd_engine.Engine.Step_limit
     else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
     else begin
       let proposal =
-        decide { Ocd_engine.Strategy.instance = inst; have; step; rng }
+        decide { Ocd_engine.Strategy.instance = inst; have; step; rng; scratch }
       in
       (* Reuse the static engine's §3.1 enforcement by replaying the
          proposal through its checker semantics: validity here means
          arcs exist, capacities hold, sources possess.  We inline the
          checks to keep the coded loop self-contained. *)
-      let seen = Hashtbl.create 32 in
-      let load = Hashtbl.create 32 in
+      Hashtbl.clear seen;
+      Hashtbl.clear load;
       List.iter
         (fun (m : Move.t) ->
           let cap = Ocd_graph.Digraph.capacity inst.graph m.src m.dst in
           if cap = 0 then invalid_arg "Coding.run: move on missing arc";
-          if Hashtbl.mem seen (m.src, m.dst, m.token) then
-            invalid_arg "Coding.run: duplicate assignment";
-          Hashtbl.replace seen (m.src, m.dst, m.token) ();
-          let l = 1 + Option.value (Hashtbl.find_opt load (m.src, m.dst)) ~default:0 in
-          Hashtbl.replace load (m.src, m.dst) l;
-          if l > cap then invalid_arg "Coding.run: capacity exceeded";
           if not (Bitset.mem have.(m.src) m.token) then
-            invalid_arg "Coding.run: token not possessed")
+            invalid_arg "Coding.run: token not possessed";
+          let arc = (m.src * n) + m.dst in
+          let key = (arc * token_count) + m.token in
+          if Hashtbl.mem seen key then
+            invalid_arg "Coding.run: duplicate assignment";
+          Hashtbl.replace seen key ();
+          let l = 1 + Option.value (Hashtbl.find_opt load arc) ~default:0 in
+          Hashtbl.replace load arc l;
+          if l > cap then invalid_arg "Coding.run: capacity exceeded")
         proposal;
       (* Distinct (dst, token) arrivals only: the membership test
          before each add dedups same-step duplicate deliveries. *)
@@ -195,16 +207,23 @@ let run ?step_limit ?stall_patience ~strategy ~seed t =
           if not (Bitset.mem have.(m.dst) m.token) then begin
             incr fresh;
             Bitset.add have.(m.dst) m.token;
-            decode_deliver st ~step:(step + 1) ~dst:m.dst ~token:m.token
+            decode_deliver st ~step:(step + 1) ~dst:m.dst ~token:m.token;
+            Ocd_engine.Strategy.notify_deliver scratch ~dst:m.dst
+              ~token:m.token
           end)
         proposal;
-      steps := proposal :: !steps;
+      List.iter
+        (fun (m : Move.t) ->
+          Schedule.Builder.push_move builder ~src:m.src ~dst:m.dst
+            ~token:m.token)
+        proposal;
+      Schedule.Builder.end_step builder;
       loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
     end
   in
   let outcome = loop 0 0 in
   let schedule =
-    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+    Schedule.drop_trailing_empty (Schedule.Builder.to_schedule builder)
   in
   (match (outcome, Validate.check inst schedule) with
   | Ocd_engine.Engine.Completed, Error e ->

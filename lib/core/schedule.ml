@@ -1,24 +1,145 @@
-type t = Move.t list list
-(* Head = first timestep.  Kept abstract so the representation can
-   change to arrays if profiles demand it. *)
+(* Packed CSR representation, mirroring PR 6's [Digraph]: moves live in
+   three flat int arrays ([src]/[dst]/[tok]) and [offs] gives each
+   step's half-open slice, so a million-move schedule is four arrays
+   instead of a million boxed [Move.t]s threaded through lists.
 
-let empty = []
-let of_steps steps = steps
-let steps t = t
-let length = List.length
+   Values are persistent: a [t] is an immutable (steps, moves) prefix
+   of a shared growable buffer.  [append_step] extends the buffer in
+   place when the value being extended is the buffer's tip (the common
+   build-a-schedule-left-to-right case, amortized O(1)) and copies the
+   prefix otherwise, so older values never observe the extension.
+   [empty] is a shared global, hence permanently frozen: appends to it
+   always copy. *)
 
-let move_count t = List.fold_left (fun acc ms -> acc + List.length ms) 0 t
+type buf = {
+  mutable offs : int array; (* offs.(i)..offs.(i+1) delimit step i *)
+  mutable src : int array;
+  mutable dst : int array;
+  mutable tok : int array;
+  mutable nsteps : int;
+  mutable nmoves : int;
+  mutable frozen : bool;
+}
 
-let step t i = match List.nth_opt t i with Some ms -> ms | None -> []
+type t = { buf : buf; steps : int; moves : int }
 
-let append_step t ms = t @ [ ms ]
+let create_buf ?(steps_hint = 8) ?(moves_hint = 16) () =
+  {
+    offs = Array.make (max 2 (steps_hint + 1)) 0;
+    src = Array.make (max 1 moves_hint) 0;
+    dst = Array.make (max 1 moves_hint) 0;
+    tok = Array.make (max 1 moves_hint) 0;
+    nsteps = 0;
+    nmoves = 0;
+    frozen = false;
+  }
+
+let grow a len = Array.append a (Array.make (max len (Array.length a)) 0)
+
+let push_move_buf b ~src ~dst ~token =
+  if b.nmoves = Array.length b.src then begin
+    b.src <- grow b.src b.nmoves;
+    b.dst <- grow b.dst b.nmoves;
+    b.tok <- grow b.tok b.nmoves
+  end;
+  b.src.(b.nmoves) <- src;
+  b.dst.(b.nmoves) <- dst;
+  b.tok.(b.nmoves) <- token;
+  b.nmoves <- b.nmoves + 1
+
+let end_step_buf b =
+  if b.nsteps + 1 >= Array.length b.offs then b.offs <- grow b.offs (b.nsteps + 2);
+  b.nsteps <- b.nsteps + 1;
+  b.offs.(b.nsteps) <- b.nmoves
+
+let empty =
+  let b = create_buf ~steps_hint:1 ~moves_hint:1 () in
+  b.frozen <- true;
+  { buf = b; steps = 0; moves = 0 }
+
+(* A value owns the buffer tip iff its prefix is the whole buffer. *)
+let is_tip t =
+  (not t.buf.frozen) && t.steps = t.buf.nsteps && t.moves = t.buf.nmoves
+
+let copy_prefix t ~steps_hint ~moves_hint =
+  let b = create_buf ~steps_hint ~moves_hint () in
+  Array.blit t.buf.offs 0 b.offs 0 (t.steps + 1);
+  Array.blit t.buf.src 0 b.src 0 t.moves;
+  Array.blit t.buf.dst 0 b.dst 0 t.moves;
+  Array.blit t.buf.tok 0 b.tok 0 t.moves;
+  b.nsteps <- t.steps;
+  b.nmoves <- t.moves;
+  b
+
+let append_step t ms =
+  let b =
+    if is_tip t then t.buf
+    else
+      copy_prefix t ~steps_hint:(t.steps + 2)
+        ~moves_hint:(t.moves + List.length ms + 1)
+  in
+  List.iter
+    (fun (m : Move.t) -> push_move_buf b ~src:m.src ~dst:m.dst ~token:m.token)
+    ms;
+  end_step_buf b;
+  { buf = b; steps = b.nsteps; moves = b.nmoves }
+
+let of_steps steps =
+  let b = create_buf ~steps_hint:(List.length steps) () in
+  List.iter
+    (fun ms ->
+      List.iter
+        (fun (m : Move.t) ->
+          push_move_buf b ~src:m.src ~dst:m.dst ~token:m.token)
+        ms;
+      end_step_buf b)
+    steps;
+  { buf = b; steps = b.nsteps; moves = b.nmoves }
+
+let length t = t.steps
+let move_count t = t.moves
+
+let step_move_count t i =
+  if i < 0 || i >= t.steps then 0 else t.buf.offs.(i + 1) - t.buf.offs.(i)
+
+let iter_step t i f =
+  if i >= 0 && i < t.steps then begin
+    let b = t.buf in
+    for k = b.offs.(i) to b.offs.(i + 1) - 1 do
+      f ~src:b.src.(k) ~dst:b.dst.(k) ~token:b.tok.(k)
+    done
+  end
+
+let step t i =
+  if i < 0 || i >= t.steps then []
+  else begin
+    let b = t.buf in
+    let acc = ref [] in
+    for k = b.offs.(i + 1) - 1 downto b.offs.(i) do
+      acc := { Move.src = b.src.(k); dst = b.dst.(k); token = b.tok.(k) } :: !acc
+    done;
+    !acc
+  end
+
+let steps t = List.init t.steps (step t)
 
 let drop_trailing_empty t =
-  let rec strip = function [] :: rest -> strip rest | l -> l in
-  List.rev (strip (List.rev t))
+  let last = ref (t.steps - 1) in
+  while !last >= 0 && step_move_count t !last = 0 do
+    decr last
+  done;
+  if !last = t.steps - 1 then t
+  else
+    (* Trailing steps are empty, so the move prefix is unchanged; the
+       shorter view shares the buffer (it is not the tip, so appends to
+       it copy). *)
+    { t with steps = !last + 1 }
 
 let iter_moves t f =
-  List.iteri (fun step ms -> List.iter (fun m -> f ~step m) ms) t
+  for i = 0 to t.steps - 1 do
+    iter_step t i (fun ~src ~dst ~token ->
+        f ~step:i { Move.src; dst; token })
+  done
 
 let concat_map_moves t f =
   let acc = ref [] in
@@ -31,9 +152,29 @@ let moves_on_arc t ~src ~dst =
       if m.src = src && m.dst = dst then Some (step, m.token) else None)
 
 let pp ppf t =
-  List.iteri
-    (fun i ms ->
-      Format.fprintf ppf "@[<h>step %d:" i;
-      List.iter (fun m -> Format.fprintf ppf " %a" Move.pp m) ms;
-      Format.fprintf ppf "@]@.")
-    t
+  for i = 0 to t.steps - 1 do
+    Format.fprintf ppf "@[<h>step %d:" i;
+    iter_step t i (fun ~src ~dst ~token ->
+        Format.fprintf ppf " %a" Move.pp { Move.src; dst; token });
+    Format.fprintf ppf "@]@."
+  done
+
+module Builder = struct
+  type schedule = t
+  type t = buf
+
+  let create ?steps_hint ?moves_hint () = create_buf ?steps_hint ?moves_hint ()
+  let push_move = push_move_buf
+  let end_step = end_step_buf
+  let step_count (b : t) = b.nsteps
+  let total_moves (b : t) = b.nmoves
+
+  let to_schedule (b : t) =
+    (* The builder keeps ownership of the tip: freeze so the returned
+       value copies on append and later builder pushes cannot mutate
+       it through the shared arrays... except they could extend in
+       place past [nmoves].  Freezing also guards the returned value
+       against that: treat [to_schedule] as the end of the build. *)
+    b.frozen <- true;
+    { buf = b; steps = b.nsteps; moves = b.nmoves }
+end

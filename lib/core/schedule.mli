@@ -2,16 +2,23 @@
     of simultaneous moves.
 
     The functions [s_i : E -> 2^T] of the paper are represented as the
-    list of moves of step [i]; within a step the (arc, token) pairs
-    must be distinct (set semantics), which {!Validate.check}
-    enforces. *)
+    moves of step [i]; within a step the (arc, token) pairs must be
+    distinct (set semantics), which {!Validate.check} enforces.
+
+    Internally a schedule is a packed CSR structure (flat src/dst/token
+    arrays plus step offsets), so engines can build million-move
+    schedules without per-move boxing; values are persistent —
+    [append_step] is amortized O(1) when extending the most recent
+    value and copies otherwise. *)
 
 type t
 
 val empty : t
 val of_steps : Move.t list list -> t
+
 val steps : t -> Move.t list list
-(** Steps in temporal order. *)
+(** Steps in temporal order (materialised; prefer {!iter_step} or
+    {!iter_moves} in hot paths). *)
 
 val length : t -> int
 (** Number of timesteps ([t] in the paper); trailing empty steps count. *)
@@ -20,11 +27,21 @@ val move_count : t -> int
 (** Total bandwidth consumption. *)
 
 val step : t -> int -> Move.t list
-(** Moves of step [i] (empty when out of range). *)
+(** Moves of step [i] (empty when out of range); O(moves of step i). *)
+
+val step_move_count : t -> int -> int
+(** Number of moves in step [i] (0 when out of range); O(1). *)
+
+val iter_step : t -> int -> (src:int -> dst:int -> token:int -> unit) -> unit
+(** Iterates the moves of step [i] in emission order without
+    materialising [Move.t] records. *)
 
 val append_step : t -> Move.t list -> t
+(** Amortized O(1) when [t] is the most recently built value. *)
+
 val drop_trailing_empty : t -> t
-(** Removes empty steps at the tail (pruning can empty final steps). *)
+(** Removes empty steps at the tail (pruning can empty final steps);
+    O(trailing empties), shares the underlying move storage. *)
 
 val moves_on_arc : t -> src:int -> dst:int -> (int * int) list
 (** [(step, token)] pairs carried by one arc, in order. *)
@@ -33,3 +50,25 @@ val concat_map_moves : t -> (step:int -> Move.t -> 'a option) -> 'a list
 val iter_moves : t -> (step:int -> Move.t -> unit) -> unit
 
 val pp : Format.formatter -> t -> unit
+
+(** Mutable accumulator for engines that emit a schedule step by step.
+    Push the moves of each step with {!Builder.push_move}, close the
+    step with {!Builder.end_step}, and finish with
+    {!Builder.to_schedule} — after which the builder must not be used
+    again. *)
+module Builder : sig
+  type schedule = t
+  type t
+
+  val create : ?steps_hint:int -> ?moves_hint:int -> unit -> t
+  val push_move : t -> src:int -> dst:int -> token:int -> unit
+  val end_step : t -> unit
+
+  val step_count : t -> int
+  (** Steps closed so far. *)
+
+  val total_moves : t -> int
+  (** Moves pushed so far (including any in the still-open step). *)
+
+  val to_schedule : t -> schedule
+end

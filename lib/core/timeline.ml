@@ -77,32 +77,27 @@ let fold (inst : Instance.t) schedule ~init ~f =
   in
   let acc = ref (f init (view 0 0 [])) in
   let moves_so_far = ref 0 in
-  List.iteri
-    (fun i step_moves ->
-      let step = i + 1 in
-      (* Adding a token the moment its first delivering move is seen is
-         equivalent to the simultaneous-delivery semantics: possession
-         only grows, and nothing here reads source possession.  The
-         membership test then doubles as the within-step (dst, token)
-         dedup. *)
-      let arrivals =
-        List.fold_left
-          (fun kept (m : Move.t) ->
-            if
-              m.token >= 0
-              && m.token < token_count
-              && not (Bitset.mem have.(m.dst) m.token)
-            then begin
-              Bitset.add have.(m.dst) m.token;
-              Tracker.deliver tracker ~step ~dst:m.dst ~token:m.token;
-              m :: kept
-            end
-            else kept)
-          [] step_moves
-      in
-      moves_so_far := !moves_so_far + List.length step_moves;
-      acc := f !acc (view step !moves_so_far (List.rev arrivals)))
-    (Schedule.steps schedule);
+  for i = 0 to Schedule.length schedule - 1 do
+    let step = i + 1 in
+    (* Adding a token the moment its first delivering move is seen is
+       equivalent to the simultaneous-delivery semantics: possession
+       only grows, and nothing here reads source possession.  The
+       membership test then doubles as the within-step (dst, token)
+       dedup. *)
+    let arrivals = ref [] in
+    Schedule.iter_step schedule i (fun ~src ~dst ~token ->
+        if
+          token >= 0
+          && token < token_count
+          && not (Bitset.mem have.(dst) token)
+        then begin
+          Bitset.add have.(dst) token;
+          Tracker.deliver tracker ~step ~dst ~token;
+          arrivals := { Move.src; dst; token } :: !arrivals
+        end);
+    moves_so_far := !moves_so_far + Schedule.step_move_count schedule i;
+    acc := f !acc (view step !moves_so_far (List.rev !arrivals))
+  done;
   !acc
 
 type t = {
@@ -129,25 +124,22 @@ let run (inst : Instance.t) schedule =
   deficits.(0) <- Tracker.deficit tracker;
   satisfied_counts.(0) <- Tracker.satisfied tracker;
   let moves_so_far = ref 0 in
-  List.iteri
-    (fun i step_moves ->
-      let step = i + 1 in
-      List.iter
-        (fun (m : Move.t) ->
-          if
-            m.token >= 0
-            && m.token < token_count
-            && not (Bitset.mem have.(m.dst) m.token)
-          then begin
-            Bitset.add have.(m.dst) m.token;
-            Tracker.deliver tracker ~step ~dst:m.dst ~token:m.token
-          end)
-        step_moves;
-      moves_so_far := !moves_so_far + List.length step_moves;
-      deficits.(step) <- Tracker.deficit tracker;
-      satisfied_counts.(step) <- Tracker.satisfied tracker;
-      move_counts.(step) <- !moves_so_far)
-    (Schedule.steps schedule);
+  for i = 0 to Schedule.length schedule - 1 do
+    let step = i + 1 in
+    Schedule.iter_step schedule i (fun ~src:_ ~dst ~token ->
+        if
+          token >= 0
+          && token < token_count
+          && not (Bitset.mem have.(dst) token)
+        then begin
+          Bitset.add have.(dst) token;
+          Tracker.deliver tracker ~step ~dst ~token
+        end);
+    moves_so_far := !moves_so_far + Schedule.step_move_count schedule i;
+    deficits.(step) <- Tracker.deficit tracker;
+    satisfied_counts.(step) <- Tracker.satisfied tracker;
+    move_counts.(step) <- !moves_so_far
+  done;
   {
     length;
     complete = Tracker.all_satisfied tracker;

@@ -64,7 +64,11 @@ type view = {
   step : int;  (** boundary index: state after [step] schedule steps *)
   have : Bitset.t array;
       (** the live possession array at this boundary — read-only, and
-          only valid during the callback: do not retain or mutate *)
+          only valid during the callback.  Every view of one fold
+          aliases the {e same} mutable array: retaining a view (or its
+          [have] field) past the callback observes the final state of
+          the pass, not the boundary it was delivered at.  Copy
+          ([Array.map Bitset.copy]) if a snapshot is needed. *)
   deficit : int;  (** Σ_v |w(v) \ p(v)| *)
   satisfied : int;  (** vertices with all wants met *)
   moves : int;  (** total moves in steps [0..step-1] *)

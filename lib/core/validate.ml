@@ -50,42 +50,51 @@ let final_possessions inst schedule =
 
 let check_validity (inst : Instance.t) schedule =
   let g = inst.graph in
+  let n = Instance.vertex_count inst in
+  let token_count = inst.token_count in
   let before = Array.map Bitset.copy inst.have in
   let error = ref None in
   let fail e = if !error = None then error := Some e in
-  let run_step step moves =
-    let seen = Hashtbl.create 16 in
-    let arc_load = Hashtbl.create 16 in
-    let check_move (m : Move.t) =
-      let cap = Digraph.capacity g m.src m.dst in
-      if cap = 0 then fail (No_such_arc { step; move = m })
+  (* Int-packed keys — [(src·n + dst)·m + token] and [src·n + dst] —
+     instead of tuples: no per-move boxing and monomorphic hashing.
+     Tables are hoisted out of the step loop and cleared in place. *)
+  let seen = Hashtbl.create 64 in
+  let arc_load = Hashtbl.create 64 in
+  let run_step step =
+    Hashtbl.clear seen;
+    Hashtbl.clear arc_load;
+    let check_move ~src ~dst ~token =
+      let cap = Digraph.capacity g src dst in
+      let in_range = token >= 0 && token < token_count in
+      if cap = 0 then fail (No_such_arc { step; move = { Move.src; dst; token } })
       else begin
-        if Hashtbl.mem seen (m.src, m.dst, m.token) then
-          fail (Duplicate_assignment { step; move = m })
-        else Hashtbl.replace seen (m.src, m.dst, m.token) ();
-        let load =
-          1 + Option.value (Hashtbl.find_opt arc_load (m.src, m.dst)) ~default:0
-        in
-        Hashtbl.replace arc_load (m.src, m.dst) load;
+        (* Out-of-range tokens skip the dedup table (the packed key
+           cannot represent them); they fail [Not_possessed] below, so
+           any later duplicate is shadowed by that earlier error either
+           way. *)
+        if in_range then begin
+          let key = ((src * n) + dst) * token_count + token in
+          if Hashtbl.mem seen key then
+            fail (Duplicate_assignment { step; move = { Move.src; dst; token } })
+          else Hashtbl.replace seen key ()
+        end;
+        let arc = (src * n) + dst in
+        let load = 1 + Option.value (Hashtbl.find_opt arc_load arc) ~default:0 in
+        Hashtbl.replace arc_load arc load;
         if load > cap then
-          fail
-            (Capacity_exceeded
-               { step; src = m.src; dst = m.dst; sent = load; capacity = cap });
-        if
-          m.token < 0 || m.token >= inst.token_count
-          || not (Bitset.mem before.(m.src) m.token)
-        then fail (Not_possessed { step; move = m })
+          fail (Capacity_exceeded { step; src; dst; sent = load; capacity = cap });
+        if not (in_range && Bitset.mem before.(src) token) then
+          fail (Not_possessed { step; move = { Move.src; dst; token } })
       end
     in
-    List.iter check_move moves;
+    Schedule.iter_step schedule step check_move;
     (* Deliveries become visible only at the next step. *)
-    List.iter
-      (fun (m : Move.t) ->
-        if m.token >= 0 && m.token < inst.token_count then
-          Bitset.add before.(m.dst) m.token)
-      moves
+    Schedule.iter_step schedule step (fun ~src:_ ~dst ~token ->
+        if token >= 0 && token < token_count then Bitset.add before.(dst) token)
   in
-  List.iteri run_step (Schedule.steps schedule);
+  for step = 0 to Schedule.length schedule - 1 do
+    run_step step
+  done;
   match !error with Some e -> Error e | None -> Ok before
 
 let check inst schedule =

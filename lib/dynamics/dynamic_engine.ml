@@ -15,32 +15,40 @@ type run = {
    per (arc) keep at most the effective capacity, drop duplicates and
    moves whose source lacks the token (stale-state strategies), count
    the rest as congestion drops. *)
-let enforce condition ~step (inst : Instance.t) have moves =
-  let load = Hashtbl.create 32 in
-  let seen = Hashtbl.create 32 in
+let enforce condition ~step (inst : Instance.t) ~seen ~load have moves =
+  (* Int-packed keys (the token range is checked before keying) and
+     caller-owned tables, cleared in place each step. *)
+  let n = Instance.vertex_count inst in
+  let token_count = inst.token_count in
+  Hashtbl.clear seen;
+  Hashtbl.clear load;
   let dropped = ref 0 in
   let keep (m : Move.t) =
     let base = Ocd_graph.Digraph.capacity inst.graph m.src m.dst in
     if base = 0 then
       invalid_arg "Dynamic_engine: move on a non-existent arc"
     else if
-      m.token < 0 || m.token >= inst.token_count
+      m.token < 0 || m.token >= token_count
       || not (Bitset.mem have.(m.src) m.token)
     then invalid_arg "Dynamic_engine: token not possessed by source"
-    else if Hashtbl.mem seen (m.src, m.dst, m.token) then false
     else begin
-      Hashtbl.replace seen (m.src, m.dst, m.token) ();
-      let eff =
-        Condition.effective condition ~step ~src:m.src ~dst:m.dst ~base
-      in
-      let l = Option.value (Hashtbl.find_opt load (m.src, m.dst)) ~default:0 in
-      if l < eff then begin
-        Hashtbl.replace load (m.src, m.dst) (l + 1);
-        true
-      end
+      let arc = (m.src * n) + m.dst in
+      let key = (arc * token_count) + m.token in
+      if Hashtbl.mem seen key then false
       else begin
-        incr dropped;
-        false
+        Hashtbl.replace seen key ();
+        let eff =
+          Condition.effective condition ~step ~src:m.src ~dst:m.dst ~base
+        in
+        let l = Option.value (Hashtbl.find_opt load arc) ~default:0 in
+        if l < eff then begin
+          Hashtbl.replace load arc (l + 1);
+          true
+        end
+        else begin
+          incr dropped;
+          false
+        end
       end
     end
   in
@@ -81,7 +89,12 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~condition
     "dynamic/" ^ strategy.Ocd_engine.Strategy.name ^ "/enforce"
   in
   let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
-  let steps = ref [] in
+  let builder = Schedule.Builder.create () in
+  let seen = Hashtbl.create 64 in
+  let load = Hashtbl.create 64 in
+  let scratch =
+    Ocd_engine.Strategy.scratch_create ~token_count:inst.token_count
+  in
   let dropped_total = ref 0 in
   let rec loop step since_progress =
     if Timeline.Tracker.all_satisfied tracker then Ocd_engine.Engine.Completed
@@ -99,7 +112,13 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~condition
         | None -> inst
       in
       let ctx =
-        { Ocd_engine.Strategy.instance = visible_instance; have; step; rng }
+        {
+          Ocd_engine.Strategy.instance = visible_instance;
+          have;
+          step;
+          rng;
+          scratch;
+        }
       in
       let proposal =
         match probe with
@@ -108,10 +127,10 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~condition
       in
       let kept, dropped =
         match probe with
-        | None -> enforce condition ~step inst have proposal
+        | None -> enforce condition ~step inst ~seen ~load have proposal
         | Some p ->
           Ocd_obs.Probe.time p lbl_enforce (fun () ->
-              enforce condition ~step inst have proposal)
+              enforce condition ~step inst ~seen ~load have proposal)
       in
       dropped_total := !dropped_total + dropped;
       (* Distinct (dst, token) arrivals only: the membership test
@@ -123,6 +142,8 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~condition
             incr fresh;
             Bitset.add have.(m.dst) m.token;
             Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
+              ~token:m.token;
+            Ocd_engine.Strategy.notify_deliver scratch ~dst:m.dst
               ~token:m.token;
             if trace then
               Ocd_obs.Span.complete obs.Ocd_obs.sink ~pid:obs.Ocd_obs.pid
@@ -148,13 +169,18 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~condition
                     ("fresh", Ocd_obs.Sink.Int !fresh) ]
             ()
       end;
-      steps := kept :: !steps;
+      List.iter
+        (fun (m : Move.t) ->
+          Schedule.Builder.push_move builder ~src:m.src ~dst:m.dst
+            ~token:m.token)
+        kept;
+      Schedule.Builder.end_step builder;
       loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
     end
   in
   let outcome = loop 0 0 in
   let schedule =
-    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+    Schedule.drop_trailing_empty (Schedule.Builder.to_schedule builder)
   in
   (match (outcome, Validate.check_successful inst schedule) with
   | Ocd_engine.Engine.Completed, Error e ->

@@ -21,47 +21,104 @@ let strategy_fail fmt = Format.kasprintf (fun s -> raise (Strategy_error s)) fmt
    step that moves 256 tokens at once (larger lands in +inf). *)
 let moves_buckets = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
+(* Reusable per-run validation tables: int-packed keys into stamped
+   open-addressing tables, so the per-step reset is O(1) and a
+   validated move costs two allocation-free probes.  [mirror] is a
+   flat one-word-per-vertex possession mirror (token_count <= 63
+   only), built lazily at the first step and kept in sync with [have]
+   below — a possession test on it is one indexed load instead of the
+   bitset's three dependent pointer chases. *)
+type tables = {
+  seen : Int_tab.t;
+  load : Int_tab.t;
+  mutable mirror : int array;
+}
+
+let tables_create () =
+  {
+    seen = Int_tab.create ~capacity:1024 ();
+    load = Int_tab.create ~capacity:1024 ();
+    mirror = [||];
+  }
+
 (* Check one step's proposal against §3.1 and return the number of
    distinct (dst, token) pairs it delivers fresh (for stall
    accounting). *)
-let apply_step ?(obs = Ocd_obs.disabled) (inst : Instance.t) tracker have step
-    moves =
+let apply_step ?(obs = Ocd_obs.disabled) ?tables:tbl ?scratch
+    (inst : Instance.t) tracker have step moves =
   let g = inst.graph in
-  let seen = Hashtbl.create 32 in
-  let load = Hashtbl.create 32 in
-  List.iter
-    (fun (m : Move.t) ->
-      if m.token < 0 || m.token >= inst.token_count then
+  let n = Instance.vertex_count inst in
+  let token_count = inst.token_count in
+  let tables =
+    match tbl with Some t -> t | None -> tables_create ()
+  in
+  let seen = tables.seen and load = tables.load in
+  (* Possession only grows and this function is the sole mutator of
+     [have] during a run, so building the mirror at the first step and
+     extending it on fresh deliveries keeps it exact. *)
+  if token_count <= 63 && n > 0 && Array.length tables.mirror <> n then begin
+    let mir = Array.make n 0 in
+    for v = 0 to n - 1 do
+      Bitset.iter (fun t -> mir.(v) <- mir.(v) lor (1 lsl t)) have.(v)
+    done;
+    tables.mirror <- mir
+  end;
+  let mirror = tables.mirror in
+  let use_mirror = Array.length mirror = n && n > 0 in
+  Int_tab.clear seen;
+  Int_tab.clear load;
+  (* direct recursion, not [List.iter]: the validation body runs once
+     per move and the indirect closure call is measurable at engine
+     scale *)
+  let rec validate = function
+    | [] -> ()
+    | (m : Move.t) :: tl ->
+      if m.token < 0 || m.token >= token_count then
         strategy_fail "step %d: token %d out of range" step m.token;
       let cap = Digraph.capacity g m.src m.dst in
       if cap = 0 then
         strategy_fail "step %d: no arc %d->%d" step m.src m.dst;
-      if Hashtbl.mem seen (m.src, m.dst, m.token) then
+      (* Token range was checked above, so the packed key is injective. *)
+      let arc = (m.src * n) + m.dst in
+      let key = (arc * token_count) + m.token in
+      if Int_tab.incr seen key > 1 then
         strategy_fail "step %d: duplicate assignment %d->%d:%d" step m.src
           m.dst m.token;
-      Hashtbl.replace seen (m.src, m.dst, m.token) ();
-      let l = 1 + Option.value (Hashtbl.find_opt load (m.src, m.dst)) ~default:0 in
-      Hashtbl.replace load (m.src, m.dst) l;
+      let l = Int_tab.incr load arc in
       if l > cap then
         strategy_fail "step %d: capacity of %d->%d exceeded (%d > %d)" step
           m.src m.dst l cap;
-      if not (Bitset.mem have.(m.src) m.token) then
+      if
+        (if use_mirror then mirror.(m.src) land (1 lsl m.token) = 0
+         else not (Bitset.mem have.(m.src) m.token))
+      then
         strategy_fail "step %d: %d sends token %d it does not hold" step m.src
-          m.token)
-    moves;
+          m.token;
+      validate tl
+  in
+  validate moves;
   (* All constraints hold; deliveries land simultaneously.  The
      membership test before each add counts each (dst, token) pair once
      even when several sources deliver it in the same step, and keeps
      the satisfaction tracker O(1) per fresh arrival. *)
   let fresh = ref 0 in
   let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
-  List.iter
-    (fun (m : Move.t) ->
-      if not (Bitset.mem have.(m.dst) m.token) then begin
+  let rec deliver = function
+    | [] -> ()
+    | (m : Move.t) :: tl ->
+      if
+        (if use_mirror then mirror.(m.dst) land (1 lsl m.token) = 0
+         else not (Bitset.mem have.(m.dst) m.token))
+      then begin
         incr fresh;
+        if use_mirror then
+          mirror.(m.dst) <- mirror.(m.dst) lor (1 lsl m.token);
         Bitset.add have.(m.dst) m.token;
         Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
           ~token:m.token;
+        (match scratch with
+        | Some s -> Strategy.notify_deliver s ~dst:m.dst ~token:m.token
+        | None -> ());
         (* One trace lane per receiving vertex (tid = node id), in
            sim-time (ts = step) — deterministic by construction. *)
         if trace then
@@ -70,8 +127,10 @@ let apply_step ?(obs = Ocd_obs.disabled) (inst : Instance.t) tracker have step
             ~args:[ ("token", Ocd_obs.Sink.Int m.token);
                     ("src", Ocd_obs.Sink.Int m.src) ]
             ()
-      end)
-    moves;
+      end;
+      deliver tl
+  in
+  deliver moves;
   !fresh
 
 let default_step_limit (inst : Instance.t) =
@@ -112,13 +171,15 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~strategy ~seed
   let lbl_apply = "engine/" ^ strategy.Strategy.name ^ "/apply" in
   let lbl_post = "engine/" ^ strategy.Strategy.name ^ "/post" in
   let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
-  let steps = ref [] in
+  let builder = Schedule.Builder.create () in
+  let tables = tables_create () in
+  let scratch = Strategy.scratch_create ~token_count:inst.token_count in
   let rec loop step since_progress =
     if Timeline.Tracker.all_satisfied tracker then Completed
     else if step >= step_limit then Step_limit
     else if since_progress >= stall_patience then Stalled step
     else begin
-      let ctx = { Strategy.instance = inst; have; step; rng } in
+      let ctx = { Strategy.instance = inst; have; step; rng; scratch } in
       let moves =
         match probe with
         | None -> decide ctx
@@ -126,10 +187,10 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~strategy ~seed
       in
       let fresh =
         match probe with
-        | None -> apply_step ~obs inst tracker have step moves
+        | None -> apply_step ~obs ~tables ~scratch inst tracker have step moves
         | Some p ->
           Ocd_obs.Probe.time p lbl_apply (fun () ->
-              apply_step ~obs inst tracker have step moves)
+              apply_step ~obs ~tables ~scratch inst tracker have step moves)
       in
       if obs.Ocd_obs.on then begin
         let n_moves = List.length moves in
@@ -145,14 +206,19 @@ let run ?(obs = Ocd_obs.disabled) ?step_limit ?stall_patience ~strategy ~seed
                     ("fresh", Ocd_obs.Sink.Int fresh) ]
             ()
       end;
-      steps := moves :: !steps;
+      List.iter
+        (fun (m : Move.t) ->
+          Schedule.Builder.push_move builder ~src:m.src ~dst:m.dst
+            ~token:m.token)
+        moves;
+      Schedule.Builder.end_step builder;
       loop (step + 1) (if fresh > 0 then 0 else since_progress + 1)
     end
   in
   let outcome = loop 0 0 in
   let finish () =
     let schedule =
-      Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+      Schedule.drop_trailing_empty (Schedule.Builder.to_schedule builder)
     in
     (match outcome with
     | Completed -> (

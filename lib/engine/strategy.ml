@@ -1,12 +1,65 @@
 open Ocd_core
 open Ocd_prelude
 
+type scratch = {
+  tokens_a : Bitset.t;
+  tokens_b : Bitset.t;
+  mutable budget_buf : int array;
+  mutable pred_buf : int array;
+  mutable elig_buf : int array;
+  mutable cand_buf : int array;
+  candidates : Int_vec.t;
+  order : Int_vec.t;
+  mutable listeners : (dst:int -> token:int -> unit) list;
+}
+
+let scratch_create ~token_count =
+  {
+    tokens_a = Bitset.create token_count;
+    tokens_b = Bitset.create token_count;
+    budget_buf = [||];
+    pred_buf = [||];
+    elig_buf = [||];
+    cand_buf = [||];
+    candidates = Int_vec.create ();
+    order = Int_vec.create ();
+    listeners = [];
+  }
+
+let grow buf len = Array.make (max len (2 * Array.length buf)) 0
+
+let budget scratch len =
+  if Array.length scratch.budget_buf < len then
+    scratch.budget_buf <- grow scratch.budget_buf len;
+  scratch.budget_buf
+
+let preds scratch len =
+  if Array.length scratch.pred_buf < len then
+    scratch.pred_buf <- grow scratch.pred_buf len;
+  scratch.pred_buf
+
+let elig scratch len =
+  if Array.length scratch.elig_buf < len then
+    scratch.elig_buf <- grow scratch.elig_buf len;
+  scratch.elig_buf
+
+let cand scratch len =
+  if Array.length scratch.cand_buf < len then
+    scratch.cand_buf <- grow scratch.cand_buf len;
+  scratch.cand_buf
+
+let notify_deliver scratch ~dst ~token =
+  List.iter (fun f -> f ~dst ~token) scratch.listeners
+
 type context = {
   instance : Instance.t;
   have : Bitset.t array;
   step : int;
   rng : Prng.t;
+  scratch : scratch;
 }
+
+let on_deliver ctx f = ctx.scratch.listeners <- f :: ctx.scratch.listeners
 
 type decide = context -> Move.t list
 

@@ -18,13 +18,73 @@
 open Ocd_core
 open Ocd_prelude
 
+(** {1 Per-run scratch}
+
+    One engine round used to allocate a fresh [Bitset.full], a fresh
+    missing-set diff and a fresh capacity array per vertex — tens of
+    megabytes of minor-heap churn per step at n = 10^5.  The scratch
+    area gives every decision function a per-run set of reusable
+    buffers instead; the engine creates one per run and threads it
+    through the context.  Decision functions are called sequentially,
+    so a single scratch per run suffices. *)
+
+type scratch = {
+  tokens_a : Bitset.t;  (** token-capacity work set (e.g. missing) *)
+  tokens_b : Bitset.t;  (** second token-capacity work set *)
+  mutable budget_buf : int array;  (** backing store for {!budget} *)
+  mutable pred_buf : int array;  (** backing store for {!preds} *)
+  mutable elig_buf : int array;  (** backing store for {!elig} *)
+  mutable cand_buf : int array;  (** backing store for {!cand} *)
+  candidates : Int_vec.t;  (** per-decision candidate accumulator *)
+  order : Int_vec.t;  (** per-decision ordering accumulator *)
+  mutable listeners : (dst:int -> token:int -> unit) list;
+      (** fresh-delivery listeners; engines invoke them via
+          {!notify_deliver} *)
+}
+
+val scratch_create : token_count:int -> scratch
+(** Fresh scratch for one engine run; the bitsets have capacity
+    [token_count]. *)
+
+val budget : scratch -> int -> int array
+(** [budget s len] is a reusable array of length at least [len]
+    (contents stale — overwrite before reading).  Grows the backing
+    store on demand; only the first [len] cells are meant for use. *)
+
+val preds : scratch -> int -> int array
+(** Like {!budget}, a second independent reusable row — typically a
+    blitted copy of a neighbour view ({!Ocd_graph.Digraph.View.dsts_into}),
+    so inner loops index a flat local array instead of calling through
+    the view. *)
+
+val elig : scratch -> int -> int array
+(** Like {!budget}, a third independent reusable row — typically
+    per-neighbour possession words cached for a candidate scan. *)
+
+val cand : scratch -> int -> int array
+(** Like {!budget}, a fourth independent reusable row — a flat
+    candidate accumulator for inner scans where even an
+    {!Ocd_prelude.Int_vec.push} call per hit is measurable. *)
+
+val notify_deliver : scratch -> dst:int -> token:int -> unit
+(** Engines call this once per {e fresh} (dst, token) delivery, at the
+    moment possession is extended, so strategies that maintain
+    incremental state (e.g. {!Ocd_heuristics.Aggregates}) stay exact
+    without rescanning possession. *)
+
 type context = {
   instance : Instance.t;
   have : Bitset.t array;
       (** possession at the start of the current step; read-only *)
   step : int;
   rng : Prng.t;
+  scratch : scratch;  (** per-run reusable buffers, see {!scratch} *)
 }
+
+val on_deliver : context -> (dst:int -> token:int -> unit) -> unit
+(** Registers a fresh-delivery listener for the remainder of the run.
+    The callback fires during the engine's apply phase, after the
+    delivery has been added to the possession array it tracks. *)
 
 type decide = context -> Move.t list
 

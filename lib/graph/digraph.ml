@@ -53,11 +53,24 @@ module View = struct
 
   let dsts v = Array.sub v.dsts v.off v.len
   let caps v = Array.sub v.caps v.off v.len
+
+  let caps_into v out =
+    if Array.length out < v.len then invalid_arg "Digraph.View.caps_into";
+    Array.blit v.caps v.off out 0 v.len
+
+  let dsts_into v out =
+    if Array.length out < v.len then invalid_arg "Digraph.View.dsts_into";
+    Array.blit v.dsts v.off out 0 v.len
   let to_array v = Array.init v.len (fun i -> (dst v i, cap v i))
 end
 
 let vertex_count g = g.vertex_count
 let arc_count g = g.arc_count
+
+type rows = { row_off : int array; row_dst : int array; row_cap : int array }
+
+let succ_rows g = { row_off = g.succ_off; row_dst = g.succ_dst; row_cap = g.succ_cap }
+let pred_rows g = { row_off = g.pred_off; row_dst = g.pred_dst; row_cap = g.pred_cap }
 
 (* ---------------------- construction core ------------------------- *)
 

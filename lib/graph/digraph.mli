@@ -52,12 +52,41 @@ module View : sig
   val caps : view -> int array
   (** Fresh array of the capacities, aligned with {!dsts}. *)
 
+  val caps_into : view -> int array -> unit
+  (** [caps_into v out] blits the capacities into [out.(0..length v - 1)]
+      without allocating; [out] may be longer than the view.
+      @raise Invalid_argument if [out] is shorter. *)
+
+  val dsts_into : view -> int array -> unit
+  (** [dsts_into v out] blits the neighbours into [out.(0..length v - 1)]
+      without allocating; [out] may be longer than the view.
+      @raise Invalid_argument if [out] is shorter. *)
+
   val to_array : view -> (vertex * int) array
   (** Fresh boxed copy, for tests and cold paths. *)
 end
 
 val vertex_count : t -> int
 val arc_count : t -> int
+
+(** {2 Raw adjacency}
+
+    Direct, zero-copy access to the CSR arrays for code whose inner
+    loop cannot afford a call per neighbour (the engine probes millions
+    of (vertex, neighbour) pairs per step; even the non-allocating
+    {!View} accessors are cross-module calls there).  The arrays are
+    borrowed from the graph and MUST NOT be written. *)
+
+type rows = { row_off : int array; row_dst : int array; row_cap : int array }
+(** Row [v] occupies [row_off.(v) .. row_off.(v + 1) - 1] of the
+    parallel [row_dst] / [row_cap] arrays, destinations ascending. *)
+
+val succ_rows : t -> rows
+(** Out-adjacency as raw rows; read-only borrow. *)
+
+val pred_rows : t -> rows
+(** In-adjacency as raw rows; read-only borrow.  [row_dst] then holds
+    arc {e sources}. *)
 
 val of_arcs : vertex_count:int -> arc list -> t
 (** Builds a graph; duplicate arcs are merged (capacities summed),

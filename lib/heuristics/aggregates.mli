@@ -4,8 +4,15 @@
     The Local heuristic assumes "at every time step, the step's initial
     aggregate need and knowledge are distributed to all vertices"
     (e.g. over a side multicast tree); the Global and Bandwidth
-    heuristics assume full coordination.  This module computes those
-    aggregates once per timestep from the engine's context. *)
+    heuristics assume full coordination.
+
+    Historically each heuristic recomputed these vectors from scratch
+    every timestep — O(n·m) per step, the dominant cost of a round at
+    large n.  {!tracked} instead computes them once and keeps them
+    exact through the engine's fresh-delivery notifications
+    ({!Ocd_engine.Strategy.on_deliver}), O(1) per delivery;
+    {!compute} remains the from-scratch oracle the differential tests
+    compare against. *)
 
 open Ocd_core
 open Ocd_prelude
@@ -18,6 +25,22 @@ type t = {
 }
 
 val compute : Instance.t -> Bitset.t array -> t
+(** From-scratch O(n·m) scan; the oracle for {!update}/{!tracked}. *)
+
+val copy : t -> t
+
+val update : t -> Instance.t -> dst:int -> token:int -> unit
+(** [update t inst ~dst ~token] applies one {e fresh} delivery (the
+    caller guarantees [dst] lacked [token] before): one more holder,
+    one less outstanding need if [dst] wants the token.  O(1). *)
+
+val tracked : Instance.t -> Ocd_engine.Strategy.context -> t
+(** [tracked inst] is a per-run aggregate source: partially applied at
+    strategy [make] time, it computes the vectors from the context's
+    possession state on the first decision and registers a
+    fresh-delivery listener to keep them exact thereafter.  All
+    decisions of the run receive the same (mutating) [t]; {!copy} it
+    to snapshot a step. *)
 
 val rarity : t -> int -> int
 (** [have_count], the paper's rarity measure (lower = rarer). *)

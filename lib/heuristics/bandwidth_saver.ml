@@ -2,87 +2,98 @@ open Ocd_core
 open Ocd_prelude
 open Ocd_graph
 
-(* Voronoi-labelled multi-source BFS: label.(x) = the source closest
-   to x (ties broken by queue order), -1 when unreachable. *)
-let voronoi_labels g sources =
-  let n = Digraph.vertex_count g in
-  let label = Array.make n (-1) in
-  let queue = Queue.create () in
-  List.iter
-    (fun s ->
-      if label.(s) = -1 then begin
-        label.(s) <- s;
-        Queue.add s queue
-      end)
-    sources;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    Digraph.View.iter
-      (fun v _ ->
-        if label.(v) = -1 then begin
-          label.(v) <- label.(u);
-          Queue.add v queue
-        end)
-      (Digraph.succ g u)
-  done;
-  label
-
 (* For each token, the set of vertices that qualify as relays this
-   turn: closest one-hop-knowledge vertices to some needer. *)
-let relay_tokens (inst : Instance.t) have =
+   turn: closest one-hop-knowledge vertices to some needer.  The
+   Voronoi labelling is a multi-source BFS seeded with the one-hop set
+   (label.(x) = the source closest to x, ties broken by queue order,
+   -1 when unreachable).  All buffers are caller-owned and reused
+   across steps. *)
+let relay_tokens (inst : Instance.t) have ~relay ~label ~needers ~one_hop
+    ~queue =
   let g = inst.graph in
   let n = Instance.vertex_count inst in
-  let relay = Array.init n (fun _ -> Bitset.create inst.token_count) in
+  Array.iter Bitset.clear relay;
   for token = 0 to inst.token_count - 1 do
-    let needers = ref [] in
+    Int_vec.clear needers;
     for x = 0 to n - 1 do
       if Bitset.mem inst.want.(x) token && not (Bitset.mem have.(x) token) then
-        needers := x :: !needers
+        Int_vec.push needers x
     done;
-    if !needers <> [] then begin
+    if Int_vec.length needers > 0 then begin
       (* One-hop set: lacks the token, an in-neighbour holds it. *)
-      let one_hop = ref [] in
+      Int_vec.clear one_hop;
       for u = 0 to n - 1 do
         if
           (not (Bitset.mem have.(u) token))
           && Digraph.View.exists
                (fun w _ -> Bitset.mem have.(w) token)
                (Digraph.pred g u)
-        then one_hop := u :: !one_hop
+        then Int_vec.push one_hop u
       done;
-      if !one_hop <> [] then begin
-        let label = voronoi_labels g !one_hop in
-        List.iter
+      if Int_vec.length one_hop > 0 then begin
+        Array.fill label 0 n (-1);
+        Queue.clear queue;
+        (* Seed in descending vertex order: the historical code built
+           the one-hop set by prepending during an ascending scan, and
+           BFS tie-breaking follows seed order. *)
+        for k = Int_vec.length one_hop - 1 downto 0 do
+          let s = Int_vec.get one_hop k in
+          if label.(s) = -1 then begin
+            label.(s) <- s;
+            Queue.add s queue
+          end
+        done;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          Digraph.View.iter
+            (fun v _ ->
+              if label.(v) = -1 then begin
+                label.(v) <- label.(u);
+                Queue.add v queue
+              end)
+            (Digraph.succ g u)
+        done;
+        Int_vec.iter
           (fun x ->
             let closest = label.(x) in
             if closest >= 0 then Bitset.add relay.(closest) token)
-          !needers
+          needers
       end
     end
-  done;
-  relay
+  done
 
 let strategy =
   let make inst _rng =
     let n = Instance.vertex_count inst in
+    let tracked = Aggregates.tracked inst in
+    (* Per-run buffers for the relay computation. *)
+    let relay = Array.init n (fun _ -> Bitset.create inst.token_count) in
+    let label = Array.make (max 1 n) (-1) in
+    let needers = Int_vec.create () in
+    let one_hop = Int_vec.create () in
+    let queue = Queue.create () in
     fun (ctx : Ocd_engine.Strategy.context) ->
       let graph = ctx.instance.Instance.graph in
-      let agg = Aggregates.compute inst ctx.have in
-      let relay = relay_tokens ctx.instance ctx.have in
+      let agg = tracked ctx in
+      relay_tokens ctx.instance ctx.have ~relay ~label ~needers ~one_hop
+        ~queue;
+      let scratch = ctx.scratch in
+      let wanted = scratch.Ocd_engine.Strategy.tokens_b in
+      let relayed = scratch.Ocd_engine.Strategy.tokens_a in
+      let order = scratch.Ocd_engine.Strategy.order in
       let moves = ref [] in
       for dst = 0 to n - 1 do
-        let wanted = Bitset.diff inst.want.(dst) ctx.have.(dst) in
-        let relayed = Bitset.diff relay.(dst) ctx.have.(dst) in
+        Bitset.assign wanted inst.want.(dst);
+        Bitset.diff_into wanted ctx.have.(dst);
+        Bitset.assign relayed relay.(dst);
+        Bitset.diff_into relayed ctx.have.(dst);
         Bitset.diff_into relayed wanted;
-        let by_rarity set =
-          Order.sort_by
-            (fun t -> Aggregates.rarity agg t)
-            (Bitset.elements set)
-        in
-        let pulls = by_rarity wanted @ by_rarity relayed in
-        if pulls <> [] then begin
+        if not (Bitset.is_empty wanted && Bitset.is_empty relayed) then begin
           let preds = Digraph.pred graph dst in
-          let budget = Digraph.View.caps preds in
+          let budget =
+            Ocd_engine.Strategy.budget scratch (Digraph.View.length preds)
+          in
+          Digraph.View.caps_into preds budget;
           let assign token =
             let chosen = ref (-1) in
             Digraph.View.iteri
@@ -96,7 +107,15 @@ let strategy =
               moves := { Move.src; dst; token } :: !moves
             end
           in
-          List.iter assign pulls
+          (* Pull wanted tokens rarest-first, then relay duty. *)
+          let assign_by_rarity set =
+            Int_vec.clear order;
+            Bitset.iter (fun t -> Int_vec.push order t) set;
+            Int_vec.stable_sort_by (fun t -> Aggregates.rarity agg t) order;
+            Int_vec.iter assign order
+          in
+          assign_by_rarity wanted;
+          assign_by_rarity relayed
         end
       done;
       !moves

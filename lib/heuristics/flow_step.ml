@@ -40,18 +40,27 @@ let assign_exact ~have ~preds tokens =
 let strategy =
   let make inst _rng =
     let n = Instance.vertex_count inst in
+    let tracked = Aggregates.tracked inst in
     fun (ctx : Ocd_engine.Strategy.context) ->
       let graph = ctx.instance.Instance.graph in
-      let agg = Aggregates.compute inst ctx.have in
+      let agg = tracked ctx in
+      let scratch = ctx.scratch in
+      let wanted = scratch.Ocd_engine.Strategy.tokens_b in
+      let missing = scratch.Ocd_engine.Strategy.tokens_a in
+      let order = scratch.Ocd_engine.Strategy.order in
       let moves = ref [] in
       for dst = 0 to n - 1 do
         let preds = Digraph.pred graph dst in
         if Digraph.View.length preds > 0 then begin
-          let wanted = Bitset.diff inst.want.(dst) ctx.have.(dst) in
+          Bitset.assign wanted inst.want.(dst);
+          Bitset.diff_into wanted ctx.have.(dst);
           let assigned =
             assign_exact ~have:ctx.have ~preds (Bitset.elements wanted)
           in
-          let budget = Digraph.View.caps preds in
+          let budget =
+            Ocd_engine.Strategy.budget scratch (Digraph.View.length preds)
+          in
+          Digraph.View.caps_into preds budget;
           List.iter
             (fun (token, i) ->
               budget.(i) <- budget.(i) - 1;
@@ -60,14 +69,13 @@ let strategy =
             assigned;
           (* Fill leftover budget with rarest-first relay flooding
              (tokens the vertex lacks and was not just assigned). *)
-          let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
+          Bitset.fill missing;
+          Bitset.diff_into missing ctx.have.(dst);
           List.iter (fun (token, _) -> Bitset.remove missing token) assigned;
-          let ranked =
-            Order.sort_by
-              (fun t -> Aggregates.rarity agg t)
-              (Bitset.elements missing)
-          in
-          List.iter
+          Int_vec.clear order;
+          Bitset.iter (fun t -> Int_vec.push order t) missing;
+          Int_vec.stable_sort_by (fun t -> Aggregates.rarity agg t) order;
+          Int_vec.iter
             (fun token ->
               let chosen = ref (-1) in
               Digraph.View.iteri
@@ -80,7 +88,7 @@ let strategy =
                 let src = Digraph.View.dst preds !chosen in
                 moves := { Move.src; dst; token } :: !moves
               end)
-            ranked
+            order
         end
       done;
       !moves

@@ -2,98 +2,314 @@ open Ocd_core
 open Ocd_prelude
 open Ocd_graph
 
-(* Tokens of [missing] in ascending-rarity order with random
-   tie-breaking: shuffle once, then stable-sort by holder count. *)
-let rarity_order rng (agg : Aggregates.t) missing =
-  let tokens = Array.of_list (Bitset.elements missing) in
-  Prng.shuffle rng tokens;
-  let ranked = Array.to_list tokens in
-  Order.sort_by (fun t -> Aggregates.rarity agg t) ranked
+(* Fill [order] with the tokens of [tokens] in ascending-rarity order
+   with random tie-breaking: shuffle once, then stable-sort by holder
+   count — the same element sequence (and the same rng draws) as the
+   historical list-based shuffle + [Order.sort_by]. *)
+let rank_by_rarity rng (agg : Aggregates.t) tokens (order : Int_vec.t) =
+  Int_vec.clear order;
+  Bitset.iter (fun t -> Int_vec.push order t) tokens;
+  Int_vec.shuffle rng order;
+  Int_vec.stable_sort_by_key agg.Aggregates.have_count order
 
-let strategy =
-  let make inst _rng =
-    let n = Instance.vertex_count inst in
-    fun (ctx : Ocd_engine.Strategy.context) ->
+(* Flat row-per-vertex mirror of the run's possession state, kept
+   exact through the engine's fresh-delivery notifications.  The
+   candidate scan probes possession once per (pred, token) pair; at
+   n = 10^5 the [Bitset.mem have.(pred)] pointer chain (possession
+   array -> bitset record -> word array) dominates the whole round, so
+   the scan reads this single flat array instead. *)
+let bits_per_word = 63
+
+(* [holding_preds.(v)] counts in-neighbours of [v] that hold at least
+   one token.  While content spreads, most vertices have none — their
+   whole candidate scan is provably empty, and the fast path below
+   skips it (and the per-neighbour possession reads) on this counter
+   alone.  Possession only grows, in both the static and the dynamic
+   engines, so a vertex's first token bumps the counter of each
+   out-neighbour exactly once. *)
+type holder_words = {
+  words : int array;
+  stride : int;
+  holding_preds : int array;
+}
+
+let holder_words_tracked (inst : Instance.t) =
+  let cell = ref None in
+  fun (ctx : Ocd_engine.Strategy.context) ->
+    match !cell with
+    | Some hw -> hw
+    | None ->
+      let n = Instance.vertex_count inst in
+      let stride =
+        max 1 ((inst.token_count + bits_per_word - 1) / bits_per_word)
+      in
+      let words = Array.make (n * stride) 0 in
+      Array.iteri
+        (fun v s ->
+          Bitset.iter
+            (fun t ->
+              let idx = (v * stride) + (t / bits_per_word) in
+              words.(idx) <- words.(idx) lor (1 lsl (t mod bits_per_word)))
+            s)
+        ctx.have;
       let graph = ctx.instance.Instance.graph in
-      let agg = Aggregates.compute inst ctx.have in
-      let moves = ref [] in
-      for dst = 0 to n - 1 do
-        let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
-        if not (Bitset.is_empty missing) then begin
-          let preds = Digraph.pred graph dst in
-          let budget = Digraph.View.caps preds in
-          let assign token =
-            (* All in-neighbours holding the token with spare budget;
-               pick one at random (the "request" subdivision). *)
-            let candidates = ref [] in
-            Digraph.View.iteri
-              (fun i u _ ->
-                if budget.(i) > 0 && Bitset.mem ctx.have.(u) token then
-                  candidates := i :: !candidates)
-              preds;
-            match !candidates with
-            | [] -> ()
-            | cs ->
-              let i = Prng.pick_list ctx.rng cs in
-              budget.(i) <- budget.(i) - 1;
-              let src = Digraph.View.dst preds i in
-              moves := { Move.src; dst; token } :: !moves
-          in
-          List.iter assign (rarity_order ctx.rng agg missing)
-        end
+      let succ = Digraph.succ_rows graph in
+      let s_off = succ.Digraph.row_off and s_dst = succ.Digraph.row_dst in
+      let holding_preds = Array.make n 0 in
+      for v = 0 to n - 1 do
+        let nonzero = ref false in
+        for w = v * stride to ((v + 1) * stride) - 1 do
+          if words.(w) <> 0 then nonzero := true
+        done;
+        if !nonzero then
+          for i = s_off.(v) to s_off.(v + 1) - 1 do
+            let u = s_dst.(i) in
+            holding_preds.(u) <- holding_preds.(u) + 1
+          done
       done;
-      !moves
-  in
-  { Ocd_engine.Strategy.name = "local"; make }
+      let hw = { words; stride; holding_preds } in
+      Ocd_engine.Strategy.on_deliver ctx (fun ~dst ~token ->
+          let idx = (dst * stride) + (token / bits_per_word) in
+          let first =
+            stride = 1
+            && words.(idx) = 0
+            ||
+            (stride > 1
+            &&
+            let z = ref true in
+            for w = dst * stride to ((dst + 1) * stride) - 1 do
+              if words.(w) <> 0 then z := false
+            done;
+            !z)
+          in
+          words.(idx) <- words.(idx) lor (1 lsl (token mod bits_per_word));
+          if first then
+            for i = s_off.(dst) to s_off.(dst + 1) - 1 do
+              let u = s_dst.(i) in
+              holding_preds.(u) <- holding_preds.(u) + 1
+            done);
+      cell := Some hw;
+      hw
 
 (* The request-assignment core shared by [strategy] and the delayed
    variant: rank the tokens each vertex lacks by the supplied rarity
-   aggregate, then assign each to one holding in-neighbour. *)
+   aggregate, then assign each to one holding in-neighbour.  All
+   per-vertex state (missing set, per-arc budget, candidate and
+   ranking vectors) lives in the context scratch. *)
 let subdivided_requests (inst : Instance.t) (ctx : Ocd_engine.Strategy.context)
-    agg =
+    agg hw =
   let graph = ctx.instance.Instance.graph in
   let n = Instance.vertex_count inst in
+  let token_count = inst.token_count in
+  let scratch = ctx.scratch in
+  let order = scratch.Ocd_engine.Strategy.order in
+  let words = hw.words and stride = hw.stride in
   let moves = ref [] in
-  for dst = 0 to n - 1 do
-    let missing = Bitset.diff (Bitset.full inst.token_count) ctx.have.(dst) in
-    if not (Bitset.is_empty missing) then begin
-      let preds = Digraph.pred graph dst in
-      let budget = Digraph.View.caps preds in
-      let assign token =
-        let candidates = ref [] in
-        Digraph.View.iteri
-          (fun i u _ ->
-            if budget.(i) > 0 && Bitset.mem ctx.have.(u) token then
-              candidates := i :: !candidates)
-          preds;
-        match !candidates with
-        | [] -> ()
-        | cs ->
-          let i = Prng.pick_list ctx.rng cs in
-          budget.(i) <- budget.(i) - 1;
-          let src = Digraph.View.dst preds i in
-          moves := { Move.src; dst; token } :: !moves
-      in
-      List.iter assign (rarity_order ctx.rng agg missing)
-    end
-  done;
+  if stride = 1 then begin
+    (* Single-word fast path (token_count <= 63, i.e. every paper-size
+       run): possession of a vertex is one word of [words], so the
+       missing set, the emptiness test and the candidate scan are all
+       plain integer arithmetic — no Bitset traffic, no per-candidate
+       or per-token calls.  Draw-for-draw identical to the general
+       path below:
+
+       - the ascending bit walk reproduces [Bitset.iter]'s token order
+         and the inlined Fisher–Yates walk makes [Int_vec.shuffle]'s
+         draws, whose bounds depend only on the missing-token count;
+       - insertion sort is stable and a stably sorted sequence is
+         unique, so the ranking matches the merge sort;
+       - when no in-neighbour holds a given missing token the general
+         path scans, finds no candidate and draws nothing — so a
+         per-vertex availability mask lets this path skip those scans
+         (and, when {e no} missing token is available, everything but
+         the shuffle draws) without touching the rng stream;
+       - the mirror-index pick consumes the same draw as the
+         historical descending candidate list. *)
+    let full =
+      if token_count = bits_per_word then -1 else (1 lsl token_count) - 1
+    in
+    let rows = Digraph.pred_rows graph in
+    let row_off = rows.Digraph.row_off
+    and row_dst = rows.Digraph.row_dst
+    and row_cap = rows.Digraph.row_cap in
+    let rank = agg.Aggregates.have_count in
+    let holding_preds = hw.holding_preds in
+    let ord = Array.make (bits_per_word + 1) 0 in
+    let budget = ref (Ocd_engine.Strategy.budget scratch 16)
+    and elig = ref (Ocd_engine.Strategy.elig scratch 16)
+    and cand = ref (Ocd_engine.Strategy.cand scratch 16) in
+    for dst = 0 to n - 1 do
+      let mw = full land lnot words.(dst) in
+      if mw <> 0 then
+        if holding_preds.(dst) = 0 then begin
+          (* No in-neighbour holds anything: every scan would come up
+             empty, so only the shuffle draws must be consumed — their
+             bounds depend on the missing-token count alone. *)
+          let cnt = ref 0 and x = ref mw in
+          while !x <> 0 do
+            incr cnt;
+            x := !x land (!x - 1)
+          done;
+          for i = !cnt - 1 downto 1 do
+            Prng.skip_int ctx.rng (i + 1)
+          done
+        end
+        else begin
+        let base = row_off.(dst) in
+        let plen = row_off.(dst + 1) - base in
+        if plen > Array.length !budget then begin
+          budget := Ocd_engine.Strategy.budget scratch plen;
+          elig := Ocd_engine.Strategy.elig scratch plen;
+          cand := Ocd_engine.Strategy.cand scratch plen
+        end;
+        let budget = !budget and elig = !elig and cand = !cand in
+        (* Union of the in-neighbours' possession: initial budgets are
+           arc capacities (strictly positive by construction), so a
+           token outside [avail] can never gain a candidate. *)
+        let avail = ref 0 in
+        for i = 0 to plen - 1 do
+          let w = words.(row_dst.(base + i)) in
+          elig.(i) <- w;
+          avail := !avail lor w
+        done;
+        let avail = !avail land mw in
+        (* Rank the missing tokens: ascending fill, Fisher–Yates
+           shuffle, stable insertion sort by holder count. *)
+        let olen = ref 0 in
+        for t = 0 to token_count - 1 do
+          if mw land (1 lsl t) <> 0 then begin
+            ord.(!olen) <- t;
+            incr olen
+          end
+        done;
+        let olen = !olen in
+        if avail = 0 then
+          (* Nothing to request from any in-neighbour: consume exactly
+             the shuffle draws and move on. *)
+          for i = olen - 1 downto 1 do
+            Prng.skip_int ctx.rng (i + 1)
+          done
+        else begin
+          for i = olen - 1 downto 1 do
+            let j = Prng.int ctx.rng (i + 1) in
+            let tmp = ord.(i) in
+            ord.(i) <- ord.(j);
+            ord.(j) <- tmp
+          done;
+          for i = 1 to olen - 1 do
+            let x = ord.(i) in
+            let kx = rank.(x) in
+            let j = ref (i - 1) in
+            while !j >= 0 && rank.(ord.(!j)) > kx do
+              ord.(!j + 1) <- ord.(!j);
+              decr j
+            done;
+            ord.(!j + 1) <- x
+          done;
+          Array.blit row_cap base budget 0 plen;
+          for k = 0 to olen - 1 do
+            let token = ord.(k) in
+            let w_bit = 1 lsl token in
+            if avail land w_bit <> 0 then begin
+              (* All in-neighbours holding the token with spare budget;
+                 pick one at random (the "request" subdivision). *)
+              let c = ref 0 in
+              for i = 0 to plen - 1 do
+                if budget.(i) > 0 && elig.(i) land w_bit <> 0 then begin
+                  cand.(!c) <- i;
+                  incr c
+                end
+              done;
+              let c = !c in
+              if c > 0 then begin
+                (* The historical code prepended candidates while
+                   scanning (building a descending list) and picked the
+                   k-th of that list; the ascending row's mirror index
+                   keeps the same candidate for the same draw. *)
+                let i = cand.(c - 1 - Prng.int ctx.rng c) in
+                budget.(i) <- budget.(i) - 1;
+                let src = row_dst.(base + i) in
+                moves := { Move.src; dst; token } :: !moves
+              end
+            end
+          done
+        end
+      end
+    done
+  end
+  else begin
+    let missing = scratch.Ocd_engine.Strategy.tokens_a in
+    for dst = 0 to n - 1 do
+      Bitset.fill missing;
+      Bitset.diff_into missing ctx.have.(dst);
+      if not (Bitset.is_empty missing) then begin
+        let preds = Digraph.pred graph dst in
+        let plen = Digraph.View.length preds in
+        let budget = Ocd_engine.Strategy.budget scratch plen in
+        Digraph.View.caps_into preds budget;
+        let pred_ids = Ocd_engine.Strategy.preds scratch plen in
+        Digraph.View.dsts_into preds pred_ids;
+        let cand = Ocd_engine.Strategy.cand scratch plen in
+        rank_by_rarity ctx.rng agg missing order;
+        for k = 0 to Int_vec.length order - 1 do
+          let token = Int_vec.get order k in
+          let w_off = token / bits_per_word in
+          let w_bit = 1 lsl (token mod bits_per_word) in
+          let c = ref 0 in
+          for i = 0 to plen - 1 do
+            if
+              budget.(i) > 0
+              && words.((pred_ids.(i) * stride) + w_off) land w_bit <> 0
+            then begin
+              cand.(!c) <- i;
+              incr c
+            end
+          done;
+          let c = !c in
+          if c > 0 then begin
+            let i = cand.(c - 1 - Prng.int ctx.rng c) in
+            budget.(i) <- budget.(i) - 1;
+            let src = pred_ids.(i) in
+            moves := { Move.src; dst; token } :: !moves
+          end
+        done
+      end
+    done
+  end;
   !moves
+
+let strategy =
+  let make inst _rng =
+    let tracked = Aggregates.tracked inst in
+    let tracked_hw = holder_words_tracked inst in
+    fun (ctx : Ocd_engine.Strategy.context) ->
+      subdivided_requests inst ctx (tracked ctx) (tracked_hw ctx)
+  in
+  { Ocd_engine.Strategy.name = "local"; make }
 
 let with_aggregate_delay ~turns =
   if turns < 0 then invalid_arg "Local_rarest.with_aggregate_delay: negative";
   let make inst _rng =
+    (* The warm-up (and the never-taken [None] fallback) always ranks
+       by the instance's initial aggregate: compute it once per run
+       instead of once per warm-up step. *)
+    let initial = Aggregates.compute inst inst.have in
+    let tracked = Aggregates.tracked inst in
+    let tracked_hw = holder_words_tracked inst in
     let history = Array.make (turns + 1) None in
     fun (ctx : Ocd_engine.Strategy.context) ->
-      history.(ctx.step mod (turns + 1)) <-
-        Some (Aggregates.compute inst ctx.have);
+      let current = tracked ctx in
+      history.(ctx.step mod (turns + 1)) <- Some (Aggregates.copy current);
       let agg =
-        if ctx.step < turns then Aggregates.compute inst inst.have
+        if ctx.step < turns then initial
         else
           match history.((ctx.step - turns) mod (turns + 1)) with
           | Some agg -> agg
-          | None -> Aggregates.compute inst inst.have
+          | None -> initial
       in
-      subdivided_requests inst ctx agg
+      (* Only the rarity ranking is delayed; requests are always made
+         against current possession, so the live mirror applies. *)
+      subdivided_requests inst ctx agg (tracked_hw ctx)
   in
   {
     Ocd_engine.Strategy.name = Printf.sprintf "local-delay-%d" turns;
@@ -103,19 +319,26 @@ let with_aggregate_delay ~turns =
 let strategy_without_subdivision =
   let make inst _rng =
     let n = Instance.vertex_count inst in
+    let tracked = Aggregates.tracked inst in
     fun (ctx : Ocd_engine.Strategy.context) ->
       let graph = ctx.instance.Instance.graph in
-      let agg = Aggregates.compute inst ctx.have in
+      let agg = tracked ctx in
+      let scratch = ctx.scratch in
+      let useful = scratch.Ocd_engine.Strategy.tokens_a in
+      let order = scratch.Ocd_engine.Strategy.order in
       let moves = ref [] in
       for src = 0 to n - 1 do
         if not (Bitset.is_empty ctx.have.(src)) then
           Digraph.View.iter
             (fun dst cap ->
-              let useful = Bitset.diff ctx.have.(src) ctx.have.(dst) in
-              let ranked = rarity_order ctx.rng agg useful in
-              List.iter
-                (fun token -> moves := { Move.src; dst; token } :: !moves)
-                (Order.take cap ranked))
+              Bitset.assign useful ctx.have.(src);
+              Bitset.diff_into useful ctx.have.(dst);
+              rank_by_rarity ctx.rng agg useful order;
+              let take = min cap (Int_vec.length order) in
+              for k = 0 to take - 1 do
+                moves :=
+                  { Move.src; dst; token = Int_vec.get order k } :: !moves
+              done)
             (Digraph.succ graph src)
       done;
       !moves

@@ -3,22 +3,22 @@ open Ocd_prelude
 open Ocd_graph
 
 (* Uniform sample of [count] distinct elements of [set] (all of them
-   when fewer): reservoir sampling over the bitset iteration. *)
-let sample_tokens rng set count =
-  if count <= 0 then []
-  else begin
-    let reservoir = Array.make count (-1) in
+   when fewer) into [out]: reservoir sampling over the bitset
+   iteration, same draw sequence as the historical list-returning
+   version. *)
+let sample_tokens_into rng set count out =
+  Int_vec.clear out;
+  if count > 0 then begin
     let seen = ref 0 in
     Bitset.iter
       (fun t ->
-        if !seen < count then reservoir.(!seen) <- t
+        if !seen < count then Int_vec.push out t
         else begin
           let j = Prng.int rng (!seen + 1) in
-          if j < count then reservoir.(j) <- t
+          if j < count then Int_vec.set out j t
         end;
         incr seen)
-      set;
-    Array.to_list (Array.sub reservoir 0 (min count !seen))
+      set
   end
 
 let strategy =
@@ -26,15 +26,20 @@ let strategy =
     let n = Instance.vertex_count inst in
     fun (ctx : Ocd_engine.Strategy.context) ->
       let graph = ctx.instance.Instance.graph in
+      let scratch = ctx.scratch in
+      let useful = scratch.Ocd_engine.Strategy.tokens_a in
+      let sample = scratch.Ocd_engine.Strategy.candidates in
       let moves = ref [] in
       for src = 0 to n - 1 do
         if not (Bitset.is_empty ctx.have.(src)) then
           Digraph.View.iter
             (fun dst cap ->
-              let useful = Bitset.diff ctx.have.(src) ctx.have.(dst) in
-              List.iter
+              Bitset.assign useful ctx.have.(src);
+              Bitset.diff_into useful ctx.have.(dst);
+              sample_tokens_into ctx.rng useful cap sample;
+              Int_vec.iter
                 (fun token -> moves := { Move.src; dst; token } :: !moves)
-                (sample_tokens ctx.rng useful cap))
+                sample)
             (Digraph.succ graph src)
       done;
       !moves
@@ -58,6 +63,9 @@ let with_staleness ~turns =
           | Some snapshot -> snapshot
           | None -> inst.have
       in
+      let scratch = ctx.scratch in
+      let useful = scratch.Ocd_engine.Strategy.tokens_a in
+      let sample = scratch.Ocd_engine.Strategy.candidates in
       let moves = ref [] in
       for src = 0 to n - 1 do
         if not (Bitset.is_empty ctx.have.(src)) then
@@ -65,10 +73,12 @@ let with_staleness ~turns =
             (fun dst cap ->
               (* The sender's own possession is current; only the
                  peer's state is stale. *)
-              let useful = Bitset.diff ctx.have.(src) stale.(dst) in
-              List.iter
+              Bitset.assign useful ctx.have.(src);
+              Bitset.diff_into useful stale.(dst);
+              sample_tokens_into ctx.rng useful cap sample;
+              Int_vec.iter
                 (fun token -> moves := { Move.src; dst; token } :: !moves)
-                (sample_tokens ctx.rng useful cap))
+                sample)
             (Digraph.succ graph src)
       done;
       !moves

@@ -21,7 +21,7 @@ let take_cyclic have cursor count =
 let strategy =
   let make inst _rng =
     let n = Instance.vertex_count inst in
-    (* cursor per (src, dst) arc *)
+    (* cursor per arc, int-packed key [src * n + dst] *)
     let cursors = Hashtbl.create (4 * n) in
     fun (ctx : Ocd_engine.Strategy.context) ->
       let graph = ctx.instance.Instance.graph in
@@ -31,11 +31,12 @@ let strategy =
         if not (Bitset.is_empty have) then
           Digraph.View.iter
             (fun dst cap ->
+              let arc = (src * n) + dst in
               let cursor =
-                Option.value (Hashtbl.find_opt cursors (src, dst)) ~default:0
+                Option.value (Hashtbl.find_opt cursors arc) ~default:0
               in
               let tokens, cursor' = take_cyclic have cursor cap in
-              Hashtbl.replace cursors (src, dst) cursor';
+              Hashtbl.replace cursors arc cursor';
               List.iter
                 (fun token -> moves := { Move.src; dst; token } :: !moves)
                 tokens)

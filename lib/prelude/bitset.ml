@@ -13,6 +13,10 @@ let capacity s = s.capacity
 
 let copy s = { capacity = s.capacity; words = Array.copy s.words }
 
+let assign dst src =
+  if dst.capacity <> src.capacity then invalid_arg "Bitset: capacity mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
 let check_element s x =
   if x < 0 || x >= s.capacity then invalid_arg "Bitset: element out of range"
 
@@ -35,6 +39,14 @@ let remove s x =
 
 let clear s = Array.fill s.words 0 (Array.length s.words) 0
 
+let fill s =
+  let nwords = Array.length s.words in
+  Array.fill s.words 0 nwords (-1);
+  (* Bits at positions >= capacity must stay 0: [cardinal], [equal] and
+     the word-parallel predicates all rely on that invariant. *)
+  let rem = s.capacity mod bits_per_word in
+  if rem > 0 then s.words.(nwords - 1) <- (1 lsl rem) - 1
+
 let of_list capacity elements =
   let s = create capacity in
   List.iter (add s) elements;
@@ -42,7 +54,7 @@ let of_list capacity elements =
 
 let full capacity =
   let s = create capacity in
-  for x = 0 to capacity - 1 do add s x done;
+  fill s;
   s
 
 let singleton capacity x =

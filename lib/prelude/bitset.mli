@@ -21,6 +21,10 @@ val capacity : t -> int
 
 val copy : t -> t
 
+val assign : t -> t -> unit
+(** [assign dst src] overwrites [dst] with the contents of [src]
+    (same capacity required); no allocation. *)
+
 val of_list : int -> int list -> t
 (** [of_list capacity elements]. *)
 
@@ -34,6 +38,9 @@ val mem : t -> int -> bool
 val add : t -> int -> unit
 val remove : t -> int -> unit
 val clear : t -> unit
+
+val fill : t -> unit
+(** Sets every element of the universe: word-filled, O(capacity/63). *)
 
 val cardinal : t -> int
 (** Population count; O(capacity/63). *)

@@ -1,7 +1,7 @@
-type t = { mutable data : int array; mutable len : int }
+type t = { mutable data : int array; mutable len : int; mutable aux : int array }
 
 let create ?(capacity = 16) () =
-  { data = Array.make (max capacity 1) 0; len = 0 }
+  { data = Array.make (max capacity 1) 0; len = 0; aux = [||] }
 
 let length v = v.len
 
@@ -18,6 +18,117 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Int_vec.get";
   v.data.(i)
 
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Int_vec.set";
+  v.data.(i) <- x
+
 let clear v = v.len <- 0
 
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
 let to_array v = Array.sub v.data 0 v.len
+
+let shuffle g v =
+  (* Same Fisher–Yates walk (and hence the same rng draw sequence) as
+     [Prng.shuffle] on an array of the same length. *)
+  let a = v.data in
+  for i = v.len - 1 downto 1 do
+    let j = Prng.int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let stable_sort_by_key key v =
+  (* Bottom-up merge sort on the live prefix with the key of element
+     [x] read directly as [key.(x)] — the engine sorts token ids by a
+     rarity counter millions of times per run, and a closure call per
+     comparison is measurable there.  Ties take the left run's element
+     first, so the order matches [List.stable_sort] /
+     [Array.stable_sort] with the same integer keys.  Binary insertion
+     is also stable, and a sorted sequence with a fixed tie rule is
+     unique, so the small-[n] path below returns the identical
+     permutation without touching the aux array. *)
+  let n = v.len in
+  if n > 1 && n <= 32 then begin
+    let a = v.data in
+    for i = 1 to n - 1 do
+      let x = a.(i) in
+      let kx = key.(x) in
+      let j = ref (i - 1) in
+      while !j >= 0 && key.(a.(!j)) > kx do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  end
+  else if n > 1 then begin
+    if Array.length v.aux < n then v.aux <- Array.make (Array.length v.data) 0;
+    let src = ref v.data and dst = ref v.aux in
+    let width = ref 1 in
+    while !width < n do
+      let a = !src and b = !dst in
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min (!lo + !width) n in
+        let hi = min (mid + !width) n in
+        let i = ref !lo and j = ref mid and k = ref !lo in
+        while !i < mid && !j < hi do
+          if key.(a.(!i)) <= key.(a.(!j)) then begin
+            b.(!k) <- a.(!i); incr i
+          end else begin
+            b.(!k) <- a.(!j); incr j
+          end;
+          incr k
+        done;
+        while !i < mid do b.(!k) <- a.(!i); incr i; incr k done;
+        while !j < hi do b.(!k) <- a.(!j); incr j; incr k done;
+        lo := hi
+      done;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp;
+      width := 2 * !width
+    done;
+    if !src != v.data then Array.blit !src 0 v.data 0 n
+  end
+
+let stable_sort_by key v =
+  (* Bottom-up merge sort on the live prefix; ties take the left run's
+     element first, so the order matches [List.stable_sort] /
+     [Array.stable_sort] with the same integer keys. *)
+  let n = v.len in
+  if n > 1 then begin
+    if Array.length v.aux < n then v.aux <- Array.make (Array.length v.data) 0;
+    let src = ref v.data and dst = ref v.aux in
+    let width = ref 1 in
+    while !width < n do
+      let a = !src and b = !dst in
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min (!lo + !width) n in
+        let hi = min (mid + !width) n in
+        let i = ref !lo and j = ref mid and k = ref !lo in
+        while !i < mid && !j < hi do
+          if key a.(!i) <= key a.(!j) then begin
+            b.(!k) <- a.(!i); incr i
+          end else begin
+            b.(!k) <- a.(!j); incr j
+          end;
+          incr k
+        done;
+        while !i < mid do b.(!k) <- a.(!i); incr i; incr k done;
+        while !j < hi do b.(!k) <- a.(!j); incr j; incr k done;
+        lo := hi
+      done;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp;
+      width := 2 * !width
+    done;
+    if !src != v.data then Array.blit !src 0 v.data 0 n
+  end

@@ -13,7 +13,29 @@ val push : t -> int -> unit
 val get : t -> int -> int
 (** Raises [Invalid_argument] out of bounds. *)
 
+val set : t -> int -> int -> unit
+(** Raises [Invalid_argument] out of bounds. *)
+
 val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates the live prefix in index order. *)
 
 val to_array : t -> int array
 (** Fresh array of the [length] pushed elements. *)
+
+val shuffle : Prng.t -> t -> unit
+(** In-place Fisher–Yates; draws exactly the same rng sequence as
+    [Prng.shuffle] on an array of the same length. *)
+
+val stable_sort_by : (int -> int) -> t -> unit
+(** [stable_sort_by key v] sorts the live prefix by [key] ascending,
+    preserving the relative order of equal-key elements (same result as
+    [List.stable_sort] on the same sequence with the same keys).  Reuses
+    an internal scratch buffer across calls — no steady-state
+    allocation. *)
+
+val stable_sort_by_key : int array -> t -> unit
+(** [stable_sort_by_key key v] is [stable_sort_by (fun x -> key.(x)) v]
+    without the per-comparison closure call; every element must index
+    into [key].  The hot path of the rarity-ranked heuristics. *)

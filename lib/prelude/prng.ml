@@ -1,45 +1,188 @@
-type t = { mutable state : int64 }
+(* SplitMix64 with the 64-bit state held as two 32-bit native-int
+   limbs.  Without flambda every Int64 operation allocates a box, and
+   the engines draw millions of times per tick (shuffles, candidate
+   picks), so the hot path (int / float / bool) must not touch Int64
+   at all.  The limb arithmetic below reproduces the reference 64-bit
+   stream bit-for-bit; test_prelude checks it against an Int64 oracle
+   over thousands of draws. *)
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+type t = {
+  mutable hi : int; (* state bits 32..63 *)
+  mutable lo : int; (* state bits 0..31 *)
+  (* mixed output of the latest [step], so the helpers below stay
+     allocation-free (no tuple return) *)
+  mutable out_hi : int;
+  mutable out_lo : int;
+}
 
-(* Variant 13 of the 64-bit MurmurHash3 finaliser, as used by
-   SplitMix64's reference implementation. *)
-let mix64 z =
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  Int64.(logxor z (shift_right_logical z 31))
+let mask32 = 0xFFFFFFFF
 
-let create ~seed = { state = mix64 (Int64.of_int seed) }
+(* golden gamma 0x9E3779B97F4A7C15 *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
+
+(* mixer constants 0xBF58476D1CE4E5B9 and 0x94D049BB133111EB *)
+let c1_hi = 0xBF58476D
+let c1_lo = 0x1CE4E5B9
+let c2_hi = 0x94D049BB
+let c2_lo = 0x133111EB
+
+(* low 32 bits of a*b for a, b < 2^32: 16-bit split keeps every
+   intermediate below 2^49, well inside the 63-bit native int. *)
+let mul32 a b =
+  ((a land 0xFFFF) * b
+  + ((((a lsr 16) * (b land 0xFFFF)) land 0xFFFF) lsl 16))
+  land mask32
+
+(* Variant 13 of the 64-bit MurmurHash3 finaliser (the SplitMix64
+   reference mixer), on limbs; writes the result into out_hi/out_lo.
+   [step] below repeats this body inline — ocamlopt does not inline a
+   function this size, and the extra call costs on the order of the
+   draw itself in the engine's shuffle loops. *)
+let mix_into g zh zl =
+  (* z ^= z >>> 30 *)
+  let zl = zl lxor (((zh lsl 2) lor (zl lsr 30)) land mask32) in
+  let zh = zh lxor (zh lsr 30) in
+  (* z *= c1 (full 64-bit product of the 32-bit limbs) *)
+  let a0 = zl land 0xFFFF and a1 = zl lsr 16 in
+  let p00 = a0 * (c1_lo land 0xFFFF)
+  and p01 = a0 * (c1_lo lsr 16)
+  and p10 = a1 * (c1_lo land 0xFFFF)
+  and p11 = a1 * (c1_lo lsr 16) in
+  let mid = p01 + p10 in
+  let low = p00 + ((mid land 0xFFFF) lsl 16) in
+  let carry = (low lsr 32) + (mid lsr 16) + p11 in
+  let zh' = (carry + mul32 zl c1_hi + mul32 zh c1_lo) land mask32 in
+  let zl = low land mask32 in
+  let zh = zh' in
+  (* z ^= z >>> 27 *)
+  let zl = zl lxor (((zh lsl 5) lor (zl lsr 27)) land mask32) in
+  let zh = zh lxor (zh lsr 27) in
+  (* z *= c2 *)
+  let a0 = zl land 0xFFFF and a1 = zl lsr 16 in
+  let p00 = a0 * (c2_lo land 0xFFFF)
+  and p01 = a0 * (c2_lo lsr 16)
+  and p10 = a1 * (c2_lo land 0xFFFF)
+  and p11 = a1 * (c2_lo lsr 16) in
+  let mid = p01 + p10 in
+  let low = p00 + ((mid land 0xFFFF) lsl 16) in
+  let carry = (low lsr 32) + (mid lsr 16) + p11 in
+  let zh' = (carry + mul32 zl c2_hi + mul32 zh c2_lo) land mask32 in
+  let zl = low land mask32 in
+  let zh = zh' in
+  (* z ^= z >>> 31 *)
+  g.out_lo <- zl lxor (((zh lsl 1) lor (zl lsr 31)) land mask32);
+  g.out_hi <- zh lxor (zh lsr 31)
+
+(* Advance the Weyl sequence and mix; the draw lands in out_hi/out_lo.
+   The mixer body is repeated from [mix_into] (see the note there). *)
+let step g =
+  let l = g.lo + gamma_lo in
+  let zl = l land mask32 in
+  let zh = (g.hi + gamma_hi + (l lsr 32)) land mask32 in
+  g.lo <- zl;
+  g.hi <- zh;
+  (* z ^= z >>> 30 *)
+  let zl = zl lxor (((zh lsl 2) lor (zl lsr 30)) land mask32) in
+  let zh = zh lxor (zh lsr 30) in
+  (* z *= c1 *)
+  let a0 = zl land 0xFFFF and a1 = zl lsr 16 in
+  let p00 = a0 * (c1_lo land 0xFFFF)
+  and p01 = a0 * (c1_lo lsr 16)
+  and p10 = a1 * (c1_lo land 0xFFFF)
+  and p11 = a1 * (c1_lo lsr 16) in
+  let mid = p01 + p10 in
+  let low = p00 + ((mid land 0xFFFF) lsl 16) in
+  let carry = (low lsr 32) + (mid lsr 16) + p11 in
+  let zh' = (carry + mul32 zl c1_hi + mul32 zh c1_lo) land mask32 in
+  let zl = low land mask32 in
+  let zh = zh' in
+  (* z ^= z >>> 27 *)
+  let zl = zl lxor (((zh lsl 5) lor (zl lsr 27)) land mask32) in
+  let zh = zh lxor (zh lsr 27) in
+  (* z *= c2 *)
+  let a0 = zl land 0xFFFF and a1 = zl lsr 16 in
+  let p00 = a0 * (c2_lo land 0xFFFF)
+  and p01 = a0 * (c2_lo lsr 16)
+  and p10 = a1 * (c2_lo land 0xFFFF)
+  and p11 = a1 * (c2_lo lsr 16) in
+  let mid = p01 + p10 in
+  let low = p00 + ((mid land 0xFFFF) lsl 16) in
+  let carry = (low lsr 32) + (mid lsr 16) + p11 in
+  let zh' = (carry + mul32 zl c2_hi + mul32 zh c2_lo) land mask32 in
+  let zl = low land mask32 in
+  let zh = zh' in
+  (* z ^= z >>> 31 *)
+  g.out_lo <- zl lxor (((zh lsl 1) lor (zl lsr 31)) land mask32);
+  g.out_hi <- zh lxor (zh lsr 31)
+
+let create ~seed =
+  let g = { hi = 0; lo = 0; out_hi = 0; out_lo = 0 } in
+  (* state = mix64 (Int64.of_int seed); [asr] replicates the native
+     sign bit into limb bits 32..63 exactly as the sign extension
+     to 64 bits does. *)
+  mix_into g ((seed asr 32) land mask32) (seed land mask32);
+  g.hi <- g.out_hi;
+  g.lo <- g.out_lo;
+  g
 
 let bits64 g =
-  g.state <- Int64.add g.state golden_gamma;
-  mix64 g.state
+  step g;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int g.out_hi) 32)
+    (Int64.of_int g.out_lo)
 
 let split g =
-  let seed = bits64 g in
-  { state = mix64 seed }
+  step g;
+  let g' = { hi = 0; lo = 0; out_hi = 0; out_lo = 0 } in
+  (* state = mix64 seed, where seed is the draw just taken from [g] *)
+  mix_into g' g.out_hi g.out_lo;
+  g'.hi <- g'.out_hi;
+  g'.lo <- g'.out_lo;
+  g'
 
-let copy g = { state = g.state }
+let copy g = { hi = g.hi; lo = g.lo; out_hi = 0; out_lo = 0 }
 
-let positive_bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+(* Rejection sampling over 62 usable bits keeps the result exactly
+   uniform even when [bound] does not divide the range.  Top-level
+   recursion (not a local [let rec]) so a draw allocates nothing; the
+   62 usable bits ((bits64 >>> 2) as a non-negative int) are extracted
+   inline because the engines make hundreds of thousands of draws per
+   step and each extra call layer is measurable. *)
+let rec int_reject g bound =
+  step g;
+  let r = (g.out_hi lsl 30) lor (g.out_lo lsr 2) in
+  let v = r mod bound in
+  if r - v > max_int - bound + 1 then int_reject g bound else v
 
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  (* Rejection sampling over 62 usable bits keeps the result exactly
-     uniform even when [bound] does not divide the range. *)
-  let rec draw () =
-    let r = positive_bits g in
+  int_reject g bound
+
+let skip_int g bound =
+  if bound <= 0 then invalid_arg "Prng.skip_int: bound must be positive";
+  (* Same state evolution as [int g bound], value discarded.  A draw
+     is rejected only when [r >= 2^62 - (2^62 mod bound)], and
+     [2^62 mod bound <= bound - 1], so below the conservative
+     threshold the single [step] is certainly accepted and the [mod]
+     — a hardware division, the most expensive part of a draw — can
+     be skipped.  The threshold is hit with probability under
+     [bound / 2^62]; there the exact rejection logic replays. *)
+  step g;
+  let r = (g.out_hi lsl 30) lor (g.out_lo lsr 2) in
+  if r >= max_int - bound + 2 then begin
     let v = r mod bound in
-    if r - v > max_int - bound + 1 then draw () else v
-  in
-  draw ()
+    if r - v > max_int - bound + 1 then ignore (int_reject g bound)
+  end
 
 let int_in g lo hi =
   if lo > hi then invalid_arg "Prng.int_in: empty range";
   lo + int g (hi - lo + 1)
 
 let float g bound =
-  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  (* top 53 bits of the draw: (bits64 >>> 11) *)
+  step g;
+  let r = float_of_int ((g.out_hi lsl 21) lor (g.out_lo lsr 11)) in
   bound *. (r /. 9007199254740992.0 (* 2^53 *))
 
 let exponential g ~mean =
@@ -49,7 +192,9 @@ let exponential g ~mean =
   let u = float g 1.0 in
   -.mean *. log (1.0 -. u)
 
-let bool g = Int64.logand (bits64 g) 1L = 1L
+let bool g =
+  step g;
+  g.out_lo land 1 = 1
 
 let bernoulli g p = float g 1.0 < p
 

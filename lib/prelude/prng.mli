@@ -31,6 +31,13 @@ val int : t -> int -> int
     positive.  Uses rejection sampling, so the distribution is exactly
     uniform. *)
 
+val skip_int : t -> int -> unit
+(** [skip_int g bound] advances [g] exactly as [int g bound] would —
+    including any rejection re-draws — but discards the value.  Hot
+    loops that must consume draws to keep a stream aligned (without
+    needing the results) use this: the almost-always-taken path skips
+    the division that [int] pays to reduce the raw draw. *)
+
 val int_in : t -> int -> int -> int
 (** [int_in g lo hi] is uniform in the inclusive range [\[lo, hi\]].
     Requires [lo <= hi]. *)

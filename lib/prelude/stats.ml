@@ -48,7 +48,11 @@ let summarize xs =
     let var =
       if count <= 1 then 0.0
       else
-        List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs
+        List.fold_left
+          (fun acc x ->
+            let d = x -. mu in
+            acc +. (d *. d))
+          0.0 xs
         /. float_of_int (count - 1)
     in
     {

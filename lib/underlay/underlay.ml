@@ -130,7 +130,20 @@ let run ?step_limit ?stall_patience t ~strategy ~seed (inst : Instance.t) =
   let decide = strategy.Ocd_engine.Strategy.make inst rng in
   let have = Array.map Bitset.copy inst.have in
   let tracker = Timeline.Tracker.create inst in
-  let steps = ref [] in
+  let builder = Schedule.Builder.create () in
+  let scratch =
+    Ocd_engine.Strategy.scratch_create ~token_count:inst.token_count
+  in
+  (* Per-run admission tables with int-packed keys ([seen]/[arc_load]
+     over overlay vertices, [link_load] over physical ones), cleared in
+     place each step.  [Bitset.mem] has already range-checked the token
+     by the time [seen] is keyed. *)
+  let n = Instance.vertex_count inst in
+  let n_phys = Digraph.vertex_count t.physical in
+  let token_count = inst.token_count in
+  let arc_load = Hashtbl.create 64 in
+  let link_load = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
   let dropped_total = ref 0 in
   let rec loop step since_progress =
     if Timeline.Tracker.all_satisfied tracker then Ocd_engine.Engine.Completed
@@ -138,38 +151,41 @@ let run ?step_limit ?stall_patience t ~strategy ~seed (inst : Instance.t) =
     else if since_progress >= stall_patience then Ocd_engine.Engine.Stalled step
     else begin
       let proposal =
-        decide { Ocd_engine.Strategy.instance = inst; have; step; rng }
+        decide { Ocd_engine.Strategy.instance = inst; have; step; rng; scratch }
       in
       (* Admit moves while overlay arc capacity AND every physical
          link on the arc's path have room. *)
-      let arc_load = Hashtbl.create 32 in
-      let link_load = Hashtbl.create 64 in
-      let seen = Hashtbl.create 32 in
+      Hashtbl.clear arc_load;
+      Hashtbl.clear link_load;
+      Hashtbl.clear seen;
       let admit (m : Move.t) =
         let cap = Digraph.capacity inst.graph m.src m.dst in
         if cap = 0 then invalid_arg "Underlay.run: move on missing arc";
         if not (Bitset.mem have.(m.src) m.token) then
           invalid_arg "Underlay.run: token not possessed";
-        if Hashtbl.mem seen (m.src, m.dst, m.token) then false
+        let arc = (m.src * n) + m.dst in
+        let key = (arc * token_count) + m.token in
+        if Hashtbl.mem seen key then false
         else begin
-          Hashtbl.replace seen (m.src, m.dst, m.token) ();
-          let al =
-            Option.value (Hashtbl.find_opt arc_load (m.src, m.dst)) ~default:0
-          in
+          Hashtbl.replace seen key ();
+          let al = Option.value (Hashtbl.find_opt arc_load arc) ~default:0 in
           let links = Hashtbl.find t.paths (m.src, m.dst) in
-          let link_ok link =
-            let used = Option.value (Hashtbl.find_opt link_load link) ~default:0 in
-            let a, b = link in
+          let link_ok (a, b) =
+            let used =
+              Option.value (Hashtbl.find_opt link_load ((a * n_phys) + b))
+                ~default:0
+            in
             used < Digraph.capacity t.physical a b
           in
           if al < cap && List.for_all link_ok links then begin
-            Hashtbl.replace arc_load (m.src, m.dst) (al + 1);
+            Hashtbl.replace arc_load arc (al + 1);
             List.iter
-              (fun link ->
+              (fun (a, b) ->
+                let lk = (a * n_phys) + b in
                 let used =
-                  Option.value (Hashtbl.find_opt link_load link) ~default:0
+                  Option.value (Hashtbl.find_opt link_load lk) ~default:0
                 in
-                Hashtbl.replace link_load link (used + 1))
+                Hashtbl.replace link_load lk (used + 1))
               links;
             true
           end
@@ -189,16 +205,23 @@ let run ?step_limit ?stall_patience t ~strategy ~seed (inst : Instance.t) =
             incr fresh;
             Bitset.add have.(m.dst) m.token;
             Timeline.Tracker.deliver tracker ~step:(step + 1) ~dst:m.dst
+              ~token:m.token;
+            Ocd_engine.Strategy.notify_deliver scratch ~dst:m.dst
               ~token:m.token
           end)
         kept;
-      steps := kept :: !steps;
+      List.iter
+        (fun (m : Move.t) ->
+          Schedule.Builder.push_move builder ~src:m.src ~dst:m.dst
+            ~token:m.token)
+        kept;
+      Schedule.Builder.end_step builder;
       loop (step + 1) (if !fresh > 0 then 0 else since_progress + 1)
     end
   in
   let outcome = loop 0 0 in
   let schedule =
-    Schedule.drop_trailing_empty (Schedule.of_steps (List.rev !steps))
+    Schedule.drop_trailing_empty (Schedule.Builder.to_schedule builder)
   in
   (match (outcome, Validate.check_successful inst schedule) with
   | Ocd_engine.Engine.Completed, Error e ->

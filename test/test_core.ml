@@ -121,6 +121,61 @@ let test_schedule_iter_order () =
     [ (0, 0); (0, 1); (1, 0); (1, 1) ]
     (List.rev !seen)
 
+let test_schedule_append_scales () =
+  (* Regression: append_step extending the latest value must stay
+     amortized O(1).  10^5 sequential appends are instant under the
+     packed representation and prohibitive under anything quadratic. *)
+  let steps = 100_000 in
+  let s = ref Schedule.empty in
+  for i = 0 to steps - 1 do
+    s := Schedule.append_step !s [ mv (i mod 7) ((i + 1) mod 7) (i mod 3) ]
+  done;
+  let s = !s in
+  Alcotest.(check int) "length" steps (Schedule.length s);
+  Alcotest.(check int) "moves" steps (Schedule.move_count s);
+  Alcotest.(check int) "step count O(1) metadata" 1
+    (Schedule.step_move_count s (steps - 1));
+  (match Schedule.step s 54_321 with
+  | [ m ] ->
+    Alcotest.(check int) "src" (54_321 mod 7) m.Move.src;
+    Alcotest.(check int) "token" (54_321 mod 3) m.Move.token
+  | l -> Alcotest.failf "step 54321 has %d moves" (List.length l))
+
+let test_schedule_append_persistent () =
+  (* Appending to a non-latest value must copy, not clobber the
+     sibling built from the same prefix. *)
+  let base = Schedule.append_step Schedule.empty [ mv 0 1 0 ] in
+  let a = Schedule.append_step base [ mv 1 2 1 ] in
+  let b = Schedule.append_step base [ mv 2 3 2 ] in
+  Alcotest.(check int) "a token" 1
+    (match Schedule.step a 1 with [ m ] -> m.Move.token | _ -> -1);
+  Alcotest.(check int) "b token" 2
+    (match Schedule.step b 1 with [ m ] -> m.Move.token | _ -> -1);
+  Alcotest.(check int) "base untouched" 1 (Schedule.length base)
+
+let test_schedule_builder () =
+  let b = Schedule.Builder.create () in
+  Schedule.Builder.push_move b ~src:0 ~dst:1 ~token:0;
+  Schedule.Builder.push_move b ~src:0 ~dst:2 ~token:1;
+  Schedule.Builder.end_step b;
+  Schedule.Builder.end_step b;
+  Schedule.Builder.push_move b ~src:1 ~dst:2 ~token:0;
+  Schedule.Builder.end_step b;
+  Alcotest.(check int) "step_count" 3 (Schedule.Builder.step_count b);
+  Alcotest.(check int) "total_moves" 3 (Schedule.Builder.total_moves b);
+  let s = Schedule.Builder.to_schedule b in
+  Alcotest.(check int) "length" 3 (Schedule.length s);
+  Alcotest.(check int) "empty middle step" 0 (Schedule.step_move_count s 1);
+  let seen = ref [] in
+  Schedule.iter_step s 0 (fun ~src ~dst ~token ->
+      seen := (src, dst, token) :: !seen);
+  Alcotest.(check (list (triple int int int)))
+    "iter_step emission order"
+    [ (0, 1, 0); (0, 2, 1) ]
+    (List.rev !seen);
+  Alcotest.(check bool) "steps round-trips" true
+    (Schedule.steps s = [ [ mv 0 1 0; mv 0 2 1 ]; []; [ mv 1 2 0 ] ])
+
 (* ------------------------------------------------------------------ *)
 (* Validate                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -733,6 +788,10 @@ let () =
           Alcotest.test_case "interior empty kept" `Quick
             test_schedule_drop_keeps_interior_empty;
           Alcotest.test_case "iteration order" `Quick test_schedule_iter_order;
+          Alcotest.test_case "append scales" `Quick test_schedule_append_scales;
+          Alcotest.test_case "append persistent" `Quick
+            test_schedule_append_persistent;
+          Alcotest.test_case "builder" `Quick test_schedule_builder;
         ] );
       ( "validate",
         [

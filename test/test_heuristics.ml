@@ -300,6 +300,61 @@ let test_aggregates () =
     (Ocd_heuristics.Aggregates.needed agg 1);
   Alcotest.(check int) "need counts" 1 agg.Ocd_heuristics.Aggregates.need_count.(0)
 
+(* A strategy wrapper that, on every decision, checks the incremental
+   aggregate (Aggregates.tracked, fed by delivery notifications)
+   against the from-scratch oracle over the current possession state,
+   then delegates to local-rarest.  Running it through an engine
+   exercises update on exactly the delivery sequence that engine
+   produces. *)
+let differential_local mismatches =
+  let make inst rng =
+    let tracked = Ocd_heuristics.Aggregates.tracked inst in
+    let inner = Ocd_heuristics.Local_rarest.strategy.Strategy.make inst rng in
+    fun (ctx : Strategy.context) ->
+      let inc = tracked ctx in
+      let oracle = Ocd_heuristics.Aggregates.compute inst ctx.have in
+      if
+        inc.Ocd_heuristics.Aggregates.have_count
+        <> oracle.Ocd_heuristics.Aggregates.have_count
+        || inc.Ocd_heuristics.Aggregates.need_count
+           <> oracle.Ocd_heuristics.Aggregates.need_count
+      then incr mismatches;
+      inner ctx
+  in
+  { Strategy.name = "local-differential"; make }
+
+let prop_aggregates_update_matches_compute_static =
+  QCheck.Test.make
+    ~name:"incremental aggregates = compute oracle (static engine)" ~count:30
+    QCheck.(triple (int_range 0 2000) (int_range 5 30) (int_range 1 10))
+    (fun (seed, n, tokens) ->
+      let inst = single_file_instance ~seed ~n ~tokens in
+      let mismatches = ref 0 in
+      let run =
+        Engine.run ~strategy:(differential_local mismatches) ~seed:(seed + 11)
+          inst
+      in
+      run.Engine.outcome = Engine.Completed && !mismatches = 0)
+
+let prop_aggregates_update_matches_compute_dynamic =
+  QCheck.Test.make
+    ~name:"incremental aggregates = compute oracle (dynamic engine)" ~count:20
+    QCheck.(triple (int_range 0 2000) (int_range 5 25) (int_range 1 8))
+    (fun (seed, n, tokens) ->
+      (* Degraded conditions drop moves, so the delivery sequence the
+         listener sees differs from the proposal — exactly the case
+         where a stale count would diverge. *)
+      let inst = single_file_instance ~seed ~n ~tokens in
+      let condition =
+        Ocd_dynamics.Condition.cross_traffic ~seed:(seed + 1) ~prob:0.4
+          ~severity:0.7
+      in
+      let mismatches = ref 0 in
+      ignore
+        (Ocd_dynamics.Dynamic_engine.run ~condition ~stall_patience:50
+           ~strategy:(differential_local mismatches) ~seed:(seed + 11) inst);
+      !mismatches = 0)
+
 (* ------------------------------------------------------------------ *)
 (* Properties over all heuristics                                      *)
 (* ------------------------------------------------------------------ *)
@@ -372,5 +427,11 @@ let () =
       ( "properties",
         List.map all_complete_prop Ocd_heuristics.Registry.all
         |> List.map qtest
-        |> fun l -> l @ [ qtest prop_density_all_heuristics ] );
+        |> fun l ->
+        l
+        @ [
+            qtest prop_density_all_heuristics;
+            qtest prop_aggregates_update_matches_compute_static;
+            qtest prop_aggregates_update_matches_compute_dynamic;
+          ] );
     ]

@@ -156,6 +156,66 @@ let test_prng_exponential_distribution () =
     true
     (Float.abs (mean -. 8.0) < 0.3)
 
+(* The production generator carries its 64-bit state as two 32-bit
+   native-int limbs (prng.ml); this reference is the textbook Int64
+   SplitMix64 it must reproduce bit for bit. *)
+module Prng_ref = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let mix64 z =
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L)
+    in
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL)
+    in
+    Int64.(logxor z (shift_right_logical z 31))
+
+  let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+  let bits64 g =
+    g.state <- Int64.add g.state golden_gamma;
+    mix64 g.state
+
+  let split g =
+    let seed = bits64 g in
+    { state = mix64 seed }
+end
+
+let test_prng_matches_int64_oracle () =
+  (* Seeds that exercise limb carries and sign extension. *)
+  let seeds = [ 0; 1; 42; -1; -123456789; max_int; min_int; 0x123456789ABCDEF ] in
+  List.iter
+    (fun seed ->
+      let a = Prng.create ~seed and b = Prng_ref.create ~seed in
+      for _ = 0 to 1999 do
+        Alcotest.(check int64) "stream" (Prng_ref.bits64 b) (Prng.bits64 a)
+      done;
+      let a' = Prng.split a and b' = Prng_ref.split b in
+      for _ = 0 to 499 do
+        Alcotest.(check int64) "split stream" (Prng_ref.bits64 b')
+          (Prng.bits64 a')
+      done)
+    seeds
+
+let test_prng_skip_int_advances_like_int () =
+  (* skip_int must leave the generator in exactly the state int would
+     (the engines use it to consume shuffle draws without the values),
+     across small bounds, word-size bounds and bounds large enough to
+     make rejection plausible. *)
+  let bounds = [ 1; 2; 3; 7; 63; 64; 65; 1000; max_int / 2; max_int ] in
+  let a = Prng.create ~seed:2026 and b = Prng.create ~seed:2026 in
+  for round = 0 to 199 do
+    let bound = List.nth bounds (round mod List.length bounds) in
+    ignore (Prng.int a bound);
+    Prng.skip_int b bound;
+    Alcotest.(check int64)
+      (Printf.sprintf "state after bound %d" bound)
+      (Prng.bits64 a) (Prng.bits64 b)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Bitset                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -306,6 +366,48 @@ let prop_bitset_cardinal =
     (QCheck.make bitset_model_gen) (fun (cap, elts) ->
       Bitset.cardinal (Bitset.of_list cap elts) = List.length elts)
 
+let test_bitset_full_word_boundaries () =
+  (* Capacities around the 63-bit word size: the last word's partial
+     mask is where a fill/full bug would over- or under-set bits. *)
+  List.iter
+    (fun cap ->
+      let s = Bitset.full cap in
+      Alcotest.(check int)
+        (Printf.sprintf "cardinal at %d" cap)
+        cap (Bitset.cardinal s);
+      Alcotest.(check (list int))
+        (Printf.sprintf "elements at %d" cap)
+        (List.init cap Fun.id) (Bitset.elements s))
+    [ 0; 1; 62; 63; 64; 125; 126; 127; 189 ]
+
+let test_bitset_fill_matches_full () =
+  List.iter
+    (fun cap ->
+      let s = Bitset.of_list cap (if cap = 0 then [] else [ cap - 1 ]) in
+      Bitset.fill s;
+      Alcotest.(check int)
+        (Printf.sprintf "fill cardinal at %d" cap)
+        cap (Bitset.cardinal s);
+      Alcotest.(check bool)
+        (Printf.sprintf "fill = full at %d" cap)
+        true
+        (Bitset.elements s = Bitset.elements (Bitset.full cap)))
+    [ 0; 1; 62; 63; 64; 126; 200 ]
+
+let prop_bitset_full =
+  QCheck.Test.make ~name:"bitset full = model range" ~count:200
+    QCheck.(make Gen.(int_range 0 300))
+    (fun cap ->
+      let s = Bitset.full cap in
+      Bitset.cardinal s = cap && Bitset.elements s = List.init cap Fun.id)
+
+let prop_bitset_fill =
+  QCheck.Test.make ~name:"bitset fill saturates any set" ~count:200
+    (QCheck.make bitset_model_gen) (fun (cap, elts) ->
+      let s = Bitset.of_list cap elts in
+      Bitset.fill s;
+      Bitset.cardinal s = cap && Bitset.elements s = List.init cap Fun.id)
+
 let prop_bitset_nth =
   QCheck.Test.make ~name:"bitset nth = model nth" ~count:300
     (QCheck.make bitset_model_gen) (fun (cap, elts) ->
@@ -313,6 +415,80 @@ let prop_bitset_nth =
       List.for_all2 (fun i x -> Bitset.nth s i = x)
         (List.mapi (fun i _ -> i) elts)
         elts)
+
+(* ------------------------------------------------------------------ *)
+(* Int_tab                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_tab_incr_and_find () =
+  let t = Int_tab.create () in
+  Alcotest.(check int) "absent finds 0" 0 (Int_tab.find t 7);
+  Alcotest.(check bool) "absent not mem" false (Int_tab.mem t 7);
+  Alcotest.(check int) "first incr" 1 (Int_tab.incr t 7);
+  Alcotest.(check int) "second incr" 2 (Int_tab.incr t 7);
+  Alcotest.(check int) "other key" 1 (Int_tab.incr t 8);
+  Alcotest.(check int) "find" 2 (Int_tab.find t 7);
+  Alcotest.(check bool) "mem" true (Int_tab.mem t 7);
+  Alcotest.(check int) "length" 2 (Int_tab.length t)
+
+let test_int_tab_set_overwrites () =
+  let t = Int_tab.create () in
+  Int_tab.set t 5 10;
+  Int_tab.set t 5 20;
+  Alcotest.(check int) "overwritten" 20 (Int_tab.find t 5);
+  Alcotest.(check int) "single entry" 1 (Int_tab.length t);
+  Alcotest.(check int) "incr from set" 21 (Int_tab.incr t 5)
+
+let test_int_tab_clear_is_generation () =
+  (* clear is an O(1) stamp bump; stale slots from earlier generations
+     must be invisible, including after many clears. *)
+  let t = Int_tab.create ~capacity:4 () in
+  for gen = 1 to 50 do
+    Int_tab.clear t;
+    Alcotest.(check int) "empty after clear" 0 (Int_tab.length t);
+    Alcotest.(check int) "stale key gone" 0 (Int_tab.find t gen);
+    Alcotest.(check int) "fresh incr" 1 (Int_tab.incr t gen);
+    Alcotest.(check int) "fresh incr other" 1 (Int_tab.incr t (gen + 1000))
+  done
+
+let test_int_tab_growth_preserves () =
+  let t = Int_tab.create ~capacity:2 () in
+  (* Sparse, collision-prone keys (packed arc ids are sparse too). *)
+  for i = 0 to 999 do
+    Int_tab.set t (i * 7919) i
+  done;
+  Alcotest.(check int) "length" 1000 (Int_tab.length t);
+  let ok = ref true in
+  for i = 0 to 999 do
+    if Int_tab.find t (i * 7919) <> i then ok := false
+  done;
+  Alcotest.(check bool) "all values survive growth" true !ok
+
+let prop_int_tab_matches_hashtbl =
+  QCheck.Test.make ~name:"int_tab incr = hashtbl model" ~count:200
+    QCheck.(list (pair (int_range (-50) 50) (int_range 0 3)))
+    (fun ops ->
+      (* op = (key, 0|1 incr / 2 set / 3 clear); compare against a
+         Hashtbl model after every operation. *)
+      let t = Int_tab.create ~capacity:2 () in
+      let m = Hashtbl.create 16 in
+      List.for_all
+        (fun (key, op) ->
+          match op with
+          | 3 ->
+            Int_tab.clear t;
+            Hashtbl.reset m;
+            Int_tab.length t = 0
+          | 2 ->
+            Int_tab.set t key 99;
+            Hashtbl.replace m key 99;
+            Int_tab.find t key = 99
+          | _ ->
+            let v = Int_tab.incr t key in
+            let v' = (try Hashtbl.find m key with Not_found -> 0) + 1 in
+            Hashtbl.replace m key v';
+            v = v' && Int_tab.length t = Hashtbl.length m)
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -509,6 +685,10 @@ let () =
             test_prng_exponential_deterministic;
           Alcotest.test_case "exponential distribution" `Quick
             test_prng_exponential_distribution;
+          Alcotest.test_case "matches Int64 oracle" `Quick
+            test_prng_matches_int64_oracle;
+          Alcotest.test_case "skip_int advances like int" `Quick
+            test_prng_skip_int_advances_like_int;
         ] );
       ( "bitset",
         [
@@ -526,12 +706,28 @@ let () =
           Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
           Alcotest.test_case "out of range" `Quick test_bitset_out_of_range;
           Alcotest.test_case "random element" `Quick test_bitset_random_element;
+          Alcotest.test_case "full word boundaries" `Quick
+            test_bitset_full_word_boundaries;
+          Alcotest.test_case "fill matches full" `Quick
+            test_bitset_fill_matches_full;
           qtest prop_bitset_roundtrip;
           qtest prop_bitset_union;
           qtest prop_bitset_inter;
           qtest prop_bitset_diff;
           qtest prop_bitset_cardinal;
+          qtest prop_bitset_full;
+          qtest prop_bitset_fill;
           qtest prop_bitset_nth;
+        ] );
+      ( "int_tab",
+        [
+          Alcotest.test_case "incr and find" `Quick test_int_tab_incr_and_find;
+          Alcotest.test_case "set overwrites" `Quick test_int_tab_set_overwrites;
+          Alcotest.test_case "clear is generational" `Quick
+            test_int_tab_clear_is_generation;
+          Alcotest.test_case "growth preserves" `Quick
+            test_int_tab_growth_preserves;
+          qtest prop_int_tab_matches_hashtbl;
         ] );
       ( "stats",
         [
