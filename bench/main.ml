@@ -156,6 +156,72 @@ let micro_tests () =
                 ~protocol:(Ocd_async.Local_rarest.protocol ())
                 ~seed:7 inst_async)))
   in
+  (* DHT building blocks: the O(n log n) converged-ring precompute, the
+     routed-lookup path on a bare Sim (no maintenance traffic, so the
+     row isolates routing cost), and a full dht-rarest protocol run on
+     the same instance as the async/run-* rows — the delta over
+     async/run-async-local is the price of DHT-based provider
+     discovery. *)
+  let dht_ring_build_test =
+    let members = Array.init 10_000 (fun i -> i) in
+    Test.make ~name:"dht/converged-ring-10k"
+      (Staged.stage (fun () ->
+           (* the sorted ring and fingers are precomputed eagerly; the
+              returned closure is per-vertex assembly *)
+           let ring = Ocd_dht.Node.converged ~seed:7 ~succ_count:8 members in
+           ignore (ring 0)))
+  in
+  let dht_lookup_test =
+    let n = 256 in
+    let members = Array.init n (fun i -> i) in
+    let cfg = Ocd_dht.Node.config ~period:64 () in
+    let ring = Ocd_dht.Node.converged ~seed:7 ~succ_count:8 members in
+    Test.make ~name:"dht/lookup-converged-256"
+      (Staged.stage (fun () ->
+           let sim = Ocd_async.Sim.create () in
+           let stats = Ocd_dht.Node.fresh_stats () in
+           let nodes = Array.make n None in
+           let env v =
+             {
+               Ocd_dht.Node.self = v;
+               seed = 7;
+               now = (fun () -> Ocd_async.Sim.now sim);
+               after = (fun d f -> Ocd_async.Sim.after sim d f);
+               send =
+                 (fun ~dst m ->
+                   Ocd_async.Sim.after sim 5 (fun () ->
+                       match nodes.(dst) with
+                       | Some node -> Ocd_dht.Node.handle node ~src:v m
+                       | None -> ()));
+               alive = (fun _ -> true);
+               observe = ignore;
+               running = (fun () -> false);
+               stats;
+             }
+           in
+           for v = 0 to n - 1 do
+             nodes.(v) <-
+               Some (Ocd_dht.Node.create ~env:(env v) ~config:cfg (ring v))
+           done;
+           let rng = Prng.create ~seed:11 in
+           for _ = 1 to 64 do
+             match nodes.(Prng.int rng n) with
+             | Some node ->
+               Ocd_dht.Node.lookup node ~key:(Prng.int rng max_int)
+                 ~on_done:(fun ~owner:_ ~hops:_ -> ())
+                 ~on_fail:(fun () -> ())
+             | None -> ()
+           done;
+           ignore (Ocd_async.Sim.run sim)))
+  in
+  let dht_run_test =
+    Test.make ~name:"dht/run-dht-rarest"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_async.Runtime.run
+                ~protocol:(Ocd_dht.Dht_rarest.protocol ())
+                ~seed:7 inst_async)))
+  in
   (* Observability overhead: the same engine run plain, with the
      explicitly-disabled scope (the <2% Null-sink acceptance check —
      one flag test per hot-path site), and with a live memory sink +
@@ -276,6 +342,7 @@ let micro_tests () =
   @ engine_tick_tests
   @ async_tests
   @ [ async_lockstep_test; async_faulted_test ]
+  @ [ dht_ring_build_test; dht_lookup_test; dht_run_test ]
   @ [ obs_baseline_test; obs_null_test; obs_memory_test ]
 
 let run_micro () =

@@ -12,6 +12,8 @@
      ocd async      — run the asynchronous message-passing protocols
      ocd chaos      — crash-recovery robustness campaign for the async
                       protocols
+     ocd dht        — run dht-rarest (Chord-style provider discovery)
+                      against the omniscient async-local baseline
      ocd profile    — run a workload under the wall-clock/allocation
                       probe and print the per-phase table
 
@@ -446,6 +448,8 @@ let experiment_cmd =
       ( "async-overhead",
         fun ~jobs ~full:_ ~n:_ () ->
           Ocd_bench.Experiments.async_overhead ~jobs () );
+      ( "dht-lookup",
+        fun ~jobs ~full:_ ~n:_ () -> Ocd_bench.Experiments.dht_lookup ~jobs () );
       ("coding", fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.coding ());
       ( "underlay",
         fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.underlay () );
@@ -472,8 +476,8 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "Experiment: adversary, ip-vs-search, baselines, ablation, \
-             dynamics, async-overhead, coding, underlay, timeline-perf, \
-             graph-scale or engine-scale.")
+             dynamics, async-overhead, dht-lookup, coding, underlay, \
+             timeline-perf, graph-scale or engine-scale.")
   in
   let n_override_arg =
     Arg.(
@@ -594,12 +598,12 @@ let async_cmd =
     in
     let chosen =
       match protocol_name with
-      | None -> Ocd_async.Registry.names
+      | None -> Ocd_dht.Registry.names
       | Some name ->
-        if List.mem name Ocd_async.Registry.names then [ name ]
+        if List.mem name Ocd_dht.Registry.names then [ name ]
         else begin
-          Printf.eprintf "unknown protocol %S; available: %s\n" name
-            (String.concat ", " Ocd_async.Registry.names);
+          Printf.eprintf "%s\n"
+            (Ocd_async.Registry.unknown ~available:Ocd_dht.Registry.names name);
           exit 2
         end
     in
@@ -611,11 +615,7 @@ let async_cmd =
         let runs =
           Pool.map ~obs ~jobs
             (fun name ->
-              let protocol =
-                match Ocd_async.Registry.find name with
-                | Some p -> p
-                | None -> assert false
-              in
+              let protocol = Ocd_dht.Registry.find_exn name in
               (* Child scope per protocol: its registry and memory sink
                  are private to this worker, then absorbed in protocol
                  order below — so the files are byte-identical for any
@@ -661,7 +661,7 @@ let async_cmd =
       & info [ "protocol" ] ~docv:"NAME"
           ~doc:
             "Protocol to run (default: all).  Available: async-local, \
-             async-push, flood-plan.")
+             async-push, flood-plan, dht-rarest.")
   in
   let profile_arg =
     Arg.(
@@ -760,6 +760,150 @@ let chaos_cmd =
         (const run $ seed_arg $ grid_arg $ n_override $ tokens_override
        $ trials_override $ jobs_arg $ trace_out_arg $ metrics_out_arg))
 
+(* ---------------------- ocd dht ------------------------------------ *)
+
+let dht_cmd =
+  let run seed topology n tokens threshold loss crash churn jobs trace_out
+      metrics_out =
+    let inst =
+      build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+        ~multi_sender:false
+    in
+    let profile =
+      match loss with
+      | None -> Ocd_async.Net.default
+      | Some l -> { Ocd_async.Net.default with Ocd_async.Net.loss = l }
+    in
+    let condition =
+      if churn then begin
+        let sources =
+          List.filter
+            (fun v -> not (Bitset.is_empty inst.Instance.have.(v)))
+            (List.init (Instance.vertex_count inst) (fun v -> v))
+        in
+        Ocd_dynamics.Condition.churn ~seed:(seed + 13) ~protected:sources
+          ~leave_prob:0.02 ~return_prob:0.3
+      end
+      else Ocd_dynamics.Condition.static
+    in
+    let faults =
+      match crash with
+      | None -> Ocd_dynamics.Faults.none
+      | Some p -> Ocd_dynamics.Faults.crashes ~seed:(seed + 17) ~crash_prob:p ()
+    in
+    (* The omniscient baseline first, then the DHT protocol it is
+       measured against; both under the same profile/faults/seed. *)
+    let chosen = [ "async-local"; "dht-rarest" ] in
+    Printf.printf
+      "instance: n=%d m=%d deficit=%d; loss=%.2f crash=%.2f churn=%b\n\n"
+      (Instance.vertex_count inst)
+      inst.Instance.token_count (Instance.total_deficit inst)
+      profile.Ocd_async.Net.loss
+      (match crash with Some p -> p | None -> 0.0)
+      churn;
+    with_observed ~trace_out ~metrics_out (fun obs ->
+        let runs =
+          Pool.map ~obs ~jobs
+            (fun name ->
+              (* Stats are created inside the task so each worker domain
+                 owns its counters; Pool.map's join publishes them. *)
+              let stats = Ocd_dht.Node.fresh_stats () in
+              let protocol =
+                if name = "dht-rarest" then
+                  Ocd_dht.Dht_rarest.protocol ~stats ()
+                else Ocd_dht.Registry.find_exn name
+              in
+              let pobs = Ocd_obs.child obs in
+              let r =
+                Ocd_async.Runtime.run ~obs:pobs ~profile ~condition ~faults
+                  ~protocol ~seed inst
+              in
+              (r, stats, pobs))
+            chosen
+        in
+        if obs.Ocd_obs.on then
+          List.iteri
+            (fun i (name, (_, _, pobs)) ->
+              Ocd_obs.absorb ~into:obs ~pid:i ~prefix:(name ^ "/") pobs)
+            (List.combine chosen runs);
+        Printf.printf "%-12s %8s %8s %10s %9s %8s %8s %8s %8s %8s\n" "protocol"
+          "rounds" "ticks" "makespan" "data" "control" "retrans" "crashes"
+          "restarts" "goodput";
+        List.iter
+          (fun ((r : Ocd_async.Runtime.run), _, _) ->
+            Printf.printf "%-12s %8s %8s %10s %9d %8d %8d %8d %8d %8.3f\n"
+              r.Ocd_async.Runtime.protocol_name
+              (match r.Ocd_async.Runtime.outcome with
+              | Ocd_async.Runtime.Completed ->
+                string_of_int r.Ocd_async.Runtime.rounds
+              | Ocd_async.Runtime.Timed_out -> "timeout")
+              (match r.Ocd_async.Runtime.completion_ticks with
+              | Some t -> string_of_int t
+              | None -> "-")
+              (Metrics.makespan_cell r.Ocd_async.Runtime.metrics)
+              r.Ocd_async.Runtime.data_messages
+              r.Ocd_async.Runtime.control_messages
+              r.Ocd_async.Runtime.retransmissions r.Ocd_async.Runtime.crashes
+              r.Ocd_async.Runtime.restarts r.Ocd_async.Runtime.goodput)
+          runs;
+        List.iter
+          (fun (name, ((_ : Ocd_async.Runtime.run), s, _)) ->
+            if name = "dht-rarest" then begin
+              Printf.printf
+                "\ndht: lookups=%d mean_hops=%.2f max_hops=%d failures=%d \
+                 stores=%d queries=%d joins=%d evictions=%d\n"
+                s.Ocd_dht.Node.lookups
+                (Ocd_dht.Node.mean_hops s)
+                s.Ocd_dht.Node.max_hops s.Ocd_dht.Node.failures
+                s.Ocd_dht.Node.stores s.Ocd_dht.Node.queries
+                s.Ocd_dht.Node.joins s.Ocd_dht.Node.evictions;
+              if obs.Ocd_obs.on then begin
+                let put k v = Ocd_obs.Metrics.add obs.Ocd_obs.metrics k v in
+                put "dht/evictions" s.Ocd_dht.Node.evictions;
+                put "dht/failures" s.Ocd_dht.Node.failures;
+                put "dht/hops" s.Ocd_dht.Node.hops;
+                put "dht/joins" s.Ocd_dht.Node.joins;
+                put "dht/lookups" s.Ocd_dht.Node.lookups;
+                put "dht/max_hops" s.Ocd_dht.Node.max_hops;
+                put "dht/queries" s.Ocd_dht.Node.queries;
+                put "dht/stores" s.Ocd_dht.Node.stores
+              end
+            end)
+          (List.combine chosen runs))
+  in
+  let loss_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P" ~doc:"Override per-message loss probability.")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash" ] ~docv:"P"
+          ~doc:
+            "Per-round crash probability (crashed nodes lose all state and \
+             restart, rejoining the DHT ring through the sources).")
+  in
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"Add membership churn (sources protected), seeded from --seed.")
+  in
+  Cmd.v
+    (Cmd.info "dht"
+       ~doc:
+         "Run the dht-rarest protocol (Chord-style provider discovery, no \
+          global knowledge) against the omniscient async-local baseline on \
+          the same instance, with optional crash/churn faults")
+    Term.(
+      term_result
+        (const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+       $ threshold_arg $ loss_arg $ crash_arg $ churn_arg $ jobs_arg
+       $ trace_out_arg $ metrics_out_arg))
+
 (* ---------------------- ocd trace ---------------------------------- *)
 
 let trace_cmd =
@@ -837,17 +981,13 @@ let profile_cmd =
         in
         List.iter
           (fun name ->
-            let protocol =
-              match Ocd_async.Registry.find name with
-              | Some p -> p
-              | None -> assert false
-            in
+            let protocol = Ocd_dht.Registry.find_exn name in
             ignore (Ocd_async.Runtime.run ~obs ~protocol ~seed inst))
-          Ocd_async.Registry.names;
+          Ocd_dht.Registry.names;
         Printf.sprintf "ocd profile async: n=%d m=%d, %d protocols"
           (Instance.vertex_count inst)
           inst.Instance.token_count
-          (List.length Ocd_async.Registry.names)
+          (List.length Ocd_dht.Registry.names)
       | "chaos" ->
         let grid = Ocd_bench.Chaos.smoke_grid in
         ignore (Ocd_bench.Chaos.run ~obs ~jobs ~seed grid);
@@ -901,5 +1041,6 @@ let () =
             trace_cmd;
             async_cmd;
             chaos_cmd;
+            dht_cmd;
             profile_cmd;
           ]))

@@ -18,7 +18,12 @@
 
     Creation counts as contact: a peer is only suspected after a full
     [timeout] of silence from the detector's birth, so nodes do not
-    suspect the whole world at tick 0. *)
+    suspect the whole world at tick 0.
+
+    The contact table is sparse (hashed on peer id), so a detector
+    over [n] peers costs memory proportional to the peers actually
+    heard from, not [n] — a DHT node tracking O(log n) fingers out of
+    a 10^4-node ring pays for just those fingers. *)
 
 type t
 
@@ -35,6 +40,13 @@ val create :
 
 val heard : t -> int -> unit
 (** Record a sign of life from the peer (any received message). *)
+
+val watch : t -> int -> unit
+(** Begin expecting contact from a never-heard peer: counts as a sign
+    of life now, so the timeout measures silence since observation
+    began.  A no-op for peers already heard from — real contact wins.
+    Used when adopting a newly learned peer (e.g. a reported DHT
+    successor) that has had no chance to speak yet. *)
 
 val suspected : t -> int -> bool
 (** Has the peer been silent for more than [timeout] ticks? *)

@@ -202,7 +202,7 @@ let protocol () =
       | Message.Ack token -> Hashtbl.remove jobs (src, token)
       | Message.Request token ->
           if ctx.has token then ctx.send ~dst:src (Message.Data token)
-      | Message.Announce _ -> ()
+      | Message.Announce _ | Message.Dht _ -> ()
     in
     { Protocol.on_start = round; on_message }
   in

@@ -136,7 +136,7 @@ let protocol () =
           Hashtbl.remove pending token;
           Hashtbl.remove target token;
           ignore (ctx.receive ~src token)
-      | Message.Ack _ | Message.State _ -> ()
+      | Message.Ack _ | Message.State _ | Message.Dht _ -> ()
     in
     { Protocol.on_start = round; on_message }
   in

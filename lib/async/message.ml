@@ -1,11 +1,22 @@
 open Ocd_prelude
 
+type dht =
+  | Find_succ of { target : int; ticket : int }
+  | Succ_info of { ticket : int; node : int; final : bool }
+  | Get_neighbors of { ticket : int }
+  | Neighbors of { ticket : int; pred : int; succs : int list }
+  | Notify
+  | Store of { token : int; holder : int; replica : bool }
+  | Get_providers of { token : int; ticket : int }
+  | Providers of { token : int; ticket : int; holders : int list }
+
 type t =
   | Announce of Bitset.t
   | Request of int
   | Data of int
   | Ack of int
   | State of Bitset.t
+  | Dht of dht
 
 let is_data = function Data _ -> true | _ -> false
 
@@ -15,6 +26,34 @@ let kind = function
   | Data _ -> "data"
   | Ack _ -> "ack"
   | State _ -> "state"
+  | Dht (Find_succ _) -> "dht-find-succ"
+  | Dht (Succ_info _) -> "dht-succ-info"
+  | Dht (Get_neighbors _) -> "dht-get-neighbors"
+  | Dht (Neighbors _) -> "dht-neighbors"
+  | Dht Notify -> "dht-notify"
+  | Dht (Store _) -> "dht-store"
+  | Dht (Get_providers _) -> "dht-get-providers"
+  | Dht (Providers _) -> "dht-providers"
+
+let pp_dht ppf = function
+  | Find_succ { target; ticket } ->
+    Format.fprintf ppf "find-succ %x #%d" target ticket
+  | Succ_info { ticket; node; final } ->
+    Format.fprintf ppf "succ-info #%d %d%s" ticket node
+      (if final then " final" else "")
+  | Get_neighbors { ticket } -> Format.fprintf ppf "get-neighbors #%d" ticket
+  | Neighbors { ticket; pred; succs } ->
+    Format.fprintf ppf "neighbors #%d pred=%d succs=[%s]" ticket pred
+      (String.concat "," (List.map string_of_int succs))
+  | Notify -> Format.fprintf ppf "notify"
+  | Store { token; holder; replica } ->
+    Format.fprintf ppf "store %d@%d%s" token holder
+      (if replica then " replica" else "")
+  | Get_providers { token; ticket } ->
+    Format.fprintf ppf "get-providers %d #%d" token ticket
+  | Providers { token; ticket; holders } ->
+    Format.fprintf ppf "providers %d #%d [%s]" token ticket
+      (String.concat "," (List.map string_of_int holders))
 
 let pp ppf = function
   | Announce s -> Format.fprintf ppf "announce %a" Bitset.pp s
@@ -22,3 +61,4 @@ let pp ppf = function
   | Data t -> Format.fprintf ppf "data %d" t
   | Ack t -> Format.fprintf ppf "ack %d" t
   | State s -> Format.fprintf ppf "state %a" Bitset.pp s
+  | Dht m -> Format.fprintf ppf "dht %a" pp_dht m

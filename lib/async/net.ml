@@ -113,20 +113,41 @@ let send net ~src ~dst msg =
     end
   end
   else begin
-    (* Control flows bidirectionally along the edge; it needs some
-       direction of the link to be up. *)
-    let up =
-      effective net ~round ~src ~dst > 0
-      || effective net ~round ~src:dst ~dst:src > 0
+    let adjacent =
+      Digraph.capacity net.graph src dst > 0
+      || Digraph.capacity net.graph dst src > 0
     in
-    if (not up) || lost net state then net.dropped <- net.dropped + 1
-    else begin
-      net.control_sent <- net.control_sent + 1;
-      let cap =
-        max (Digraph.capacity net.graph src dst)
-          (Digraph.capacity net.graph dst src)
+    if adjacent then begin
+      (* Control flows bidirectionally along the edge; it needs some
+         direction of the link to be up. *)
+      let up =
+        effective net ~round ~src ~dst > 0
+        || effective net ~round ~src:dst ~dst:src > 0
       in
-      let arrive = now + delay net state ~capacity:cap in
+      if (not up) || lost net state then net.dropped <- net.dropped + 1
+      else begin
+        net.control_sent <- net.control_sent + 1;
+        let cap =
+          max (Digraph.capacity net.graph src dst)
+            (Digraph.capacity net.graph dst src)
+        in
+        let arrive = now + delay net state ~capacity:cap in
+        schedule_delivery net ~src ~dst ~arrive msg
+      end
+    end
+    else if lost net state then net.dropped <- net.dropped + 1
+    else begin
+      (* No overlay edge between the endpoints: the message routes
+         over the underlay — the physical network beneath the overlay,
+         which connects every pair of hosts but offers no capacity to
+         the distribution problem.  Only control may take this path
+         (the DHT's fingers and successors are arbitrary pairs); it is
+         slower than any overlay link (capacity-0 latency band, 3x
+         base) and still subject to the loss coin and to endpoint
+         crashes, but not to link conditions — flaps and churn model
+         overlay links, which this path does not use. *)
+      net.control_sent <- net.control_sent + 1;
+      let arrive = now + delay net state ~capacity:0 in
       schedule_delivery net ~src ~dst ~arrive msg
     end
   end

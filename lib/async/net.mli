@@ -14,10 +14,19 @@
       ticks.  A round's effective capacity comes from the
       {!Ocd_dynamics.Condition} injector; zero means the arc is down
       and the message is dropped.
-    - Control ([Announce]/[Request]/[Ack]/[State]) is free but not
-      instant: it flows bidirectionally along an edge (the LOCD
-      convention) and is dropped only when every direction of the link
-      is down.
+    - Control ([Announce]/[Request]/[Ack]/[State]/[Dht]) is free but
+      not instant: between adjacent vertices it flows bidirectionally
+      along the edge (the LOCD convention) and is dropped only when
+      every direction of the link is down.  Between {e non-adjacent}
+      vertices it routes over the {e underlay} — the physical network
+      beneath the overlay, which connects every pair of hosts but
+      contributes no capacity to the distribution problem.  Underlay
+      control pays the slowest latency band (3x base, the capacity-0
+      point of the curve below) and the loss coin, but ignores link
+      conditions: flaps and churn model overlay links, which the
+      underlay path does not use.  This is what lets the DHT talk to
+      fingers and successors anywhere on the ring while [Data] remains
+      confined to overlay arcs.
 
     Base one-way latency of an arc scales inversely with its capacity
     ([latency * 9 / (3 + capacity)]): fat links are fast links.  An

@@ -70,7 +70,7 @@ let protocol () =
           ignore (ctx.receive ~src token);
           ctx.send ~dst:src (Message.Ack token)
       | Message.Ack token -> Bitset.add (believed src) token
-      | Message.Request _ | Message.State _ -> ()
+      | Message.Request _ | Message.State _ | Message.Dht _ -> ()
     in
     { Protocol.on_start = round; on_message }
   in

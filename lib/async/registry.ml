@@ -10,4 +10,13 @@ let names = List.map fst constructors
 let find name =
   Option.map (fun (_, make) -> make ()) (List.find_opt (fun (n, _) -> n = name) constructors)
 
+let unknown ~available name =
+  Printf.sprintf "unknown protocol %S (available: %s)" name
+    (String.concat ", " available)
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None -> invalid_arg (unknown ~available:names name)
+
 let all () = List.map (fun (_, make) -> make ()) constructors

@@ -3,12 +3,27 @@
 
     Constructors, not values: a {!Protocol.t} may carry per-run shared
     state (see {!Flood_plan}), so the registry hands out a fresh value
-    per {!find}/{!all} call. *)
+    per {!find}/{!all} call.
+
+    The DHT-backed protocol lives a layer up; [Ocd_dht.Registry]
+    re-exports this vocabulary extended with ["dht-rarest"], and the
+    CLI resolves names through that combined registry. *)
 
 val names : string list
 (** ["async-local"; "async-push"; "flood-plan"], the CLI vocabulary. *)
 
 val find : string -> Protocol.t option
 (** Fresh protocol value by name. *)
+
+val find_exn : string -> Protocol.t
+(** Like {!find}, but an unknown name raises [Invalid_argument] with a
+    message that lists the available protocol names — the text cmdliner
+    surfaces when a user mistypes [--protocol]. *)
+
+val unknown : available:string list -> string -> string
+(** [unknown ~available name] renders that same "unknown protocol …
+    (available: …)" message, for registries layered on top of this one
+    and for cmdliner converters that want the text without the
+    exception. *)
 
 val all : unit -> Protocol.t list

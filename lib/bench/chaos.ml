@@ -107,7 +107,7 @@ let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
       (List.init grid.n (fun v -> v))
   in
   let cells = Array.of_list grid.cells in
-  let protocols = Ocd_async.Registry.names in
+  let protocols = Ocd_dht.Registry.names in
   (* Task grid: cells outer, protocols inner, trials innermost.  Every
      seed below is a function of the base seed and grid coordinates
      only, so the observation list is identical for any [jobs]. *)
@@ -155,11 +155,7 @@ let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
             Faults.crashes ~seed:(cell_seed + 17) ~crash_prob:c.crash_prob ()
           else Faults.none
         in
-        let protocol =
-          match Ocd_async.Registry.find name with
-          | Some p -> p
-          | None -> assert false
-        in
+        let protocol = Ocd_dht.Registry.find_exn name in
         let r =
           let go () =
             Runtime.run ~obs:task_obs ~profile ~condition ~faults ~protocol

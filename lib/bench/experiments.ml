@@ -15,6 +15,7 @@ let seed_ip = 1011
 let seed_base = 1012
 let seed_abl = 1013
 let seed_async = 1030
+let seed_dht = 1031
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
@@ -768,6 +769,245 @@ let async_overhead ?(jobs = 1) () =
     sync_run.Ocd_engine.Engine.metrics.Metrics.bandwidth
 
 (* ------------------------------------------------------------------ *)
+(* DHT lookup (extension)                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Dht_node = Ocd_dht.Node
+
+(* Converged-ring lookup harness: [n] Chord nodes on a bare Sim with a
+   fixed 5-tick hop latency and no maintenance loops, probed with
+   [lookups] random keys from random origins.  Returns the accounted
+   lookup stats, the count of answers disagreeing with the ideal owner,
+   and the total DHT messages sent. *)
+let dht_ring_probe ~n ~lookups =
+  let sim = Ocd_async.Sim.create () in
+  let stats = Dht_node.fresh_stats () in
+  let members = Array.init n (fun i -> i) in
+  let cfg = Dht_node.config ~period:64 () in
+  let ring =
+    Dht_node.converged ~seed:seed_dht ~succ_count:cfg.Dht_node.succ_count
+      members
+  in
+  let nodes = Array.make n None in
+  let messages = ref 0 in
+  let env v =
+    {
+      Dht_node.self = v;
+      seed = seed_dht;
+      now = (fun () -> Ocd_async.Sim.now sim);
+      after = (fun d f -> Ocd_async.Sim.after sim d f);
+      send =
+        (fun ~dst m ->
+          incr messages;
+          Ocd_async.Sim.after sim 5 (fun () ->
+              match nodes.(dst) with
+              | Some node -> Dht_node.handle node ~src:v m
+              | None -> ()));
+      alive = (fun _ -> true);
+      observe = ignore;
+      running = (fun () -> false);
+      stats;
+    }
+  in
+  for v = 0 to n - 1 do
+    nodes.(v) <- Some (Dht_node.create ~env:(env v) ~config:cfg (ring v))
+  done;
+  let rng = Prng.create ~seed:(seed_dht + n) in
+  let wrong = ref 0 in
+  for _ = 1 to lookups do
+    let origin = Prng.int rng n in
+    let key = Prng.int rng max_int in
+    let expected = Dht_node.ideal_owner ~seed:seed_dht ~members key in
+    match nodes.(origin) with
+    | Some node ->
+      Dht_node.lookup node ~key
+        ~on_done:(fun ~owner ~hops:_ -> if owner <> expected then incr wrong)
+        ~on_fail:(fun () -> incr wrong)
+    | None -> ()
+  done;
+  ignore (Ocd_async.Sim.run sim);
+  (stats, !wrong, !messages)
+
+let dht_lookup ?(jobs = 1) () =
+  Report.section
+    "Extension: Chord-style DHT (Ocd_dht) — routed-lookup scaling and \
+     dht-rarest vs the omniscient local-rarest oracle";
+  (* Table 1: lookup cost on converged rings of growing size. *)
+  let lookups = 256 in
+  let sizes = [ 100; 1_000; 10_000 ] in
+  let probes = Pool.map ~jobs (fun n -> (n, dht_ring_probe ~n ~lookups)) sizes in
+  let table =
+    Report.create ~title:"dht lookup scaling"
+      ~columns:
+        [ "n"; "lookups"; "mean_hops"; "max_hops"; "2log2(n)"; "wrong"; "messages" ]
+  in
+  List.iter
+    (fun (n, ((stats : Dht_node.stats), wrong, messages)) ->
+      Report.row table
+        [
+          string_of_int n;
+          string_of_int stats.Dht_node.lookups;
+          Printf.sprintf "%.2f" (Dht_node.mean_hops stats);
+          string_of_int stats.Dht_node.max_hops;
+          Printf.sprintf "%.1f" (2.0 *. (log (float_of_int n) /. log 2.0));
+          string_of_int wrong;
+          string_of_int messages;
+        ])
+    probes;
+  Report.render table;
+  Report.note
+    "converged ring, iterative lookups of random keys from random origins; \
+     mean hops must stay within 2*log2(n) (test_dht enforces the bound at \
+     n = 10^4) and every answer must match the ideal owner (wrong = 0)";
+  (* Table 2: the price of dropping the oracle.  dht-rarest discovers
+     provider sets through routed lookups; async-local reads the shared
+     instance state directly.  Same cells as the chaos smoke family. *)
+  let rng = Prng.create ~seed:seed_dht in
+  let n = 24 and tokens = 10 and trials = 2 in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n () in
+  let inst = (Scenario.single_file rng ~graph ~tokens ()).Scenario.instance in
+  let sources =
+    List.filter
+      (fun v -> not (Bitset.is_empty inst.Instance.have.(v)))
+      (Order.range n)
+  in
+  let envs =
+    [
+      ("baseline", 0.0, `None);
+      ("loss-10%", 0.10, `None);
+      ("loss+crash", 0.05, `Crash 0.05);
+      ("churn+crash", 0.0, `Crash_churn 0.05);
+    ]
+  in
+  let protocols = [ "async-local"; "dht-rarest" ] in
+  let combos =
+    List.concat_map
+      (fun (ei, env) ->
+        List.concat_map
+          (fun name ->
+            List.map (fun trial -> (ei, env, name, trial)) (Order.range trials))
+          protocols)
+      (List.mapi (fun i e -> (i, e)) envs)
+  in
+  let results =
+    Pool.map ~jobs
+      (fun (ei, (label, loss, fault), name, trial) ->
+        let cell_seed = seed_dht + (7919 * ei) in
+        let profile =
+          { Ocd_async.Net.default with Ocd_async.Net.loss }
+        in
+        let condition =
+          match fault with
+          | `Crash_churn _ ->
+            Ocd_dynamics.Condition.churn ~seed:(cell_seed + 13)
+              ~protected:sources ~leave_prob:0.02 ~return_prob:0.3
+          | _ -> Ocd_dynamics.Condition.static
+        in
+        let faults =
+          match fault with
+          | `None -> Ocd_dynamics.Faults.none
+          | `Crash p | `Crash_churn p ->
+            Ocd_dynamics.Faults.crashes ~seed:(cell_seed + 17) ~crash_prob:p ()
+        in
+        let stats = Dht_node.fresh_stats () in
+        let protocol =
+          if name = "dht-rarest" then Ocd_dht.Dht_rarest.protocol ~stats ()
+          else Ocd_dht.Registry.find_exn name
+        in
+        let r =
+          Ocd_async.Runtime.run ~profile ~condition ~faults ~protocol
+            ~seed:(seed_dht + (31 * trial) + 1)
+            inst
+        in
+        (label, name, r, stats))
+      combos
+  in
+  let table2 =
+    Report.create ~title:"dht-rarest vs omniscient local-rarest"
+      ~columns:
+        [
+          "env";
+          "protocol";
+          "done";
+          "makespan";
+          "control";
+          "retrans";
+          "lookups";
+          "hops_mean";
+          "repairs";
+          "inflation";
+        ]
+  in
+  let rows label name =
+    List.filter (fun (l, nm, _, _) -> l = label && nm = name) results
+  in
+  let mean_ticks rs =
+    match List.filter_map (fun (_, _, r, _) -> r.Ocd_async.Runtime.completion_ticks) rs with
+    | [] -> None
+    | ts ->
+      Some
+        (float_of_int (List.fold_left ( + ) 0 ts)
+        /. float_of_int (List.length ts))
+  in
+  List.iter
+    (fun (label, _, _) ->
+      let base_mean = mean_ticks (rows label "async-local") in
+      List.iter
+        (fun name ->
+          let rs = rows label name in
+          let completed =
+            List.length
+              (List.filter
+                 (fun (_, _, r, _) ->
+                   r.Ocd_async.Runtime.outcome = Ocd_async.Runtime.Completed)
+                 rs)
+          in
+          let sum_run f =
+            List.fold_left (fun acc (_, _, r, _) -> acc + f r) 0 rs
+          in
+          let sum_stats f =
+            List.fold_left (fun acc (_, _, _, s) -> acc + f s) 0 rs
+          in
+          let lookups = sum_stats (fun s -> s.Dht_node.lookups) in
+          let hops = sum_stats (fun s -> s.Dht_node.hops) in
+          let repairs =
+            sum_stats (fun s -> s.Dht_node.evictions + s.Dht_node.joins)
+          in
+          let dht = name = "dht-rarest" in
+          Report.row table2
+            [
+              label;
+              name;
+              Printf.sprintf "%d/%d" completed trials;
+              (match mean_ticks rs with
+              | Some m -> Printf.sprintf "%.0f" m
+              | None -> "-");
+              string_of_int
+                (sum_run (fun r -> r.Ocd_async.Runtime.control_messages));
+              string_of_int
+                (sum_run (fun r -> r.Ocd_async.Runtime.retransmissions));
+              (if dht then string_of_int lookups else "-");
+              (if dht && lookups > 0 then
+                 Printf.sprintf "%.2f"
+                   (float_of_int hops /. float_of_int lookups)
+               else "-");
+              (if dht then string_of_int repairs else "-");
+              (match (dht, mean_ticks rs, base_mean) with
+              | true, Some m, Some b when b > 0.0 ->
+                Printf.sprintf "%.2fx" (m /. b)
+              | _ -> "-");
+            ])
+        protocols)
+    envs;
+  Report.render table2;
+  Report.note
+    "n = %d, %d tokens, %d trials per cell; inflation = dht-rarest mean \
+     makespan over completed trials relative to async-local's — the price \
+     of learning provider sets through O(log n) routed lookups instead of \
+     reading the omniscient oracle"
+    n tokens trials
+
+(* ------------------------------------------------------------------ *)
 (* Timeline micro-benchmark                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1024,4 +1264,5 @@ let run_all ?(full = false) ?(jobs = 1) () =
   dynamics ();
   coding ();
   underlay ();
-  async_overhead ~jobs ()
+  async_overhead ~jobs ();
+  dht_lookup ~jobs ()

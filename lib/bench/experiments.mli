@@ -79,6 +79,15 @@ val async_overhead : ?jobs:int -> unit -> unit
     goodput per protocol, against the synchronous engine's makespan.
     Deterministic for any [jobs] value. *)
 
+val dht_lookup : ?jobs:int -> unit -> unit
+(** Extension: the {!Ocd_dht} Chord overlay.  Two tables: routed-lookup
+    scaling on converged rings at n = 10^2..10^4 (mean/max hops vs the
+    2*log2(n) bound, correctness vs the ideal owner, message volume),
+    and dht-rarest vs the omniscient async-local baseline across
+    chaos-style cells (loss, crashes, churn) — makespan inflation,
+    control overhead, lookup hops and ring repairs.  Deterministic for
+    any [jobs] value. *)
+
 val timeline_perf : unit -> unit
 (** Micro-benchmark of the {!Ocd_core.Timeline} one-pass derivation
     against the legacy full-snapshot possession replay it replaced,

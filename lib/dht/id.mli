@@ -1,0 +1,43 @@
+(** The DHT identifier circle.
+
+    Identifiers are points on the circle [\[0, 2^62)], which is exactly
+    the non-negative range of OCaml's native int on 64-bit platforms.
+    Both vertices and token keys are hashed onto the circle with the
+    seeded mixing hash {!Ocd_prelude.Prng.mix}, in disjoint domains (a
+    vertex and a token never collide by construction of the domain
+    bit), so the whole geometry is a pure function of the run seed —
+    byte-identical across workers, platforms, and replays.
+
+    Interval predicates follow the Chord conventions for circular
+    arcs: [in_oc ~lo ~hi] is membership in the clockwise half-open arc
+    (lo, hi] (ownership: the successor of a key owns it), [in_oo] the
+    open arc (lo, hi) (routing: closest-preceding-node selection).
+    When [lo = hi] the arc is the whole circle — the single-node
+    ring. *)
+
+val bits : int
+(** 62: the number of bits of the identifier space, and the number of
+    finger-table entries per node. *)
+
+val of_vertex : seed:int -> int -> int
+(** Ring position of a graph vertex. *)
+
+val of_key : seed:int -> int -> int
+(** Ring position of a token key; disjoint from every vertex id's
+    hash domain. *)
+
+val dist : from:int -> int -> int
+(** Clockwise distance, mod 2^62. *)
+
+val in_oo : lo:int -> hi:int -> int -> bool
+(** Membership in the open clockwise arc (lo, hi); the full circle
+    minus [lo] when [lo = hi]. *)
+
+val in_oc : lo:int -> hi:int -> int -> bool
+(** Membership in the half-open clockwise arc (lo, hi]; the full
+    circle when [lo = hi]. *)
+
+val finger_target : int -> int -> int
+(** [finger_target id k] is [id + 2^k] on the circle — the point whose
+    owner is the [k]-th finger of the node at [id].
+    @raise Invalid_argument unless [0 <= k < bits]. *)

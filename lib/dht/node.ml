@@ -1,0 +1,621 @@
+open Ocd_prelude
+module Message = Ocd_async.Message
+
+type config = {
+  succ_count : int;
+  replication : int;
+  period : int;
+  lookup_timeout : int;
+  lookup_attempts : int;
+  hop_limit : int;
+  providers_cap : int;
+}
+
+let config ?(succ_count = 8) ?(replication = 3) ?lookup_timeout
+    ?(lookup_attempts = 4) ?(providers_cap = 64) ~period () =
+  if succ_count < 1 then invalid_arg "Node.config: succ_count must be positive";
+  if replication < 1 then invalid_arg "Node.config: replication must be positive";
+  if period < 1 then invalid_arg "Node.config: period must be positive";
+  let lookup_timeout =
+    match lookup_timeout with Some t -> t | None -> 2 * period
+  in
+  if lookup_timeout < 1 then
+    invalid_arg "Node.config: lookup_timeout must be positive";
+  {
+    succ_count;
+    replication;
+    period;
+    lookup_timeout;
+    lookup_attempts;
+    hop_limit = 128;
+    providers_cap;
+  }
+
+type stats = {
+  mutable lookups : int;
+  mutable hops : int;
+  mutable max_hops : int;
+  mutable failures : int;
+  mutable stores : int;
+  mutable queries : int;
+  mutable joins : int;
+  mutable evictions : int;
+}
+
+let fresh_stats () =
+  {
+    lookups = 0;
+    hops = 0;
+    max_hops = 0;
+    failures = 0;
+    stores = 0;
+    queries = 0;
+    joins = 0;
+    evictions = 0;
+  }
+
+let mean_hops s =
+  if s.lookups = 0 then 0.0 else float_of_int s.hops /. float_of_int s.lookups
+
+type env = {
+  self : int;
+  seed : int;
+  now : unit -> int;
+  after : int -> (unit -> unit) -> unit;
+  send : dst:int -> Message.dht -> unit;
+  alive : int -> bool;
+  observe : int -> unit;
+  running : unit -> bool;
+  stats : stats;
+}
+
+type init =
+  | Stable of { succs : int list; pred : int option; fingers : int array }
+  | Join of { via : int list }
+
+(* One iterative lookup in flight.  [cand] is the node currently being
+   asked; [banned] accumulates nodes that timed out or were redirected
+   to while dead, so rerouting does not retry a corpse within the same
+   lookup.  [account] separates application lookups (advertise /
+   provider queries / explicit probes), which feed the stats, from
+   maintenance lookups (finger fixing, joins), which do not. *)
+type lookup = {
+  target : int;
+  mutable cand : int;
+  mutable hops : int;
+  mutable attempts : int;
+  mutable banned : int list;
+  account : bool;
+  on_done : owner:int -> hops:int -> unit;
+  on_fail : unit -> unit;
+}
+
+type query = { q_cb : int list -> unit }
+
+type t = {
+  env : env;
+  config : config;
+  id : int;
+  mutable succs : int list;  (* ascending ring distance from self; no self *)
+  mutable pred : int option;
+  fingers : int array;  (* Id.bits entries; -1 = unknown *)
+  mutable fix_cursor : int;
+  mutable joining : bool;
+  mutable join_via : int list;
+  mutable join_attempt : int;
+  mutable join_pending : bool;
+  mutable stab_ticket : int;
+  mutable ticket : int;
+  pending : (int, lookup) Hashtbl.t;  (* ticket -> lookup *)
+  queries : (int, query) Hashtbl.t;  (* ticket -> provider query *)
+  store : (int, int list ref) Hashtbl.t;  (* token -> holders, ascending *)
+  (* records received from their advertiser (replica = false); these
+     are the ones this node re-replicates when its successor set
+     changes *)
+  primaries : (int * int, unit) Hashtbl.t;
+  mutable replica_targets : int list;
+}
+
+let vid t v = Id.of_vertex ~seed:t.env.seed v
+let id t = t.id
+let succ0 t = match t.succs with s :: _ -> s | [] -> t.env.self
+let successors t = t.succs
+let predecessor t = t.pred
+let ready t = not t.joining
+
+let next_ticket t =
+  t.ticket <- t.ticket + 1;
+  t.ticket
+
+let replica_set t = Order.take (t.config.replication - 1) t.succs
+
+(* ------------------------------ routing ------------------------------ *)
+
+(* Routing deliberately ignores [env.alive]: far nodes (fingers) are
+   contacted too rarely for a silence-based detector to have an
+   opinion worth acting on, and the lookup machinery already routes
+   around dead candidates with its own per-hop timeout and ban list.
+   The detector's verdicts drive ring maintenance only, where probing
+   keeps them grounded in actual contact. *)
+let closest_preceding t ~target ~banned =
+  let best = ref (-1) and best_id = ref 0 in
+  let consider u =
+    if u >= 0 && u <> t.env.self && not (List.mem u banned) then begin
+      let uid = vid t u in
+      if
+        Id.in_oo ~lo:t.id ~hi:target uid
+        && (!best < 0 || Id.in_oo ~lo:!best_id ~hi:target uid)
+      then begin
+        best := u;
+        best_id := uid
+      end
+    end
+  in
+  Array.iter consider t.fingers;
+  List.iter consider t.succs;
+  (match t.pred with Some p -> consider p | None -> ());
+  !best
+
+let finish_lookup t tk lk ~owner =
+  Hashtbl.remove t.pending tk;
+  if lk.account then begin
+    let s = t.env.stats in
+    s.lookups <- s.lookups + 1;
+    s.hops <- s.hops + lk.hops;
+    if lk.hops > s.max_hops then s.max_hops <- lk.hops
+  end;
+  lk.on_done ~owner ~hops:lk.hops
+
+let fail_lookup t tk lk =
+  Hashtbl.remove t.pending tk;
+  if lk.account then t.env.stats.failures <- t.env.stats.failures + 1;
+  lk.on_fail ()
+
+let rec send_hop t tk lk =
+  lk.hops <- lk.hops + 1;
+  t.env.send ~dst:lk.cand (Message.Find_succ { target = lk.target; ticket = tk });
+  let h = lk.hops in
+  t.env.after t.config.lookup_timeout (fun () -> check_hop t tk h)
+
+and check_hop t tk h =
+  match Hashtbl.find_opt t.pending tk with
+  | Some lk when lk.hops = h ->
+    (* a full timeout with no reply: route around the candidate *)
+    if not (List.mem lk.cand lk.banned) then lk.banned <- lk.cand :: lk.banned;
+    reroute t tk lk
+  | _ -> ()
+
+and reroute t tk lk =
+  lk.attempts <- lk.attempts + 1;
+  if lk.attempts >= t.config.lookup_attempts || lk.hops >= t.config.hop_limit
+  then fail_lookup t tk lk
+  else begin
+    let c = closest_preceding t ~target:lk.target ~banned:lk.banned in
+    let c = if c >= 0 then c else succ0 t in
+    if c = t.env.self then fail_lookup t tk lk
+    else begin
+      lk.cand <- c;
+      send_hop t tk lk
+    end
+  end
+
+let account_local t =
+  let s = t.env.stats in
+  s.lookups <- s.lookups + 1
+
+let start_lookup t ~account ~target ~on_done ~on_fail =
+  let s = succ0 t in
+  if s = t.env.self then begin
+    (* a ring of one: every identifier is ours *)
+    if account then account_local t;
+    on_done ~owner:t.env.self ~hops:0
+  end
+  else if Id.in_oc ~lo:t.id ~hi:(vid t s) target then begin
+    if account then account_local t;
+    on_done ~owner:s ~hops:0
+  end
+  else begin
+    let c = closest_preceding t ~target ~banned:[] in
+    let cand = if c >= 0 then c else s in
+    let tk = next_ticket t in
+    let lk =
+      { target; cand; hops = 0; attempts = 0; banned = []; account;
+        on_done; on_fail }
+    in
+    Hashtbl.replace t.pending tk lk;
+    send_hop t tk lk
+  end
+
+let lookup t ~key ~on_done ~on_fail =
+  start_lookup t ~account:true ~target:key ~on_done ~on_fail
+
+(* --------------------------- provider store --------------------------- *)
+
+let providers t ~token =
+  match Hashtbl.find_opt t.store token with
+  | Some l -> Order.take t.config.providers_cap !l
+  | None -> []
+
+let add_holder t token holder =
+  let l =
+    match Hashtbl.find_opt t.store token with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add t.store token l;
+      l
+  in
+  if not (List.mem holder !l) then l := List.sort compare (holder :: !l)
+
+let on_store t ~token ~holder ~replica =
+  add_holder t token holder;
+  t.env.stats.stores <- t.env.stats.stores + 1;
+  if not replica then begin
+    Hashtbl.replace t.primaries (token, holder) ();
+    List.iter
+      (fun u -> t.env.send ~dst:u (Message.Store { token; holder; replica = true }))
+      (replica_set t)
+  end
+
+(* When the replica set gains members (successor repair, or a closer
+   successor learned through stabilisation), every primary record is
+   re-sent to the newcomers so an advertisement survives the loss of
+   the nodes that held it — soft state with eager repair. *)
+let re_replicate t =
+  let targets = replica_set t in
+  let fresh =
+    List.filter (fun u -> not (List.mem u t.replica_targets)) targets
+  in
+  if fresh <> [] && Hashtbl.length t.primaries > 0 then begin
+    let records = Hashtbl.fold (fun k () acc -> k :: acc) t.primaries [] in
+    let records = List.sort compare records in
+    List.iter
+      (fun (token, holder) ->
+        List.iter
+          (fun u ->
+            t.env.send ~dst:u (Message.Store { token; holder; replica = true }))
+          fresh)
+      records
+  end;
+  t.replica_targets <- targets
+
+let advertise t ~token =
+  start_lookup t ~account:false ~target:(Id.of_key ~seed:t.env.seed token)
+    ~on_done:(fun ~owner ~hops:_ ->
+      if owner = t.env.self then
+        on_store t ~token ~holder:t.env.self ~replica:false
+      else
+        t.env.send ~dst:owner
+          (Message.Store { token; holder = t.env.self; replica = false }))
+    ~on_fail:(fun () -> ())
+
+let rec find_providers_go t ~token ~attempts cb =
+  let retry () =
+    (* the ring may have repaired since the failed attempt: a fresh
+       lookup routes around whatever ate the last one *)
+    if attempts + 1 < t.config.lookup_attempts then
+      find_providers_go t ~token ~attempts:(attempts + 1) cb
+    else cb []
+  in
+  start_lookup t ~account:true ~target:(Id.of_key ~seed:t.env.seed token)
+    ~on_done:(fun ~owner ~hops:_ ->
+      if owner = t.env.self then cb (providers t ~token)
+      else begin
+        let tk = next_ticket t in
+        Hashtbl.replace t.queries tk { q_cb = cb };
+        t.env.stats.queries <- t.env.stats.queries + 1;
+        t.env.send ~dst:owner (Message.Get_providers { token; ticket = tk });
+        t.env.after t.config.lookup_timeout (fun () ->
+            if Hashtbl.mem t.queries tk then begin
+              Hashtbl.remove t.queries tk;
+              retry ()
+            end)
+      end)
+    ~on_fail:retry
+
+let find_providers t ~token cb = find_providers_go t ~token ~attempts:0 cb
+
+(* ----------------------------- maintenance ---------------------------- *)
+
+let ring_sorted t nodes =
+  List.sort_uniq
+    (fun a b ->
+      compare (Id.dist ~from:t.id (vid t a)) (Id.dist ~from:t.id (vid t b)))
+    nodes
+
+let start_join t =
+  if not t.join_pending then begin
+    (* no liveness filter: attempts cycle through the bootstrap set, so
+       a dead candidate costs one timed-out attempt and nothing more *)
+    let candidates = List.filter (fun u -> u <> t.env.self) t.join_via in
+    match candidates with
+    | [] -> ()  (* nobody to join through; stay a ring of one *)
+    | _ :: _ ->
+      let c = List.nth candidates (t.join_attempt mod List.length candidates) in
+      t.join_attempt <- t.join_attempt + 1;
+      t.join_pending <- true;
+      (* Lookup of the id just past ours, forced through the bootstrap
+         candidate (the local shortcut would answer "self" vacuously).
+         Not our own id: a *re*joining node is still remembered by the
+         ring under the same identifier, so the owner of [t.id] is the
+         node itself — the owner of [t.id + 1] is its live successor. *)
+      let tk = next_ticket t in
+      let lk =
+        {
+          target = (t.id + 1) land max_int;
+          cand = c;
+          hops = 0;
+          attempts = 0;
+          banned = [];
+          account = false;
+          on_done =
+            (fun ~owner ~hops:_ ->
+              t.join_pending <- false;
+              if owner <> t.env.self then begin
+                t.joining <- false;
+                t.env.observe owner;
+                t.succs <- [ owner ];
+                t.env.stats.joins <- t.env.stats.joins + 1;
+                t.env.send ~dst:owner Message.Notify
+              end);
+          on_fail = (fun () -> t.join_pending <- false);
+        }
+      in
+      Hashtbl.replace t.pending tk lk;
+      send_hop t tk lk
+  end
+
+(* Drop suspected-dead successors, counting each drop.  Both removal
+   paths — the periodic stabilise sweep and the reply-merge in
+   [on_neighbors] — go through here, so the eviction counter is exact
+   no matter which one notices first. *)
+let evict_suspected t =
+  let live = List.filter (fun u -> t.env.alive u) t.succs in
+  let dropped = List.length t.succs - List.length live in
+  if dropped > 0 then begin
+    t.env.stats.evictions <- t.env.stats.evictions + dropped;
+    t.succs <- live
+  end;
+  dropped > 0
+
+let stabilise t =
+  (* detector-driven successor repair *)
+  if evict_suspected t then re_replicate t;
+  (match t.pred with
+  | Some p when not (t.env.alive p) -> t.pred <- None
+  | _ -> ());
+  match t.succs with
+  | [] ->
+    (* the whole successor list died: rejoin through the bootstrap set *)
+    if t.join_via <> [] then begin
+      t.joining <- true;
+      start_join t
+    end
+  | succs ->
+    (* Probe the whole successor list, not just the head: the replies
+       both merge routing state and stand in as ring heartbeats, so
+       the detector's verdict on a successor always rests on recent
+       expected contact.  One ticket per period; every reply carrying
+       it merges (the next period's ticket retires stragglers). *)
+    let tk = next_ticket t in
+    t.stab_ticket <- tk;
+    List.iter
+      (fun s -> t.env.send ~dst:s (Message.Get_neighbors { ticket = tk }))
+      succs
+
+let on_neighbors t ~src ~ticket ~pred ~reported =
+  if ticket = t.stab_ticket then begin
+    ignore (evict_suspected t);
+    let adopt =
+      if
+        pred >= 0 && pred <> t.env.self
+        && Id.in_oo ~lo:t.id ~hi:(vid t src) (vid t pred)
+      then [ pred ]
+      else []
+    in
+    (* Newly reported members have had no chance to speak yet — mark
+       them observed so the silence clock starts now, then let the
+       detector's verdict filter the merge. *)
+    List.iter
+      (fun u -> if u >= 0 && u <> t.env.self then t.env.observe u)
+      (adopt @ reported);
+    let cands =
+      List.filter
+        (fun u -> u <> t.env.self && t.env.alive u)
+        (adopt @ (src :: reported) @ t.succs)
+    in
+    t.succs <- Order.take t.config.succ_count (ring_sorted t cands);
+    (match t.succs with
+    | s :: _ -> t.env.send ~dst:s Message.Notify
+    | [] -> ());
+    re_replicate t
+  end
+
+let on_notify t ~src =
+  if src <> t.env.self then begin
+    (match t.pred with
+    | None -> t.pred <- Some src
+    | Some p when not (t.env.alive p) -> t.pred <- Some src
+    | Some p when Id.in_oo ~lo:(vid t p) ~hi:t.id (vid t src) ->
+      t.pred <- Some src
+    | Some _ -> ());
+    (* A ring of one adopts its first notifier as successor — the only
+       way a lone bootstrap node (empty successor list, nobody to join
+       through) ever learns the ring has grown around it. *)
+    if t.succs = [] && not t.joining && t.env.alive src then begin
+      t.env.observe src;
+      t.succs <- [ src ];
+      re_replicate t
+    end
+  end
+
+let fix_finger t =
+  let k = t.fix_cursor in
+  t.fix_cursor <- (t.fix_cursor + 1) mod Id.bits;
+  start_lookup t ~account:false ~target:(Id.finger_target t.id k)
+    ~on_done:(fun ~owner ~hops:_ -> t.fingers.(k) <- owner)
+    ~on_fail:(fun () -> ())
+
+let on_find_succ t ~src ~target ~ticket =
+  if t.joining && t.succs = [] then
+    (* no routing state yet; let the querier time out and reroute *)
+    ()
+  else begin
+    let reply node final =
+      t.env.send ~dst:src (Message.Succ_info { ticket; node; final })
+    in
+    let s = succ0 t in
+    if s = t.env.self then reply t.env.self true
+    else if Id.in_oc ~lo:t.id ~hi:(vid t s) target then reply s true
+    else
+      match t.pred with
+      | Some p when Id.in_oc ~lo:(vid t p) ~hi:t.id target ->
+        reply t.env.self true
+      | _ ->
+        let c = closest_preceding t ~target ~banned:[] in
+        if c >= 0 then reply c false else reply s false
+  end
+
+let on_succ_info t ~ticket ~node ~final =
+  match Hashtbl.find_opt t.pending ticket with
+  | None -> ()
+  | Some lk ->
+    if final then finish_lookup t ticket lk ~owner:node
+    else if node = t.env.self || List.mem node lk.banned then begin
+      (* a stale redirect (to ourselves, or to a node this lookup
+         already gave up on): route around it *)
+      if not (List.mem node lk.banned) then lk.banned <- node :: lk.banned;
+      reroute t ticket lk
+    end
+    else begin
+      lk.cand <- node;
+      send_hop t ticket lk
+    end
+
+(* ------------------------------ lifecycle ----------------------------- *)
+
+let handle t ~src (m : Message.dht) =
+  match m with
+  | Message.Find_succ { target; ticket } -> on_find_succ t ~src ~target ~ticket
+  | Message.Succ_info { ticket; node; final } ->
+    on_succ_info t ~ticket ~node ~final
+  | Message.Get_neighbors { ticket } ->
+    t.env.send ~dst:src
+      (Message.Neighbors
+         {
+           ticket;
+           pred = (match t.pred with Some p -> p | None -> -1);
+           succs = t.succs;
+         })
+  | Message.Neighbors { ticket; pred; succs } ->
+    on_neighbors t ~src ~ticket ~pred ~reported:succs
+  | Message.Notify -> on_notify t ~src
+  | Message.Store { token; holder; replica } -> on_store t ~token ~holder ~replica
+  | Message.Get_providers { token; ticket } ->
+    t.env.send ~dst:src
+      (Message.Providers { token; ticket; holders = providers t ~token })
+  | Message.Providers { ticket; holders; token = _ } -> (
+    match Hashtbl.find_opt t.queries ticket with
+    | Some q ->
+      Hashtbl.remove t.queries ticket;
+      q.q_cb holders
+    | None -> ())
+
+let rec tick t =
+  if t.env.running () then begin
+    if t.joining then start_join t
+    else begin
+      stabilise t;
+      if t.succs <> [] then fix_finger t
+    end;
+    t.env.after t.config.period (fun () -> tick t)
+  end
+
+let start t =
+  if t.joining then start_join t;
+  t.env.after t.config.period (fun () -> tick t)
+
+let create ~env ~config init =
+  let t =
+    {
+      env;
+      config;
+      id = Id.of_vertex ~seed:env.seed env.self;
+      succs = [];
+      pred = None;
+      fingers = Array.make Id.bits (-1);
+      fix_cursor = 0;
+      joining = false;
+      join_via = [];
+      join_attempt = 0;
+      join_pending = false;
+      stab_ticket = 0;
+      ticket = 0;
+      pending = Hashtbl.create 8;
+      queries = Hashtbl.create 8;
+      store = Hashtbl.create 16;
+      primaries = Hashtbl.create 16;
+      replica_targets = [];
+    }
+  in
+  (match init with
+  | Stable { succs; pred; fingers } ->
+    t.succs <- Order.take config.succ_count succs;
+    t.pred <- pred;
+    Array.blit fingers 0 t.fingers 0 (min (Array.length fingers) Id.bits);
+    t.replica_targets <- replica_set t
+  | Join { via } ->
+    t.joining <- true;
+    t.join_via <- List.filter (fun u -> u <> env.self) via);
+  t
+
+(* ------------------------- converged ring state ------------------------ *)
+
+let sorted_ring ~seed members =
+  let m = Array.length members in
+  let ids = Array.map (fun v -> Id.of_vertex ~seed v) members in
+  let order = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  let sorted_ids = Array.map (fun i -> ids.(i)) order in
+  let sorted_vs = Array.map (fun i -> members.(i)) order in
+  (sorted_ids, sorted_vs)
+
+let owner_index sorted_ids target =
+  let m = Array.length sorted_ids in
+  let lo = ref 0 and hi = ref m in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sorted_ids.(mid) >= target then hi := mid else lo := mid + 1
+  done;
+  if !lo = m then 0 else !lo
+
+let ideal_owner ~seed ~members target =
+  if Array.length members = 0 then invalid_arg "Node.ideal_owner: no members";
+  let sorted_ids, sorted_vs = sorted_ring ~seed members in
+  sorted_vs.(owner_index sorted_ids target)
+
+let converged ~seed ~succ_count members =
+  let m = Array.length members in
+  if m = 0 then invalid_arg "Node.converged: no members";
+  let sorted_ids, sorted_vs = sorted_ring ~seed members in
+  let rank_of = Hashtbl.create m in
+  Array.iteri (fun rank v -> Hashtbl.replace rank_of v rank) sorted_vs;
+  fun v ->
+    match Hashtbl.find_opt rank_of v with
+    | None -> invalid_arg "Node.converged: vertex is not a member"
+    | Some i ->
+      if m = 1 then
+        Stable { succs = []; pred = None; fingers = Array.make Id.bits (-1) }
+      else begin
+        let succs =
+          List.init (min succ_count (m - 1)) (fun k ->
+              sorted_vs.((i + k + 1) mod m))
+        in
+        let pred = Some sorted_vs.((i + m - 1) mod m) in
+        let self_id = sorted_ids.(i) in
+        let fingers =
+          Array.init Id.bits (fun k ->
+              sorted_vs.(owner_index sorted_ids (Id.finger_target self_id k)))
+        in
+        Stable { succs; pred; fingers }
+      end

@@ -1,0 +1,164 @@
+(** One Chord node as a message-driven state machine.
+
+    A node owns O(log n) routing state — a successor list, a
+    62-entry finger table, an optional predecessor — plus the
+    provider-record store for the slice of the identifier circle it
+    owns.  It is driven entirely through {!handle} (incoming
+    {!Ocd_async.Message.dht} messages) and the periodic {!tick} loop
+    started by {!start}: stabilise (probe the successor, adopt its
+    predecessor when closer, merge its successor list), fix one finger
+    per period by lookup, and evict suspected-dead successors
+    (detector-driven repair — [env.alive] is the owner's failure
+    detector).  It never touches a transport directly; [env.send]
+    injects whatever the host gives it, so the same state machine runs
+    under {!Ocd_async.Net} inside a protocol and under a bare
+    {!Ocd_async.Sim} harness in tests and experiments.
+
+    Lookups are iterative, Chord-style: the querier asks the
+    closest-preceding node it knows, follows non-final redirects, and
+    routes around silent candidates after a timeout (banning them for
+    the remainder of that lookup).  O(log n) hops on a converged ring.
+
+    Provider records are soft state: an advertiser republishes
+    periodically (the host protocol's job), the owner fans each
+    primary record out to its first [replication - 1] successors, and
+    re-replicates to newcomers whenever its replica set changes —
+    so records survive both owner crashes (a successor already holds
+    the copy and has become the new owner) and successor churn. *)
+
+open Ocd_async
+
+type config = {
+  succ_count : int;  (** successor-list length *)
+  replication : int;  (** copies of each provider record, incl. the owner's *)
+  period : int;  (** ticks between stabilise/fix-fingers rounds *)
+  lookup_timeout : int;  (** per-hop silence before rerouting *)
+  lookup_attempts : int;  (** reroutes before a lookup fails *)
+  hop_limit : int;  (** hard hop cap per lookup (routing-loop backstop) *)
+  providers_cap : int;  (** max holders returned per provider query *)
+}
+
+val config :
+  ?succ_count:int ->
+  ?replication:int ->
+  ?lookup_timeout:int ->
+  ?lookup_attempts:int ->
+  ?providers_cap:int ->
+  period:int ->
+  unit ->
+  config
+(** Defaults: 8 successors, replication 3, 4 attempts, cap 64,
+    [lookup_timeout = 2 * period], [hop_limit = 128].  Size the
+    timeout above the transport's round-trip tail: a hop whose reply
+    is merely slow gets rerouted (wasted traffic), though a late reply
+    is still consumed if it does arrive. *)
+
+(** Shared mutable counters, aggregated across every node of a run
+    (single-threaded simulation, so plain mutation is deterministic).
+    [lookups]/[hops]/[max_hops]/[failures] count {e accounted} lookups
+    only — application lookups (advertise, provider queries, explicit
+    {!lookup} probes), not maintenance (finger fixing, joins). *)
+type stats = {
+  mutable lookups : int;
+  mutable hops : int;
+  mutable max_hops : int;
+  mutable failures : int;
+  mutable stores : int;  (** provider records accepted (incl. replicas) *)
+  mutable queries : int;  (** Get_providers sent *)
+  mutable joins : int;  (** completed (re)joins *)
+  mutable evictions : int;  (** suspected successors dropped *)
+}
+
+val fresh_stats : unit -> stats
+val mean_hops : stats -> float
+
+type env = {
+  self : int;  (** own vertex id *)
+  seed : int;  (** run seed — fixes the identifier geometry *)
+  now : unit -> int;
+  after : int -> (unit -> unit) -> unit;
+  send : dst:int -> Message.dht -> unit;
+  alive : int -> bool;
+      (** failure detector: false = suspected.  Consulted for ring
+          maintenance only (successor eviction, predecessor clearing);
+          routing relies on its own per-hop timeouts instead, because
+          a silence-based detector has nothing meaningful to say about
+          far nodes that are rarely contacted. *)
+  observe : int -> unit;
+      (** called when the node adopts a newly learned peer it will
+          start probing (reported successor, join target) — hosts wire
+          it to {!Ocd_async.Detector.watch} so the peer's silence clock
+          starts at adoption, not at detector birth.  [ignore] is fine
+          for fault-free harnesses. *)
+  running : unit -> bool;  (** periodic loops stop when false *)
+  stats : stats;
+}
+
+type init =
+  | Stable of { succs : int list; pred : int option; fingers : int array }
+      (** boot with known routing state (see {!converged}) *)
+  | Join of { via : int list }
+      (** boot empty and join through a bootstrap candidate (cycled on
+          retry); how restarted incarnations re-enter the ring *)
+
+type t
+
+val create : env:env -> config:config -> init -> t
+
+val start : t -> unit
+(** Begin the periodic maintenance loop (and the join, if booting via
+    {!Join}).  Pure request/reply service works without it. *)
+
+val handle : t -> src:int -> Message.dht -> unit
+(** Feed one incoming DHT message.  The host should record [src] with
+    its failure detector {e before} calling this. *)
+
+val id : t -> int
+val succ0 : t -> int
+(** Current successor; [self] on a ring of one. *)
+
+val successors : t -> int list
+val predecessor : t -> int option
+
+val ready : t -> bool
+(** False while the node is still (re)joining: its routing state is
+    empty, so a local lookup would vacuously answer "self".  Hosts
+    should defer advertisement and provider queries until ready. *)
+
+val lookup :
+  t ->
+  key:int ->
+  on_done:(owner:int -> hops:int -> unit) ->
+  on_fail:(unit -> unit) ->
+  unit
+(** Iterative routed lookup of an identifier (see {!Id.of_key}).
+    [on_done] receives the owning vertex and the hop count; [on_fail]
+    fires after [lookup_attempts] reroutes or [hop_limit] hops.
+    Counted in {!stats}. *)
+
+val advertise : t -> token:int -> unit
+(** Store a [(token, self)] provider record at the key's owner.
+    Fire-and-forget soft state: call again periodically. *)
+
+val find_providers : t -> token:int -> (int list -> unit) -> unit
+(** Look up the token's owner and fetch its provider records.  The
+    callback receives the holders (ascending, possibly capped), or
+    [[]] after all retries fail.  Retries re-run the lookup, so a
+    repaired ring is picked up. *)
+
+val providers : t -> token:int -> int list
+(** This node's own stored records for [token] (capped), for the
+    owner-is-self path and for tests. *)
+
+val converged :
+  seed:int -> succ_count:int -> int array -> int -> init
+(** [converged ~seed ~succ_count members] precomputes the fully
+    stabilised ring over [members] (sorted ids, successor lists,
+    exact fingers) and returns a function from member vertex to its
+    {!Stable} init — the state the join/stabilise protocol converges
+    to, used to boot epoch-0 nodes and test harnesses.  O(n log n)
+    once plus O(log n) per vertex. *)
+
+val ideal_owner : seed:int -> members:int array -> int -> int
+(** The vertex that owns an identifier on the fully converged ring
+    over [members] — the ground truth lookups are checked against. *)

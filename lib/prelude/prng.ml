@@ -211,6 +211,22 @@ let geometric g p =
     if f >= 1.0e18 then max_int / 2 else int_of_float f
   end
 
+let mix ~seed x =
+  let g = { hi = 0; lo = 0; out_hi = 0; out_lo = 0 } in
+  (* h = mix64 seed, exactly as [create] derives its initial state *)
+  mix_into g ((seed asr 32) land mask32) (seed land mask32);
+  (* fold the key in, decorrelate with one golden-gamma Weyl step so
+     that [mix ~seed x] and [mix ~seed:(seed lxor x) 0] disagree, and
+     finalise once more *)
+  let zl = g.out_lo lxor (x land mask32)
+  and zh = g.out_hi lxor ((x asr 32) land mask32) in
+  let l = zl + gamma_lo in
+  let zl = l land mask32 in
+  let zh = (zh + gamma_hi + (l lsr 32)) land mask32 in
+  mix_into g zh zl;
+  (* 62 usable bits, same extraction as [int_reject] *)
+  (g.out_hi lsl 30) lor (g.out_lo lsr 2)
+
 let shuffle g a =
   for i = Array.length a - 1 downto 1 do
     let j = int g (i + 1) in

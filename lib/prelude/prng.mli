@@ -65,6 +65,16 @@ val geometric : t -> float -> int
     O(m) expected time.
     @raise Invalid_argument unless [p > 0]. *)
 
+val mix : seed:int -> int -> int
+(** [mix ~seed x] is a stateless seeded mixing hash: the SplitMix64
+    finaliser applied to [mix64 seed ⊕ x] advanced by one golden-gamma
+    Weyl step.  The result is a non-negative int uniform over
+    [\[0, 2^62)]; equal [(seed, x)] pairs hash equally regardless of
+    platform, worker count, or call order, which is what makes DHT
+    identifiers reproducible across [--jobs].  Single-bit input changes
+    flip each output bit with probability ≈ 1/2 (avalanche — checked in
+    test_prelude). *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

@@ -312,6 +312,64 @@ let test_detector_rejects_bad_timeout () =
     (Invalid_argument "Detector.create: timeout must be positive") (fun () ->
       ignore (Detector.create ~now:(fun () -> 0) ~timeout:0 ~n:2 ()))
 
+(* Satellite edge cases: a heartbeat landing exactly on the timeout
+   boundary, and a node that is suspected, restarts, and makes contact
+   again within the same round. *)
+let test_detector_boundary () =
+  let clock = ref 0 in
+  let d = Detector.create ~now:(fun () -> !clock) ~timeout:10 ~n:3 () in
+  clock := 5;
+  Detector.heard d 2;
+  clock := 15;
+  Alcotest.(check bool)
+    "silence exactly equal to the timeout is tolerated" false
+    (Detector.suspected d 2);
+  clock := 16;
+  Alcotest.(check bool)
+    "one tick past the boundary suspects" true (Detector.suspected d 2)
+
+let test_detector_restart_same_round () =
+  let clock = ref 0 in
+  let fired = ref [] in
+  let d =
+    Detector.create
+      ~on_suspect:(fun u -> fired := u :: !fired)
+      ~now:(fun () -> !clock)
+      ~timeout:10 ~n:3 ()
+  in
+  clock := 11;
+  Alcotest.(check bool) "suspected" true (Detector.suspected d 1);
+  Alcotest.(check bool) "still suspected" true (Detector.suspected d 1);
+  Alcotest.(check (list int)) "episode observed once" [ 1 ] !fired;
+  (* the node restarts and its first message lands in the same round *)
+  Detector.heard d 1;
+  Alcotest.(check bool)
+    "restart contact clears suspicion within the round" false
+    (Detector.suspected d 1);
+  clock := 22;
+  Alcotest.(check bool)
+    "fresh silence suspects again" true (Detector.suspected d 1);
+  Alcotest.(check (list int)) "episode re-armed by the contact" [ 1; 1 ] !fired
+
+let test_detector_watch () =
+  let clock = ref 0 in
+  let d = Detector.create ~now:(fun () -> !clock) ~timeout:10 ~n:4 () in
+  clock := 25;
+  Alcotest.(check bool)
+    "birth-silent peer is suspected" true (Detector.suspected d 3);
+  Detector.watch d 3;
+  Alcotest.(check bool)
+    "watch restarts the silence clock" false (Detector.suspected d 3);
+  Detector.heard d 2;
+  clock := 30;
+  Detector.watch d 2;
+  Alcotest.(check int)
+    "watch never overrides real contact" 25 (Detector.last_heard d 2);
+  clock := 36;
+  Alcotest.(check bool)
+    "watched peer suspected after a full fresh timeout" true
+    (Detector.suspected d 3)
+
 (* --------------------- liveness under loss ------------------------ *)
 
 (* Satellite: the pull protocols must stay live under sustained loss
@@ -427,6 +485,16 @@ let test_registry () =
     Registry.names;
   Alcotest.(check bool) "unknown name" true (Registry.find "nope" = None)
 
+let test_registry_unknown_message () =
+  let msg = Registry.unknown ~available:Registry.names "nope" in
+  Alcotest.(check string)
+    "message lists the available protocols"
+    "unknown protocol \"nope\" (available: async-local, async-push, \
+     flood-plan)"
+    msg;
+  Alcotest.check_raises "find_exn raises the listing message"
+    (Invalid_argument msg) (fun () -> ignore (Registry.find_exn "nope"))
+
 let () =
   Alcotest.run "ocd_async"
     [
@@ -462,6 +530,10 @@ let () =
           Alcotest.test_case "suspicion lifecycle" `Quick test_detector_basics;
           Alcotest.test_case "bad timeout" `Quick
             test_detector_rejects_bad_timeout;
+          Alcotest.test_case "timeout boundary" `Quick test_detector_boundary;
+          Alcotest.test_case "same-round restart" `Quick
+            test_detector_restart_same_round;
+          Alcotest.test_case "watch semantics" `Quick test_detector_watch;
         ] );
       ( "loss liveness",
         [
@@ -488,5 +560,7 @@ let () =
           Alcotest.test_case "unsatisfiable timeout" `Quick
             test_timeout_on_unsatisfiable;
           Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "unknown-name message" `Quick
+            test_registry_unknown_message;
         ] );
     ]

@@ -161,7 +161,7 @@ let test_chaos_jobs_determinism () =
 let test_chaos_smoke_invariants () =
   let aggs = Chaos.run ~jobs:2 ~seed:7 Chaos.smoke_grid in
   Alcotest.(check int)
-    "cells x protocols rows" 9 (List.length aggs);
+    "cells x protocols rows" 12 (List.length aggs);
   List.iter
     (fun (a : Chaos.agg) ->
       Alcotest.(check int)

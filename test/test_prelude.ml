@@ -217,6 +217,74 @@ let test_prng_skip_int_advances_like_int () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Mixing hash                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_mix_deterministic () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun x ->
+          let h = Prng.mix ~seed x in
+          Alcotest.(check int) "same inputs, same hash" h (Prng.mix ~seed x);
+          Alcotest.(check bool) "62-bit range" true (h >= 0 && h <= max_int))
+        [ 0; 1; 2; 3; 1000; max_int; min_int; -7 ])
+    [ 0; 1; 42; -1; max_int ]
+
+let test_mix_seed_and_input_sensitivity () =
+  Alcotest.(check bool)
+    "different seeds decorrelate" true
+    (Prng.mix ~seed:1 7 <> Prng.mix ~seed:2 7);
+  Alcotest.(check bool)
+    "different inputs decorrelate" true
+    (Prng.mix ~seed:1 7 <> Prng.mix ~seed:1 8)
+
+let test_mix_avalanche () =
+  (* Flipping one input bit must flip about half of the 62 output
+     bits.  Mean flip ratio over many (input, bit) pairs sits near 0.5
+     for a good mixer; the tolerance band is generous enough to be
+     seed-robust yet far below what a weak hash (e.g. multiply-only)
+     achieves on low bits. *)
+  let popcount x =
+    let c = ref 0 in
+    for b = 0 to 61 do
+      if (x lsr b) land 1 = 1 then incr c
+    done;
+    !c
+  in
+  let trials = ref 0 and flipped_bits = ref 0 in
+  for x = 0 to 199 do
+    let h = Prng.mix ~seed:9 x in
+    for bit = 0 to 61 do
+      let h' = Prng.mix ~seed:9 (x lxor (1 lsl bit)) in
+      incr trials;
+      flipped_bits := !flipped_bits + popcount (h lxor h')
+    done
+  done;
+  let ratio = float_of_int !flipped_bits /. (62.0 *. float_of_int !trials) in
+  Alcotest.(check bool)
+    (Printf.sprintf "avalanche ratio %.4f within [0.47, 0.53]" ratio)
+    true
+    (ratio > 0.47 && ratio < 0.53)
+
+let test_mix_distribution () =
+  (* Consecutive integers (the common vertex/key pattern) must spread
+     evenly: hash 4096 consecutive inputs into 64 buckets by their top
+     bits and check no bucket is wildly off the mean of 64. *)
+  let buckets = Array.make 64 0 in
+  for x = 0 to 4095 do
+    let b = Prng.mix ~seed:2026 x lsr 56 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d count %d within [32, 96]" i c)
+        true
+        (c >= 32 && c <= 96))
+    buckets
+
+(* ------------------------------------------------------------------ *)
 (* Bitset                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -689,6 +757,11 @@ let () =
             test_prng_matches_int64_oracle;
           Alcotest.test_case "skip_int advances like int" `Quick
             test_prng_skip_int_advances_like_int;
+          Alcotest.test_case "mix deterministic" `Quick test_mix_deterministic;
+          Alcotest.test_case "mix sensitivity" `Quick
+            test_mix_seed_and_input_sensitivity;
+          Alcotest.test_case "mix avalanche" `Quick test_mix_avalanche;
+          Alcotest.test_case "mix distribution" `Quick test_mix_distribution;
         ] );
       ( "bitset",
         [
