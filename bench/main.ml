@@ -156,6 +156,38 @@ let micro_tests () =
                 ~protocol:(Ocd_async.Local_rarest.protocol ())
                 ~seed:7 inst_async)))
   in
+  (* The message adversary at full throttle (every message duplicated,
+     delayed and checksum-corrupted with probability 1): the delta over
+     async/run-async-local is the per-message cost of the adversary's
+     coin draws plus the extra deliveries it schedules. *)
+  let net_adversary_test =
+    let adversary =
+      {
+        Ocd_async.Net.dup_prob = 1.0;
+        delay_prob = 1.0;
+        max_delay = 8;
+        corrupt_prob = 0.2;
+      }
+    in
+    Test.make ~name:"net/adversary"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_async.Runtime.run ~adversary ~round_limit:400
+                ~protocol:(Ocd_async.Local_rarest.protocol ())
+                ~seed:7 inst_async)))
+  in
+  (* One full ddmin shrink of a failing partition trial — the cost of a
+     chaos --shrink invocation's inner loop (tens to hundreds of replay
+     runs on a small instance). *)
+  let chaos_shrink_test =
+    Test.make ~name:"chaos/shrink"
+      (Staged.stage (fun () ->
+           match
+             Ocd_bench.Chaos.failures ~seed:1 Ocd_bench.Chaos.failing_grid
+           with
+           | [] -> ()
+           | (case, _) :: _ -> ignore (Ocd_bench.Shrink.shrink case)))
+  in
   (* DHT building blocks: the O(n log n) converged-ring precompute, the
      routed-lookup path on a bare Sim (no maintenance traffic, so the
      row isolates routing cost), and a full dht-rarest protocol run on
@@ -341,7 +373,8 @@ let micro_tests () =
     ]
   @ engine_tick_tests
   @ async_tests
-  @ [ async_lockstep_test; async_faulted_test ]
+  @ [ async_lockstep_test; async_faulted_test; net_adversary_test ]
+  @ [ chaos_shrink_test ]
   @ [ dht_ring_build_test; dht_lookup_test; dht_run_test ]
   @ [ obs_baseline_test; obs_null_test; obs_memory_test ]
 

@@ -450,6 +450,9 @@ let experiment_cmd =
           Ocd_bench.Experiments.async_overhead ~jobs () );
       ( "dht-lookup",
         fun ~jobs ~full:_ ~n:_ () -> Ocd_bench.Experiments.dht_lookup ~jobs () );
+      ( "partition-heal",
+        fun ~jobs ~full:_ ~n:_ () ->
+          Ocd_bench.Experiments.partition_heal ~jobs () );
       ("coding", fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.coding ());
       ( "underlay",
         fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.underlay () );
@@ -556,7 +559,7 @@ let export_cmd =
 
 let async_cmd =
   let run seed topology n tokens threshold protocol_name profile_name loss
-      pace condition_name jobs trace_out metrics_out =
+      pace condition_name monitor_on jobs trace_out metrics_out =
     let inst =
       build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
         ~multi_sender:false
@@ -621,23 +624,27 @@ let async_cmd =
                  order below — so the files are byte-identical for any
                  --jobs. *)
               let pobs = Ocd_obs.child obs in
-              let r =
-                Ocd_async.Runtime.run ~obs:pobs ~profile ~condition ~protocol
-                  ~seed inst
+              let monitor =
+                if monitor_on then Ocd_async.Monitor.create ()
+                else Ocd_async.Monitor.disabled
               in
-              (r, pobs))
+              let r =
+                Ocd_async.Runtime.run ~obs:pobs ~profile ~condition ~monitor
+                  ~protocol ~seed inst
+              in
+              (r, monitor, pobs))
             chosen
         in
         if obs.Ocd_obs.on then
           List.iteri
-            (fun i (name, (_, pobs)) ->
+            (fun i (name, (_, _, pobs)) ->
               Ocd_obs.absorb ~into:obs ~pid:i ~prefix:(name ^ "/") pobs)
             (List.combine chosen runs);
         Printf.printf "%-12s %8s %8s %10s %9s %8s %8s %8s %8s\n" "protocol"
           "rounds" "ticks" "makespan" "data" "control" "retrans" "dropped"
           "goodput";
         List.iter
-          (fun ((r : Ocd_async.Runtime.run), _) ->
+          (fun ((r : Ocd_async.Runtime.run), _, _) ->
             Printf.printf "%-12s %8s %8s %10s %9d %8d %8d %8d %8.3f\n"
               r.Ocd_async.Runtime.protocol_name
               (match r.Ocd_async.Runtime.outcome with
@@ -652,7 +659,23 @@ let async_cmd =
               r.Ocd_async.Runtime.control_messages
               r.Ocd_async.Runtime.retransmissions
               r.Ocd_async.Runtime.dropped_messages r.Ocd_async.Runtime.goodput)
-          runs)
+          runs;
+        if monitor_on then
+          List.iter
+            (fun ((r : Ocd_async.Runtime.run), monitor, _) ->
+              Printf.printf "\nmonitor %s: %s\n"
+                r.Ocd_async.Runtime.protocol_name
+                (if Ocd_async.Monitor.ok monitor then "ok"
+                 else
+                   Printf.sprintf "%d violation(s)"
+                     (Ocd_async.Monitor.count monitor));
+              List.iter
+                (fun (v : Ocd_async.Monitor.violation) ->
+                  Printf.printf "  [tick %d, node %d] %s: %s\n"
+                    v.Ocd_async.Monitor.tick v.Ocd_async.Monitor.node
+                    v.Ocd_async.Monitor.rule v.Ocd_async.Monitor.detail)
+                (Ocd_async.Monitor.violations monitor))
+            runs)
   in
   let protocol_arg =
     Arg.(
@@ -691,6 +714,15 @@ let async_cmd =
             "Fault injector: static, cross-traffic, link-flaps or churn \
              (seeded from --seed).")
   in
+  let monitor_arg =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Enable the runtime invariant monitor (phantom arcs, possession \
+             durability, false suspicion, DHT ring safety) and print its \
+             violation report per protocol.")
+  in
   Cmd.v
     (Cmd.info "async"
        ~doc:
@@ -700,18 +732,22 @@ let async_cmd =
       term_result
         (const run $ seed_arg $ topology_arg $ n_arg $ tokens_arg
        $ threshold_arg $ protocol_arg $ profile_arg $ loss_arg $ pace_arg
-       $ condition_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg))
+       $ condition_arg $ monitor_arg $ jobs_arg $ trace_out_arg
+       $ metrics_out_arg))
 
 (* ---------------------- ocd chaos ---------------------------------- *)
 
 let chaos_cmd =
-  let run seed grid_name n tokens trials jobs trace_out metrics_out =
+  let run seed grid_name n tokens trials shrink shrink_out jobs trace_out
+      metrics_out =
     let base =
       match grid_name with
       | "smoke" -> Ocd_bench.Chaos.smoke_grid
       | "default" -> Ocd_bench.Chaos.default_grid
+      | "failing" -> Ocd_bench.Chaos.failing_grid
       | other ->
-        Printf.eprintf "unknown grid %S (expected smoke or default)\n" other;
+        Printf.eprintf "unknown grid %S (expected smoke, default or failing)\n"
+          other;
         exit 2
     in
     let grid =
@@ -723,13 +759,64 @@ let chaos_cmd =
       }
     in
     with_observed ~trace_out ~metrics_out (fun obs ->
-        Ocd_bench.Chaos.report ~obs ~jobs ~seed grid)
+        Ocd_bench.Chaos.report ~obs ~jobs ~seed grid;
+        if shrink then begin
+      let fails = Ocd_bench.Chaos.failures ~jobs ~seed grid in
+      Printf.printf "\nshrink: %d failing trial(s)\n" (List.length fails);
+      match fails with
+      | [] -> ()
+      | (case, tag) :: _ -> (
+        Printf.printf "shrinking first failure: %s (%s)\n"
+          case.Ocd_bench.Shrink.protocol tag;
+        match Ocd_bench.Shrink.shrink case with
+        | Error e ->
+          Printf.eprintf "shrink failed: %s\n" e;
+          exit 1
+        | Ok s ->
+          Printf.printf
+            "minimal reproducer: %d crash span(s) + %d partition window(s) \
+             (from %d + %d), %d replays\n"
+            (List.length s.Ocd_bench.Shrink.minimal.Ocd_bench.Shrink.downtime)
+            (List.length s.Ocd_bench.Shrink.minimal.Ocd_bench.Shrink.windows)
+            (List.length case.Ocd_bench.Shrink.downtime)
+            (List.length case.Ocd_bench.Shrink.windows)
+            s.Ocd_bench.Shrink.tests;
+          let artifact =
+            Ocd_bench.Shrink.to_string s.Ocd_bench.Shrink.minimal
+          in
+          (match shrink_out with
+          | None -> print_string artifact
+          | Some path ->
+            let oc = open_out path in
+            output_string oc artifact;
+            close_out oc;
+            Printf.printf "wrote %s\n" path))
+        end)
   in
   let grid_arg =
     Arg.(
       value & opt string "default"
       & info [ "grid" ] ~docv:"GRID"
-          ~doc:"Campaign grid: smoke (tiny, for CI) or default.")
+          ~doc:
+            "Campaign grid: smoke (tiny, for CI), default, or failing (a \
+             known-failing partition cell for exercising --shrink).")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "After the campaign, replay each trial as an explicit fault \
+             schedule, delta-debug the first failure down to a minimal \
+             crash-span/partition-window set that still fails the same way, \
+             and emit it as a replayable reproducer.")
+  in
+  let shrink_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shrink-out" ] ~docv:"FILE"
+          ~doc:"Write the shrunk reproducer artifact to $(docv) (default: stdout).")
   in
   let n_override =
     Arg.(
@@ -753,12 +840,14 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Run the chaos campaign: a parallel sweep of the async protocols \
-          over loss, link flaps, churn and node crash-recovery faults, with \
-          per-cell robustness aggregates and stall diagnoses")
+          over loss, link flaps, churn, node crash-recovery and partition \
+          faults, with per-cell robustness aggregates, runtime invariant \
+          monitoring, stall diagnoses, and optional fault-schedule shrinking")
     Term.(
       term_result
         (const run $ seed_arg $ grid_arg $ n_override $ tokens_override
-       $ trials_override $ jobs_arg $ trace_out_arg $ metrics_out_arg))
+       $ trials_override $ shrink_arg $ shrink_out_arg $ jobs_arg
+       $ trace_out_arg $ metrics_out_arg))
 
 (* ---------------------- ocd dht ------------------------------------ *)
 

@@ -4,7 +4,7 @@ module Digraph = Ocd_graph.Digraph
 module Condition = Ocd_dynamics.Condition
 module Faults = Ocd_dynamics.Faults
 
-type verdict = Unsatisfiable_window | Gave_up | Protocol_stall
+type verdict = Partitioned | Unsatisfiable_window | Gave_up | Protocol_stall
 
 type t = {
   outstanding : (int * int list) list;
@@ -12,6 +12,7 @@ type t = {
   failed_jobs : int;
   sampled_rounds : int;
   partitioned_rounds : int;
+  partition_cut_rounds : int;
   last_partition : int option;
   quiescent : bool;
   verdict : verdict;
@@ -62,6 +63,7 @@ let diagnose ~(instance : Instance.t) ~condition ~faults ~have ~rounds
   let stride = max 1 (rounds / max_samples) in
   let sampled = ref 0 in
   let partitioned = ref 0 in
+  let partition_cut = ref 0 in
   let last_partition = ref None in
   let round = ref 0 in
   while !round < rounds do
@@ -84,12 +86,18 @@ let diagnose ~(instance : Instance.t) ~condition ~faults ~have ~rounds
     in
     if cut then begin
       incr partitioned;
+      (* Attribute the cut round to the partition plan when a split
+         window was active: the distinction between "the environment's
+         links flapped the wrong way" and "the network was split in
+         two" is exactly what the verdict taxonomy is for. *)
+      if Faults.partition_active faults ~round:!round then incr partition_cut;
       last_partition := Some !round
     end;
     round := !round + stride
   done;
   let verdict =
-    if !partitioned > 0 then Unsatisfiable_window
+    if !partitioned > 0 then
+      if !partition_cut > 0 then Partitioned else Unsatisfiable_window
     else if failed_jobs > 0 || quiescent then Gave_up
     else Protocol_stall
   in
@@ -99,12 +107,14 @@ let diagnose ~(instance : Instance.t) ~condition ~faults ~have ~rounds
     failed_jobs;
     sampled_rounds = !sampled;
     partitioned_rounds = !partitioned;
+    partition_cut_rounds = !partition_cut;
     last_partition = !last_partition;
     quiescent;
     verdict;
   }
 
 let verdict_name = function
+  | Partitioned -> "unsat-partition"
   | Unsatisfiable_window -> "unsat-window"
   | Gave_up -> "gave-up"
   | Protocol_stall -> "protocol-stall"
@@ -117,7 +127,11 @@ let summary d =
     (verdict_name d.verdict) wants
     (List.length d.outstanding)
     d.partitioned_rounds d.sampled_rounds
-    (match d.last_partition with
+    ((if d.partition_cut_rounds > 0 then
+        Printf.sprintf " (%d under a split window)" d.partition_cut_rounds
+      else "")
+    ^
+    match d.last_partition with
     | Some r -> Printf.sprintf " (last at round %d)" r
     | None -> "")
     (String.concat "," (List.map string_of_int d.dead_at_horizon))

@@ -24,6 +24,12 @@ module Condition := Ocd_dynamics.Condition
 module Faults := Ocd_dynamics.Faults
 
 type verdict =
+  | Partitioned
+      (** some outstanding want was cut off from every holder while a
+          partition window was active — the split network explains
+          (part of) the stall.  Strictly more specific than
+          [Unsatisfiable_window]: the cut is attributable to the fault
+          plan's partition component, not to link conditions. *)
   | Unsatisfiable_window
       (** in at least one sampled round, some outstanding want had no
           live path from any holder — the environment explains (part
@@ -47,6 +53,10 @@ type t = {
   partitioned_rounds : int;
       (** sampled rounds in which some outstanding want was cut off
           from every holder *)
+  partition_cut_rounds : int;
+      (** the subset of [partitioned_rounds] during which the fault
+          plan's partition window was active — the evidence behind a
+          [Partitioned] verdict *)
   last_partition : int option;  (** latest partitioned sampled round *)
   quiescent : bool;
       (** the simulator drained before the horizon: every node stopped
@@ -71,8 +81,8 @@ val diagnose :
     [rounds] the horizon in rounds. *)
 
 val verdict_name : verdict -> string
-(** ["unsat-window"], ["gave-up"] or ["protocol-stall"] — stable short
-    tags for report cells. *)
+(** ["unsat-partition"], ["unsat-window"], ["gave-up"] or
+    ["protocol-stall"] — stable short tags for report cells. *)
 
 val summary : t -> string
 (** One-line rendering for tables and logs. *)

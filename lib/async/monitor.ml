@@ -1,0 +1,43 @@
+type violation = { tick : int; node : int; rule : string; detail : string }
+
+type t = {
+  on : bool;
+  limit : int;
+  mutable count : int;
+  mutable violations : violation list;  (* newest first, capped at limit *)
+}
+
+let disabled = { on = false; limit = 0; count = 0; violations = [] }
+let create ?(limit = 64) () = { on = true; limit; count = 0; violations = [] }
+let enabled m = m.on
+
+let record m ~tick ~node ~rule ~detail =
+  if m.on then begin
+    m.count <- m.count + 1;
+    if List.length m.violations < m.limit then
+      m.violations <- { tick; node; rule; detail } :: m.violations
+  end
+
+let check m ~tick ~node ~rule ~ok ~detail =
+  if m.on && not ok then record m ~tick ~node ~rule ~detail:(detail ())
+
+let count m = m.count
+let ok m = m.count = 0
+let violations m = List.rev m.violations
+
+let pp ppf m =
+  if m.count = 0 then Format.fprintf ppf "monitor: ok"
+  else begin
+    Format.fprintf ppf "monitor: %d violation%s" m.count
+      (if m.count = 1 then "" else "s");
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "@.  [tick %d, node %d] %s: %s" v.tick v.node
+          v.rule v.detail)
+      (violations m);
+    if m.count > List.length m.violations then
+      Format.fprintf ppf "@.  ... and %d more"
+        (m.count - List.length m.violations)
+  end
+
+let summary m = Format.asprintf "%a" pp m

@@ -16,9 +16,21 @@ let default =
 let lockstep =
   { pace = 4; latency = 0; jitter_mean = 0.0; loss = 0.0; serialize = false }
 
+type adversary = {
+  dup_prob : float;
+  delay_prob : float;
+  max_delay : int;
+  corrupt_prob : float;
+}
+
+let no_adversary =
+  { dup_prob = 0.0; delay_prob = 0.0; max_delay = 0; corrupt_prob = 0.0 }
+
 (* Per-arc transport state: a private PRNG stream (loss and jitter
-   draws) and the leaky-bucket horizon for Data departures. *)
-type arc_state = { rng : Prng.t; mutable next_free : int }
+   draws), a second private stream for the adversary (so enabling it
+   never perturbs the loss/jitter sequence of the base run), and the
+   leaky-bucket horizon for Data departures. *)
+type arc_state = { rng : Prng.t; adv_rng : Prng.t; mutable next_free : int }
 
 type t = {
   sim : Sim.t;
@@ -29,19 +41,36 @@ type t = {
   deliver : src:int -> dst:int -> Message.t -> unit;
   node_up : int -> bool;
   node_epoch : int -> int;
+  cut : (round:int -> int -> int -> bool) option;
+  adversary : adversary;
+  adv_on : bool;
   arcs : (int, arc_state) Hashtbl.t;
   mutable data_sent : int;
   mutable control_sent : int;
   mutable dropped : int;
   mutable fault_dropped : int;
+  mutable adv_duplicated : int;
+  mutable adv_reordered : int;
+  mutable adv_corrupted : int;
 }
 
 let create ~sim ~graph ~profile ~condition ~seed ?(node_up = fun _ -> true)
-    ?(node_epoch = fun _ -> 0) ~deliver () =
+    ?(node_epoch = fun _ -> 0) ?cut ?(adversary = no_adversary) ~deliver () =
   if profile.pace <= 0 then invalid_arg "Net.create: pace must be positive";
-  { sim; graph; profile; condition; seed; deliver; node_up; node_epoch;
+  if
+    adversary.dup_prob < 0.0 || adversary.dup_prob > 1.0
+    || adversary.delay_prob < 0.0 || adversary.delay_prob > 1.0
+    || adversary.corrupt_prob < 0.0 || adversary.corrupt_prob > 1.0
+  then invalid_arg "Net.create: adversary probabilities must be in [0,1]";
+  if adversary.max_delay < 0 then
+    invalid_arg "Net.create: adversary max_delay must be non-negative";
+  if adversary.delay_prob > 0.0 && adversary.max_delay < 1 then
+    invalid_arg "Net.create: delay_prob > 0 requires max_delay >= 1";
+  { sim; graph; profile; condition; seed; deliver; node_up; node_epoch; cut;
+    adversary; adv_on = adversary <> no_adversary;
     arcs = Hashtbl.create 64; data_sent = 0; control_sent = 0; dropped = 0;
-    fault_dropped = 0 }
+    fault_dropped = 0; adv_duplicated = 0; adv_reordered = 0;
+    adv_corrupted = 0 }
 
 let arc_state net ~src ~dst =
   let key = (src * Digraph.vertex_count net.graph) + dst in
@@ -49,9 +78,17 @@ let arc_state net ~src ~dst =
   | Some s -> s
   | None ->
       (* Same stream-derivation mixing as Condition's coin: the arc's
-         draws are independent of every other arc's and of node rngs. *)
+         draws are independent of every other arc's and of node rngs.
+         The adversary's stream flips the seed's bits first, which
+         decorrelates it from the base stream under SplitMix64. *)
       let seed = (((net.seed * 1_000_003) + src) * 1_000_003) + dst in
-      let s = { rng = Prng.create ~seed; next_free = 0 } in
+      let s =
+        {
+          rng = Prng.create ~seed;
+          adv_rng = Prng.create ~seed:(lnot seed);
+          next_free = 0;
+        }
+      in
       Hashtbl.add net.arcs key s;
       s
 
@@ -77,6 +114,9 @@ let delay net state ~capacity =
 let lost net state =
   net.profile.loss > 0.0 && Prng.bernoulli state.rng net.profile.loss
 
+let cut_off net ~round ~src ~dst =
+  match net.cut with None -> false | Some f -> f ~round src dst
+
 (* A message is bound to the incarnations of both endpoints at send
    time: if either crashes while it is in flight, it never arrives —
    even when the endpoint has already restarted.  This is what makes a
@@ -88,12 +128,52 @@ let schedule_delivery net ~src ~dst ~arrive msg =
         net.deliver ~src ~dst msg
       else net.fault_dropped <- net.fault_dropped + 1)
 
+(* The seeded message adversary sits between departure accounting and
+   delivery scheduling.  Draw order per message is fixed (corrupt,
+   then delay, then duplicate) and every draw comes from the arc's
+   private adversary stream, so counters are exact deterministic
+   functions of the run inputs.  A corrupted message departs normally
+   (it consumed its capacity slot) but the receiver's checksum check
+   discards it — protocols observe it as loss and retry.  A delayed
+   message arrives 1..max_delay ticks late, overtaking nothing but
+   being overtaken: bounded reordering.  A duplicated message is
+   delivered a second time with its own small lag; dedup is the
+   protocols' problem. *)
+let dispatch net state ~src ~dst ~arrive msg =
+  if not net.adv_on then schedule_delivery net ~src ~dst ~arrive msg
+  else begin
+    let a = net.adversary and rng = state.adv_rng in
+    if a.corrupt_prob > 0.0 && Prng.bernoulli rng a.corrupt_prob then
+      net.adv_corrupted <- net.adv_corrupted + 1
+    else begin
+      let arrive =
+        if a.delay_prob > 0.0 && Prng.bernoulli rng a.delay_prob then begin
+          net.adv_reordered <- net.adv_reordered + 1;
+          arrive + 1 + Prng.int rng (max 1 a.max_delay)
+        end
+        else arrive
+      in
+      schedule_delivery net ~src ~dst ~arrive msg;
+      if a.dup_prob > 0.0 && Prng.bernoulli rng a.dup_prob then begin
+        net.adv_duplicated <- net.adv_duplicated + 1;
+        let echo = arrive + 1 + Prng.int rng (max 1 a.max_delay) in
+        schedule_delivery net ~src ~dst ~arrive:echo msg
+      end
+    end
+  end
+
 let send net ~src ~dst msg =
   let now = Sim.now net.sim in
   let round = now / net.profile.pace in
   let state = arc_state net ~src ~dst in
   if not (net.node_up src && net.node_up dst) then
     (* a crashed endpoint: nothing departs, nothing is received *)
+    net.fault_dropped <- net.fault_dropped + 1
+  else if cut_off net ~round ~src ~dst then
+    (* the endpoints sit on different sides of an active partition:
+       every path between them — overlay arc or underlay route — is
+       dark, so nothing departs and no coin is drawn (matching the
+       link-down convention below) *)
     net.fault_dropped <- net.fault_dropped + 1
   else if Message.is_data msg then begin
     let eff = effective net ~round ~src ~dst in
@@ -109,7 +189,7 @@ let send net ~src ~dst msg =
         else now
       in
       let arrive = depart + delay net state ~capacity:eff in
-      schedule_delivery net ~src ~dst ~arrive msg
+      dispatch net state ~src ~dst ~arrive msg
     end
   end
   else begin
@@ -132,7 +212,7 @@ let send net ~src ~dst msg =
             (Digraph.capacity net.graph dst src)
         in
         let arrive = now + delay net state ~capacity:cap in
-        schedule_delivery net ~src ~dst ~arrive msg
+        dispatch net state ~src ~dst ~arrive msg
       end
     end
     else if lost net state then net.dropped <- net.dropped + 1
@@ -143,12 +223,13 @@ let send net ~src ~dst msg =
          the distribution problem.  Only control may take this path
          (the DHT's fingers and successors are arbitrary pairs); it is
          slower than any overlay link (capacity-0 latency band, 3x
-         base) and still subject to the loss coin and to endpoint
-         crashes, but not to link conditions — flaps and churn model
-         overlay links, which this path does not use. *)
+         base) and still subject to the loss coin, to endpoint crashes
+         and to partitions (checked above — a split cuts the physical
+         network itself), but not to link conditions: flaps and churn
+         model overlay links, which this path does not use. *)
       net.control_sent <- net.control_sent + 1;
       let arrive = now + delay net state ~capacity:0 in
-      schedule_delivery net ~src ~dst ~arrive msg
+      dispatch net state ~src ~dst ~arrive msg
     end
   end
 
@@ -156,3 +237,6 @@ let data_sent net = net.data_sent
 let control_sent net = net.control_sent
 let dropped net = net.dropped
 let fault_dropped net = net.fault_dropped
+let adversary_duplicated net = net.adv_duplicated
+let adversary_reordered net = net.adv_reordered
+let adversary_corrupted net = net.adv_corrupted

@@ -28,6 +28,10 @@
       fingers and successors anywhere on the ring while [Data] remains
       confined to overlay arcs.
 
+    A network {e partition} (the [cut] hook) is stronger than any link
+    condition: it cuts the physical network itself, so it silences
+    data, adjacent control, and the underlay path alike.
+
     Base one-way latency of an arc scales inversely with its capacity
     ([latency * 9 / (3 + capacity)]): fat links are fast links.  An
     optional exponential jitter term is added per message. *)
@@ -51,6 +55,28 @@ val lockstep : profile
     the degenerate profile under which the async runtime reproduces the
     synchronous engine (see the differential test). *)
 
+type adversary = {
+  dup_prob : float;
+      (** probability a delivered message is delivered a second time *)
+  delay_prob : float;
+      (** probability a message is held back 1..[max_delay] extra
+          ticks — bounded reordering *)
+  max_delay : int;  (** bound on adversarial delay and duplicate lag *)
+  corrupt_prob : float;
+      (** probability a message departs but fails the receiver's
+          checksum — surfaced to protocols as loss *)
+}
+(** A seeded message adversary layered over successful sends.  Every
+    draw comes from a per-arc PRNG stream separate from the loss and
+    jitter stream, so enabling the adversary never perturbs the base
+    run's coin sequence — and {!no_adversary} draws nothing at all,
+    keeping adversary-free runs byte-identical to builds that predate
+    it.  Draw order per message is fixed: corrupt, then delay, then
+    duplicate. *)
+
+val no_adversary : adversary
+(** All probabilities zero.  The default; guaranteed draw-free. *)
+
 type t
 
 val create :
@@ -61,24 +87,34 @@ val create :
   seed:int ->
   ?node_up:(int -> bool) ->
   ?node_epoch:(int -> int) ->
+  ?cut:(round:int -> int -> int -> bool) ->
+  ?adversary:adversary ->
   deliver:(src:int -> dst:int -> Message.t -> unit) ->
   unit ->
   t
 (** [deliver] is invoked from simulator events as messages arrive.
 
-    The two optional hooks wire in the crash–recovery fault model
-    (both default to "always up, epoch 0"):
+    The optional hooks wire in the fault model (defaults: always up,
+    epoch 0, no cut, {!no_adversary}):
     - [node_up v]: is [v] currently up?  Messages to or from a down
       node are dropped at send time.
     - [node_epoch v]: [v]'s incarnation number.  Each message captures
       both endpoints' epochs when sent; if either has changed by
       arrival time (the node crashed while the message was in flight),
       the message is dropped instead of delivered — a restart does not
-      resurrect in-flight state. *)
+      resurrect in-flight state.
+    - [cut ~round u v]: are [u] and [v] on different sides of an
+      active partition?  A cut message is dropped at send time with no
+      coin drawn, on every path — data, adjacent control, underlay.
+    - [adversary]: see {!adversary}.
+
+    @raise Invalid_argument on a non-positive [pace], an adversary
+    probability outside [\[0,1\]], a negative [max_delay], or
+    [delay_prob > 0] with [max_delay < 1]. *)
 
 val send : t -> src:int -> dst:int -> Message.t -> unit
 (** Fire-and-forget.  May silently drop (loss, link down, crashed
-    endpoint); protocols own retries. *)
+    endpoint, partition, corruption); protocols own retries. *)
 
 val arc_latency : profile -> capacity:int -> int
 (** Deterministic base latency of an arc (no jitter), exposed for
@@ -90,5 +126,15 @@ val dropped : t -> int
 (** Messages lost to the loss coin or to a downed link. *)
 
 val fault_dropped : t -> int
-(** Messages lost to node crashes: sent to/from a down node, or in
-    flight across an endpoint's crash. *)
+(** Messages lost to node crashes or partitions: sent to/from a down
+    node, sent across an active partition cut, or in flight across an
+    endpoint's crash. *)
+
+val adversary_duplicated : t -> int
+(** Messages the adversary delivered twice. *)
+
+val adversary_reordered : t -> int
+(** Messages the adversary held back by a bounded extra delay. *)
+
+val adversary_corrupted : t -> int
+(** Messages that departed but failed the receiver's checksum. *)

@@ -18,6 +18,7 @@ type ctx = {
   note_suspicion : unit -> unit;
   give_up : unit -> unit;
   finished : unit -> bool;
+  monitor : Monitor.t;
 }
 
 type handlers = {

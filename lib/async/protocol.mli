@@ -58,6 +58,12 @@ type ctx = {
           responsible for (e.g. a planned job out of retry attempts).
           Feeds [failed_jobs] and the stall diagnosis. *)
   finished : unit -> bool;  (** all wants satisfied, globally *)
+  monitor : Monitor.t;
+      (** the run's invariant monitor, {!Monitor.disabled} unless the
+          host enabled online safety checks.  Protocol layers with
+          structural invariants of their own (the DHT ring) report
+          through it; guard any non-trivial check on
+          {!Monitor.enabled}. *)
 }
 
 type handlers = {

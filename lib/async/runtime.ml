@@ -25,6 +25,10 @@ type run = {
   lost_tokens : int;
   failed_jobs : int;
   suspicions : int;
+  adv_duplicated : int;
+  adv_reordered : int;
+  adv_corrupted : int;
+  violations : int;
   limit_hit : bool;
   diagnosis : Diagnosis.t option;
   goodput : float;
@@ -38,7 +42,8 @@ let default_round_limit (inst : Instance.t) =
   min ((inst.token_count * (n - 1)) + n + 64) 1_000_000
 
 let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
-    ?(condition = Condition.static) ?(faults = Faults.none) ?round_limit
+    ?(condition = Condition.static) ?(faults = Faults.none)
+    ?(adversary = Net.no_adversary) ?(monitor = Monitor.disabled) ?round_limit
     ~(protocol : Protocol.t) ~seed inst =
   let n = Instance.vertex_count inst in
   let round_limit =
@@ -151,10 +156,18 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
     | None -> ()
   in
   let net =
+    let cut =
+      (* Only wired when the plan has a partition component, so
+         crash-only and fault-free runs skip the predicate
+         entirely. *)
+      if Faults.has_partition faults then
+        Some (fun ~round u v -> Faults.separated faults ~round u v)
+      else None
+    in
     Net.create ~sim ~graph:inst.Instance.graph ~profile ~condition ~seed
       ~node_up:(fun v -> up_now.(v))
       ~node_epoch:(fun v -> epoch.(v))
-      ~deliver ()
+      ?cut ~adversary ~deliver ()
   in
   let receive v ~src token =
     if token < 0 || token >= inst.Instance.token_count then false
@@ -167,6 +180,15 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
       false
     end
     else begin
+      if Monitor.enabled monitor then
+        Monitor.check monitor ~tick:(Sim.now sim) ~node:v ~rule:"phantom-arc"
+          ~ok:
+            (src <> v
+            && Ocd_graph.Digraph.capacity inst.Instance.graph src v > 0)
+          ~detail:(fun () ->
+            Printf.sprintf
+              "token %d accepted from %d without a positive-capacity arc"
+              token src);
       Bitset.add have.(v) token;
       let round = Sim.now sim / pace in
       log_move ~round { Move.src; dst = v; token };
@@ -195,6 +217,16 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
     end
   in
   let finished () = !completion <> None in
+  (* Under a clean lockstep setup — no faults, no conditions, no loss,
+     no adversary — every heartbeat arrives on time, so any suspicion
+     the detector raises is by definition false.  Compared once here;
+     the per-suspicion cost is two loads and a branch. *)
+  let clean_lockstep =
+    profile = Net.lockstep
+    && Faults.is_none faults
+    && condition == Condition.static
+    && adversary = Net.no_adversary
+  in
   let install v ~epoch:e =
     let flag = ref true in
     alive.(v) <- flag;
@@ -213,9 +245,16 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
         have_copy = (fun () -> Bitset.copy have.(v));
         receive = (fun ~src token -> if !flag then receive v ~src token else false);
         note_retransmission = (fun () -> incr retransmissions);
-        note_suspicion = (fun () -> incr suspicions);
+        note_suspicion =
+          (fun () ->
+            incr suspicions;
+            if Monitor.enabled monitor && clean_lockstep then
+              Monitor.record monitor ~tick:(Sim.now sim) ~node:v
+                ~rule:"false-suspicion"
+                ~detail:"detector raised a suspicion under clean lockstep");
         give_up = (fun () -> incr failed_jobs);
         finished;
+        monitor;
       }
     in
     let h = protocol.Protocol.init ctx in
@@ -245,7 +284,19 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
               if node_deficit.(v) = 0 then incr unsatisfied;
               node_deficit.(v) <- node_deficit.(v) + 1
             end)
-          lost
+          lost;
+        if Monitor.enabled monitor then
+          (* have can only grow between crashes and the previous wipe
+             left exactly the initial set, so post-wipe possession must
+             equal it: anything else means a token was minted or
+             destroyed outside the durability rule. *)
+          Monitor.check monitor ~tick:(Sim.now sim) ~node:v ~rule:"durability"
+            ~ok:(Bitset.equal have.(v) inst.Instance.have.(v))
+            ~detail:(fun () ->
+              Printf.sprintf
+                "post-crash possession has %d tokens, initial set has %d"
+                (Bitset.cardinal have.(v))
+                (Bitset.cardinal inst.Instance.have.(v)))
   in
   let apply_restart v =
     incr restarts;
@@ -332,7 +383,16 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
     put "async/restarts" !restarts;
     put "async/retransmissions" !retransmissions;
     put "async/rounds" rounds;
-    put "async/suspicions" !suspicions
+    put "async/suspicions" !suspicions;
+    (* Conditional rows keep metrics renders byte-identical for runs
+       that predate the adversary and the monitor. *)
+    if adversary <> Net.no_adversary then begin
+      put "async/adv_corrupted" (Net.adversary_corrupted net);
+      put "async/adv_duplicated" (Net.adversary_duplicated net);
+      put "async/adv_reordered" (Net.adversary_reordered net)
+    end;
+    if Monitor.enabled monitor then
+      put "async/monitor_violations" (Monitor.count monitor)
   end;
   {
     protocol_name = protocol.Protocol.name;
@@ -354,6 +414,10 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
     lost_tokens = !lost_tokens;
     failed_jobs = !failed_jobs;
     suspicions = !suspicions;
+    adv_duplicated = Net.adversary_duplicated net;
+    adv_reordered = Net.adversary_reordered net;
+    adv_corrupted = Net.adversary_corrupted net;
+    violations = Monitor.count monitor;
     limit_hit;
     diagnosis;
     goodput = (if data = 0 then 0.0 else float_of_int !fresh /. float_of_int data);
@@ -365,7 +429,7 @@ let pp ppf r =
     "@[<v>%s seed=%d: %s in %d rounds%a@,\
      fresh=%d dup=%d data=%d control=%d retrans=%d dropped=%d+%d goodput=%.3f \
      events=%d@,\
-     crashes=%d restarts=%d lost_tokens=%d failed_jobs=%d suspicions=%d%a@]"
+     crashes=%d restarts=%d lost_tokens=%d failed_jobs=%d suspicions=%d%a%a@]"
     r.protocol_name r.seed
     (match r.outcome with Completed -> "completed" | Timed_out -> "timed out")
     r.rounds
@@ -376,6 +440,16 @@ let pp ppf r =
     r.data_messages r.control_messages r.retransmissions r.dropped_messages
     r.fault_dropped r.goodput r.events r.crashes r.restarts r.lost_tokens
     r.failed_jobs r.suspicions
+    (fun ppf r ->
+      (* Printed only when nonzero so fault-free renders stay
+         byte-identical to earlier builds. *)
+      if r.adv_duplicated + r.adv_reordered + r.adv_corrupted > 0 then
+        Format.fprintf ppf "@,adversary: dup=%d reorder=%d corrupt=%d"
+          r.adv_duplicated r.adv_reordered r.adv_corrupted;
+      if r.violations > 0 then
+        Format.fprintf ppf "@,monitor: %d violation%s" r.violations
+          (if r.violations = 1 then "" else "s"))
+    r
     (fun ppf -> function
       | Some d -> Format.fprintf ppf "@,diagnosis: %s" (Diagnosis.summary d)
       | None -> ())

@@ -72,6 +72,13 @@ type run = {
       (** failure-detector suspicion episodes across all nodes (see
           {!Detector.create}'s [on_suspect]) — nonzero under crash
           faults or heavy loss, 0 in a healthy lockstep run *)
+  adv_duplicated : int;  (** messages the adversary delivered twice *)
+  adv_reordered : int;  (** messages the adversary held back *)
+  adv_corrupted : int;
+      (** messages that departed but failed the receiver's checksum *)
+  violations : int;
+      (** invariant-monitor violations; always 0 when the monitor is
+          disabled (checks never run) *)
   limit_hit : bool;
       (** the simulator discarded events beyond the horizon; [false]
           for a timed-out run means the system went quiescent early *)
@@ -90,6 +97,8 @@ val run :
   ?profile:Net.profile ->
   ?condition:Ocd_dynamics.Condition.t ->
   ?faults:Ocd_dynamics.Faults.t ->
+  ?adversary:Net.adversary ->
+  ?monitor:Monitor.t ->
   ?round_limit:int ->
   protocol:Protocol.t ->
   seed:int ->
@@ -97,7 +106,14 @@ val run :
   run
 (** Executes one simulation.  [profile] defaults to {!Net.default},
     [condition] to {!Ocd_dynamics.Condition.static}, [faults] to
-    {!Ocd_dynamics.Faults.none}.
+    {!Ocd_dynamics.Faults.none}, [adversary] to {!Net.no_adversary},
+    [monitor] to {!Monitor.disabled}.
+
+    With a partition-carrying fault plan the transport is additionally
+    wired with the plan's cross-partition cut, silencing every path —
+    data, adjacent control, underlay — between separated vertices.
+    [monitor] receives the runtime's online safety checks (see
+    {!Monitor}); a disabled monitor costs one branch per site.
 
     [?obs] (default {!Ocd_obs.disabled}) instruments the run without
     perturbing it: [async/*] counters mirror the run record's totals

@@ -2,8 +2,8 @@ open Ocd_core
 open Ocd_prelude
 module Runtime = Ocd_async.Runtime
 module Diagnosis = Ocd_async.Diagnosis
+module Monitor = Ocd_async.Monitor
 module Net = Ocd_async.Net
-module Condition = Ocd_dynamics.Condition
 module Faults = Ocd_dynamics.Faults
 
 type cell = {
@@ -12,23 +12,25 @@ type cell = {
   flaps : bool;
   churn : bool;
   crash_prob : float;
+  partition : (float * float) option;
 }
 
 type grid = { n : int; tokens : int; trials : int; cells : cell list }
 
-let cell ?(loss = 0.0) ?(flaps = false) ?(churn = false) ?(crash_prob = 0.0) () =
+let cell ?(loss = 0.0) ?(flaps = false) ?(churn = false) ?(crash_prob = 0.0)
+    ?partition () =
   let label =
     let parts =
       (if loss > 0.0 then [ Printf.sprintf "loss=%.2f" loss ] else [])
       @ (if flaps then [ "flaps" ] else [])
       @ (if churn then [ "churn" ] else [])
-      @
-      if crash_prob > 0.0 then [ Printf.sprintf "crash=%.2f" crash_prob ]
-      else []
+      @ (if crash_prob > 0.0 then [ Printf.sprintf "crash=%.2f" crash_prob ]
+         else [])
+      @ match partition with Some _ -> [ "part" ] | None -> []
     in
     match parts with [] -> "baseline" | ps -> String.concat "+" ps
   in
-  { label; loss; flaps; churn; crash_prob }
+  { label; loss; flaps; churn; crash_prob; partition }
 
 let smoke_grid =
   {
@@ -40,6 +42,7 @@ let smoke_grid =
         cell ();
         cell ~loss:0.05 ~crash_prob:0.05 ();
         cell ~flaps:true ~crash_prob:0.10 ();
+        cell ~crash_prob:0.05 ~partition:(0.08, 0.25) ();
       ];
   }
 
@@ -58,7 +61,24 @@ let default_grid =
                  [ 0.0; 0.10 ])
              [ (false, false); (true, false); (false, true) ])
          [ 0.0; 0.10 ]
-      @ [ cell ~loss:0.10 ~flaps:true ~churn:true ~crash_prob:0.20 () ])
+      @ [
+          cell ~loss:0.10 ~flaps:true ~churn:true ~crash_prob:0.20 ();
+          cell ~partition:(0.08, 0.25) ();
+          cell ~crash_prob:0.10 ~partition:(0.08, 0.25) ();
+          cell ~loss:0.10 ~crash_prob:0.10 ~partition:(0.08, 0.25) ();
+        ])
+  }
+
+(* A grid built to fail: near-certain split, near-never heal, one
+   trial.  The network spends essentially the whole horizon cut in
+   two, so every protocol times out with a partition verdict — the
+   deterministic input for the CI `--shrink` smoke. *)
+let failing_grid =
+  {
+    n = 10;
+    tokens = 4;
+    trials = 1;
+    cells = [ cell ~crash_prob:0.05 ~partition:(0.9, 0.02) () ];
   }
 
 type agg = {
@@ -75,6 +95,7 @@ type agg = {
   failed_jobs : int;
   verdicts : (string * int) list;
   invalid : int;
+  violations : int;
   undiagnosed : int;
 }
 
@@ -90,22 +111,40 @@ type obs = {
   o_failed : int;
   o_verdict : string option;
   o_valid : bool;
+  o_violations : int;
   o_undiagnosed : bool;
 }
 
-let verdict_names = [ "unsat-window"; "gave-up"; "protocol-stall" ]
+let verdict_names =
+  [ "unsat-partition"; "unsat-window"; "gave-up"; "protocol-stall" ]
+
+(* Per-cell seed offsets for the four stochastic processes.  These are
+   the contract with Shrink.case extraction in [failures]: the flap and
+   churn seeds are carried into the case verbatim, and the crash and
+   partition plans are re-derived from theirs before being flattened to
+   explicit spans/windows. *)
+let flap_off = 11
+let churn_off = 13
+let crash_off = 17
+let part_off = 19
+
+let cell_faults c ~cell_seed =
+  let crash =
+    if c.crash_prob > 0.0 then
+      Faults.crashes ~seed:(cell_seed + crash_off) ~crash_prob:c.crash_prob ()
+    else Faults.none
+  in
+  let part =
+    match c.partition with
+    | Some (split_prob, heal_prob) ->
+        Faults.partitions ~seed:(cell_seed + part_off) ~split_prob ~heal_prob ()
+    | None -> Faults.none
+  in
+  Faults.compose crash part
 
 let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
-  let rng = Prng.create ~seed in
-  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:grid.n () in
-  let inst =
-    (Scenario.single_file rng ~graph ~tokens:grid.tokens ()).Scenario.instance
-  in
-  let sources =
-    List.filter
-      (fun v -> not (Bitset.is_empty inst.Instance.have.(v)))
-      (List.init grid.n (fun v -> v))
-  in
+  let inst = Shrink.instance_of ~seed ~n:grid.n ~tokens:grid.tokens in
+  let sources = Shrink.sources_of inst ~n:grid.n in
   let cells = Array.of_list grid.cells in
   let protocols = Ocd_dht.Registry.names in
   (* Task grid: cells outer, protocols inner, trials innermost.  Every
@@ -133,32 +172,18 @@ let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
         let task_obs = Ocd_obs.child obs in
         let profile = { Net.default with Net.loss = c.loss } in
         let condition =
-          let parts =
-            (if c.flaps then
-               [
-                 Condition.link_flaps ~seed:(cell_seed + 11) ~down_prob:0.1
-                   ~up_prob:0.5;
-               ]
-             else [])
-            @
-            if c.churn then
-              [
-                Condition.churn ~seed:(cell_seed + 13) ~protected:sources
-                  ~leave_prob:0.02 ~return_prob:0.3;
-              ]
-            else []
-          in
-          List.fold_left Condition.compose Condition.static parts
+          Shrink.condition_of
+            ~flap_seed:(if c.flaps then Some (cell_seed + flap_off) else None)
+            ~churn_seed:(if c.churn then Some (cell_seed + churn_off) else None)
+            ~sources
         in
-        let faults =
-          if c.crash_prob > 0.0 then
-            Faults.crashes ~seed:(cell_seed + 17) ~crash_prob:c.crash_prob ()
-          else Faults.none
-        in
+        let faults = cell_faults c ~cell_seed in
         let protocol = Ocd_dht.Registry.find_exn name in
+        let monitor = Monitor.create () in
         let r =
           let go () =
-            Runtime.run ~obs:task_obs ~profile ~condition ~faults ~protocol
+            Runtime.run ~obs:task_obs ~profile ~condition ~faults ~monitor
+              ~protocol
               ~seed:(seed + (31 * trial) + 1)
               inst
           in
@@ -191,6 +216,7 @@ let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
                   Diagnosis.verdict_name d.Diagnosis.verdict)
                 r.Runtime.diagnosis;
             o_valid = valid;
+            o_violations = r.Runtime.violations;
             o_undiagnosed =
               (not completed)
               && (match r.Runtime.diagnosis with
@@ -253,11 +279,63 @@ let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
                    verdict_names;
                invalid =
                  List.length (List.filter (fun o -> not o.o_valid) os);
+               violations = sum (fun o -> o.o_violations);
                undiagnosed =
                  List.length (List.filter (fun o -> o.o_undiagnosed) os);
              })
            protocols)
        (Array.to_list cells))
+
+(* Failing trials, re-expressed.  Each grid task is converted to an
+   explicit Shrink.case — crash and partition plans flattened to
+   literal spans/windows via Faults.downtime/Faults.windows, which the
+   Faults extraction contract guarantees replay byte-identically — and
+   evaluated through Shrink.run_case, the same evaluator ddmin probes
+   with.  So a case this function returns is failing *by that
+   evaluator's own judgement*, and Shrink.shrink cannot reject it. *)
+let failures ?(jobs = 1) ~seed grid =
+  let inst = Shrink.instance_of ~seed ~n:grid.n ~tokens:grid.tokens in
+  let round_limit = Runtime.default_round_limit inst in
+  let cells = Array.of_list grid.cells in
+  let tasks =
+    List.concat_map
+      (fun ci ->
+        List.concat_map
+          (fun name ->
+            List.map (fun trial -> (ci, name, trial)) (Order.range grid.trials))
+          Ocd_dht.Registry.names)
+      (Order.range (Array.length cells))
+  in
+  let results =
+    Pool.map ~jobs
+      (fun (ci, name, trial) ->
+        let c = cells.(ci) in
+        let cell_seed = seed + (7919 * ci) in
+        let faults = cell_faults c ~cell_seed in
+        let case =
+          {
+            Shrink.protocol = name;
+            instance_seed = seed;
+            n = grid.n;
+            tokens = grid.tokens;
+            loss = c.loss;
+            flap_seed = (if c.flaps then Some (cell_seed + flap_off) else None);
+            churn_seed = (if c.churn then Some (cell_seed + churn_off) else None);
+            run_seed = seed + (31 * trial) + 1;
+            round_limit;
+            durability = Faults.durability faults;
+            part_seed = cell_seed + part_off;
+            groups = 2;
+            downtime = Faults.downtime faults ~n:grid.n ~horizon:round_limit;
+            windows = Faults.windows faults ~horizon:round_limit;
+          }
+        in
+        (case, Shrink.run_case case))
+      tasks
+  in
+  List.filter_map
+    (fun (case, outcome) -> Option.map (fun tag -> (case, tag)) outcome)
+    results
 
 let verdict_cell verdicts =
   let nonzero =
@@ -305,7 +383,11 @@ let report ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
           string_of_int a.lost_tokens;
           string_of_int a.failed_jobs;
           verdict_cell a.verdicts;
-          (if a.invalid = 0 then "ok" else Printf.sprintf "%d bad" a.invalid);
+          (match (a.invalid, a.violations) with
+          | 0, 0 -> "ok"
+          | bad, 0 -> Printf.sprintf "%d bad" bad
+          | 0, viol -> Printf.sprintf "%d viol" viol
+          | bad, viol -> Printf.sprintf "%d bad %d viol" bad viol);
         ])
     aggs;
   Report.render table;
@@ -314,4 +396,7 @@ let report ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
     Report.note "WARNING: %d timed-out runs carried no diagnosis" undiagnosed;
   let invalid = List.fold_left (fun acc a -> acc + a.invalid) 0 aggs in
   if invalid > 0 then
-    Report.note "WARNING: %d schedules failed validation" invalid
+    Report.note "WARNING: %d schedules failed validation" invalid;
+  let violations = List.fold_left (fun acc a -> acc + a.violations) 0 aggs in
+  if violations > 0 then
+    Report.note "WARNING: %d runtime invariant violations" violations

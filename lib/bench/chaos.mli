@@ -2,13 +2,15 @@
     asynchronous runtime.
 
     A campaign crosses a list of {e environment cells} — message loss,
-    link flaps, vertex churn, node crash rate — with every registered
-    async protocol and [trials] seeds, runs each combination through
-    {!Ocd_async.Runtime.run}, re-checks every produced schedule with
-    {!Ocd_core.Validate}, and aggregates per (cell, protocol):
-    completion rate, p95 completion ticks, mean retransmissions and
-    duplicates, fault counters, and — for timed-out runs — the
-    {!Ocd_async.Diagnosis} verdict census.
+    link flaps, vertex churn, node crash rate, network partitions —
+    with every registered async protocol and [trials] seeds, runs each
+    combination through {!Ocd_async.Runtime.run} under a runtime
+    invariant monitor ({!Ocd_async.Monitor}), re-checks every produced
+    schedule with {!Ocd_core.Validate}, and aggregates per (cell,
+    protocol): completion rate, p95 completion ticks, mean
+    retransmissions and duplicates, fault counters, monitor
+    violations, and — for timed-out runs — the {!Ocd_async.Diagnosis}
+    verdict census.
 
     Determinism: every task derives its run, condition, and fault seeds
     from the campaign's base seed and the task's grid coordinates
@@ -21,6 +23,9 @@ type cell = {
   flaps : bool;  (** link up/down Markov process *)
   churn : bool;  (** vertex departures (sources protected) *)
   crash_prob : float;  (** per-round node crash probability; 0 = off *)
+  partition : (float * float) option;
+      (** [(split_prob, heal_prob)] for a seeded two-sided partition
+          process ({!Ocd_dynamics.Faults.partitions}); [None] = off *)
 }
 
 type grid = {
@@ -31,12 +36,19 @@ type grid = {
 }
 
 val smoke_grid : grid
-(** Tiny fixed grid (3 cells, 2 trials, 12 vertices) for CI: exercises
-    no-fault, loss + crash, and flaps + crash in seconds. *)
+(** Tiny fixed grid (4 cells, 2 trials, 12 vertices) for CI: exercises
+    no-fault, loss + crash, flaps + crash, and crash + partition in
+    seconds. *)
 
 val default_grid : grid
 (** The full campaign grid: loss {m \times} flaps {m \times} churn
-    {m \times} crash-rate cells over a 24-vertex instance. *)
+    {m \times} crash-rate cells over a 24-vertex instance, plus
+    partition cells. *)
+
+val failing_grid : grid
+(** A one-cell, one-trial grid constructed to fail deterministically
+    (near-permanent partition): the input for the [--shrink] CI
+    smoke.  See {!failures} and {!Shrink}. *)
 
 type agg = {
   env : string;
@@ -54,12 +66,15 @@ type agg = {
       (** diagnosis verdict census of timed-out trials, by
           {!Ocd_async.Diagnosis.verdict_name}, fixed name order *)
   invalid : int;  (** schedules rejected by {!Ocd_core.Validate} *)
+  violations : int;  (** runtime monitor violations across trials *)
   undiagnosed : int;  (** timed-out trials missing a diagnosis: bug *)
 }
 
 val run : ?obs:Ocd_obs.t -> ?jobs:int -> seed:int -> grid -> agg list
 (** Executes the campaign.  Order: cells outer, protocols (registry
-    order) inner.
+    order) inner.  Every trial runs under a fresh {!Ocd_async.Monitor}
+    — the monitor only observes (no coin draws, no messages), so
+    enabling it does not perturb any trial outcome.
 
     [?obs] (default disabled) instruments every trial: each task runs
     its {!Ocd_async.Runtime.run} under {!Ocd_obs.child} (fresh
@@ -70,6 +85,15 @@ val run : ?obs:Ocd_obs.t -> ?jobs:int -> seed:int -> grid -> agg list
     any [jobs].  With a probe, each trial is timed under
     [chaos/<cell>] (calls = trials {m \times} protocols, so the
     profile row reads as trials/sec). *)
+
+val failures : ?jobs:int -> seed:int -> grid -> (Shrink.case * string) list
+(** Re-runs the campaign's task grid through {!Shrink.run_case} —
+    each trial converted to an explicit, self-contained {!Shrink.case}
+    (probabilistic crash and partition plans extracted to literal
+    spans/windows, which replay byte-identically) — and returns the
+    failing cases with their failure tags, in task order.  Because the
+    evaluator is the very one {!Shrink.shrink} uses, every returned
+    case is guaranteed shrinkable.  Deterministic for any [jobs]. *)
 
 val report : ?obs:Ocd_obs.t -> ?jobs:int -> seed:int -> grid -> unit
 (** Runs the campaign and renders the aggregate table (plus its CSV

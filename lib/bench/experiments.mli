@@ -88,6 +88,13 @@ val dht_lookup : ?jobs:int -> unit -> unit
     control overhead, lookup hops and ring repairs.  Deterministic for
     any [jobs] value. *)
 
+val partition_heal : ?jobs:int -> unit -> unit
+(** Extension (robustness): every async protocol across one explicit
+    network partition window (split during rounds [5, 25), then heal)
+    under the {!Ocd_async.Monitor} runtime invariant monitor —
+    cut-dropped traffic, post-heal completion, and the monitor's
+    violation count (expected 0).  Deterministic for any [jobs]. *)
+
 val timeline_perf : unit -> unit
 (** Micro-benchmark of the {!Ocd_core.Timeline} one-pass derivation
     against the legacy full-snapshot possession replay it replaced,

@@ -4,6 +4,7 @@ module Digraph = Ocd_graph.Digraph
 module Protocol = Ocd_async.Protocol
 module Message = Ocd_async.Message
 module Detector = Ocd_async.Detector
+module Monitor = Ocd_async.Monitor
 
 let max_backoff_exp = 6
 
@@ -229,7 +230,14 @@ let protocol ?stats () =
            neighbour beliefs until the ring is back *)
         if Node.ready node then begin
           advertise_step ();
-          query_step ()
+          query_step ();
+          (* periodic ring safety checks — one branch when disabled *)
+          if Monitor.enabled ctx.monitor then
+            List.iter
+              (fun (rule, detail) ->
+                Monitor.record ctx.monitor ~tick:(ctx.now ()) ~node:v ~rule
+                  ~detail)
+              (Node.invariant_violations node)
         end;
         ctx.after 1 decide;
         ctx.after ctx.pace round

@@ -114,6 +114,13 @@ type t = {
      changes *)
   primaries : (int * int, unit) Hashtbl.t;
   mutable replica_targets : int list;
+  (* former successors this node evicted, most recent first; stabilise
+     probes one per period so a peer lost to a partition is rediscovered
+     once the cut heals (see [probe_retired]) *)
+  mutable retired : int list;
+  (* consecutive invariant-check rounds each primary record has spent
+     outside this node's (pred, self] arc; see [invariant_violations] *)
+  mutable misowned_streak : (int * int, int) Hashtbl.t;
 }
 
 let vid t v = Id.of_vertex ~seed:t.env.seed v
@@ -369,14 +376,101 @@ let start_join t =
    paths — the periodic stabilise sweep and the reply-merge in
    [on_neighbors] — go through here, so the eviction counter is exact
    no matter which one notices first. *)
+let retired_cap = 8
+
 let evict_suspected t =
-  let live = List.filter (fun u -> t.env.alive u) t.succs in
-  let dropped = List.length t.succs - List.length live in
-  if dropped > 0 then begin
-    t.env.stats.evictions <- t.env.stats.evictions + dropped;
-    t.succs <- live
+  let live, dead = List.partition (fun u -> t.env.alive u) t.succs in
+  if dead <> [] then begin
+    t.env.stats.evictions <- t.env.stats.evictions + List.length dead;
+    t.succs <- live;
+    (* Remember who we dropped.  A peer evicted because a partition
+       made it look dead is still out there holding half the ring;
+       [probe_retired] keeps one probe per period pointed at the
+       retired set so the first period after a heal re-establishes
+       contact even when every finger has been rewritten to this
+       side's survivors during the split. *)
+    List.iter
+      (fun u ->
+        if u <> t.env.self && not (List.mem u t.retired) then
+          t.retired <- Order.take retired_cap (u :: t.retired))
+      dead
   end;
-  dropped > 0
+  dead <> []
+
+(* Ring merge after a heal.  While the network is split, each side
+   evicts the other's nodes and closes its successor ring over the
+   survivors; once the partition heals, the sides' views stay divergent
+   until somebody from across the old cut speaks again.  Waiting for
+   the periodic stabilise probe alone would reconcile only neighbours
+   of neighbours; instead every incoming message is a liveness proof
+   and a merge candidate — if the sender is closer than our worst
+   successor (or our list is underfull), adopt it on the spot.  On a
+   converged ring this is a no-op (nobody not already a successor is
+   closer than the ones we have), so fault-free runs are untouched. *)
+let consider_contact t src =
+  if
+    src >= 0 && src <> t.env.self && (not t.joining) && t.succs <> []
+    && (not (List.mem src t.succs))
+    && t.env.alive src
+  then begin
+    let merged = Order.take t.config.succ_count (ring_sorted t (src :: t.succs)) in
+    if merged <> t.succs then begin
+      let old0 = succ0 t in
+      t.env.observe src;
+      t.succs <- merged;
+      if succ0 t <> old0 then t.env.send ~dst:(succ0 t) Message.Notify;
+      re_replicate t
+    end
+  end
+
+(* The other half of post-heal reconciliation: a primary record stored
+   while the ring was split may live at a node that no longer owns the
+   key.  Each period the node re-checks a couple of its primaries
+   against the live ring and hands misowned ones to the true owner as
+   a fresh primary Store (which re-fans replicas there).  Rate-limited
+   to two lookups per period so a big store drains gently; a correctly
+   owned store costs one fold and no messages. *)
+let handoff_misowned t =
+  match t.pred with
+  | None -> ()
+  | Some p ->
+    let plo = vid t p in
+    let mis =
+      Hashtbl.fold
+        (fun ((token, _) as k) () acc ->
+          if Id.in_oc ~lo:plo ~hi:t.id (Id.of_key ~seed:t.env.seed token) then
+            acc
+          else k :: acc)
+        t.primaries []
+    in
+    List.iter
+      (fun (token, holder) ->
+        start_lookup t ~account:false
+          ~target:(Id.of_key ~seed:t.env.seed token)
+          ~on_done:(fun ~owner ~hops:_ ->
+            if owner <> t.env.self && Hashtbl.mem t.primaries (token, holder)
+            then begin
+              Hashtbl.remove t.primaries (token, holder);
+              t.env.send ~dst:owner
+                (Message.Store { token; holder; replica = false })
+            end)
+          ~on_fail:(fun () -> ()))
+      (Order.take 2 (List.sort compare mis))
+
+(* One Get_neighbors probe per period at a retired peer, round-robin.
+   While the peer is genuinely dead (or the cut is still up) the probe
+   is dropped and costs one message; the moment it can answer again,
+   its Neighbors reply — carrying the current stabilise ticket — walks
+   the ordinary merge path in [on_neighbors], and [handle] takes it
+   off the retired list.  This is what bounds ring reconciliation
+   after a heal: it does not depend on any stale finger surviving the
+   split. *)
+let probe_retired t =
+  match t.retired with
+  | [] -> ()
+  | r :: rest ->
+    t.retired <- rest @ [ r ];
+    t.env.send ~dst:r (Message.Get_neighbors { ticket = t.stab_ticket })
 
 let stabilise t =
   (* detector-driven successor repair *)
@@ -401,7 +495,9 @@ let stabilise t =
     t.stab_ticket <- tk;
     List.iter
       (fun s -> t.env.send ~dst:s (Message.Get_neighbors { ticket = tk }))
-      succs
+      succs;
+    probe_retired t;
+    handoff_misowned t
 
 let on_neighbors t ~src ~ticket ~pred ~reported =
   if ticket = t.stab_ticket then begin
@@ -495,6 +591,20 @@ let on_succ_info t ~ticket ~node ~final =
 (* ------------------------------ lifecycle ----------------------------- *)
 
 let handle t ~src (m : Message.dht) =
+  (* Any message is proof of life: a retired peer that speaks again is
+     back in the ordinary machinery's hands and needs no more probes. *)
+  if t.retired <> [] && List.mem src t.retired then
+    t.retired <- List.filter (fun u -> u <> src) t.retired;
+  (* A Find_succ sender may still be mid-join (its own join lookup),
+     with no routing state to its name — adopting it would splice an
+     empty node into the ring.  Every other message type is only ever
+     sent by an established node: joining nodes stay silent on
+     Find_succ (see [on_find_succ]) and hosts defer stores and queries
+     until ready.  The heal-merge still bootstraps from a cross-cut
+     lookup, via the Succ_info reply the querier gets back. *)
+  (match m with
+  | Message.Find_succ _ -> ()
+  | _ -> consider_contact t src);
   match m with
   | Message.Find_succ { target; ticket } -> on_find_succ t ~src ~target ~ticket
   | Message.Succ_info { ticket; node; final } ->
@@ -556,6 +666,8 @@ let create ~env ~config init =
       store = Hashtbl.create 16;
       primaries = Hashtbl.create 16;
       replica_targets = [];
+      retired = [];
+      misowned_streak = Hashtbl.create 8;
     }
   in
   (match init with
@@ -568,6 +680,72 @@ let create ~env ~config init =
     t.joining <- true;
     t.join_via <- List.filter (fun u -> u <> env.self) via);
   t
+
+(* ------------------------- invariant monitoring ------------------------ *)
+
+let misowned_grace = 32
+
+let invariant_violations t =
+  let out = ref [] in
+  let add rule detail = out := (rule, detail) :: !out in
+  if List.mem t.env.self t.succs then add "dht-ring" "self in successor list";
+  (let rec ordered = function
+     | a :: (b :: _ as rest) ->
+       if Id.dist ~from:t.id (vid t a) >= Id.dist ~from:t.id (vid t b) then
+         add "dht-ring"
+           (Printf.sprintf "successor list out of ring order (%d before %d)" a
+              b)
+       else ordered rest
+     | _ -> ()
+   in
+   ordered t.succs);
+  (match t.pred with
+  | Some p when p = t.env.self -> add "dht-ring" "self as predecessor"
+  | _ -> ());
+  Hashtbl.iter
+    (fun token l ->
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          if a >= b then
+            add "dht-ring"
+              (Printf.sprintf "holder list for token %d not strictly sorted"
+                 token)
+          else sorted rest
+        | _ -> ()
+      in
+      sorted !l)
+    t.store;
+  (* Ownership is eventually-true, not always-true: a record is
+     expected to sit at the wrong node while the ring reshapes around
+     a split or a heal, and [handoff_misowned] drains at most two per
+     period.  Only a record misowned on [misowned_grace] consecutive
+     checks — long past any reconciliation the protocol could still be
+     performing — is a violation. *)
+  (match t.pred with
+  | None -> ()
+  | Some p ->
+    let plo = vid t p in
+    let fresh = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun ((token, holder) as k) () ->
+        if not (Id.in_oc ~lo:plo ~hi:t.id (Id.of_key ~seed:t.env.seed token))
+        then begin
+          let s =
+            (match Hashtbl.find_opt t.misowned_streak k with
+            | Some s -> s
+            | None -> 0)
+            + 1
+          in
+          Hashtbl.replace fresh k s;
+          if s = misowned_grace then
+            add "dht-ownership"
+              (Printf.sprintf
+                 "primary record (token %d, holder %d) misowned for %d checks"
+                 token holder misowned_grace)
+        end)
+      t.primaries;
+    t.misowned_streak <- fresh);
+  List.rev !out
 
 (* ------------------------- converged ring state ------------------------ *)
 

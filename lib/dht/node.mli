@@ -111,7 +111,23 @@ val start : t -> unit
 
 val handle : t -> src:int -> Message.dht -> unit
 (** Feed one incoming DHT message.  The host should record [src] with
-    its failure detector {e before} calling this. *)
+    its failure detector {e before} calling this.
+
+    Every message doubles as a merge candidate: if the sender is
+    closer than the node's worst successor (or the list is underfull),
+    it is adopted on the spot — with a [Notify] and replica repair
+    when the immediate successor changes.  This is what reconciles the
+    two sides of a healed partition within a bounded number of
+    stabilise rounds: the first cross-cut lookup or probe re-links the
+    rings, and stabilisation spreads the merged view.  On a converged
+    ring the check is a no-op.
+
+    Cross-cut contact after a heal is guaranteed, not hoped for: each
+    node remembers the successors it evicted (a bounded retired list)
+    and stabilise keeps one probe per period pointed at them, so even
+    a split long enough to rewrite every finger to same-side owners is
+    re-linked in the first post-heal period.  A retired peer that
+    speaks again — or answers the probe — leaves the list. *)
 
 val id : t -> int
 val succ0 : t -> int
@@ -149,6 +165,17 @@ val find_providers : t -> token:int -> (int list -> unit) -> unit
 val providers : t -> token:int -> int list
 (** This node's own stored records for [token] (capped), for the
     owner-is-self path and for tests. *)
+
+val invariant_violations : t -> (string * string) list
+(** Structural ring invariants, for the {!Ocd_async.Monitor}: each
+    entry is [(rule, detail)] with rule ["dht-ring"] (successor list
+    sorted by ring distance and free of self, predecessor not self,
+    holder lists strictly sorted) or ["dht-ownership"] (a primary
+    record left outside this node's [(pred, self]] arc for many
+    consecutive checks — transient misownership while the ring
+    reshapes is not a violation; the periodic misowned-record handoff
+    is expected to clear it).  Call once per monitored round on ready
+    nodes; the ownership streak counter advances per call. *)
 
 val converged :
   seed:int -> succ_count:int -> int array -> int -> init

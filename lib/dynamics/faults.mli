@@ -1,20 +1,31 @@
-(** Node-level crash–recovery fault plans.
+(** Node-level crash–recovery and network-partition fault plans.
 
-    {!Condition} degrades {e links}; a fault plan kills {e nodes}.  The
-    difference matters for protocol state: a vertex behind a downed
-    link keeps its pending requests, backoff clocks and beliefs, while
-    a crashed node restarts with amnesia — the asynchronous runtime
-    discards its protocol instance, drops its in-flight messages, and
-    (depending on the durability model) wipes the tokens it had
-    fetched.  This is the failure model of the live-streaming overlay
-    literature, where peer departure with state loss is the defining
-    robustness problem, and it is strictly harsher than
-    {!Condition.churn}, which only zeroes incident arcs.
+    {!Condition} degrades {e links}; a fault plan kills {e nodes} or
+    splits the {e network}.  The difference matters for protocol
+    state: a vertex behind a downed link keeps its pending requests,
+    backoff clocks and beliefs, while a crashed node restarts with
+    amnesia — the asynchronous runtime discards its protocol instance,
+    drops its in-flight messages, and (depending on the durability
+    model) wipes the tokens it had fetched.  A {e partition} is the
+    correlated failure the live-streaming overlay literature treats as
+    the defining robustness scenario: at a round boundary the whole
+    vertex set splits into groups, every cross-group arc goes dark at
+    once — overlay links and the underlay control path alike — and a
+    later heal event restores them, leaving the survivors' divergent
+    views to reconcile.
 
-    A plan is a deterministic process derived from a seed: per node, a
-    two-state (up/down) Markov chain over {e rounds}, sampled with the
-    same keyed-coin mixing as the built-in conditions, so any query
-    order yields the same trajectory and runs stay reproducible. *)
+    A plan is a deterministic process derived from a seed — per-node
+    up/down Markov chains for crashes, a network-wide split/heal chain
+    for partitions — sampled with the same keyed-coin mixing as the
+    built-in conditions, so any query order yields the same trajectory
+    and runs stay reproducible.  Plans also exist in {e explicit} form
+    ({!of_downtime}, {!of_windows}): the same semantics driven by
+    literal event lists, which is what lets the chaos shrinker
+    materialise a failing probabilistic plan ({!downtime},
+    {!windows}), delta-debug the event list, and replay any subset
+    byte-identically.  A value of type {!t} carries at most one crash
+    component and one partition component; {!compose} combines
+    plans. *)
 
 type durability =
   | Durable
@@ -28,9 +39,13 @@ type durability =
 type t
 
 val none : t
-(** Every node up at every round; no transitions.  The default. *)
+(** Every node up, no partitions, no transitions.  The default. *)
 
 val is_none : t -> bool
+
+val has_partition : t -> bool
+(** Does the plan carry a partition component?  Lets hosts skip wiring
+    the cross-partition cut predicate entirely on crash-only plans. *)
 
 val crashes :
   seed:int ->
@@ -47,8 +62,42 @@ val crashes :
     [durability] defaults to [Lost_unless_source].
     @raise Invalid_argument when a probability is outside [\[0,1\]]. *)
 
+val of_downtime : ?durability:durability -> (int * int * int) list -> t
+(** An explicit crash plan: each [(node, from, until)] span keeps
+    [node] down during rounds [\[from, until)].  Spans for one node
+    must be disjoint; [1 <= from < until].  The materialised form of
+    a {!crashes} plan (see {!downtime}) replays identically to the
+    original within the extraction horizon.  [of_downtime []] is
+    {!none}. *)
+
+val partitions :
+  seed:int -> ?groups:int -> ?split_prob:float -> ?heal_prob:float -> unit -> t
+(** A seed-derived partition process: one network-wide two-state chain
+    over rounds — whole, or split into [groups] (default 2) sides.  A
+    whole network splits at the next round boundary with probability
+    [split_prob] (default 0.05); a split one heals with probability
+    [heal_prob] (default 0.25).  Each window assigns every vertex a
+    side by a coin keyed on the window's start round, so the grouping
+    is correlated, stable for the window's lifetime, and reproducible
+    from the seed alone.
+    @raise Invalid_argument on bad probabilities or [groups < 2]. *)
+
+val of_windows : seed:int -> ?groups:int -> (int * int) list -> t
+(** An explicit partition plan: the network is split during each
+    [(from, until)] round window ([1 <= from < until], windows
+    disjoint).  Side assignment uses the same [(seed, window start,
+    vertex)] keying as {!partitions}, so a window list extracted from
+    a seeded plan via {!windows} (with the same seed and [groups])
+    reproduces the exact same groupings.  [of_windows ~seed []] is
+    {!none}. *)
+
+val compose : t -> t -> t
+(** Merge a crash plan and a partition plan into one.
+    @raise Invalid_argument when both sides carry a crash component,
+    or both carry a partition component. *)
+
 val durability : t -> durability
-(** [Durable] for {!none}. *)
+(** [Durable] for plans without a crash component. *)
 
 val up : t -> round:int -> int -> bool
 (** Is the node up during [round]?  Round 0 is always up. *)
@@ -59,8 +108,36 @@ val transitions : t -> node:int -> horizon:int -> (int * [ `Crash | `Restart ]) 
     [r - 1]), [(r, `Restart)] the converse.  O(horizon) per node,
     memoised. *)
 
+val downtime : t -> n:int -> horizon:int -> (int * int * int) list
+(** The crash component materialised as explicit [(node, from, until)]
+    down-spans over rounds [1..horizon] (a span still open at the
+    horizon closes at [horizon + 1]), grouped by node in ascending
+    node then round order.  Feeding the result to {!of_downtime}
+    yields a plan with identical [up]/[transitions] behaviour within
+    the horizon — the shrinker's entry point. *)
+
+val separated : t -> round:int -> int -> int -> bool
+(** Are the two vertices on different sides of an active partition
+    window during [round]?  Always false without a partition
+    component, for equal vertices, and outside windows. *)
+
+val partition_active : t -> round:int -> bool
+(** Is a partition window active during [round]? *)
+
+val group : t -> round:int -> int -> int
+(** The vertex's side during [round]: 0 when the network is whole or
+    the plan has no partition component. *)
+
+val windows : t -> horizon:int -> (int * int) list
+(** The partition component materialised as explicit [(from, until)]
+    round windows over [1..horizon] (an open window closes at
+    [horizon + 1]), ascending.  Round-trips through {!of_windows}
+    (same seed, same [groups]) byte-identically. *)
+
 val to_condition : t -> Condition.t
 (** The link-level shadow of the plan: an arc's capacity is zeroed
-    while either endpoint is down.  Used by diagnosis to reason about
-    reachability; the runtime itself drops a downed node's traffic at
-    the transport layer. *)
+    while either endpoint is down {e or} the endpoints are on
+    different sides of an active partition.  Used by diagnosis to
+    reason about reachability and by the synchronous engines; the
+    async runtime drops a downed node's or cut arc's traffic at the
+    transport layer instead. *)

@@ -472,6 +472,164 @@ let test_no_fault_run_unchanged () =
   Alcotest.(check int) "events identical" plain.Runtime.events with_none.Runtime.events;
   Alcotest.(check int) "no crash events" 0 with_none.Runtime.crashes
 
+(* ----------------------- message adversary ------------------------ *)
+
+let test_adversary_validation () =
+  List.iter
+    (fun adversary ->
+      Alcotest.(check bool)
+        "bad adversary rejected" true
+        (match
+           Runtime.run ~adversary
+             ~protocol:(Local_rarest.protocol ())
+             ~seed:1 (line_instance ())
+         with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [
+      { Net.no_adversary with Net.dup_prob = 1.5 };
+      { Net.no_adversary with Net.corrupt_prob = -0.1 };
+      { Net.no_adversary with Net.delay_prob = 0.5; max_delay = 0 };
+    ]
+
+let test_adversary_exact_counters () =
+  (* With every probability pinned to 1 the counters are exact: every
+     departed message is corrupted (and therefore neither delivered,
+     delayed nor duplicated). *)
+  let inst = random_instance ~seed:91 ~n:10 ~tokens:4 in
+  let all_corrupt =
+    { Net.dup_prob = 1.0; delay_prob = 1.0; max_delay = 4; corrupt_prob = 1.0 }
+  in
+  let r =
+    Runtime.run ~adversary:all_corrupt ~round_limit:20
+      ~protocol:(Local_rarest.protocol ())
+      ~seed:7 inst
+  in
+  Alcotest.(check bool)
+    "nothing survives total corruption" true
+    (r.Runtime.outcome = Runtime.Timed_out && r.Runtime.fresh_deliveries = 0);
+  Alcotest.(check int)
+    "every departure corrupted"
+    (r.Runtime.data_messages + r.Runtime.control_messages)
+    r.Runtime.adv_corrupted;
+  Alcotest.(check int) "corrupted messages are not delayed" 0
+    r.Runtime.adv_reordered;
+  Alcotest.(check int) "corrupted messages are not duplicated" 0
+    r.Runtime.adv_duplicated;
+  (* dup+delay without corruption: every departure is delayed and
+     echoed, and the run must still complete (duplicates are absorbed
+     by the dedup path, delays by the retry machinery). *)
+  let noisy =
+    { Net.dup_prob = 1.0; delay_prob = 1.0; max_delay = 4; corrupt_prob = 0.0 }
+  in
+  let r = Runtime.run ~adversary:noisy ~protocol:(Local_rarest.protocol ()) ~seed:7 inst in
+  Alcotest.(check bool)
+    "completes under dup+delay" true
+    (r.Runtime.outcome = Runtime.Completed);
+  Alcotest.(check bool) "every survivor delayed" true
+    (r.Runtime.adv_reordered > 0
+    && r.Runtime.adv_reordered = r.Runtime.adv_duplicated);
+  Alcotest.(check bool)
+    "schedule still validates" true
+    (Validate.check_successful inst r.Runtime.schedule = Ok ())
+
+let test_adversary_deterministic () =
+  let inst = random_instance ~seed:92 ~n:12 ~tokens:6 in
+  let adversary =
+    { Net.dup_prob = 0.3; delay_prob = 0.3; max_delay = 6; corrupt_prob = 0.05 }
+  in
+  let go () =
+    Runtime.run ~adversary ~protocol:(Local_rarest.protocol ()) ~seed:8 inst
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool)
+    "adversarial runs replay exactly" true
+    (Schedule.steps a.Runtime.schedule = Schedule.steps b.Runtime.schedule
+    && a.Runtime.events = b.Runtime.events
+    && a.Runtime.adv_duplicated = b.Runtime.adv_duplicated
+    && a.Runtime.adv_reordered = b.Runtime.adv_reordered
+    && a.Runtime.adv_corrupted = b.Runtime.adv_corrupted);
+  Alcotest.(check bool)
+    "adversary actually interfered" true
+    (a.Runtime.adv_duplicated > 0 && a.Runtime.adv_reordered > 0)
+
+let test_no_adversary_byte_identical () =
+  (* Passing the explicit no_adversary must be invisible: the arc coin
+     streams advance identically, so runs match field for field. *)
+  let inst = random_instance ~seed:93 ~n:12 ~tokens:6 in
+  let go adversary =
+    Runtime.run ?adversary ~protocol:(Local_rarest.protocol ()) ~seed:9 inst
+  in
+  let plain = go None and with_off = go (Some Net.no_adversary) in
+  Alcotest.(check bool)
+    "schedules identical" true
+    (Schedule.steps plain.Runtime.schedule
+    = Schedule.steps with_off.Runtime.schedule);
+  Alcotest.(check int) "events identical" plain.Runtime.events
+    with_off.Runtime.events;
+  Alcotest.(check int) "no adversary counters" 0
+    (with_off.Runtime.adv_duplicated + with_off.Runtime.adv_reordered
+   + with_off.Runtime.adv_corrupted)
+
+(* ------------------------ invariant monitor ------------------------ *)
+
+let test_monitor_clean_runs () =
+  (* Healthy runs must be violation-free for every protocol, and the
+     monitored run must be event-identical to the unmonitored one. *)
+  let inst = random_instance ~seed:94 ~n:12 ~tokens:6 in
+  List.iter
+    (fun name ->
+      let protocol = Option.get (Registry.find name) in
+      let monitor = Monitor.create () in
+      let r = Runtime.run ~monitor ~protocol ~seed:11 inst in
+      let plain = Runtime.run ~protocol ~seed:11 inst in
+      Alcotest.(check int) (name ^ ": no violations") 0 r.Runtime.violations;
+      Alcotest.(check bool) (name ^ ": monitor ok") true (Monitor.ok monitor);
+      Alcotest.(check int)
+        (name ^ ": observation is free")
+        plain.Runtime.events r.Runtime.events)
+    Registry.names
+
+let test_monitor_clean_under_faults () =
+  (* Crashes exercise the durability rule; a partition exercises the
+     cut; neither may produce a false positive. *)
+  let inst = random_instance ~seed:95 ~n:12 ~tokens:6 in
+  let faults =
+    Ocd_dynamics.Faults.compose
+      (Ocd_dynamics.Faults.crashes ~seed:19 ~crash_prob:0.15 ())
+      (Ocd_dynamics.Faults.of_windows ~seed:23 [ (3, 8) ])
+  in
+  let monitor = Monitor.create () in
+  let r =
+    Runtime.run ~faults ~monitor ~protocol:(Local_rarest.protocol ()) ~seed:12
+      inst
+  in
+  Alcotest.(check bool) "faults bit" true (r.Runtime.crashes > 0);
+  Alcotest.(check int) "no false violations under faults" 0 r.Runtime.violations
+
+let test_monitor_records_violations () =
+  let m = Monitor.create ~limit:2 () in
+  Alcotest.(check bool) "enabled" true (Monitor.enabled m);
+  Alcotest.(check bool) "disabled is off" false (Monitor.enabled Monitor.disabled);
+  let forced = ref 0 in
+  Monitor.check m ~tick:3 ~node:1 ~rule:"r" ~ok:true ~detail:(fun () ->
+      incr forced;
+      "never");
+  Alcotest.(check int) "detail not forced on pass" 0 !forced;
+  Monitor.check m ~tick:4 ~node:2 ~rule:"r" ~ok:false ~detail:(fun () ->
+      incr forced;
+      "first");
+  Monitor.record m ~tick:5 ~node:0 ~rule:"s" ~detail:"second";
+  Monitor.record m ~tick:6 ~node:0 ~rule:"s" ~detail:"third";
+  Alcotest.(check int) "detail forced on failure" 1 !forced;
+  Alcotest.(check int) "all violations counted" 3 (Monitor.count m);
+  Alcotest.(check bool) "not ok" false (Monitor.ok m);
+  let kept = Monitor.violations m in
+  Alcotest.(check int) "report capped at limit" 2 (List.length kept);
+  Alcotest.(check (list int))
+    "first violations kept, oldest-first" [ 4; 5 ]
+    (List.map (fun v -> v.Monitor.tick) kept)
+
 (* ---------------------- registry & reuse -------------------------- *)
 
 let test_registry () =
@@ -552,6 +710,23 @@ let () =
             test_durable_crash_loses_nothing;
           Alcotest.test_case "none plan invisible" `Quick
             test_no_fault_run_unchanged;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "validation" `Quick test_adversary_validation;
+          Alcotest.test_case "exact counters" `Quick
+            test_adversary_exact_counters;
+          Alcotest.test_case "determinism" `Quick test_adversary_deterministic;
+          Alcotest.test_case "no-adversary invisible" `Quick
+            test_no_adversary_byte_identical;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "clean runs" `Quick test_monitor_clean_runs;
+          Alcotest.test_case "clean under faults" `Quick
+            test_monitor_clean_under_faults;
+          Alcotest.test_case "violation bookkeeping" `Quick
+            test_monitor_records_violations;
         ] );
       ( "runtime",
         [

@@ -1,5 +1,7 @@
-(* Tests for the crash-recovery fault model (Ocd_dynamics.Faults), the
-   stall diagnosis, and the chaos campaign harness (Ocd_bench.Chaos). *)
+(* Tests for the crash-recovery and partition fault model
+   (Ocd_dynamics.Faults), the stall diagnosis, the chaos campaign
+   harness (Ocd_bench.Chaos) and the fault-schedule shrinker
+   (Ocd_bench.Shrink). *)
 
 open Ocd_prelude
 open Ocd_core
@@ -7,6 +9,7 @@ open Ocd_core
 module Faults = Ocd_dynamics.Faults
 module Condition = Ocd_dynamics.Condition
 module Chaos = Ocd_bench.Chaos
+module Shrink = Ocd_bench.Shrink
 
 (* --------------------------- fault plans --------------------------- *)
 
@@ -101,6 +104,101 @@ let test_to_condition_shadow () =
   done;
   Alcotest.(check bool) "some downtime was exercised" true (!checked > 0)
 
+(* ------------------------- partition plans ------------------------- *)
+
+let test_partition_determinism () =
+  let plan () =
+    Faults.partitions ~seed:13 ~split_prob:0.3 ~heal_prob:0.3 ()
+  in
+  let a = plan () and b = plan () in
+  (* probe b in reverse first: query order must not matter *)
+  for r = 80 downto 0 do
+    ignore (Faults.partition_active b ~round:r);
+    ignore (Faults.separated b ~round:r 0 5)
+  done;
+  let some_active = ref false in
+  for r = 0 to 80 do
+    Alcotest.(check bool)
+      "activity agrees" (Faults.partition_active a ~round:r)
+      (Faults.partition_active b ~round:r);
+    if Faults.partition_active a ~round:r then some_active := true;
+    for u = 0 to 5 do
+      for v = 0 to 5 do
+        Alcotest.(check bool)
+          "separation agrees" (Faults.separated a ~round:r u v)
+          (Faults.separated b ~round:r u v);
+        Alcotest.(check bool)
+          "separated iff different sides"
+          (Faults.partition_active a ~round:r
+          && u <> v
+          && Faults.group a ~round:r u <> Faults.group a ~round:r v)
+          (Faults.separated a ~round:r u v)
+      done
+    done
+  done;
+  Alcotest.(check bool) "plan did split" true !some_active
+
+let test_windows_roundtrip () =
+  let plan = Faults.partitions ~seed:21 ~split_prob:0.2 ~heal_prob:0.4 () in
+  let horizon = 120 in
+  let ws = Faults.windows plan ~horizon in
+  Alcotest.(check bool) "some windows extracted" true (ws <> []);
+  List.iter
+    (fun (a, b) -> Alcotest.(check bool) "window well-formed" true (1 <= a && a < b))
+    ws;
+  let replay = Faults.of_windows ~seed:21 ws in
+  for r = 0 to horizon do
+    Alcotest.(check bool)
+      "activity replays" (Faults.partition_active plan ~round:r)
+      (Faults.partition_active replay ~round:r);
+    for u = 0 to 7 do
+      for v = 0 to 7 do
+        Alcotest.(check bool)
+          "separation replays byte-identically"
+          (Faults.separated plan ~round:r u v)
+          (Faults.separated replay ~round:r u v)
+      done
+    done
+  done
+
+let test_compose_crash_and_partition () =
+  let crash = Faults.crashes ~seed:5 ~crash_prob:0.3 () in
+  let part = Faults.of_windows ~seed:9 [ (3, 10) ] in
+  let both = Faults.compose crash part in
+  Alcotest.(check bool) "has partition" true (Faults.has_partition both);
+  Alcotest.(check bool) "crash side kept" true
+    (Faults.up both ~round:20 1 = Faults.up crash ~round:20 1);
+  Alcotest.(check bool) "partition side kept" true
+    (Faults.separated both ~round:5 0 1 = Faults.separated part ~round:5 0 1);
+  Alcotest.(check bool)
+    "two crash components rejected" true
+    (match Faults.compose crash crash with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* the condition shadow zeroes arcs for downed nodes AND separated pairs *)
+  let cond = Faults.to_condition both in
+  let zeroed = ref 0 in
+  for r = 0 to 15 do
+    for u = 0 to 4 do
+      for v = 0 to 4 do
+        if u <> v then begin
+          let eff = Condition.effective cond ~step:r ~src:u ~dst:v ~base:3 in
+          let expect =
+            if
+              Faults.up both ~round:r u
+              && Faults.up both ~round:r v
+              && not (Faults.separated both ~round:r u v)
+            then 3
+            else 0
+          in
+          if expect = 0 then incr zeroed;
+          Alcotest.(check int) "shadow covers both fault kinds" expect eff
+        end
+      done
+    done
+  done;
+  Alcotest.(check bool) "shadow exercised" true (!zeroed > 0)
+
 (* --------------------------- diagnosis ----------------------------- *)
 
 let harsh_timed_out_run () =
@@ -151,6 +249,32 @@ let test_completed_has_no_diagnosis () =
     "no diagnosis on success" true
     (r.Ocd_async.Runtime.diagnosis = None)
 
+let test_partition_verdict () =
+  (* A permanent split: the far side's wants are unsatisfiable while
+     the window is up, and the window never closes — the diagnosis must
+     attribute the stall to the partition, not to the protocol. *)
+  let rng = Prng.create ~seed:19 in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:10 () in
+  let inst = (Scenario.single_file rng ~graph ~tokens:5 ()).Scenario.instance in
+  let faults = Faults.of_windows ~seed:3 [ (1, 10_000) ] in
+  let r =
+    Ocd_async.Runtime.run ~faults ~round_limit:40
+      ~protocol:(Ocd_async.Local_rarest.protocol ())
+      ~seed:6 inst
+  in
+  Alcotest.(check bool)
+    "permanent split times out" true
+    (r.Ocd_async.Runtime.outcome = Ocd_async.Runtime.Timed_out);
+  match r.Ocd_async.Runtime.diagnosis with
+  | None -> Alcotest.fail "no diagnosis"
+  | Some d ->
+    Alcotest.(check string)
+      "verdict is unsat-partition" "unsat-partition"
+      (Ocd_async.Diagnosis.verdict_name d.Ocd_async.Diagnosis.verdict);
+    Alcotest.(check bool)
+      "cut rounds counted" true
+      (d.Ocd_async.Diagnosis.partition_cut_rounds > 0)
+
 (* ------------------------- chaos campaign -------------------------- *)
 
 let test_chaos_jobs_determinism () =
@@ -161,12 +285,15 @@ let test_chaos_jobs_determinism () =
 let test_chaos_smoke_invariants () =
   let aggs = Chaos.run ~jobs:2 ~seed:7 Chaos.smoke_grid in
   Alcotest.(check int)
-    "cells x protocols rows" 12 (List.length aggs);
+    "cells x protocols rows" 16 (List.length aggs);
   List.iter
     (fun (a : Chaos.agg) ->
       Alcotest.(check int)
         (a.Chaos.env ^ "/" ^ a.Chaos.protocol ^ ": every schedule validates")
         0 a.Chaos.invalid;
+      Alcotest.(check int)
+        (a.Chaos.env ^ "/" ^ a.Chaos.protocol ^ ": no monitor violations")
+        0 a.Chaos.violations;
       Alcotest.(check int)
         (a.Chaos.env ^ "/" ^ a.Chaos.protocol ^ ": every timeout diagnosed")
         0 a.Chaos.undiagnosed;
@@ -186,6 +313,115 @@ let test_chaos_smoke_invariants () =
        (fun (a : Chaos.agg) -> a.Chaos.completed = a.Chaos.trials)
        crash_cells)
 
+(* ---------------------------- shrinking ---------------------------- *)
+
+(* A case that fails for exactly one reason — a permanent partition —
+   padded with crash spans that are pure noise.  ddmin must strip the
+   noise and keep the window, and the minimal case must STILL fail the
+   same way when replayed (the acceptance bar for the shrinker). *)
+let failing_case =
+  {
+    Shrink.protocol = "async-local";
+    instance_seed = 42;
+    n = 10;
+    tokens = 4;
+    loss = 0.0;
+    flap_seed = None;
+    churn_seed = None;
+    run_seed = 43;
+    round_limit = 60;
+    durability = Faults.Lost_unless_source;
+    part_seed = 5;
+    groups = 2;
+    downtime = [ (1, 5, 10); (2, 12, 20); (3, 30, 40) ];
+    windows = [ (1, 1_000) ];
+  }
+
+let test_shrink_minimises_and_replays () =
+  let tag =
+    match Shrink.run_case failing_case with
+    | Some t -> t
+    | None -> Alcotest.fail "crafted case unexpectedly passes"
+  in
+  Alcotest.(check string) "fails on the partition" "stall:unsat-partition" tag;
+  match Shrink.shrink failing_case with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check string) "tag preserved" tag s.Shrink.tag;
+    Alcotest.(check bool)
+      "within the test budget" true
+      (s.Shrink.tests <= Shrink.max_tests);
+    let m = s.Shrink.minimal in
+    Alcotest.(check bool)
+      "downtime shrank to a subset" true
+      (List.for_all
+         (fun span -> List.mem span failing_case.Shrink.downtime)
+         m.Shrink.downtime);
+    Alcotest.(check bool)
+      "noise crash spans removed" true
+      (List.length m.Shrink.downtime < List.length failing_case.Shrink.downtime);
+    Alcotest.(check (list (pair int int)))
+      "the load-bearing window survives" [ (1, 1_000) ] m.Shrink.windows;
+    (* the acceptance assertion: the shrunk reproducer still fails,
+       with the same tag, when replayed from scratch *)
+    Alcotest.(check (option string))
+      "minimal case replays to the same failure" (Some tag)
+      (Shrink.run_case m)
+
+let test_shrink_rejects_passing_case () =
+  let passing = { failing_case with Shrink.downtime = []; windows = [] } in
+  Alcotest.(check (option string)) "case passes" None (Shrink.run_case passing);
+  Alcotest.(check bool)
+    "shrink refuses a passing case" true
+    (match Shrink.shrink passing with Error _ -> true | Ok _ -> false)
+
+let test_artifact_roundtrip () =
+  let c =
+    {
+      failing_case with
+      Shrink.loss = 0.0625;
+      flap_seed = Some 77;
+      churn_seed = Some (-3);
+      durability = Faults.Durable;
+    }
+  in
+  let s = Shrink.to_string c in
+  Alcotest.(check bool)
+    "artifact is versioned" true
+    (String.length s > 0
+    && String.sub s 0 (String.index s '\n') = "ocd-chaos-repro v1");
+  (match Shrink.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok c' -> Alcotest.(check bool) "roundtrips exactly" true (c = c'));
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (match Shrink.of_string "not a repro\n" with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool)
+    "truncated header rejected" true
+    (match Shrink.of_string "ocd-chaos-repro v1\nprotocol=async-local\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_failures_feed_the_shrinker () =
+  (* The known-failing grid: the campaign evaluator and the shrinker's
+     evaluator are the same function, so every reported failure must be
+     shrinkable and keep its tag. *)
+  let fails = Chaos.failures ~jobs:2 ~seed:42 Chaos.failing_grid in
+  Alcotest.(check bool) "failing grid fails" true (fails <> []);
+  Alcotest.(check bool)
+    "failures deterministic across jobs" true
+    (fails = Chaos.failures ~jobs:1 ~seed:42 Chaos.failing_grid);
+  let case, tag = List.hd fails in
+  match Shrink.shrink case with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check string) "tag preserved" tag s.Shrink.tag;
+    Alcotest.(check (option string))
+      "shrunk reproducer still fails" (Some tag)
+      (Shrink.run_case s.Shrink.minimal)
+
 let () =
   Alcotest.run "ocd_chaos"
     [
@@ -199,12 +435,19 @@ let () =
             test_protected_nodes_never_crash;
           Alcotest.test_case "condition shadow" `Quick test_to_condition_shadow;
         ] );
+      ( "partition plans",
+        [
+          Alcotest.test_case "determinism" `Quick test_partition_determinism;
+          Alcotest.test_case "windows roundtrip" `Quick test_windows_roundtrip;
+          Alcotest.test_case "compose" `Quick test_compose_crash_and_partition;
+        ] );
       ( "diagnosis",
         [
           Alcotest.test_case "timeouts diagnosed" `Quick
             test_timed_out_carries_diagnosis;
           Alcotest.test_case "success undiagnosed" `Quick
             test_completed_has_no_diagnosis;
+          Alcotest.test_case "partition verdict" `Quick test_partition_verdict;
         ] );
       ( "campaign",
         [
@@ -212,5 +455,15 @@ let () =
             test_chaos_jobs_determinism;
           Alcotest.test_case "smoke invariants" `Quick
             test_chaos_smoke_invariants;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "minimise and replay" `Quick
+            test_shrink_minimises_and_replays;
+          Alcotest.test_case "passing case rejected" `Quick
+            test_shrink_rejects_passing_case;
+          Alcotest.test_case "artifact roundtrip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "failing grid shrinkable" `Quick
+            test_failures_feed_the_shrinker;
         ] );
     ]

@@ -64,11 +64,15 @@ let test_id_geometry () =
 (* A live in-memory network of DHT nodes on a bare simulator: fixed
    5-tick hop latency, a perfect detector backed by the [up] array,
    and message drops to/from downed nodes.  Mirrors the harness in
-   Ocd_bench.Experiments but supports dynamic membership. *)
+   Ocd_bench.Experiments but supports dynamic membership and, via the
+   [cut] hook, network partitions: while a cut is active, cross-cut
+   messages are dropped at send time and cross-cut peers look dead to
+   the detector — exactly the semantics of Net's partition hook. *)
 type harness = {
   sim : Sim.t;
   nodes : Node.t option array;
   up : bool array;
+  cut : (int -> int -> bool) ref;
   stats : Node.stats;
   seed : int;
   cfg : Node.config;
@@ -80,6 +84,7 @@ let make_harness ~n ~seed ~period =
     sim;
     nodes = Array.make n None;
     up = Array.make n true;
+    cut = ref (fun _ _ -> false);
     stats = Node.fresh_stats ();
     seed;
     cfg = Node.config ~period ();
@@ -93,13 +98,13 @@ let env h v =
     after = (fun d f -> Sim.after h.sim d f);
     send =
       (fun ~dst m ->
-        if h.up.(v) then
+        if h.up.(v) && not (!(h.cut) v dst) then
           Sim.after h.sim 5 (fun () ->
               if h.up.(dst) then
                 match h.nodes.(dst) with
                 | Some node -> Node.handle node ~src:v m
                 | None -> ()));
-    alive = (fun u -> h.up.(u));
+    alive = (fun u -> h.up.(u) && not (!(h.cut) v u));
     observe = ignore;
     running = (fun () -> h.up.(v));
     stats = h.stats;
@@ -253,6 +258,106 @@ let test_store_survives_owner_kill () =
     "the dead owner itself was never asked" true
     (not h.up.(owner))
 
+(* ------------------ ring merge after a partition ------------------- *)
+
+(* The acceptance scenario for the heal-merge machinery: split a
+   converged ring in two, let each side evict the other and close its
+   own ring, then heal and require every successor pointer to be back
+   on the ideal ring within a bounded number of stabilise periods —
+   and a provider record advertised before the split to be findable
+   from across the old cut afterwards. *)
+let test_partition_heal () =
+  let n = 24 and seed = 42 and token = 3 and holder = 1 in
+  let h = make_harness ~n ~seed ~period:32 in
+  let members = Array.init n (fun i -> i) in
+  let ring = Node.converged ~seed ~succ_count:h.cfg.Node.succ_count members in
+  for v = 0 to n - 1 do
+    ignore (boot h v (ring v))
+  done;
+  (* vertex halves, which Id.of_vertex scatters around the ring: the
+     cut severs most ideal successor links, so the merge has real work *)
+  let side v = if v < n / 2 then 0 else 1 in
+  let split = 1_000 and heal = 6_000 in
+  let stabilise_bound = 30 (* periods allowed for reconciliation *) in
+  let merged_by = heal + (stabilise_bound * h.cfg.Node.period) in
+  Sim.at h.sim 50 (fun () -> Node.advertise (node_exn h holder) ~token);
+  Sim.at h.sim split (fun () -> h.cut := fun u v -> side u <> side v);
+  (* just before the heal: each side must have closed a consistent
+     ring over its own survivors *)
+  Sim.at h.sim (heal - 1) (fun () ->
+      for v = 0 to n - 1 do
+        let own = Array.of_list (List.filter (fun u -> side u = side v) (Array.to_list members)) in
+        Alcotest.(check int)
+          (Printf.sprintf "node %d closed its side's ring during the split" v)
+          (ideal_succ ~seed ~members:own v)
+          (Node.succ0 (node_exn h v))
+      done);
+  Sim.at h.sim heal (fun () -> h.cut := fun _ _ -> false);
+  let found = ref None in
+  Sim.at h.sim merged_by (fun () ->
+      (* every successor pointer is back on the ideal ring within the
+         stabilise bound *)
+      for v = 0 to n - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "node %d rejoined the ideal ring within %d periods"
+             v stabilise_bound)
+          (ideal_succ ~seed ~members v)
+          (Node.succ0 (node_exn h v));
+        Alcotest.(check (list string))
+          (Printf.sprintf "node %d holds no post-heal ring violations" v)
+          []
+          (List.map fst (Node.invariant_violations (node_exn h v)))
+      done;
+      (* the pre-split record is findable from across the old cut *)
+      let querier =
+        if side holder = 0 then n - 1 (* opposite side of the holder *)
+        else 0
+      in
+      Node.find_providers (node_exn h querier) ~token (fun holders ->
+          found := Some holders));
+  ignore (Sim.run ~limit:(merged_by + 3_000) h.sim);
+  Alcotest.(check bool)
+    "the split actually tore the ring (evictions fired)" true
+    (h.stats.Node.evictions > 0);
+  match !found with
+  | None -> Alcotest.fail "find_providers never answered after the heal"
+  | Some holders ->
+    Alcotest.(check bool)
+      "pre-split provider record survives the partition" true
+      (List.mem holder holders)
+
+(* ---------------------- concurrent join waves ---------------------- *)
+
+(* The sequential-join test spaces joins 300 ticks apart so each one
+   lands on a quiet ring.  Here joins arrive in waves of four per
+   stabilise period, all through the same bootstrap node, so join
+   lookups race each other and the ring reshapes under them — the
+   retry path (a joining node re-runs its join every period until it
+   lands) must still deliver every node onto the ideal ring. *)
+let test_concurrent_joins () =
+  let n = 16 and seed = 9 in
+  let h = make_harness ~n ~seed ~period:32 in
+  ignore
+    (boot h 0 (Node.converged ~seed ~succ_count:h.cfg.Node.succ_count [| 0 |] 0));
+  for v = 1 to n - 1 do
+    let at = 100 + (((v - 1) / 4) * h.cfg.Node.period) + ((v - 1) mod 4) in
+    Sim.at h.sim at (fun () -> ignore (boot h v (Node.Join { via = [ 0 ] })))
+  done;
+  ignore (Sim.run ~limit:20_000 h.sim);
+  Alcotest.(check int) "every concurrent join completed" (n - 1)
+    h.stats.Node.joins;
+  let members = Array.init n (fun i -> i) in
+  for v = 0 to n - 1 do
+    let node = node_exn h v in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d ready after the join storm" v)
+      true (Node.ready node);
+    Alcotest.(check int)
+      (Printf.sprintf "node %d successor matches the ideal ring" v)
+      (ideal_succ ~seed ~members v)
+      (Node.succ0 node)
+  done
+
 (* --------------------- dht-rarest end to end ----------------------- *)
 
 let small_instance ~seed ~n ~tokens =
@@ -362,6 +467,8 @@ let () =
           Alcotest.test_case "hop bound at 10^4" `Slow test_lookup_hop_bound;
           Alcotest.test_case "store survives owner kill" `Quick
             test_store_survives_owner_kill;
+          Alcotest.test_case "partition heal" `Quick test_partition_heal;
+          Alcotest.test_case "concurrent joins" `Quick test_concurrent_joins;
         ] );
       ( "dht-rarest",
         [

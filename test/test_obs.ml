@@ -294,7 +294,14 @@ let test_trace_fields_and_monotonicity () =
 
 let test_chaos_capture_jobs_independent () =
   let cell label crash_prob =
-    { Ocd_bench.Chaos.label; loss = 0.0; flaps = false; churn = false; crash_prob }
+    {
+      Ocd_bench.Chaos.label;
+      loss = 0.0;
+      flaps = false;
+      churn = false;
+      crash_prob;
+      partition = None;
+    }
   in
   let grid =
     {
