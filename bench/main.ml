@@ -229,6 +229,7 @@ let micro_tests () =
                observe = ignore;
                running = (fun () -> false);
                stats;
+               obs = Ocd_obs.disabled;
              }
            in
            for v = 0 to n - 1 do
@@ -279,6 +280,44 @@ let micro_tests () =
              (Ocd_engine.Engine.run ~obs
                 ~strategy:Ocd_heuristics.Local_rarest.strategy ~seed:7
                 inst_mid)))
+  in
+  (* Causal log: the same async run with the log disabled (the
+     zero-cost claim — every Sim/Net/Runtime hook is one flag load and
+     branch) and live (full happens-before capture, for context), plus
+     raw append streaming at 10^5 events — the log must not become the
+     hot path at instrumentation scale. *)
+  let causal_off_test =
+    Test.make ~name:"causal/run-async-local-off"
+      (Staged.stage (fun () ->
+           ignore
+             (Ocd_async.Runtime.run ~causal:Ocd_obs.Causal.disabled
+                ~protocol:(Ocd_async.Local_rarest.protocol ())
+                ~seed:7 inst_async)))
+  in
+  let causal_on_test =
+    Test.make ~name:"causal/run-async-local-on"
+      (Staged.stage (fun () ->
+           let causal = Ocd_obs.Causal.create () in
+           ignore
+             (Ocd_async.Runtime.run ~causal
+                ~protocol:(Ocd_async.Local_rarest.protocol ())
+                ~seed:7 inst_async)))
+  in
+  let causal_append_test =
+    Test.make ~name:"causal/append-100k"
+      (Staged.stage (fun () ->
+           let causal = Ocd_obs.Causal.create () in
+           for i = 0 to 99_999 do
+             let s =
+               Ocd_obs.Causal.record_send causal ~tick:i ~node:(i land 63)
+                 ~dst:((i + 1) land 63) ~depart:(i + 2) ~token:(i land 15)
+                 ~retry:false
+             in
+             ignore
+               (Ocd_obs.Causal.record_deliver causal ~tick:(i + 9)
+                  ~node:((i + 1) land 63)
+                  ~src:(i land 63) ~send:s ~token:(i land 15))
+           done))
   in
   (* Graph core: CSR construction and topology generation at a size
      (50k) where the skip samplers and bulk array paths are active —
@@ -377,6 +416,7 @@ let micro_tests () =
   @ [ chaos_shrink_test ]
   @ [ dht_ring_build_test; dht_lookup_test; dht_run_test ]
   @ [ obs_baseline_test; obs_null_test; obs_memory_test ]
+  @ [ causal_off_test; causal_on_test; causal_append_test ]
 
 let run_micro () =
   let open Bechamel in

@@ -453,6 +453,9 @@ let experiment_cmd =
       ( "partition-heal",
         fun ~jobs ~full:_ ~n:_ () ->
           Ocd_bench.Experiments.partition_heal ~jobs () );
+      ( "explain",
+        fun ~jobs ~full:_ ~n:_ () ->
+          Ocd_bench.Experiments.explain_attribution ~jobs () );
       ("coding", fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.coding ());
       ( "underlay",
         fun ~jobs:_ ~full:_ ~n:_ () -> Ocd_bench.Experiments.underlay () );
@@ -479,8 +482,8 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "Experiment: adversary, ip-vs-search, baselines, ablation, \
-             dynamics, async-overhead, dht-lookup, coding, underlay, \
-             timeline-perf, graph-scale or engine-scale.")
+             dynamics, async-overhead, dht-lookup, explain, coding, \
+             underlay, timeline-perf, graph-scale or engine-scale.")
   in
   let n_override_arg =
     Arg.(
@@ -1110,6 +1113,302 @@ let profile_cmd =
       const run $ kind_arg $ seed_arg $ topology_arg $ n_arg $ tokens_arg
       $ jobs_arg)
 
+(* ---------------------- ocd explain -------------------------------- *)
+
+let explain_cmd =
+  let render_dec ~label ~completion dec =
+    match dec with
+    | None ->
+      Printf.printf "%s: no completion event — the run timed out, so there is \
+                     no critical path to attribute\n\n"
+        label
+    | Some (d : Ocd_bench.Explain.decomposition) ->
+      let sum =
+        List.fold_left (fun a (_, n) -> a + n) 0 d.Ocd_bench.Explain.by_category
+      in
+      assert (sum = d.Ocd_bench.Explain.makespan);
+      (match completion with
+      | Some t -> assert (t = d.Ocd_bench.Explain.makespan)
+      | None -> ());
+      Ocd_bench.Report.render
+        (Ocd_bench.Explain.table
+           ~title:(label ^ ": critical-path attribution")
+           d);
+      print_string (Ocd_bench.Explain.notes d);
+      print_newline ()
+  in
+  let flush_path_out ~path_out sink =
+    match path_out with
+    | None -> Ok ()
+    | Some path ->
+      let* oc = open_out_result path in
+      let jsonl = Ocd_obs.Sink.jsonl oc in
+      List.iter (Ocd_obs.Sink.emit jsonl) (Ocd_obs.Sink.events sink);
+      Ocd_obs.Sink.close jsonl;
+      close_out oc;
+      Ok ()
+  in
+  let run mode seed topology n tokens threshold protocol_name strategy_name
+      profile_name loss pace grid_name cell_label trial jobs path_out =
+    match mode with
+    | "run" ->
+      let inst =
+        build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+          ~multi_sender:false
+      in
+      let strategy =
+        let name = Option.value strategy_name ~default:"local" in
+        match
+          List.find_opt
+            (fun s -> s.Ocd_engine.Strategy.name = name)
+            (all_strategies ())
+        with
+        | Some s -> s
+        | None ->
+          Printf.eprintf "unknown strategy %S\n" name;
+          exit 2
+      in
+      let r = Ocd_engine.Engine.run ~strategy ~seed:(seed + 1) inst in
+      (match r.Ocd_engine.Engine.outcome with
+      | Ocd_engine.Engine.Completed ->
+        (* sync rounds are the tick unit here (pace 1): the attribution
+           is the schedule's token-dependency critical path *)
+        render_dec ~label:strategy.Ocd_engine.Strategy.name ~completion:None
+          (Ocd_bench.Explain.of_schedule ~instance:inst
+             r.Ocd_engine.Engine.schedule)
+      | Ocd_engine.Engine.Stalled step ->
+        Printf.printf "%s stalled at step %d — no completion to explain\n"
+          strategy.Ocd_engine.Strategy.name step
+      | Ocd_engine.Engine.Step_limit ->
+        Printf.printf "%s hit the step limit — no completion to explain\n"
+          strategy.Ocd_engine.Strategy.name);
+      if path_out <> None then
+        Printf.eprintf
+          "note: --path-out needs a causal log; it applies to the async and \
+           chaos-cell modes\n";
+      Ok ()
+    | "async" ->
+      let inst =
+        build_instance ~seed ~topology ~n ~tokens ~threshold ~files:1
+          ~multi_sender:false
+      in
+      let base_profile =
+        match profile_name with
+        | "default" -> Ocd_async.Net.default
+        | "lockstep" -> Ocd_async.Net.lockstep
+        | other ->
+          Printf.eprintf "unknown profile %S (default, lockstep)\n" other;
+          exit 2
+      in
+      let profile =
+        {
+          base_profile with
+          Ocd_async.Net.loss =
+            (match loss with
+            | Some l -> l
+            | None -> base_profile.Ocd_async.Net.loss);
+          pace =
+            (match pace with
+            | Some p -> p
+            | None -> base_profile.Ocd_async.Net.pace);
+        }
+      in
+      let chosen =
+        match protocol_name with
+        | None -> Ocd_dht.Registry.names
+        | Some name ->
+          if List.mem name Ocd_dht.Registry.names then [ name ]
+          else begin
+            Printf.eprintf "%s\n"
+              (Ocd_async.Registry.unknown ~available:Ocd_dht.Registry.names
+                 name);
+            exit 2
+          end
+      in
+      Printf.printf
+        "instance: n=%d m=%d deficit=%d; profile=%s pace=%d loss=%.2f\n\n"
+        (Instance.vertex_count inst)
+        inst.Instance.token_count (Instance.total_deficit inst) profile_name
+        profile.Ocd_async.Net.pace profile.Ocd_async.Net.loss;
+      let sink =
+        if path_out <> None then Ocd_obs.Sink.memory () else Ocd_obs.Sink.null
+      in
+      let obs =
+        if path_out <> None then Ocd_obs.create ~sink () else Ocd_obs.disabled
+      in
+      (* One causal log per protocol, filled in the worker; extraction
+         and rendering happen in protocol order afterwards, so stdout
+         and the --path-out file are byte-identical for any --jobs. *)
+      let results =
+        Pool.map ~obs ~jobs
+          (fun name ->
+            let protocol = Ocd_dht.Registry.find_exn name in
+            let causal = Ocd_obs.Causal.create () in
+            let pobs = Ocd_obs.child obs in
+            let r =
+              Ocd_async.Runtime.run ~obs:pobs ~causal ~profile ~protocol ~seed
+                inst
+            in
+            (r, causal, pobs))
+          chosen
+      in
+      List.iteri
+        (fun i (name, ((_ : Ocd_async.Runtime.run), causal, pobs)) ->
+          if obs.Ocd_obs.on then
+            Ocd_obs.absorb ~into:obs ~pid:i ~prefix:(name ^ "/") pobs;
+          Ocd_bench.Explain.flow_overlay ~sink ~pid:i causal)
+        (List.combine chosen results);
+      List.iter2
+        (fun name ((r : Ocd_async.Runtime.run), causal, _) ->
+          render_dec ~label:name
+            ~completion:r.Ocd_async.Runtime.completion_ticks
+            (Ocd_bench.Explain.of_causal ~pace:profile.Ocd_async.Net.pace
+               ~instance:inst causal))
+        chosen results;
+      flush_path_out ~path_out sink
+    | "chaos-cell" ->
+      let grid =
+        match grid_name with
+        | "smoke" -> Ocd_bench.Chaos.smoke_grid
+        | "default" -> Ocd_bench.Chaos.default_grid
+        | "failing" -> Ocd_bench.Chaos.failing_grid
+        | other ->
+          Printf.eprintf
+            "unknown grid %S (expected smoke, default or failing)\n" other;
+          exit 2
+      in
+      let cell_label =
+        match cell_label with
+        | Some c -> c
+        | None ->
+          Printf.eprintf
+            "chaos-cell needs --cell LABEL (the campaign report's env \
+             column)\n";
+          exit 2
+      in
+      let protocol = Option.value protocol_name ~default:"async-local" in
+      (match
+         Ocd_bench.Chaos.trial_setup ~seed grid ~cell_label ~protocol ~trial
+       with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+      | Ok ts ->
+        let sink =
+          if path_out <> None then Ocd_obs.Sink.memory ()
+          else Ocd_obs.Sink.null
+        in
+        let obs =
+          if path_out <> None then Ocd_obs.create ~sink ()
+          else Ocd_obs.disabled
+        in
+        let causal = Ocd_obs.Causal.create () in
+        let r =
+          Ocd_async.Runtime.run ~obs ~causal
+            ~profile:ts.Ocd_bench.Chaos.t_profile
+            ~condition:ts.Ocd_bench.Chaos.t_condition
+            ~faults:ts.Ocd_bench.Chaos.t_faults
+            ~monitor:(Ocd_async.Monitor.create ())
+            ~protocol:ts.Ocd_bench.Chaos.t_protocol
+            ~seed:ts.Ocd_bench.Chaos.t_run_seed ts.Ocd_bench.Chaos.t_instance
+        in
+        Printf.printf "cell %s, protocol %s, trial %d (run seed %d)\n\n"
+          cell_label protocol trial ts.Ocd_bench.Chaos.t_run_seed;
+        Ocd_bench.Explain.flow_overlay ~sink ~pid:0 causal;
+        render_dec
+          ~label:(cell_label ^ "/" ^ protocol)
+          ~completion:r.Ocd_async.Runtime.completion_ticks
+          (Ocd_bench.Explain.of_causal ~faults:ts.Ocd_bench.Chaos.t_faults
+             ~pace:ts.Ocd_bench.Chaos.t_profile.Ocd_async.Net.pace
+             ~instance:ts.Ocd_bench.Chaos.t_instance causal);
+        flush_path_out ~path_out sink)
+    | other ->
+      Printf.eprintf "unknown explain mode %S (run, async, chaos-cell)\n" other;
+      exit 2
+  in
+  let mode_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODE"
+          ~doc:
+            "What to explain: run (a synchronous schedule's \
+             token-dependency critical path), async (an async protocol run \
+             under a live causal log), or chaos-cell (replay one chaos \
+             campaign grid point).")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:
+            "Async protocol (async mode default: all; chaos-cell default: \
+             async-local).")
+  in
+  let profile_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Network profile for async mode: default or lockstep.")
+  in
+  let loss_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P" ~doc:"Override per-message loss probability.")
+  in
+  let pace_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pace" ] ~docv:"TICKS" ~doc:"Override ticks per round.")
+  in
+  let grid_arg =
+    Arg.(
+      value & opt string "smoke"
+      & info [ "grid" ] ~docv:"GRID"
+          ~doc:"Chaos grid for chaos-cell mode: smoke, default or failing.")
+  in
+  let cell_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cell" ] ~docv:"LABEL"
+          ~doc:
+            "Chaos cell label to replay (the campaign report's env column, \
+             e.g. baseline or loss=0.20+crash=0.05).")
+  in
+  let trial_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trial" ] ~docv:"T" ~doc:"Trial index within the cell.")
+  in
+  let path_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "path-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's trace plus its critical path as Chrome \
+             trace-event JSON: the path is emitted as flow events (ph \
+             s/t/f, id 1, name critical-path), which Perfetto draws as \
+             arrows across the per-node tracks.  Timestamps are simulator \
+             ticks, so the file is byte-identical across $(b,--jobs).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute a run's makespan tick-by-tick over its causal critical \
+          path: transmit, queue, backoff, suspicion, crash-down, \
+          partition-down and protocol-idle categories that sum exactly to \
+          the completion time, next to the paper's lower bound")
+    Term.(
+      term_result
+        (const run $ mode_arg $ seed_arg $ topology_arg $ n_arg $ tokens_arg
+       $ threshold_arg $ protocol_arg $ strategy_arg $ profile_arg $ loss_arg
+       $ pace_arg $ grid_arg $ cell_arg $ trial_arg $ jobs_arg $ path_out_arg))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1132,4 +1431,5 @@ let () =
             chaos_cmd;
             dht_cmd;
             profile_cmd;
+            explain_cmd;
           ]))

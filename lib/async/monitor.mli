@@ -68,5 +68,11 @@ val ok : t -> bool
 val violations : t -> violation list
 (** Recorded violations, oldest first, at most [limit] of them. *)
 
+val rule_counts : t -> (string * int) list
+(** Exact violation totals per rule, sorted by rule name; unaffected
+    by the detail-record cap.  The runtime mirrors these into the
+    metrics registry as [monitor/<rule>] counters so chaos grids can
+    aggregate them without re-parsing per-trial monitor output. *)
+
 val pp : Format.formatter -> t -> unit
 val summary : t -> string

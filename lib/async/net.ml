@@ -38,6 +38,7 @@ type t = {
   profile : profile;
   condition : Condition.t;
   seed : int;
+  causal : Ocd_obs.Causal.t;
   deliver : src:int -> dst:int -> Message.t -> unit;
   node_up : int -> bool;
   node_epoch : int -> int;
@@ -54,7 +55,8 @@ type t = {
   mutable adv_corrupted : int;
 }
 
-let create ~sim ~graph ~profile ~condition ~seed ?(node_up = fun _ -> true)
+let create ~sim ~graph ~profile ~condition ~seed
+    ?(causal = Ocd_obs.Causal.disabled) ?(node_up = fun _ -> true)
     ?(node_epoch = fun _ -> 0) ?cut ?(adversary = no_adversary) ~deliver () =
   if profile.pace <= 0 then invalid_arg "Net.create: pace must be positive";
   if
@@ -66,7 +68,8 @@ let create ~sim ~graph ~profile ~condition ~seed ?(node_up = fun _ -> true)
     invalid_arg "Net.create: adversary max_delay must be non-negative";
   if adversary.delay_prob > 0.0 && adversary.max_delay < 1 then
     invalid_arg "Net.create: delay_prob > 0 requires max_delay >= 1";
-  { sim; graph; profile; condition; seed; deliver; node_up; node_epoch; cut;
+  { sim; graph; profile; condition; seed; causal; deliver; node_up; node_epoch;
+    cut;
     adversary; adv_on = adversary <> no_adversary;
     arcs = Hashtbl.create 64; data_sent = 0; control_sent = 0; dropped = 0;
     fault_dropped = 0; adv_duplicated = 0; adv_reordered = 0;
@@ -117,15 +120,29 @@ let lost net state =
 let cut_off net ~round ~src ~dst =
   match net.cut with None -> false | Some f -> f ~round src dst
 
+let message_token = function
+  | Message.Request token | Message.Data token -> token
+  | _ -> -1
+
 (* A message is bound to the incarnations of both endpoints at send
    time: if either crashes while it is in flight, it never arrives —
    even when the endpoint has already restarted.  This is what makes a
    crash lose in-flight state rather than merely delaying it. *)
-let schedule_delivery net ~src ~dst ~arrive msg =
+let schedule_delivery net ~src ~dst ~arrive ~sid msg =
   let src_epoch = net.node_epoch src and dst_epoch = net.node_epoch dst in
   Sim.at net.sim arrive (fun () ->
-      if net.node_epoch src = src_epoch && net.node_epoch dst = dst_epoch then
+      if net.node_epoch src = src_epoch && net.node_epoch dst = dst_epoch then begin
+        if sid >= 0 then begin
+          (* The delivery activation: everything the handler does is
+             caused by this arrival, whose own cause is the send. *)
+          let d =
+            Ocd_obs.Causal.record_deliver net.causal ~tick:(Sim.now net.sim)
+              ~node:dst ~src ~send:sid ~token:(message_token msg)
+          in
+          Ocd_obs.Causal.set_cur net.causal d
+        end;
         net.deliver ~src ~dst msg
+      end
       else net.fault_dropped <- net.fault_dropped + 1)
 
 (* The seeded message adversary sits between departure accounting and
@@ -139,8 +156,8 @@ let schedule_delivery net ~src ~dst ~arrive msg =
    being overtaken: bounded reordering.  A duplicated message is
    delivered a second time with its own small lag; dedup is the
    protocols' problem. *)
-let dispatch net state ~src ~dst ~arrive msg =
-  if not net.adv_on then schedule_delivery net ~src ~dst ~arrive msg
+let dispatch net state ~src ~dst ~arrive ~sid msg =
+  if not net.adv_on then schedule_delivery net ~src ~dst ~arrive ~sid msg
   else begin
     let a = net.adversary and rng = state.adv_rng in
     if a.corrupt_prob > 0.0 && Prng.bernoulli rng a.corrupt_prob then
@@ -153,11 +170,13 @@ let dispatch net state ~src ~dst ~arrive msg =
         end
         else arrive
       in
-      schedule_delivery net ~src ~dst ~arrive msg;
+      schedule_delivery net ~src ~dst ~arrive ~sid msg;
       if a.dup_prob > 0.0 && Prng.bernoulli rng a.dup_prob then begin
         net.adv_duplicated <- net.adv_duplicated + 1;
         let echo = arrive + 1 + Prng.int rng (max 1 a.max_delay) in
-        schedule_delivery net ~src ~dst ~arrive:echo msg
+        (* the echo shares the original's causal send: both arrivals
+           were caused by the one departure *)
+        schedule_delivery net ~src ~dst ~arrive:echo ~sid msg
       end
     end
   end
@@ -166,6 +185,17 @@ let send net ~src ~dst msg =
   let now = Sim.now net.sim in
   let round = now / net.profile.pace in
   let state = arc_state net ~src ~dst in
+  (* Consume the protocol's pending-retry marker on every send attempt
+     from this source: if the attempt is dropped below, the marker must
+     not leak onto an unrelated later send. *)
+  let con = Ocd_obs.Causal.enabled net.causal in
+  let retry = con && Ocd_obs.Causal.take_retry net.causal ~node:src in
+  let causal_send ~depart =
+    if con then
+      Ocd_obs.Causal.record_send net.causal ~tick:now ~node:src ~dst ~depart
+        ~token:(message_token msg) ~retry
+    else -1
+  in
   if not (net.node_up src && net.node_up dst) then
     (* a crashed endpoint: nothing departs, nothing is received *)
     net.fault_dropped <- net.fault_dropped + 1
@@ -189,7 +219,7 @@ let send net ~src ~dst msg =
         else now
       in
       let arrive = depart + delay net state ~capacity:eff in
-      dispatch net state ~src ~dst ~arrive msg
+      dispatch net state ~src ~dst ~arrive ~sid:(causal_send ~depart) msg
     end
   end
   else begin
@@ -212,7 +242,7 @@ let send net ~src ~dst msg =
             (Digraph.capacity net.graph dst src)
         in
         let arrive = now + delay net state ~capacity:cap in
-        dispatch net state ~src ~dst ~arrive msg
+        dispatch net state ~src ~dst ~arrive ~sid:(causal_send ~depart:now) msg
       end
     end
     else if lost net state then net.dropped <- net.dropped + 1
@@ -229,7 +259,7 @@ let send net ~src ~dst msg =
          model overlay links, which this path does not use. *)
       net.control_sent <- net.control_sent + 1;
       let arrive = now + delay net state ~capacity:0 in
-      dispatch net state ~src ~dst ~arrive msg
+      dispatch net state ~src ~dst ~arrive ~sid:(causal_send ~depart:now) msg
     end
   end
 

@@ -85,6 +85,7 @@ val create :
   profile:profile ->
   condition:Ocd_dynamics.Condition.t ->
   seed:int ->
+  ?causal:Ocd_obs.Causal.t ->
   ?node_up:(int -> bool) ->
   ?node_epoch:(int -> int) ->
   ?cut:(round:int -> int -> int -> bool) ->
@@ -93,6 +94,16 @@ val create :
   unit ->
   t
 (** [deliver] is invoked from simulator events as messages arrive.
+
+    [causal] (default {!Ocd_obs.Causal.disabled}) records the
+    transport's happens-before edges: every departing message becomes
+    a [Send] event (capturing its serialisation-queue exit) whose
+    pending-retry marker is consumed on the attempt — even a dropped
+    one — and every delivery becomes a [Deliver] event parented on its
+    send, with the delivery activation installed as the log's current
+    event before the handler runs.  Adversary duplicates share the
+    original's send parent.  Dropped messages record nothing: they lie
+    on no causal path.
 
     The optional hooks wire in the fault model (defaults: always up,
     epoch 0, no cut, {!no_adversary}):

@@ -19,6 +19,7 @@ type ctx = {
   give_up : unit -> unit;
   finished : unit -> bool;
   monitor : Monitor.t;
+  obs : Ocd_obs.t;
 }
 
 type handlers = {

@@ -64,6 +64,12 @@ type ctx = {
           structural invariants of their own (the DHT ring) report
           through it; guard any non-trivial check on
           {!Monitor.enabled}. *)
+  obs : Ocd_obs.t;
+      (** the run's observability scope ({!Ocd_obs.disabled} unless the
+          host instruments the run).  Protocol layers with control
+          traffic of their own (the DHT's stabilise/lookup machinery)
+          emit metrics, trace spans and probe timings through it;
+          guard every use on [obs.on] / {!Ocd_obs.probe}. *)
 }
 
 type handlers = {

@@ -41,10 +41,11 @@ let default_round_limit (inst : Instance.t) =
   let n = Instance.vertex_count inst in
   min ((inst.token_count * (n - 1)) + n + 64) 1_000_000
 
-let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
-    ?(condition = Condition.static) ?(faults = Faults.none)
-    ?(adversary = Net.no_adversary) ?(monitor = Monitor.disabled) ?round_limit
-    ~(protocol : Protocol.t) ~seed inst =
+let run ?(obs = Ocd_obs.disabled) ?(causal = Ocd_obs.Causal.disabled)
+    ?(profile = Net.default) ?(condition = Condition.static)
+    ?(faults = Faults.none) ?(adversary = Net.no_adversary)
+    ?(monitor = Monitor.disabled) ?round_limit ~(protocol : Protocol.t) ~seed
+    inst =
   let n = Instance.vertex_count inst in
   let round_limit =
     match round_limit with Some l -> l | None -> default_round_limit inst
@@ -53,6 +54,7 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
   let pace = profile.Net.pace in
   let horizon = (round_limit * pace) - 1 in
   let sim = Sim.create ~obs () in
+  let con = Ocd_obs.Causal.enabled causal in
   let trace = obs.Ocd_obs.on && Ocd_obs.Sink.enabled obs.Ocd_obs.sink in
   let sink = obs.Ocd_obs.sink in
   let pid = obs.Ocd_obs.pid in
@@ -165,6 +167,7 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
       else None
     in
     Net.create ~sim ~graph:inst.Instance.graph ~profile ~condition ~seed
+      ~causal
       ~node_up:(fun v -> up_now.(v))
       ~node_epoch:(fun v -> epoch.(v))
       ?cut ~adversary ~deliver ()
@@ -194,7 +197,8 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
       log_move ~round { Move.src; dst = v; token };
       if not (Bitset.mem delivered_ever.(v) token) then begin
         Bitset.add delivered_ever.(v) token;
-        incr fresh
+        incr fresh;
+        if con then Ocd_obs.Causal.mark_fresh causal
       end;
       if trace then
         Ocd_obs.Span.complete sink ~pid ~tid:v ~name:"recv" ~ts:(Sim.now sim)
@@ -207,6 +211,11 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
           decr unsatisfied;
           if !unsatisfied = 0 && !completion = None then begin
             completion := Some (Sim.now sim);
+            (* the completing delivery's activation is still current,
+               so the completion event hangs off it — the critical
+               path's leaf *)
+            if con then
+              ignore (Ocd_obs.Causal.record_complete causal ~tick:(Sim.now sim));
             if trace then
               Ocd_obs.Span.instant sink ~pid ~tid:0 ~name:"all-satisfied"
                 ~ts:(Sim.now sim) ()
@@ -227,9 +236,28 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
     && condition == Condition.static
     && adversary = Net.no_adversary
   in
+  let boot_ev = Array.make n 0 in
   let install v ~epoch:e =
     let flag = ref true in
     alive.(v) <- flag;
+    let after d f =
+      if con then begin
+        (* The wait edge runs from the activation that set the timer to
+           the tick it fires; each firing becomes the current
+           activation for whatever the callback does. *)
+        let parent = Ocd_obs.Causal.cur causal in
+        Sim.after sim d (fun () ->
+            if !flag then begin
+              let t =
+                Ocd_obs.Causal.record_timer causal ~tick:(Sim.now sim) ~node:v
+                  ~parent
+              in
+              Ocd_obs.Causal.set_cur causal t;
+              f ()
+            end)
+      end
+      else Sim.after sim d (fun () -> if !flag then f ())
+    in
     let ctx =
       {
         Protocol.instance = inst;
@@ -239,15 +267,21 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
         rng = Protocol.incarnation_rng ~seed ~epoch:e v;
         pace;
         now = (fun () -> Sim.now sim);
-        after = (fun d f -> Sim.after sim d (fun () -> if !flag then f ()));
+        after;
         send = (fun ~dst msg -> if !flag then Net.send net ~src:v ~dst msg);
         has = (fun token -> Bitset.mem have.(v) token);
         have_copy = (fun () -> Bitset.copy have.(v));
         receive = (fun ~src token -> if !flag then receive v ~src token else false);
-        note_retransmission = (fun () -> incr retransmissions);
+        note_retransmission =
+          (fun () ->
+            incr retransmissions;
+            if con then Ocd_obs.Causal.note_retry causal ~node:v);
         note_suspicion =
           (fun () ->
             incr suspicions;
+            if con then
+              Ocd_obs.Causal.record_suspicion causal ~tick:(Sim.now sim)
+                ~node:v;
             if Monitor.enabled monitor && clean_lockstep then
               Monitor.record monitor ~tick:(Sim.now sim) ~node:v
                 ~rule:"false-suspicion"
@@ -255,10 +289,14 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
         give_up = (fun () -> incr failed_jobs);
         finished;
         monitor;
+        obs;
       }
     in
     let h = protocol.Protocol.init ctx in
     handlers.(v) <- Some h;
+    if con then
+      boot_ev.(v) <-
+        Ocd_obs.Causal.record_boot causal ~tick:(Sim.now sim) ~node:v ~epoch:e;
     if trace then
       Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"boot" ~ts:(Sim.now sim)
         ~args:[ ("epoch", Ocd_obs.Sink.Int e) ] ();
@@ -266,6 +304,8 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
   in
   let apply_crash v =
     incr crashes;
+    if con then
+      ignore (Ocd_obs.Causal.record_crash causal ~tick:(Sim.now sim) ~node:v);
     if trace then
       Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"crash" ~ts:(Sim.now sim) ();
     up_now.(v) <- false;
@@ -300,6 +340,12 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
   in
   let apply_restart v =
     incr restarts;
+    if con then
+      (* parent: the node's last event — its crash — so the crash-down
+         interval is one edge on any path through the restart *)
+      ignore
+        (Ocd_obs.Causal.record_restart causal ~tick:(Sim.now sim) ~node:v
+           ~epoch:epoch.(v));
     if trace then
       Ocd_obs.Span.instant sink ~pid ~tid:v ~name:"restart" ~ts:(Sim.now sim)
         ~args:[ ("epoch", Ocd_obs.Sink.Int epoch.(v)) ] ();
@@ -308,6 +354,7 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
        the restart's own tick and serves as the recovery handshake
        (the first thing every protocol does is (re-)announce). *)
     let h = install v ~epoch:epoch.(v) in
+    if con then Ocd_obs.Causal.set_cur causal boot_ev.(v);
     h.Protocol.on_start ()
   in
   (* Lazily chained fault events: each transition schedules the next,
@@ -333,7 +380,12 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
   done;
   for v = 0 to n - 1 do
     match handlers.(v) with
-    | Some h -> Sim.at sim 0 h.Protocol.on_start
+    | Some h ->
+        if con then
+          Sim.at sim 0 (fun () ->
+              Ocd_obs.Causal.set_cur causal boot_ev.(v);
+              h.Protocol.on_start ())
+        else Sim.at sim 0 h.Protocol.on_start
     | None -> ()
   done;
   let stop = Sim.run ~limit:horizon sim in
@@ -391,8 +443,15 @@ let run ?(obs = Ocd_obs.disabled) ?(profile = Net.default)
       put "async/adv_duplicated" (Net.adversary_duplicated net);
       put "async/adv_reordered" (Net.adversary_reordered net)
     end;
-    if Monitor.enabled monitor then
-      put "async/monitor_violations" (Monitor.count monitor)
+    if Monitor.enabled monitor then begin
+      put "async/monitor_violations" (Monitor.count monitor);
+      (* Per-rule counters ride along only when the monitor is on and a
+         rule actually fired, so monitor-off (and violation-free)
+         renders stay byte-identical to earlier builds. *)
+      List.iter
+        (fun (rule, c) -> put ("monitor/" ^ rule) c)
+        (Monitor.rule_counts monitor)
+    end
   end;
   {
     protocol_name = protocol.Protocol.name;

@@ -94,6 +94,7 @@ val default_round_limit : Instance.t -> int
 
 val run :
   ?obs:Ocd_obs.t ->
+  ?causal:Ocd_obs.Causal.t ->
   ?profile:Net.profile ->
   ?condition:Ocd_dynamics.Condition.t ->
   ?faults:Ocd_dynamics.Faults.t ->
@@ -113,7 +114,9 @@ val run :
     wired with the plan's cross-partition cut, silencing every path —
     data, adjacent control, underlay — between separated vertices.
     [monitor] receives the runtime's online safety checks (see
-    {!Monitor}); a disabled monitor costs one branch per site.
+    {!Monitor}); a disabled monitor costs one branch per site.  When
+    both the monitor and [obs] are live, exact per-rule violation
+    totals are mirrored as [monitor/<rule>] counters.
 
     [?obs] (default {!Ocd_obs.disabled}) instruments the run without
     perturbing it: [async/*] counters mirror the run record's totals
@@ -123,7 +126,19 @@ val run :
     instant at completion), and a probe — when the scope carries one —
     times every message delivery under [<protocol>/on_message] plus
     the simulator's [sim/event].  All trace timestamps are simulator
-    ticks, so the emitted stream is a pure function of the run inputs. *)
+    ticks, so the emitted stream is a pure function of the run inputs.
+
+    [?causal] (default {!Ocd_obs.Causal.disabled}) records the run's
+    happens-before DAG: a [Boot] per incarnation, a [Timer] per fired
+    [ctx.after] callback (parented on the activation that set it), a
+    [Send]/[Deliver] pair per delivered message (see {!Net.create}),
+    [Crash]/[Restart] pairs, detector [Suspicion] annotations, fresh
+    (dst, token) delivery marks, and a [Complete] leaf hanging off the
+    delivery that satisfied the last want.  Recording draws nothing and
+    schedules nothing, so an instrumented run is event-identical to a
+    bare one; disabled, every hook is one load and branch.  Feed the
+    filled log to [Ocd_bench]'s [Explain] for critical-path makespan
+    attribution. *)
 
 val pp : Format.formatter -> run -> unit
 (** One-paragraph human-readable summary. *)

@@ -38,6 +38,7 @@ type stop = Drained | Horizon_reached
 
 let run ?(limit = max_int) sim =
   let probe = Ocd_obs.probe sim.obs in
+  let start_processed = sim.processed in
   let discarded = ref false in
   let rec loop () =
     match Pqueue.pop sim.queue with
@@ -63,4 +64,14 @@ let run ?(limit = max_int) sim =
         end
   in
   loop ();
+  if sim.obs.Ocd_obs.on then begin
+    (* Mirror the drain outcome into the registry so run/async/chaos
+       renderers see it without threading the returned stop around. *)
+    let reg = sim.obs.Ocd_obs.metrics in
+    Ocd_obs.Metrics.add reg "sim/events_processed"
+      (sim.processed - start_processed);
+    Ocd_obs.Metrics.set_int
+      (Ocd_obs.Metrics.gauge reg "sim/horizon_hit")
+      (if !discarded then 1 else 0)
+  end;
   if !discarded then Horizon_reached else Drained

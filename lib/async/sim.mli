@@ -46,4 +46,10 @@ val run : ?limit:int -> t -> stop
     chains are time-bounded.  The returned {!stop} says whether the
     horizon actually cut anything: [Drained] at the limit is genuine
     quiescence (every node stopped scheduling work), which the runtime
-    distinguishes from a timeout with events still pending. *)
+    distinguishes from a timeout with events still pending.
+
+    When the simulator carries a live scope, the outcome is also
+    mirrored into the registry: a [sim/events_processed] counter (the
+    events this drain ran) and a [sim/horizon_hit] gauge (1 when the
+    horizon cut something, 0 otherwise) — so the run/async/chaos
+    metric renders expose drain cost and truncation uniformly. *)

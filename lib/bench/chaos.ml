@@ -142,6 +142,59 @@ let cell_faults c ~cell_seed =
   in
   Faults.compose crash part
 
+type trial_setup = {
+  t_instance : Instance.t;
+  t_profile : Net.profile;
+  t_condition : Ocd_dynamics.Condition.t;
+  t_faults : Faults.t;
+  t_run_seed : int;
+  t_protocol : Ocd_async.Protocol.t;
+  t_cell : cell;
+}
+
+let trial_setup ~seed grid ~cell_label ~protocol ~trial =
+  let cells = Array.of_list grid.cells in
+  let rec find i =
+    if i >= Array.length cells then None
+    else if cells.(i).label = cell_label then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None ->
+      Error
+        (Printf.sprintf "unknown cell %S (grid has: %s)" cell_label
+           (String.concat ", "
+              (List.map (fun c -> c.label) grid.cells)))
+  | Some ci -> (
+      match Ocd_dht.Registry.find protocol with
+      | None -> Error (Printf.sprintf "unknown protocol %S" protocol)
+      | Some p ->
+          if trial < 0 || trial >= grid.trials then
+            Error
+              (Printf.sprintf "trial %d out of range (grid has %d)" trial
+                 grid.trials)
+          else
+            let inst = Shrink.instance_of ~seed ~n:grid.n ~tokens:grid.tokens in
+            let sources = Shrink.sources_of inst ~n:grid.n in
+            let c = cells.(ci) in
+            let cell_seed = seed + (7919 * ci) in
+            Ok
+              {
+                t_instance = inst;
+                t_profile = { Net.default with Net.loss = c.loss };
+                t_condition =
+                  Shrink.condition_of
+                    ~flap_seed:
+                      (if c.flaps then Some (cell_seed + flap_off) else None)
+                    ~churn_seed:
+                      (if c.churn then Some (cell_seed + churn_off) else None)
+                    ~sources;
+                t_faults = cell_faults c ~cell_seed;
+                t_run_seed = seed + (31 * trial) + 1;
+                t_protocol = p;
+                t_cell = c;
+              })
+
 let run ?(obs = Ocd_obs.disabled) ?(jobs = 1) ~seed grid =
   let inst = Shrink.instance_of ~seed ~n:grid.n ~tokens:grid.tokens in
   let sources = Shrink.sources_of inst ~n:grid.n in

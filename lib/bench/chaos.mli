@@ -70,6 +70,32 @@ type agg = {
   undiagnosed : int;  (** timed-out trials missing a diagnosis: bug *)
 }
 
+type trial_setup = {
+  t_instance : Ocd_core.Instance.t;
+  t_profile : Ocd_async.Net.profile;
+  t_condition : Ocd_dynamics.Condition.t;
+  t_faults : Ocd_dynamics.Faults.t;
+  t_run_seed : int;
+  t_protocol : Ocd_async.Protocol.t;
+  t_cell : cell;
+}
+(** Everything needed to replay one (cell, protocol, trial) grid point
+    outside the campaign — same instance, profile, condition, fault
+    plan and run seed the campaign task derived, so a standalone
+    {!Ocd_async.Runtime.run} (e.g. under a causal log, for
+    [ocd explain]) reproduces the campaign trial tick-for-tick. *)
+
+val trial_setup :
+  seed:int ->
+  grid ->
+  cell_label:string ->
+  protocol:string ->
+  trial:int ->
+  (trial_setup, string) result
+(** Resolves a cell by its {!cell.label} (see the campaign report's
+    [env] column) and a protocol by registry name.  [Error] carries a
+    human-readable message listing valid labels. *)
+
 val run : ?obs:Ocd_obs.t -> ?jobs:int -> seed:int -> grid -> agg list
 (** Executes the campaign.  Order: cells outer, protocols (registry
     order) inner.  Every trial runs under a fresh {!Ocd_async.Monitor}

@@ -17,6 +17,7 @@ let seed_abl = 1013
 let seed_async = 1030
 let seed_dht = 1031
 let seed_part = 1032
+let seed_explain = 1033
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
@@ -808,6 +809,7 @@ let dht_ring_probe ~n ~lookups =
       observe = ignore;
       running = (fun () -> false);
       stats;
+      obs = Ocd_obs.disabled;
     }
   in
   for v = 0 to n - 1 do
@@ -1318,6 +1320,79 @@ let engine_scale ?n:size_override () =
      divided by steps.  Timings are machine-dependent, so this \
      experiment is not part of run_all"
 
+(* ------------------------------------------------------------------ *)
+(* Critical-path attribution (extension)                               *)
+(* ------------------------------------------------------------------ *)
+
+let explain_attribution ?(jobs = 1) () =
+  Report.section
+    "Extension: causal critical-path attribution (Ocd_obs.Causal + Explain) — \
+     where the makespan's ticks went, vs the paper's lower bound";
+  let rng = Prng.create ~seed:seed_explain in
+  let graph = Ocd_topology.Random_graph.erdos_renyi rng ~n:24 () in
+  let inst = (Scenario.single_file rng ~graph ~tokens:12 ()).Scenario.instance in
+  let rows =
+    [
+      ("lockstep", Ocd_async.Net.lockstep, Ocd_dynamics.Faults.none);
+      ("default", Ocd_async.Net.default, Ocd_dynamics.Faults.none);
+      ( "loss-10%",
+        { Ocd_async.Net.default with Ocd_async.Net.loss = 0.1 },
+        Ocd_dynamics.Faults.none );
+      ( "crash-2%",
+        Ocd_async.Net.default,
+        Ocd_dynamics.Faults.crashes ~seed:(seed_explain + 17) ~crash_prob:0.02
+          () );
+    ]
+  in
+  let results =
+    Pool.map ~jobs
+      (fun (label, profile, faults) ->
+        let causal = Ocd_obs.Causal.create () in
+        let protocol = Ocd_async.Registry.find_exn "async-local" in
+        let r =
+          Ocd_async.Runtime.run ~causal ~profile ~faults ~protocol
+            ~seed:seed_explain inst
+        in
+        ( label,
+          r,
+          Explain.of_causal ~faults ~pace:profile.Ocd_async.Net.pace
+            ~instance:inst causal ))
+      rows
+  in
+  let table =
+    Report.create ~title:"critical-path makespan attribution (async-local)"
+      ~columns:
+        ([ "profile"; "makespan"; "lb"; "hops" ]
+        @ List.map Explain.category_name Explain.categories)
+  in
+  List.iter
+    (fun (label, (r : Ocd_async.Runtime.run), dec) ->
+      match dec with
+      | None ->
+          Report.row table
+            (label :: "timeout" :: "-" :: "-"
+            :: List.map (fun _ -> "-") Explain.categories)
+      | Some d ->
+          assert (
+            List.fold_left (fun a (_, n) -> a + n) 0 d.Explain.by_category
+            = d.Explain.makespan);
+          assert (Some d.Explain.makespan = r.Ocd_async.Runtime.completion_ticks);
+          Report.row table
+            ([
+               label;
+               string_of_int d.Explain.makespan;
+               string_of_int d.Explain.lower_bound;
+               string_of_int d.Explain.path_hops;
+             ]
+            @ List.map
+                (fun (_, n) -> string_of_int n)
+                d.Explain.by_category))
+    results;
+  Report.render table;
+  Report.note
+    "each row's category ticks sum to its makespan exactly (telescoping \
+     parent-chain property); lb is the paper's makespan bound scaled to ticks"
+
 let run_all ?(full = false) ?(jobs = 1) () =
   figure1 ();
   figure2 ~full ~jobs ();
@@ -1337,4 +1412,5 @@ let run_all ?(full = false) ?(jobs = 1) () =
   underlay ();
   async_overhead ~jobs ();
   dht_lookup ~jobs ();
-  partition_heal ~jobs ()
+  partition_heal ~jobs ();
+  explain_attribution ~jobs ()

@@ -95,6 +95,15 @@ val partition_heal : ?jobs:int -> unit -> unit
     cut-dropped traffic, post-heal completion, and the monitor's
     violation count (expected 0).  Deterministic for any [jobs]. *)
 
+val explain_attribution : ?jobs:int -> unit -> unit
+(** Extension (observability): async-local under a live
+    {!Ocd_obs.Causal} log across lockstep / default / loss / crash
+    profiles, decomposed by {!Explain.of_causal} — one row per
+    profile with the makespan's ticks split over the attribution
+    categories next to the paper's scaled lower bound.  Each row's
+    categories sum to its makespan exactly (asserted).  Deterministic
+    for any [jobs] value. *)
+
 val timeline_perf : unit -> unit
 (** Micro-benchmark of the {!Ocd_core.Timeline} one-pass derivation
     against the legacy full-snapshot possession replay it replaced,

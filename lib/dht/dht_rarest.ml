@@ -75,6 +75,7 @@ let protocol ?stats () =
         observe = Detector.watch detector;
         running = (fun () -> not (ctx.finished ()));
         stats;
+        obs = ctx.obs;
       }
     in
     let node =

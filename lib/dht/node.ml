@@ -67,6 +67,7 @@ type env = {
   observe : int -> unit;
   running : unit -> bool;
   stats : stats;
+  obs : Ocd_obs.t;
 }
 
 type init =
@@ -86,6 +87,7 @@ type lookup = {
   mutable attempts : int;
   mutable banned : int list;
   account : bool;
+  started : int;  (* start tick, for the dht/lookup trace span *)
   on_done : owner:int -> hops:int -> unit;
   on_fail : unit -> unit;
 }
@@ -136,6 +138,19 @@ let next_ticket t =
 
 let replica_set t = Order.take (t.config.replication - 1) t.succs
 
+(* ---------------------------- observability ---------------------------- *)
+
+(* Control-plane instrumentation: dht/* counters mirror the per-run
+   stats flow into the registry as it happens (so chaos/profile
+   renders see the fourth protocol's overhead without a separate
+   mirror), and accounted lookups become dht/lookup trace spans.  All
+   sim-time quantities; every site guards on one flag load. *)
+
+let count t name n =
+  if t.env.obs.Ocd_obs.on then Ocd_obs.Metrics.add t.env.obs.Ocd_obs.metrics name n
+
+let traced t = t.env.obs.Ocd_obs.on && Ocd_obs.Sink.enabled t.env.obs.Ocd_obs.sink
+
 (* ------------------------------ routing ------------------------------ *)
 
 (* Routing deliberately ignores [env.alive]: far nodes (fingers) are
@@ -169,13 +184,24 @@ let finish_lookup t tk lk ~owner =
     let s = t.env.stats in
     s.lookups <- s.lookups + 1;
     s.hops <- s.hops + lk.hops;
-    if lk.hops > s.max_hops then s.max_hops <- lk.hops
+    if lk.hops > s.max_hops then s.max_hops <- lk.hops;
+    count t "dht/lookups" 1;
+    count t "dht/lookup_hops" lk.hops;
+    if traced t then
+      Ocd_obs.Span.complete t.env.obs.Ocd_obs.sink ~pid:t.env.obs.Ocd_obs.pid
+        ~tid:t.env.self ~name:"dht/lookup" ~ts:lk.started
+        ~dur:(t.env.now () - lk.started)
+        ~args:[ ("hops", Ocd_obs.Sink.Int lk.hops) ]
+        ()
   end;
   lk.on_done ~owner ~hops:lk.hops
 
 let fail_lookup t tk lk =
   Hashtbl.remove t.pending tk;
-  if lk.account then t.env.stats.failures <- t.env.stats.failures + 1;
+  if lk.account then begin
+    t.env.stats.failures <- t.env.stats.failures + 1;
+    count t "dht/lookup_failures" 1
+  end;
   lk.on_fail ()
 
 let rec send_hop t tk lk =
@@ -208,7 +234,8 @@ and reroute t tk lk =
 
 let account_local t =
   let s = t.env.stats in
-  s.lookups <- s.lookups + 1
+  s.lookups <- s.lookups + 1;
+  count t "dht/lookups" 1
 
 let start_lookup t ~account ~target ~on_done ~on_fail =
   let s = succ0 t in
@@ -227,7 +254,7 @@ let start_lookup t ~account ~target ~on_done ~on_fail =
     let tk = next_ticket t in
     let lk =
       { target; cand; hops = 0; attempts = 0; banned = []; account;
-        on_done; on_fail }
+        started = t.env.now (); on_done; on_fail }
     in
     Hashtbl.replace t.pending tk lk;
     send_hop t tk lk
@@ -257,6 +284,7 @@ let add_holder t token holder =
 let on_store t ~token ~holder ~replica =
   add_holder t token holder;
   t.env.stats.stores <- t.env.stats.stores + 1;
+  count t "dht/stores" 1;
   if not replica then begin
     Hashtbl.replace t.primaries (token, holder) ();
     List.iter
@@ -311,6 +339,7 @@ let rec find_providers_go t ~token ~attempts cb =
         let tk = next_ticket t in
         Hashtbl.replace t.queries tk { q_cb = cb };
         t.env.stats.queries <- t.env.stats.queries + 1;
+        count t "dht/provider_queries" 1;
         t.env.send ~dst:owner (Message.Get_providers { token; ticket = tk });
         t.env.after t.config.lookup_timeout (fun () ->
             if Hashtbl.mem t.queries tk then begin
@@ -355,6 +384,7 @@ let start_join t =
           attempts = 0;
           banned = [];
           account = false;
+          started = t.env.now ();
           on_done =
             (fun ~owner ~hops:_ ->
               t.join_pending <- false;
@@ -363,6 +393,13 @@ let start_join t =
                 t.env.observe owner;
                 t.succs <- [ owner ];
                 t.env.stats.joins <- t.env.stats.joins + 1;
+                count t "dht/joins" 1;
+                if traced t then
+                  Ocd_obs.Span.instant t.env.obs.Ocd_obs.sink
+                    ~pid:t.env.obs.Ocd_obs.pid ~tid:t.env.self
+                    ~name:"dht/join" ~ts:(t.env.now ())
+                    ~args:[ ("via", Ocd_obs.Sink.Int owner) ]
+                    ();
                 t.env.send ~dst:owner Message.Notify
               end);
           on_fail = (fun () -> t.join_pending <- false);
@@ -382,6 +419,7 @@ let evict_suspected t =
   let live, dead = List.partition (fun u -> t.env.alive u) t.succs in
   if dead <> [] then begin
     t.env.stats.evictions <- t.env.stats.evictions + List.length dead;
+    count t "dht/evictions" (List.length dead);
     t.succs <- live;
     (* Remember who we dropped.  A peer evicted because a partition
        made it look dead is still out there holding half the ring;
@@ -473,6 +511,7 @@ let probe_retired t =
     t.env.send ~dst:r (Message.Get_neighbors { ticket = t.stab_ticket })
 
 let stabilise t =
+  count t "dht/stabilise" 1;
   (* detector-driven successor repair *)
   if evict_suspected t then re_replicate t;
   (match t.pred with

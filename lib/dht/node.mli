@@ -92,6 +92,12 @@ type env = {
           for fault-free harnesses. *)
   running : unit -> bool;  (** periodic loops stop when false *)
   stats : stats;
+  obs : Ocd_obs.t;
+      (** observability scope ({!Ocd_obs.disabled} for bare harnesses).
+          When live, the node mirrors its {!stats} increments as
+          [dht/*] counters and emits a [dht/lookup] span per accounted
+          lookup plus a [dht/join] instant — so [ocd profile] sees the
+          control plane's overhead.  One flag load per site when off. *)
 }
 
 type init =

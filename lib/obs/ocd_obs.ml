@@ -2,6 +2,7 @@ module Sink = Sink
 module Metrics = Metrics
 module Span = Span
 module Probe = Probe
+module Causal = Causal
 
 type t = {
   on : bool;

@@ -24,6 +24,12 @@ module Metrics = Metrics
 module Span = Span
 module Probe = Probe
 
+module Causal = Causal
+(** Happens-before event log for critical-path attribution.  Not part
+    of the scope record: a causal log belongs to exactly one async run
+    (it is passed to {!Ocd_async}'s [Runtime.run] directly), whereas a
+    scope may be shared by a whole sweep. *)
+
 type t = {
   on : bool;
   pid : int;

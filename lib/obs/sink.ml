@@ -5,6 +5,7 @@ type event = {
   ph : char;
   ts : int;
   dur : int;
+  id : int;
   pid : int;
   tid : int;
   args : (string * value) list;
@@ -52,6 +53,12 @@ let event_to_json e =
   Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%c\",\"ts\":%d" e.ph e.ts);
   if e.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%d" e.dur);
   if e.ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  if e.ph = 's' || e.ph = 't' || e.ph = 'f' then begin
+    Buffer.add_string buf (Printf.sprintf ",\"id\":%d" e.id);
+    (* bind the flow terminus to the enclosing slice, the convention
+       Perfetto renders without a matching local event *)
+    if e.ph = 'f' then Buffer.add_string buf ",\"bp\":\"e\""
+  end;
   Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
   (match e.args with
   | [] -> ()

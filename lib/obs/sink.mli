@@ -25,9 +25,12 @@ type value = Int of int | Float of float | String of string
 
 type event = {
   name : string;
-  ph : char;  (** phase: 'B' begin, 'E' end, 'X' complete, 'i' instant, 'C' counter *)
+  ph : char;
+      (** phase: 'B' begin, 'E' end, 'X' complete, 'i' instant,
+          'C' counter, 's'/'t'/'f' flow start/step/end *)
   ts : int;  (** timestamp (sim-time for deterministic streams) *)
   dur : int;  (** duration of an 'X' event; ignored (use 0) otherwise *)
+  id : int;  (** flow id of an 's'/'t'/'f' event; ignored (use 0) otherwise *)
   pid : int;  (** process lane — domain id, or task index in merged streams *)
   tid : int;  (** thread lane — node/vertex id *)
   args : (string * value) list;

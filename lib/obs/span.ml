@@ -1,17 +1,21 @@
 let complete sink ~pid ~tid ~name ~ts ~dur ?(args = []) () =
-  Sink.emit sink { Sink.name; ph = 'X'; ts; dur; pid; tid; args }
+  Sink.emit sink { Sink.name; ph = 'X'; ts; dur; id = 0; pid; tid; args }
 
 let instant sink ~pid ~tid ~name ~ts ?(args = []) () =
-  Sink.emit sink { Sink.name; ph = 'i'; ts; dur = 0; pid; tid; args }
+  Sink.emit sink { Sink.name; ph = 'i'; ts; dur = 0; id = 0; pid; tid; args }
 
 let counter sink ~pid ~tid ~name ~ts args =
-  Sink.emit sink { Sink.name; ph = 'C'; ts; dur = 0; pid; tid; args }
+  Sink.emit sink { Sink.name; ph = 'C'; ts; dur = 0; id = 0; pid; tid; args }
+
+let flow sink ~pid ~tid ~name ~ts ~id phase =
+  let ph = match phase with `Start -> 's' | `Step -> 't' | `End -> 'f' in
+  Sink.emit sink { Sink.name; ph; ts; dur = 0; id; pid; tid; args = [] }
 
 type scope = { sink : Sink.t; pid : int; tid : int; name : string }
 
 let enter sink ~pid ~tid ~name ~ts ?(args = []) () =
-  Sink.emit sink { Sink.name; ph = 'B'; ts; dur = 0; pid; tid; args };
+  Sink.emit sink { Sink.name; ph = 'B'; ts; dur = 0; id = 0; pid; tid; args };
   { sink; pid; tid; name }
 
 let exit_ { sink; pid; tid; name } ~ts =
-  Sink.emit sink { Sink.name; ph = 'E'; ts; dur = 0; pid; tid; args = [] }
+  Sink.emit sink { Sink.name; ph = 'E'; ts; dur = 0; id = 0; pid; tid; args = [] }

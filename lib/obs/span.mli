@@ -36,6 +36,19 @@ val counter :
   (string * Sink.value) list -> unit
 (** A ['C'] (counter) event — sampled series such as queue depth. *)
 
+val flow :
+  Sink.t ->
+  pid:int ->
+  tid:int ->
+  name:string ->
+  ts:int ->
+  id:int ->
+  [ `Start | `Step | `End ] ->
+  unit
+(** An ['s']/['t']/['f'] flow event.  Events sharing [name] and [id]
+    are drawn as one arrow chain across lanes — how the critical path
+    is overlaid on a run trace. *)
+
 type scope
 (** An open ['B']/['E'] pair. *)
 

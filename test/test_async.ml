@@ -628,7 +628,10 @@ let test_monitor_records_violations () =
   Alcotest.(check int) "report capped at limit" 2 (List.length kept);
   Alcotest.(check (list int))
     "first violations kept, oldest-first" [ 4; 5 ]
-    (List.map (fun v -> v.Monitor.tick) kept)
+    (List.map (fun v -> v.Monitor.tick) kept);
+  (* the per-rule census counts everything, beyond the kept report *)
+  Alcotest.(check (list (pair string int)))
+    "rule census, sorted" [ ("r", 1); ("s", 2) ] (Monitor.rule_counts m)
 
 (* ---------------------- registry & reuse -------------------------- *)
 

@@ -108,6 +108,7 @@ let env h v =
     observe = ignore;
     running = (fun () -> h.up.(v));
     stats = h.stats;
+    obs = Ocd_obs.disabled;
   }
 
 let boot h v init =

@@ -205,13 +205,23 @@ let test_event_json_golden () =
       ph = 'X';
       ts = 12;
       dur = 1;
+      id = 0;
       pid = 0;
       tid = 3;
       args = [ ("token", Sink.Int 7); ("src", Sink.Int 1) ];
     };
   check "instant (empty args omitted)"
     {|{"name":"crash","ph":"i","ts":640,"s":"t","pid":2,"tid":9}|}
-    { Sink.name = "crash"; ph = 'i'; ts = 640; dur = 0; pid = 2; tid = 9; args = [] };
+    {
+      Sink.name = "crash";
+      ph = 'i';
+      ts = 640;
+      dur = 0;
+      id = 0;
+      pid = 2;
+      tid = 9;
+      args = [];
+    };
   check "counter with float and escaped string"
     {|{"name":"q \"d\"","ph":"C","ts":5,"pid":0,"tid":0,"args":{"depth":1.5,"k":"a\nb"}}|}
     {
@@ -219,9 +229,34 @@ let test_event_json_golden () =
       ph = 'C';
       ts = 5;
       dur = 0;
+      id = 0;
       pid = 0;
       tid = 0;
       args = [ ("depth", Sink.Float 1.5); ("k", Sink.String "a\nb") ];
+    };
+  check "flow step carries id"
+    {|{"name":"critical-path","ph":"t","ts":9,"id":1,"pid":0,"tid":4}|}
+    {
+      Sink.name = "critical-path";
+      ph = 't';
+      ts = 9;
+      dur = 0;
+      id = 1;
+      pid = 0;
+      tid = 4;
+      args = [];
+    };
+  check "flow end binds to enclosing slice"
+    {|{"name":"critical-path","ph":"f","ts":11,"id":1,"bp":"e","pid":0,"tid":5}|}
+    {
+      Sink.name = "critical-path";
+      ph = 'f';
+      ts = 11;
+      dur = 0;
+      id = 1;
+      pid = 0;
+      tid = 5;
+      args = [];
     }
 
 let test_jsonl_golden_file () =
